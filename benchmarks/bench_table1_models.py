@@ -1,0 +1,36 @@
+"""Table 1 — the benchmark model inventory.
+
+Regenerates the paper's model description table from the actual built
+models (functionality, #Actor, #SubSystem) and benchmarks model
+construction + preprocessing throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import TABLE1, build_benchmark
+from repro.schedule import preprocess
+
+from conftest import bench_models, report_table
+
+
+def test_table1_inventory(benchmark, programs):
+    rows = [f"{'Model':6s} {'Functionality':42s} {'#Actor':>7s} {'#SubSystem':>11s}"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in bench_models():
+        model = build_benchmark(name)
+        desc, n_actors, n_subsystems = TABLE1[name]
+        assert model.n_actors == n_actors, name
+        assert model.n_subsystems == n_subsystems, name
+        rows.append(f"{name:6s} {desc:42s} {model.n_actors:7d} "
+                    f"{model.n_subsystems:11d}")
+    report_table("Table 1: benchmark model descriptions", "\n".join(rows))
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1))
+def test_build_and_preprocess_throughput(benchmark, name):
+    """How fast a Table-1 model builds and schedules (not in the paper,
+    but the preprocessing step's cost matters for AccMoS's end-to-end
+    turnaround)."""
+    benchmark(lambda: preprocess(build_benchmark(name)))

@@ -1,0 +1,118 @@
+"""Table 2 — simulation-time comparison.
+
+For every benchmark model, run the same random test cases for the same
+step count on all four engines and report wall times plus the AccMoS
+improvement ratios — the paper's Table 2 shape:
+
+* AccMoS beats SSE by orders of magnitude (paper: 215.3x average);
+* the ordering SSE > SSE_ac > SSE_rac > AccMoS holds per model;
+* computation-heavy models (LANS, LEDLC, SPV, TCP) sit at the top of the
+  improvement range.
+
+Step count via ``ACCMOS_BENCH_STEPS`` (default 10000; the paper's native
+testbed uses 50 million — our SSE substrate is a Python interpreter, so
+the default keeps a full 10-model sweep to a few minutes).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import SimulationOptions, simulate
+from repro.benchmarks import benchmark_stimuli
+
+from conftest import bench_models, bench_steps, report_table
+
+COMPUTE_HEAVY = ("LANS", "LEDLC", "SPV", "TCP")
+
+_results: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("name", bench_models())
+def test_simulation_time_all_engines(benchmark, programs, name):
+    prog = programs[name]
+    steps = bench_steps()
+    times: dict[str, float] = {}
+    checksums = {}
+
+    def run_engine(engine, n_steps=steps):
+        result = simulate(
+            prog, benchmark_stimuli(prog), engine=engine,
+            options=SimulationOptions(steps=n_steps),
+        )
+        times[engine] = result.wall_time * (steps / n_steps)
+        checksums[engine] = result.checksums
+        return result
+
+    for engine in ("sse", "sse_ac", "sse_rac"):
+        run_engine(engine)
+    # A 10k-step AccMoS run finishes in fractions of a millisecond —
+    # timer noise and fixed startup dominate.  Run it 50x longer and
+    # report the per-step-equivalent time (the paper amortizes over 50M
+    # steps); the checksum comparison below still uses a matched-length
+    # run.
+    benchmark.pedantic(
+        lambda: run_engine("accmos", n_steps=steps * 50),
+        rounds=1, iterations=1,
+    )
+    accmos_matched = simulate(
+        prog, benchmark_stimuli(prog), engine="accmos",
+        options=SimulationOptions(steps=steps),
+    )
+    checksums["accmos_matched"] = accmos_matched.checksums
+
+    # All engines computed the same simulation.
+    for engine in ("sse_ac", "sse_rac", "accmos_matched"):
+        assert checksums[engine] == checksums["sse"], engine
+    # The paper's speed ordering.
+    assert times["sse"] > times["sse_ac"] > times["sse_rac"] > times["accmos"]
+    _results[name] = times
+
+
+def test_table2_report(benchmark, programs):
+    if not _results:
+        pytest.skip("per-model timings did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    steps = bench_steps()
+    rows = [
+        f"(steps per run: {steps:,}; paper uses 50,000,000 on native Simulink)",
+        f"{'Model':6s} {'AccMoS':>9s} {'SSE':>9s} {'SSE_ac':>9s} {'SSE_rac':>9s}"
+        f" | {'vs SSE':>8s} {'vs ac':>8s} {'vs rac':>8s}",
+    ]
+    ratios = {"sse": [], "sse_ac": [], "sse_rac": []}
+    for name, times in _results.items():
+        acc = max(times["accmos"], 1e-9)
+        r_sse = times["sse"] / acc
+        r_ac = times["sse_ac"] / acc
+        r_rac = times["sse_rac"] / acc
+        ratios["sse"].append(r_sse)
+        ratios["sse_ac"].append(r_ac)
+        ratios["sse_rac"].append(r_rac)
+        rows.append(
+            f"{name:6s} {times['accmos']:8.4f}s {times['sse']:8.2f}s "
+            f"{times['sse_ac']:8.2f}s {times['sse_rac']:8.2f}s | "
+            f"{r_sse:7.1f}x {r_ac:7.1f}x {r_rac:7.1f}x"
+        )
+    rows.append(
+        f"{'mean':6s} {'':9s} {'':9s} {'':9s} {'':9s} | "
+        f"{statistics.mean(ratios['sse']):7.1f}x "
+        f"{statistics.mean(ratios['sse_ac']):7.1f}x "
+        f"{statistics.mean(ratios['sse_rac']):7.1f}x"
+    )
+    rows.append("(paper means: 215.3x vs SSE, 76.32x vs SSE_ac, 19.8x vs SSE_rac)")
+    report_table("Table 2: comparison of simulation time", "\n".join(rows))
+
+    # Shape assertions: big speedups, and the computation-heavy models lean
+    # toward the top of the ratio ranking (our substrate's cost model is not
+    # the paper's testbed, so the exact ordering differs; see EXPERIMENTS.md).
+    assert statistics.mean(ratios["sse"]) > 50
+    if len(_results) == 10:
+        by_ratio = sorted(
+            _results, key=lambda n: _results[n]["sse"] / _results[n]["accmos"],
+            reverse=True,
+        )
+        top_half = set(by_ratio[:5])
+        assert len(top_half & set(COMPUTE_HEAVY)) >= 2
+        assert by_ratio[0] in COMPUTE_HEAVY  # LANS-like models lead

@@ -1,0 +1,82 @@
+"""Continuous models via Adams-Bashforth solvers (the paper's §5 future
+work, implemented).
+
+Simulates a damped spring-mass system
+
+    x'' = -k/m * x - c/m * x'
+
+as two coupled ContinuousIntegrator blocks in a feedback loop, compares
+the generated-C result against the analytic solution, and shows the
+solver-order accuracy ladder (euler < ab2/ab3).
+
+Run:  python examples/continuous_ode.py
+"""
+
+import math
+
+from repro import ModelBuilder, simulate
+from repro.dtypes import F64
+from repro.schedule import preprocess
+
+K_OVER_M = 4.0   # omega^2
+C_OVER_M = 0.4   # damping
+
+
+def build_spring(solver: str):
+    b = ModelBuilder("Spring")
+    tick = b.inport("Tick", dtype=F64)  # unused clock input
+
+    # x' = v ; v' = -(k/m) x - (c/m) v
+    x = b.block("ContinuousIntegrator", "X", [("V", 0)],
+                params={"solver": solver, "initial": 1.0}, out_dtype=F64)
+    spring = b.gain("Spring", x, -K_OVER_M)
+    damper = b.gain("Damper", ("V", 0), -C_OVER_M)
+    accel = b.add("Accel", spring, damper)
+    b.block("ContinuousIntegrator", "V", [accel],
+            params={"solver": solver, "initial": 0.0}, out_dtype=F64)
+
+    b.terminator("T", tick)
+    b.outport("Position", x)
+    b.outport("Velocity", ("V", 0))
+    return b.build()
+
+
+def exact_position(t: float) -> float:
+    """Analytic solution for x(0)=1, v(0)=0 (underdamped)."""
+    zeta = C_OVER_M / (2.0 * math.sqrt(K_OVER_M))
+    omega0 = math.sqrt(K_OVER_M)
+    omega_d = omega0 * math.sqrt(1 - zeta**2)
+    envelope = math.exp(-zeta * omega0 * t)
+    return envelope * (
+        math.cos(omega_d * t)
+        + (zeta * omega0 / omega_d) * math.sin(omega_d * t)
+    )
+
+
+def main():
+    dt = 0.001
+    t_end = 5.0
+    steps = int(t_end / dt) + 1
+    t_sampled = (steps - 1) * dt
+    reference = exact_position(t_sampled)
+
+    print(f"damped spring-mass, dt={dt}, t={t_sampled:.3f}s "
+          f"(exact x = {reference:+.6f})\n")
+    print(f"{'solver':8s} {'x(t)':>12s} {'abs error':>12s} {'wall time':>10s}")
+    from repro.stimuli import ConstantStimulus
+
+    for solver in ("euler", "ab2", "ab3"):
+        prog = preprocess(build_spring(solver), dt=dt)
+        result = simulate(prog, {"Tick": ConstantStimulus(0.0)},
+                          engine="accmos", steps=steps)
+        x = result.outputs["Position"]
+        print(f"{solver:8s} {x:12.6f} {abs(x - reference):12.2e} "
+              f"{result.wall_time:9.4f}s")
+
+    print("\nhigher-order Adams methods track the analytic solution far")
+    print("more closely at the same step size — and all of it runs as")
+    print("generated C, identical to the interpreted reference engine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Coverage within equal wall-clock budgets (the Table-3 experiment).
+
+Runs the same random test cases against one benchmark model with the
+interpreted SSE engine and with AccMoS, each under identical wall-clock
+budgets, and reports all four Simulink coverage metrics.  Because AccMoS
+executes orders of magnitude more steps per second, it reaches the rare
+conditions (late-enabled subsystems, deep branches) the slow engine never
+gets to within the budget.
+
+Run:  python examples/coverage_analysis.py [MODEL] [BUDGETS...]
+      python examples/coverage_analysis.py TWC 0.5 1.5 6.0
+"""
+
+import sys
+
+from repro import SimulationOptions, simulate
+from repro.benchmarks import benchmark_stimuli, build_benchmark
+from repro.coverage import Metric
+from repro.schedule import preprocess
+
+HUGE_STEPS = 2_000_000_000  # effectively unbounded; the budget stops the run
+
+
+def coverage_row(prog, engine, budget):
+    options = SimulationOptions(steps=HUGE_STEPS, time_budget=budget,
+                                diagnostics=False)
+    result = simulate(prog, benchmark_stimuli(prog), engine=engine, options=options)
+    return result
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "TWC"
+    budgets = [float(a) for a in sys.argv[2:]] or [0.5, 1.5, 6.0]
+
+    model = build_benchmark(name)
+    prog = preprocess(model)
+    print(f"{name}: {model.n_actors} actors, {model.n_subsystems} subsystems\n")
+
+    header = f"{'budget':>7s} {'engine':8s} {'steps':>12s} " + "".join(
+        f"{m.title:>10s}" for m in Metric
+    )
+    print(header)
+    for budget in budgets:
+        for engine in ("accmos", "sse"):
+            result = coverage_row(prog, engine, budget)
+            cells = "".join(
+                f"{result.coverage.percent(m):9.1f}%" for m in Metric
+            )
+            print(f"{budget:6.1f}s {engine:8s} {result.steps_run:>12,d} {cells}")
+        print()
+
+    print("AccMoS executes far more steps in the same budget, so every")
+    print("metric saturates its reachable ceiling almost immediately,")
+    print("while the interpreted engine is still climbing (paper Table 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""The §4 case study: diagnosing injected errors in the CSEV model.
+
+CSEV models an electric-vehicle charging system with a ``quantity`` data
+store recording charged energy.  Two wrap-on-overflow errors are injected
+(as in the paper):
+
+* error 1 — the quantity accumulator loses its clamp and wraps after a
+  long charging simulation;
+* error 2 — the charging-power product's output type is short int, which
+  wraps immediately in high-power modes (and is also flagged statically as
+  a downcast).
+
+A custom signal diagnosis (paper §3.2.B) additionally watches the power
+product for implausible values.
+
+Run:  python examples/ev_charging_diagnosis.py
+"""
+
+from repro import DiagnosticKind, SimulationOptions, simulate
+from repro.benchmarks import benchmark_stimuli
+from repro.benchmarks.inject import (
+    POWER_PRODUCT_PATH,
+    QUANTITY_ADD_PATH,
+    build_csev_healthy,
+    build_csev_with_power_downcast,
+    build_csev_with_quantity_overflow,
+)
+from repro.diagnosis.custom import output_outside
+from repro.schedule import preprocess
+
+
+def detect(model, path, *, steps=500_000, engines=("sse", "accmos")):
+    prog = preprocess(model)
+    options = SimulationOptions(
+        steps=steps, halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW})
+    )
+    rows = {}
+    for engine in engines:
+        result = simulate(prog, benchmark_stimuli(prog), engine=engine, options=options)
+        rows[engine] = result
+        found = result.diagnostic(path, DiagnosticKind.WRAP_ON_OVERFLOW)
+        status = f"detected at step {result.halted_at}" if found else "not detected"
+        print(f"  {engine:8s} {result.wall_time:8.3f}s  {status}")
+    return rows
+
+
+def main():
+    print("=== healthy CSEV (no injected errors) ===")
+    healthy = preprocess(build_csev_healthy())
+    result = simulate(healthy, benchmark_stimuli(healthy), engine="accmos", steps=200_000)
+    wraps = [e for e in result.diagnostics
+             if e.kind is DiagnosticKind.WRAP_ON_OVERFLOW]
+    print(f"  wrap diagnostics: {len(wraps)} (the widen-clamp-narrow guard holds)")
+
+    print("\n=== error 1: quantity accumulator overflow (slow to manifest) ===")
+    rows = detect(build_csev_with_quantity_overflow(), QUANTITY_ADD_PATH)
+    sse, acc = rows["sse"], rows["accmos"]
+    print(f"  -> same step ({sse.halted_at}), "
+          f"{sse.wall_time / max(acc.wall_time, 1e-9):.0f}x faster detection")
+    print("  (paper: 450.14s with SSE vs 0.74s with AccMoS)")
+
+    print("\n=== error 2: power product downcast (manifests immediately) ===")
+    rows = detect(build_csev_with_power_downcast(), POWER_PRODUCT_PATH, steps=20_000)
+    print("  (paper: both engines detect it within 0.18..1.2s)")
+
+    print("\n=== custom signal diagnosis on the power product ===")
+    # Physical charging power is never negative; a negative product output
+    # is the wrapped short int showing through.
+    injected = preprocess(build_csev_with_power_downcast())
+    watch = output_outside(POWER_PRODUCT_PATH, 0, 32767)
+    options = SimulationOptions(steps=5_000, custom=(watch,))
+    result = simulate(injected, benchmark_stimuli(injected), engine="accmos",
+                      options=options)
+    custom = result.diagnostic(POWER_PRODUCT_PATH, DiagnosticKind.CUSTOM)
+    print(f"  custom callback fired: {custom}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""The paper's Figure-1 scenario: finding a long-run integer overflow.
+
+The motivating model accumulates two inputs and sums the accumulators;
+with positive inputs the int32 sum wraps after enough steps.  Simulink's
+interpreted engine needs minutes of simulation to reach the wrap — AccMoS
+compiles the model and reaches the same step (and the same diagnostic) in
+milliseconds.
+
+Run:  python examples/overflow_detection.py
+"""
+
+from repro import DiagnosticKind, SimulationOptions, simulate
+from repro.benchmarks.motivating import build_motivating_model, motivating_stimuli
+from repro.schedule import preprocess
+
+
+def main():
+    model = build_motivating_model()
+    prog = preprocess(model)
+    options = SimulationOptions(
+        steps=2_000_000,
+        halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW}),
+    )
+
+    print("Figure-1 motivating model (accumulate two inputs, sum them).")
+    print("Simulating until the first wrap-on-overflow diagnostic...\n")
+
+    detections = {}
+    for engine in ("sse", "accmos"):
+        result = simulate(prog, motivating_stimuli(), engine=engine, options=options)
+        detections[engine] = result
+        event = result.diagnostic("Motivate_Sum", DiagnosticKind.WRAP_ON_OVERFLOW)
+        print(f"{engine:8s} wall time {result.wall_time:8.3f}s  "
+              f"detected at step {result.halted_at}  ({event})")
+
+    sse, acc = detections["sse"], detections["accmos"]
+    assert sse.halted_at == acc.halted_at, "both engines find the same step"
+    speedup = sse.wall_time / max(acc.wall_time, 1e-9)
+    print(f"\nsame error, same step — {speedup:.0f}x faster with AccMoS")
+    print("(the paper reports 184.74s vs 0.37s for this scenario, ~500x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: build a small model, simulate it with every engine.
+
+Builds a two-channel sensor-fusion model with the programmatic builder,
+runs the interpreted reference engine (SSE) and AccMoS's generated-C
+engine, and shows that they agree exactly while AccMoS runs orders of
+magnitude faster.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ModelBuilder, simulate
+from repro.dtypes import F64, I32
+from repro.schedule import preprocess
+from repro.stimuli import IntRandomStimulus, UniformRandomStimulus
+
+
+def build_model():
+    b = ModelBuilder("Fusion")
+
+    # Two sensor channels and a mode selector.
+    raw_a = b.inport("SensorA", dtype=F64)
+    raw_b = b.inport("SensorB", dtype=F64)
+    mode = b.inport("Mode", dtype=I32)
+
+    # Channel conditioning: scale, low-pass, clamp.
+    chan_a = b.block("DiscreteFilter", "SmoothA",
+                     [b.gain("ScaleA", raw_a, 100.0)],
+                     params={"b0": 0.2, "a1": 0.8})
+    chan_b = b.block("DiscreteFilter", "SmoothB",
+                     [b.gain("ScaleB", raw_b, 100.0)],
+                     params={"b0": 0.2, "a1": 0.8})
+
+    # Fuse: pick A, B, or their mean, by mode.
+    mean = b.gain("Half", b.add("SumAB", chan_a, chan_b), 0.5)
+    mode_idx = b.block("Mod", "ModeIdx",
+                       [b.abs_("ModeAbs", mode), b.constant("Three", 3)])
+    fused = b.multiport_switch("Fused", mode_idx, [chan_a, chan_b, mean])
+
+    # Alarm when the fused value leaves its envelope.
+    high = b.relational("High", ">", fused, b.constant("Hi", 75.0))
+    low = b.relational("Low", "<", fused, b.constant("Lo", 5.0))
+    alarm = b.logic("Alarm", "OR", [high, low])
+
+    b.outport("Value", fused)
+    b.outport("AlarmOut", alarm)
+    return b.build()
+
+
+def main():
+    model = build_model()
+    print(f"built {model.name}: {model.n_actors} actors")
+
+    prog = preprocess(model)
+
+    def stimuli():
+        return {
+            "SensorA": UniformRandomStimulus(seed=1, lo=0.0, hi=1.0),
+            "SensorB": UniformRandomStimulus(seed=2, lo=0.0, hi=1.0),
+            "Mode": IntRandomStimulus(seed=3, lo=0, hi=5),
+        }
+
+    results = {}
+    for engine in ("sse", "accmos"):
+        results[engine] = simulate(prog, stimuli(), engine=engine, steps=100_000)
+        r = results[engine]
+        print(f"{engine:8s} {r.wall_time:8.3f}s  "
+              f"Value={r.outputs['Value']:.6f}  coverage: {r.coverage.summary()}")
+
+    sse, acc = results["sse"], results["accmos"]
+    assert sse.checksums == acc.checksums, "engines must agree bit for bit"
+    assert sse.coverage.bitmaps == acc.coverage.bitmaps
+    print(f"\nengines agree on every step; AccMoS speedup: "
+          f"{sse.wall_time / max(acc.wall_time, 1e-9):.0f}x")
+
+
+if __name__ == "__main__":
+    main()

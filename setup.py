@@ -1,0 +1,13 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package
+that pip's PEP 660 editable builds require, so `python setup.py develop`
+is the supported editable-install path here."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["accmos=repro.cli:main"]},
+)

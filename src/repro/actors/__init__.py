@@ -1,0 +1,47 @@
+"""Actor-type registry and executable semantics.
+
+Every block type known to the library is described by an
+:class:`~repro.actors.registry.ActorSpec` (arity, operators, coverage
+classification, statefulness) and implemented by an
+:class:`~repro.actors.base.ActorSemantics` subclass giving its *reference
+semantics*: the output/update behaviour the interpreted SSE engine executes
+directly and the generated C code must reproduce bit for bit.
+
+Importing this package registers all built-in actor types (the paper's
+"code template libraries ... for over fifty commonly used actors").
+"""
+
+from repro.actors.base import ActorSemantics, BindContext, StepResult
+from repro.actors.registry import (
+    ActorSpec,
+    all_specs,
+    get_semantics_class,
+    get_spec,
+    is_known_type,
+    register,
+)
+
+# Importing the implementation modules populates the registry.
+from repro.actors import (  # noqa: F401  (imported for registration side effect)
+    continuous,
+    control,
+    lookup,
+    logic_ops,
+    math_ops,
+    memory_ops,
+    sinks,
+    sources,
+    stores,
+)
+
+__all__ = [
+    "ActorSpec",
+    "ActorSemantics",
+    "BindContext",
+    "StepResult",
+    "register",
+    "get_spec",
+    "get_semantics_class",
+    "is_known_type",
+    "all_specs",
+]

@@ -1,0 +1,136 @@
+"""Execution interface shared by all actor semantics.
+
+Semantics objects implement Simulink's two-phase step:
+
+* ``output(state, inputs)`` — compute this step's outputs (and, for branch
+  actors, which branch was taken; for calculation actors, any arithmetic
+  flags raised on the way);
+* ``update(state, inputs, outputs)`` — advance internal state after all
+  outputs in the model have been computed.
+
+The interpreted SSE engine calls these per actor per step; the code
+generator never calls them, but its C templates are written against the
+same contract and the cross-engine equivalence tests pin the two together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple, Optional
+
+from repro.dtypes import DType, ArithFlags
+from repro.dtypes.arith import OK
+from repro.model.actor import Actor
+from repro.model.errors import ValidationError
+
+
+class StepResult(NamedTuple):
+    """Result of one ``output`` phase."""
+
+    outputs: tuple
+    flags: ArithFlags = OK
+    branch: Optional[int] = None  # taken-branch index, for branch actors
+
+
+@dataclass
+class StoreBank:
+    """Runtime values of DataStoreMemory actors, shared across one run."""
+
+    dtypes: dict[str, DType] = field(default_factory=dict)
+    initials: dict[str, Any] = field(default_factory=dict)
+    values: dict[str, Any] = field(default_factory=dict)
+
+    def declare(self, name: str, dtype: DType, initial) -> None:
+        if name in self.dtypes:
+            raise ValidationError(f"data store {name!r} declared twice")
+        self.dtypes[name] = dtype
+        self.initials[name] = initial
+        self.values[name] = initial
+
+    def read(self, name: str):
+        return self.values[name]
+
+    def write(self, name: str, value) -> None:
+        self.values[name] = value
+
+    def reset(self) -> None:
+        self.values = dict(self.initials)
+
+
+@dataclass
+class BindContext:
+    """Everything a semantics instance needs beyond the actor itself."""
+
+    in_dtypes: tuple[DType, ...]
+    out_dtypes: tuple[DType, ...]
+    stores: StoreBank
+    dt: float = 1.0  # fixed step size (seconds of simulated time per step)
+
+
+class ActorSemantics:
+    """Base class for the reference semantics of one actor instance."""
+
+    def __init__(self, actor: Actor, ctx: BindContext):
+        self.actor = actor
+        self.ctx = ctx
+        self._bind()
+
+    def _bind(self) -> None:
+        """Hook for subclasses to precompute per-instance constants."""
+
+    # ------------------------------------------------------------------
+    # static hooks (used before instantiation)
+    # ------------------------------------------------------------------
+    @classmethod
+    def check_params(cls, actor: Actor, path: str) -> None:
+        """Validate type-specific parameters; raise ValidationError."""
+
+    @classmethod
+    def infer_out_dtypes(
+        cls,
+        actor: Actor,
+        in_dtypes: tuple[DType, ...],
+        store_dtypes: dict[str, DType],
+    ) -> tuple[DType, ...]:
+        """Default output dtypes when the model pins none.
+
+        Only consulted for ports whose dtype is ``None``; pinned ports win.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # dynamic interface
+    # ------------------------------------------------------------------
+    def init_state(self):
+        """Initial internal state (``None`` for stateless actors)."""
+        return None
+
+    def output(self, state, inputs: tuple) -> StepResult:
+        raise NotImplementedError
+
+    def update(self, state, inputs: tuple, outputs: tuple):
+        """Advance state; default: stateless."""
+        return state
+
+    # ------------------------------------------------------------------
+    # shared inference helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _promote_all(in_dtypes: tuple[DType, ...]) -> DType:
+        from repro.dtypes import F64, promote
+
+        if not in_dtypes:
+            return F64
+        result = in_dtypes[0]
+        for dt in in_dtypes[1:]:
+            result = promote(result, dt)
+        return result
+
+    @staticmethod
+    def _float_like(in_dtypes: tuple[DType, ...]) -> DType:
+        """F32 if every input is F32, else F64 (for transcendental ops)."""
+        from repro.dtypes import F32, F64
+
+        if in_dtypes and all(dt is F32 for dt in in_dtypes):
+            return F32
+        return F64

@@ -1,0 +1,112 @@
+"""Continuous-model support (the paper's §5 future work).
+
+The paper names the Adams solver as the route to code-based simulation of
+continuous models.  ``ContinuousIntegrator`` integrates its input signal
+(the derivative) with an explicit fixed-step solver from the Adams-
+Bashforth family:
+
+* ``euler`` — AB1: ``y += dt * f_n``;
+* ``ab2``  — ``y += dt * (3/2 f_n - 1/2 f_(n-1))``;
+* ``ab3``  — ``y += dt * (23/12 f_n - 16/12 f_(n-1) + 5/12 f_(n-2))``.
+
+Multistep explicit methods fit the synchronous dataflow execution model
+perfectly: they only consume *past* derivative values, so no actor is
+re-evaluated within a step (unlike Runge-Kutta stages).  Startup uses the
+highest order the history allows (Euler, then AB2, then the full method).
+A consequence of the self-starting scheme: the single Euler startup step
+contributes an O(dt^2) global error term, so AB3's *observable* global
+order on short runs is 2 (with a smaller constant than AB2); production
+solvers avoid this with a Runge-Kutta starter, which an explicit dataflow
+cannot express without re-evaluating upstream actors.
+
+Like every stateful float actor, the update arithmetic follows the
+coerce-per-operation discipline in a fixed order so the generated C
+reproduces it bit for bit.
+"""
+
+from __future__ import annotations
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import coerce_float
+from repro.model.errors import ValidationError
+
+SOLVERS = ("euler", "ab2", "ab3")
+
+# Adams-Bashforth coefficient literals, spelled exactly as the generated C
+# writes them (these doubles are what both engines multiply with).
+AB2_C0 = 1.5
+AB2_C1 = 0.5
+AB3_C0 = 23.0 / 12.0
+AB3_C1 = 16.0 / 12.0
+AB3_C2 = 5.0 / 12.0
+
+
+class ContinuousIntegratorSemantics(ActorSemantics):
+    """Fixed-step Adams-Bashforth integration of the input derivative."""
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        solver = actor.params.get("solver", "ab2")
+        if solver not in SOLVERS:
+            raise ValidationError(
+                f"{path}: ContinuousIntegrator solver must be one of {SOLVERS}"
+            )
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(
+                f"{path}: ContinuousIntegrator output must be float"
+            )
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        self._solver = self.actor.params.get("solver", "ab2")
+        self._dtype = self.ctx.out_dtypes[0]
+        self._dt = coerce_float(self.ctx.dt, self._dtype)
+
+    def init_state(self):
+        initial = coerce_float(
+            float(self.actor.params.get("initial", 0.0)), self._dtype
+        )
+        # (y, f_prev, f_prev2, steps_taken)
+        return [initial, 0.0, 0.0, 0]
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((state[0],))
+
+    def update(self, state, inputs, outputs):
+        dtype = self._dtype
+        co = lambda v: coerce_float(v, dtype)  # noqa: E731
+        y, f1, f2, n = state
+        u = co(float(inputs[0]))
+        order = {"euler": 1, "ab2": 2, "ab3": 3}[self._solver]
+        effective = min(order, n + 1)
+        if effective == 1:
+            slope = u
+        elif effective == 2:
+            t1 = co(AB2_C0 * u)
+            t2 = co(AB2_C1 * f1)
+            slope = co(t1 - t2)
+        else:
+            t1 = co(AB3_C0 * u)
+            t2 = co(AB3_C1 * f1)
+            t3 = co(AB3_C2 * f2)
+            slope = co(co(t1 - t2) + t3)
+        y = co(y + co(self._dt * slope))
+        return [y, u, f1, n + 1]
+
+
+register(
+    ActorSpec(
+        "ContinuousIntegrator", "memory", 1, 1, 1,
+        ContinuousIntegratorSemantics,
+        stateful=True, direct_feedthrough=False, is_calculation=True,
+        description="Fixed-step Adams-Bashforth continuous integrator "
+                    "(euler/ab2/ab3)",
+    )
+)

@@ -1,0 +1,204 @@
+"""Branching and signal-routing actors.
+
+``Switch`` and ``MultiportSwitch`` are the *branch actors* of the coverage
+model: condition coverage instruments one point per selectable branch, and
+the ``branch`` field of :class:`StepResult` reports which one a step took.
+
+``Merge`` combines the outputs of conditionally executed (enabled)
+subsystems: it emits the value of the most recently *executed* source this
+step and holds its previous value when none executed.  Because that depends
+on guard activity, both engines special-case Merge; the ``output`` method
+here implements the unguarded fallback (all sources active → highest-index
+input wins).
+"""
+
+from __future__ import annotations
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import checked_cast, coerce_float
+from repro.dtypes.arith import OK as _OK
+from repro.dtypes.arith import OUT_OF_BOUNDS
+from repro.model.errors import ValidationError
+
+
+class SwitchSemantics(ActorSemantics):
+    """``out = in0 if control >= threshold else in2`` (Simulink default)."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        threshold = actor.params.get("threshold", 0)
+        if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+            raise ValidationError(f"{path}: Switch threshold must be numeric")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        from repro.dtypes import promote
+
+        return (promote(in_dtypes[0], in_dtypes[2]),)
+
+    def _bind(self):
+        self._threshold = self.actor.params.get("threshold", 0)
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        taken_first = inputs[1] >= self._threshold
+        branch = 0 if taken_first else 1
+        chosen = inputs[0] if taken_first else inputs[2]
+        src_dtype = self.ctx.in_dtypes[0 if taken_first else 2]
+        if self._dtype.is_float:
+            return StepResult(
+                (coerce_float(float(chosen), self._dtype),), branch=branch
+            )
+        value, flags = checked_cast(chosen, src_dtype, self._dtype)
+        return StepResult((value,), flags, branch=branch)
+
+
+class MultiportSwitchSemantics(ActorSemantics):
+    """``out = cases[control]``; an out-of-range control index clamps to the
+    nearest case and raises the array-out-of-bounds flag."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._promote_all(in_dtypes[1:]),)
+
+    def _bind(self):
+        self._n_cases = self.actor.n_inputs - 1
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        index = int(inputs[0])  # float controls truncate, C-style
+        flags = None
+        if index < 0:
+            index, flags = 0, OUT_OF_BOUNDS
+        elif index >= self._n_cases:
+            index, flags = self._n_cases - 1, OUT_OF_BOUNDS
+        chosen = inputs[1 + index]
+        src_dtype = self.ctx.in_dtypes[1 + index]
+        if self._dtype.is_float:
+            value = coerce_float(float(chosen), self._dtype)
+            return StepResult((value,), flags or _OK, branch=index)
+        value, cast_flags = checked_cast(chosen, src_dtype, self._dtype)
+        if flags:
+            cast_flags = cast_flags.merge(flags)
+        return StepResult((value,), cast_flags, branch=index)
+
+
+class RelaySemantics(ActorSemantics):
+    """Hysteresis switch: output flips to ``on_value`` when the input rises
+    to ``on_threshold`` and back to ``off_value`` when it falls to
+    ``off_threshold``; between the thresholds the previous state holds.
+
+    A branch actor for condition coverage (branch 0 = on, 1 = off) and a
+    stateful one (the hysteresis latch).
+    """
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        on_th = actor.params.get("on_threshold")
+        off_th = actor.params.get("off_threshold")
+        if not isinstance(on_th, (int, float)) or not isinstance(off_th, (int, float)):
+            raise ValidationError(f"{path}: Relay thresholds must be numeric")
+        if off_th > on_th:
+            raise ValidationError(
+                f"{path}: Relay off_threshold {off_th} must not exceed "
+                f"on_threshold {on_th}"
+            )
+        for key in ("on_value", "off_value"):
+            value = actor.params.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValidationError(f"{path}: Relay requires numeric {key!r}")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        from repro.dtypes import F64, I32
+
+        floaty = isinstance(actor.params["on_value"], float) or isinstance(
+            actor.params["off_value"], float
+        )
+        return (F64 if floaty else I32,)
+
+    def _bind(self):
+        from repro.actors.math_ops import int_param
+
+        p = self.actor.params
+        dtype = self.ctx.out_dtypes[0]
+        self._on_th = p["on_threshold"]
+        self._off_th = p["off_threshold"]
+        if dtype.is_float:
+            self._on_value = coerce_float(float(p["on_value"]), dtype)
+            self._off_value = coerce_float(float(p["off_value"]), dtype)
+        else:
+            self._on_value = int_param(p["on_value"], dtype)
+            self._off_value = int_param(p["off_value"], dtype)
+
+    def init_state(self):
+        return 1 if self.actor.params.get("initial_on", False) else 0
+
+    def _next_state(self, state, u):
+        if u >= self._on_th:
+            return 1
+        if u <= self._off_th:
+            return 0
+        return state
+
+    def output(self, state, inputs) -> StepResult:
+        new_state = self._next_state(state, inputs[0])
+        value = self._on_value if new_state else self._off_value
+        return StepResult((value,), branch=0 if new_state else 1)
+
+    def update(self, state, inputs, outputs):
+        return self._next_state(state, inputs[0])
+
+
+class MergeSemantics(ActorSemantics):
+    """Unguarded fallback: highest-index input wins (engines special-case
+    guarded Merge; see module docstring)."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._promote_all(in_dtypes),)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        chosen = inputs[-1]
+        src_dtype = self.ctx.in_dtypes[-1]
+        if dtype.is_float:
+            return StepResult((coerce_float(float(chosen), dtype),))
+        value, flags = checked_cast(chosen, src_dtype, dtype)
+        return StepResult((value,), flags)
+
+
+register(
+    ActorSpec(
+        "Switch", "control", 3, 3, 1, SwitchSemantics,
+        is_branch=True,
+        description="Two-way switch on a control signal vs. threshold",
+    )
+)
+register(
+    ActorSpec(
+        "MultiportSwitch", "control", 2, None, 1, MultiportSwitchSemantics,
+        is_branch=True,
+        description="N-way case selection by integer control input",
+    )
+)
+register(
+    ActorSpec(
+        "Relay", "control", 1, 1, 1, RelaySemantics,
+        stateful=True, is_branch=True,
+        required_params=(
+            "on_threshold", "off_threshold", "on_value", "off_value",
+        ),
+        description="Hysteresis switch (latching on/off thresholds)",
+    )
+)
+register(
+    ActorSpec(
+        "Merge", "control", 1, None, 1, MergeSemantics,
+        description="Merge outputs of conditionally executed branches",
+        _extra={"engine_special": "merge"},
+    )
+)

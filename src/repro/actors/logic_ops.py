@@ -1,0 +1,153 @@
+"""Boolean-valued actors: relational comparisons and combinational logic.
+
+These are the decision points of a model: decision coverage records both
+outcomes of each such actor, and Logic actors with two or more inputs are
+the *combination conditions* MC/DC instrumentation targets (Algorithm 1,
+lines 7-10 of the paper).
+
+Comparison semantics: floats compare in double; integers compare exactly
+(Python arbitrary precision here, ``__int128`` in the generated C), so
+mixed-signedness comparisons never wrap.
+"""
+
+from __future__ import annotations
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import BOOL
+from repro.model.errors import ValidationError
+
+RELATIONAL_OPERATORS = ("==", "!=", "<", "<=", ">", ">=")
+LOGIC_OPERATORS = ("AND", "OR", "NAND", "NOR", "XOR", "NOT")
+
+
+def compare(op: str, a, b) -> bool:
+    """Exact comparison, independent of operand dtypes."""
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    return a >= b
+
+
+def evaluate_logic(op: str, truths: tuple[bool, ...]) -> bool:
+    """Truth-functional evaluation of an N-ary Logic actor."""
+    if op == "NOT":
+        return not truths[0]
+    if op == "AND":
+        return all(truths)
+    if op == "OR":
+        return any(truths)
+    if op == "NAND":
+        return not all(truths)
+    if op == "NOR":
+        return not any(truths)
+    # XOR: odd number of true inputs (n-ary generalization).
+    return (sum(truths) % 2) == 1
+
+
+class RelationalOperatorSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (BOOL,)
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dt = actor.outputs[0].dtype
+        if dt is not None and dt is not BOOL:
+            raise ValidationError(f"{path}: RelationalOperator output must be bool")
+
+    def output(self, state, inputs) -> StepResult:
+        result = compare(self.actor.operator, inputs[0], inputs[1])
+        return StepResult((1 if result else 0,))
+
+
+class LogicSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (BOOL,)
+
+    @classmethod
+    def check_params(cls, actor, path):
+        if actor.operator == "NOT" and actor.n_inputs != 1:
+            raise ValidationError(f"{path}: Logic NOT takes exactly one input")
+        dt = actor.outputs[0].dtype
+        if dt is not None and dt is not BOOL:
+            raise ValidationError(f"{path}: Logic output must be bool")
+
+    def output(self, state, inputs) -> StepResult:
+        truths = tuple(v != 0 for v in inputs)
+        result = evaluate_logic(self.actor.operator, truths)
+        return StepResult((1 if result else 0,))
+
+
+class CompareToConstantSemantics(ActorSemantics):
+    @classmethod
+    def check_params(cls, actor, path):
+        constant = actor.params.get("constant")
+        if not isinstance(constant, (int, float)) or isinstance(constant, bool):
+            raise ValidationError(f"{path}: CompareToConstant requires numeric 'constant'")
+        dt = actor.outputs[0].dtype
+        if dt is not None and dt is not BOOL:
+            raise ValidationError(f"{path}: CompareToConstant output must be bool")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (BOOL,)
+
+    def output(self, state, inputs) -> StepResult:
+        result = compare(self.actor.operator, inputs[0], self.actor.params["constant"])
+        return StepResult((1 if result else 0,))
+
+
+class CompareToZeroSemantics(ActorSemantics):
+    @classmethod
+    def check_params(cls, actor, path):
+        dt = actor.outputs[0].dtype
+        if dt is not None and dt is not BOOL:
+            raise ValidationError(f"{path}: CompareToZero output must be bool")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (BOOL,)
+
+    def output(self, state, inputs) -> StepResult:
+        result = compare(self.actor.operator, inputs[0], 0)
+        return StepResult((1 if result else 0,))
+
+
+register(
+    ActorSpec(
+        "RelationalOperator", "logic", 2, 2, 1, RelationalOperatorSemantics,
+        operators=RELATIONAL_OPERATORS, boolean_logic=True,
+        description="Binary comparison producing a boolean",
+    )
+)
+register(
+    ActorSpec(
+        "Logic", "logic", 1, None, 1, LogicSemantics,
+        operators=LOGIC_OPERATORS, boolean_logic=True, combination_condition=True,
+        description="N-ary combinational logic (AND/OR/NAND/NOR/XOR/NOT)",
+    )
+)
+register(
+    ActorSpec(
+        "CompareToConstant", "logic", 1, 1, 1, CompareToConstantSemantics,
+        operators=RELATIONAL_OPERATORS, required_params=("constant",),
+        boolean_logic=True,
+        description="Compare the input against a constant",
+    )
+)
+register(
+    ActorSpec(
+        "CompareToZero", "logic", 1, 1, 1, CompareToZeroSemantics,
+        operators=RELATIONAL_OPERATORS, boolean_logic=True,
+        description="Compare the input against zero",
+    )
+)

@@ -1,0 +1,111 @@
+"""Table-lookup actors.
+
+``DirectLookup`` indexes a constant table with a runtime integer — the
+canonical array-out-of-bounds diagnosis target: an out-of-range index is
+clamped and flagged, exactly like the generated C's guarded access.
+
+``Lookup1D`` interpolates linearly over ascending breakpoints with end
+clipping, computed in double with a fixed operation order so both engines
+agree bitwise.
+"""
+
+from __future__ import annotations
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import F64, I32, coerce_float
+from repro.dtypes.arith import OK, OUT_OF_BOUNDS
+from repro.model.errors import ValidationError
+
+
+class Lookup1DSemantics(ActorSemantics):
+    @classmethod
+    def check_params(cls, actor, path):
+        bp = actor.params.get("breakpoints")
+        table = actor.params.get("table")
+        if not isinstance(bp, (list, tuple)) or len(bp) < 2:
+            raise ValidationError(f"{path}: Lookup1D needs >= 2 breakpoints")
+        if not isinstance(table, (list, tuple)) or len(table) != len(bp):
+            raise ValidationError(f"{path}: Lookup1D table length must match breakpoints")
+        if any(nxt <= prev for prev, nxt in zip(bp, bp[1:])):
+            raise ValidationError(f"{path}: Lookup1D breakpoints must be strictly ascending")
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: Lookup1D output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64,)
+
+    def _bind(self):
+        self._bp = [float(b) for b in self.actor.params["breakpoints"]]
+        self._table = [float(t) for t in self.actor.params["table"]]
+
+    def output(self, state, inputs) -> StepResult:
+        bp, table = self._bp, self._table
+        x = float(inputs[0])
+        if x <= bp[0]:
+            y = table[0]
+        elif x >= bp[-1]:
+            y = table[-1]
+        else:
+            # Linear scan, identical to the generated C loop.
+            i = 0
+            while x > bp[i + 1]:
+                i += 1
+            frac = (x - bp[i]) / (bp[i + 1] - bp[i])
+            y = table[i] + (table[i + 1] - table[i]) * frac
+        y = coerce_float(y, self.ctx.out_dtypes[0])
+        return StepResult((y,))
+
+
+class DirectLookupSemantics(ActorSemantics):
+    """``y = table[index]``; out-of-range indices clamp and raise the
+    array-out-of-bounds flag."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        table = actor.params.get("table")
+        if not isinstance(table, (list, tuple)) or not table:
+            raise ValidationError(f"{path}: DirectLookup needs a non-empty table")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        table = actor.params["table"]
+        floaty = any(isinstance(v, float) for v in table)
+        return (F64 if floaty else I32,)
+
+    def _bind(self):
+        from repro.actors.math_ops import int_param
+
+        dtype = self.ctx.out_dtypes[0]
+        raw = self.actor.params["table"]
+        if dtype.is_float:
+            self._table = [coerce_float(float(v), dtype) for v in raw]
+        else:
+            self._table = [int_param(v, dtype) for v in raw]
+
+    def output(self, state, inputs) -> StepResult:
+        index = int(inputs[0])
+        flags = OK
+        if index < 0:
+            index, flags = 0, OUT_OF_BOUNDS
+        elif index >= len(self._table):
+            index, flags = len(self._table) - 1, OUT_OF_BOUNDS
+        return StepResult((self._table[index],), flags)
+
+
+register(
+    ActorSpec(
+        "Lookup1D", "lookup", 1, 1, 1, Lookup1DSemantics,
+        required_params=("breakpoints", "table"),
+        description="1-D interpolated lookup with end clipping",
+    )
+)
+register(
+    ActorSpec(
+        "DirectLookup", "lookup", 1, 1, 1, DirectLookupSemantics,
+        required_params=("table",), is_calculation=True,
+        description="Direct table indexing (array-out-of-bounds target)",
+    )
+)

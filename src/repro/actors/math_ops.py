@@ -1,0 +1,876 @@
+"""Arithmetic actor semantics.
+
+Every recipe here is written to be mirrored *exactly* by a C template in
+:mod:`repro.codegen.templates`: the same compute dtype, the same cast
+points, the same guards.  The cross-engine equivalence tests enforce this.
+
+Shared numeric conventions:
+
+* Integer actors compute in their output dtype.  Inputs are first converted
+  with :func:`checked_cast` (raising downcast/overflow flags) and the
+  operation itself uses ``checked_*`` wrap arithmetic.
+* Transcendental actors compute in IEEE double and coerce to the output
+  dtype (single-precision outputs round through ``float``).
+* Domain errors follow C's libm behaviour (``log(0) == -inf``,
+  ``sqrt(-1) == nan``) rather than raising, and set the ``non_finite``
+  flag.  Helper functions at the bottom implement those C-isms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import DType, checked_cast, coerce_float
+from repro.dtypes.arith import (
+    OK,
+    ArithFlags,
+    checked_add,
+    checked_div,
+    checked_mod,
+    checked_mul,
+    checked_neg,
+    checked_sub,
+    wrap,
+)
+from repro.model.errors import ValidationError
+
+_NON_FINITE = ArithFlags(non_finite=True)
+
+
+def _float_flags(value: float) -> ArithFlags:
+    if math.isnan(value) or math.isinf(value):
+        return _NON_FINITE
+    return OK
+
+
+def _check_int_param_fits(actor, path: str, key: str, value) -> None:
+    """An integer parameter combined with an integer output dtype must fit
+    that dtype (checked once the dtype is known, i.e. on the post-inference
+    re-validation pass)."""
+    dtype = actor.outputs[0].dtype if actor.outputs else None
+    if dtype is None or not dtype.is_integer or not isinstance(value, int):
+        return
+    if not (dtype.min_value <= value <= dtype.max_value):
+        raise ValidationError(
+            f"{path}: integer {key} {value} does not fit output type "
+            f"{dtype.short_name}"
+        )
+
+
+def int_param(value, dtype: DType) -> int:
+    """Reduce a numeric parameter to an integer dtype the way C constant
+    initialization would (floats truncate, out-of-range wraps)."""
+    if isinstance(value, float):
+        return checked_cast(value, DType.F64, dtype)[0]
+    return wrap(int(value), dtype)
+
+
+def cast_inputs(inputs, in_dtypes, target: DType):
+    """Cast all inputs to the compute dtype, merging flags."""
+    flags = OK
+    out = []
+    for value, src in zip(inputs, in_dtypes):
+        converted, f = checked_cast(value, src, target)
+        flags = flags.merge(f)
+        out.append(converted)
+    return out, flags
+
+
+# ----------------------------------------------------------------------
+# Sum / Product
+# ----------------------------------------------------------------------
+class SumSemantics(ActorSemantics):
+    """N-ary add/subtract; operator is a sign string like ``"+-+"``."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._promote_all(in_dtypes),)
+
+    def _bind(self):
+        self._signs = self.actor.operator
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        if dtype.is_float:
+            # Compute in the output float type: operands cast first, every
+            # intermediate rounded — exactly what the generated C does.
+            # The first term is taken (or negated) directly rather than
+            # added to 0.0: gcc folds `0.0 - x` to `-x` regardless of
+            # signed zeros, so negation is the one stable convention.
+            first = coerce_float(float(inputs[0]), dtype)
+            acc = first if self._signs[0] == "+" else coerce_float(-first, dtype)
+            for sign, value in zip(self._signs[1:], inputs[1:]):
+                v = coerce_float(float(value), dtype)
+                acc = coerce_float(acc + v if sign == "+" else acc - v, dtype)
+            return StepResult((acc,), _float_flags(acc))
+        values, flags = cast_inputs(inputs, self.ctx.in_dtypes, dtype)
+        acc = 0
+        for sign, value in zip(self._signs, values):
+            op = checked_add if sign == "+" else checked_sub
+            acc, f = op(acc, value, dtype)
+            flags = flags.merge(f)
+        return StepResult((acc,), flags)
+
+
+class ProductSemantics(ActorSemantics):
+    """N-ary multiply/divide; operator is an op string like ``"**/"``."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._promote_all(in_dtypes),)
+
+    def _bind(self):
+        self._ops = self.actor.operator
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        if dtype.is_float:
+            acc = 1.0
+            flags = OK
+            for op, value in zip(self._ops, inputs):
+                v = coerce_float(float(value), dtype)
+                if op == "*":
+                    acc = coerce_float(acc * v, dtype)
+                else:
+                    acc, f = checked_div(acc, v, dtype)
+                    flags = flags.merge(f)
+            return StepResult((acc,), flags.merge(_float_flags(acc)))
+        values, flags = cast_inputs(inputs, self.ctx.in_dtypes, dtype)
+        acc = 1
+        for op, value in zip(self._ops, values):
+            fn = checked_mul if op == "*" else checked_div
+            acc, f = fn(acc, value, dtype)
+            flags = flags.merge(f)
+        return StepResult((acc,), flags)
+
+
+# ----------------------------------------------------------------------
+# Gain / Bias
+# ----------------------------------------------------------------------
+class GainSemantics(ActorSemantics):
+    """``y = k * u``; float gains on integer outputs compute in double."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        gain = actor.params.get("gain")
+        if not isinstance(gain, (int, float)) or isinstance(gain, bool):
+            raise ValidationError(f"{path}: Gain parameter must be a number")
+        _check_int_param_fits(actor, path, "gain", gain)
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        from repro.dtypes import F64
+
+        if isinstance(actor.params["gain"], float):
+            return (F64 if not in_dtypes[0].is_float else in_dtypes[0],)
+        return (in_dtypes[0],)
+
+    def _bind(self):
+        # Fit of an integer gain into an integer output dtype is enforced
+        # statically by check_params (re-run after type inference).
+        self._gain = self.actor.params["gain"]
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        x = inputs[0]
+        if dtype.is_float:
+            x_c = coerce_float(float(x), dtype)
+            k = coerce_float(float(self._gain), dtype)
+            y = coerce_float(x_c * k, dtype)
+            return StepResult((y,), _float_flags(y))
+        if isinstance(self._gain, float):
+            y, flags = checked_cast(float(x) * self._gain, DType.F64, dtype)
+            return StepResult((y,), flags)
+        x_c, flags = checked_cast(x, self.ctx.in_dtypes[0], dtype)
+        y, f = checked_mul(x_c, self._gain, dtype)
+        return StepResult((y,), flags.merge(f))
+
+
+class BiasSemantics(ActorSemantics):
+    """``y = u + b`` with the same typing rules as Gain."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        bias = actor.params.get("bias")
+        if not isinstance(bias, (int, float)) or isinstance(bias, bool):
+            raise ValidationError(f"{path}: Bias parameter must be a number")
+        _check_int_param_fits(actor, path, "bias", bias)
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        from repro.dtypes import F64
+
+        if isinstance(actor.params["bias"], float):
+            return (F64 if not in_dtypes[0].is_float else in_dtypes[0],)
+        return (in_dtypes[0],)
+
+    def _bind(self):
+        # Fit enforced statically by check_params, like Gain.
+        self._bias = self.actor.params["bias"]
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        x = inputs[0]
+        if dtype.is_float:
+            x_c = coerce_float(float(x), dtype)
+            b = coerce_float(float(self._bias), dtype)
+            y = coerce_float(x_c + b, dtype)
+            return StepResult((y,), _float_flags(y))
+        if isinstance(self._bias, float):
+            y, flags = checked_cast(float(x) + self._bias, DType.F64, dtype)
+            return StepResult((y,), flags)
+        x_c, flags = checked_cast(x, self.ctx.in_dtypes[0], dtype)
+        y, f = checked_add(x_c, self._bias, dtype)
+        return StepResult((y,), flags.merge(f))
+
+
+# ----------------------------------------------------------------------
+# simple unary actors
+# ----------------------------------------------------------------------
+class AbsSemantics(ActorSemantics):
+    """``y = |u|``; ``abs(INT_MIN)`` wraps and raises the overflow flag."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        x = inputs[0]
+        if dtype.is_float:
+            y = coerce_float(abs(x), dtype)
+            return StepResult((y,), _float_flags(y))
+        x_c, flags = checked_cast(x, self.ctx.in_dtypes[0], dtype)
+        if x_c < 0:
+            y, f = checked_neg(x_c, dtype)
+            flags = flags.merge(f)
+        else:
+            y = x_c
+        return StepResult((y,), flags)
+
+
+class UnaryMinusSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        x = inputs[0]
+        if dtype.is_float:
+            y = coerce_float(-x, dtype)
+            return StepResult((y,), _float_flags(y))
+        x_c, flags = checked_cast(x, self.ctx.in_dtypes[0], dtype)
+        y, f = checked_neg(x_c, dtype)
+        return StepResult((y,), flags.merge(f))
+
+
+class SignumSemantics(ActorSemantics):
+    """``y = sign(u)`` in {-1, 0, 1}."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        x = inputs[0]
+        s = (x > 0) - (x < 0)
+        if dtype.is_float:
+            return StepResult((coerce_float(float(s), dtype),))
+        return StepResult((wrap(s, dtype),))
+
+
+class SqrtSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: Sqrt output must be a float type")
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        y = coerce_float(c_sqrt(float(inputs[0])), dtype)
+        return StepResult((y,), _float_flags(y))
+
+
+# ----------------------------------------------------------------------
+# Math (transcendental family)
+# ----------------------------------------------------------------------
+MATH_OPERATORS = (
+    "exp",
+    "log",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "sinh",
+    "cosh",
+    "tanh",
+    "square",
+    "reciprocal",
+    "pow10",
+)
+
+
+class MathSemantics(ActorSemantics):
+    """Unary transcendental maths, computed in double, C libm semantics."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: Math output must be a float type")
+
+    def _bind(self):
+        self._fn = _MATH_FNS[self.actor.operator]
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        y = coerce_float(self._fn(float(inputs[0])), self._dtype)
+        flags = _float_flags(y)
+        if self.actor.operator == "reciprocal" and inputs[0] == 0:
+            flags = flags.merge(ArithFlags(div_by_zero=True))
+        return StepResult((y,), flags)
+
+
+# ----------------------------------------------------------------------
+# MinMax / Mod / Rounding
+# ----------------------------------------------------------------------
+class MinMaxSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._promote_all(in_dtypes),)
+
+    def _bind(self):
+        self._pick = min if self.actor.operator == "min" else max
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        if dtype.is_float:
+            y = self._pick(coerce_float(float(v), dtype) for v in inputs)
+            return StepResult((y,), _float_flags(y))
+        values, flags = cast_inputs(inputs, self.ctx.in_dtypes, dtype)
+        return StepResult((self._pick(values),), flags)
+
+
+class ModSemantics(ActorSemantics):
+    """C-style remainder (sign of the dividend)."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._promote_all(in_dtypes),)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        if dtype.is_float:
+            y, flags = checked_mod(float(inputs[0]), float(inputs[1]), dtype)
+            return StepResult((y,), flags)
+        values, flags = cast_inputs(inputs, self.ctx.in_dtypes, dtype)
+        y, f = checked_mod(values[0], values[1], dtype)
+        return StepResult((y,), flags.merge(f))
+
+
+ROUNDING_OPERATORS = ("floor", "ceil", "round", "fix")
+
+
+class RoundingSemantics(ActorSemantics):
+    """floor/ceil/round-half-away/truncate on a float signal."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        self._fn = _ROUNDING_FNS[self.actor.operator]
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def output(self, state, inputs) -> StepResult:
+        y = coerce_float(self._fn(float(inputs[0])), self._dtype)
+        return StepResult((y,), _float_flags(y))
+
+
+# ----------------------------------------------------------------------
+# range shaping
+# ----------------------------------------------------------------------
+class SaturationSemantics(ActorSemantics):
+    """Clamp to [lower, upper]."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        lower, upper = actor.params.get("lower"), actor.params.get("upper")
+        if lower is None or upper is None:
+            raise ValidationError(f"{path}: Saturation requires lower and upper")
+        if lower > upper:
+            raise ValidationError(f"{path}: Saturation lower {lower} > upper {upper}")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def _bind(self):
+        dtype = self.ctx.out_dtypes[0]
+        lower, upper = self.actor.params["lower"], self.actor.params["upper"]
+        if dtype.is_float:
+            self._lower = coerce_float(float(lower), dtype)
+            self._upper = coerce_float(float(upper), dtype)
+        else:
+            self._lower = int_param(lower, dtype)
+            self._upper = int_param(upper, dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        x = inputs[0]
+        if dtype.is_float:
+            x = coerce_float(float(x), dtype)
+            y = self._lower if x < self._lower else self._upper if x > self._upper else x
+            return StepResult((y,), _float_flags(y))
+        x_c, flags = checked_cast(x, self.ctx.in_dtypes[0], dtype)
+        y = self._lower if x_c < self._lower else self._upper if x_c > self._upper else x_c
+        return StepResult((y,), flags)
+
+
+class DeadZoneSemantics(ActorSemantics):
+    """Zero inside [start, end]; shifted through outside."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        start, end = actor.params.get("start"), actor.params.get("end")
+        if start is None or end is None:
+            raise ValidationError(f"{path}: DeadZone requires start and end")
+        if start > end:
+            raise ValidationError(f"{path}: DeadZone start {start} > end {end}")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        dtype = self.ctx.out_dtypes[0]
+        self._start = coerce_float(float(self.actor.params["start"]), dtype)
+        self._end = coerce_float(float(self.actor.params["end"]), dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        x = coerce_float(float(inputs[0]), dtype)
+        if x < self._start:
+            y = coerce_float(x - self._start, dtype)
+        elif x > self._end:
+            y = coerce_float(x - self._end, dtype)
+        else:
+            y = 0.0
+        return StepResult((y,), _float_flags(y))
+
+
+class QuantizerSemantics(ActorSemantics):
+    """``y = q * round(u / q)`` with round-half-away-from-zero."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        q = actor.params.get("interval")
+        if not isinstance(q, (int, float)) or q <= 0:
+            raise ValidationError(f"{path}: Quantizer interval must be positive")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        q = float(self.actor.params["interval"])
+        y = coerce_float(q * c_round(float(inputs[0]) / q), dtype)
+        return StepResult((y,), _float_flags(y))
+
+
+# ----------------------------------------------------------------------
+# polynomial / power
+# ----------------------------------------------------------------------
+class PolynomialSemantics(ActorSemantics):
+    """Horner evaluation of ``coeffs`` (highest order first), in double."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        coeffs = actor.params.get("coeffs")
+        if not isinstance(coeffs, (list, tuple)) or not coeffs:
+            raise ValidationError(f"{path}: Polynomial requires non-empty coeffs")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        self._coeffs = [float(c) for c in self.actor.params["coeffs"]]
+
+    def output(self, state, inputs) -> StepResult:
+        x = float(inputs[0])
+        acc = 0.0
+        for c in self._coeffs:
+            acc = acc * x + c
+        y = coerce_float(acc, self.ctx.out_dtypes[0])
+        return StepResult((y,), _float_flags(y))
+
+
+class PowerSemantics(ActorSemantics):
+    """Binary ``pow(base, exponent)`` in double."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def output(self, state, inputs) -> StepResult:
+        y = coerce_float(c_pow(float(inputs[0]), float(inputs[1])), self.ctx.out_dtypes[0])
+        return StepResult((y,), _float_flags(y))
+
+
+# ----------------------------------------------------------------------
+# bit manipulation
+# ----------------------------------------------------------------------
+BITWISE_OPERATORS = ("AND", "OR", "XOR", "NOT")
+
+
+class BitwiseSemantics(ActorSemantics):
+    @classmethod
+    def check_params(cls, actor, path):
+        if actor.operator == "NOT" and actor.n_inputs != 1:
+            raise ValidationError(f"{path}: Bitwise NOT takes exactly one input")
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_integer:
+            raise ValidationError(f"{path}: Bitwise output must be an integer type")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._promote_all(in_dtypes),)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        values, flags = cast_inputs(inputs, self.ctx.in_dtypes, dtype)
+        op = self.actor.operator
+        if op == "NOT":
+            return StepResult((wrap(~values[0], dtype),), flags)
+        acc = values[0]
+        for v in values[1:]:
+            if op == "AND":
+                acc &= v
+            elif op == "OR":
+                acc |= v
+            else:
+                acc ^= v
+        return StepResult((wrap(acc, dtype),), flags)
+
+
+class ShiftSemantics(ActorSemantics):
+    """Arithmetic shift by a constant amount.
+
+    Left shift is defined as multiplication by ``2**amount`` with wrap (and
+    the overflow flag); right shift is arithmetic (sign-propagating).
+    """
+
+    @classmethod
+    def check_params(cls, actor, path):
+        amount = actor.params.get("amount")
+        if not isinstance(amount, int) or amount < 0 or amount > 63:
+            raise ValidationError(f"{path}: Shift amount must be an int in 0..63")
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_integer:
+            raise ValidationError(f"{path}: Shift output must be an integer type")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        amount = self.actor.params["amount"]
+        x, flags = checked_cast(inputs[0], self.ctx.in_dtypes[0], dtype)
+        if self.actor.operator == "<<":
+            y, f = checked_mul(x, 1 << amount, dtype)
+            return StepResult((y,), flags.merge(f))
+        return StepResult((wrap(x >> amount, dtype),), flags)
+
+
+class DataTypeConversionSemantics(ActorSemantics):
+    @classmethod
+    def check_params(cls, actor, path):
+        if actor.outputs[0].dtype is None:
+            raise ValidationError(
+                f"{path}: DataTypeConversion requires a pinned output dtype"
+            )
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        raise ValidationError(
+            f"DataTypeConversion {actor.name!r} must pin its output dtype"
+        )
+
+    def output(self, state, inputs) -> StepResult:
+        y, flags = checked_cast(inputs[0], self.ctx.in_dtypes[0], self.ctx.out_dtypes[0])
+        return StepResult((y,), flags)
+
+
+# ----------------------------------------------------------------------
+# C libm helpers (exact counterparts of the generated code)
+# ----------------------------------------------------------------------
+def c_sqrt(x: float) -> float:
+    return math.sqrt(x) if x >= 0 else math.nan
+
+
+def c_log(x: float) -> float:
+    if x > 0:
+        return math.log(x)
+    return -math.inf if x == 0 else math.nan
+
+
+def c_log10(x: float) -> float:
+    if x > 0:
+        return math.log10(x)
+    return -math.inf if x == 0 else math.nan
+
+
+def c_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def c_pow10(x: float) -> float:
+    try:
+        return math.pow(10.0, x)
+    except OverflowError:
+        return math.inf
+
+
+def c_asin(x: float) -> float:
+    return math.asin(x) if -1.0 <= x <= 1.0 else math.nan
+
+
+def c_acos(x: float) -> float:
+    return math.acos(x) if -1.0 <= x <= 1.0 else math.nan
+
+
+def c_sinh(x: float) -> float:
+    try:
+        return math.sinh(x)
+    except OverflowError:
+        return math.copysign(math.inf, x)
+
+
+def c_cosh(x: float) -> float:
+    try:
+        return math.cosh(x)
+    except OverflowError:
+        return math.inf
+
+
+def c_reciprocal(x: float) -> float:
+    if x == 0:
+        return math.inf
+    return 1.0 / x
+
+
+def c_pow(x: float, y: float) -> float:
+    if x == 0.0 and y < 0.0:
+        # C99 pow(±0, negative) is ±inf; Python raises instead.  The
+        # generated code carries the same special case.
+        return math.inf
+    try:
+        result = math.pow(x, y)
+    except OverflowError:
+        return math.inf
+    except ValueError:
+        return math.nan
+    return result
+
+
+def c_round(x: float) -> float:
+    """Round half away from zero — matches the generated C expression."""
+    return math.floor(x + 0.5) if x >= 0 else math.ceil(x - 0.5)
+
+
+def c_fix(x: float) -> float:
+    return math.trunc(x) * 1.0
+
+
+_MATH_FNS = {
+    "exp": c_exp,
+    "log": c_log,
+    "log10": c_log10,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "asin": c_asin,
+    "acos": c_acos,
+    "atan": math.atan,
+    "sinh": c_sinh,
+    "cosh": c_cosh,
+    "tanh": math.tanh,
+    "square": lambda x: x * x,
+    "reciprocal": c_reciprocal,
+    "pow10": c_pow10,
+}
+
+_ROUNDING_FNS = {
+    "floor": lambda x: float(math.floor(x)),
+    "ceil": lambda x: float(math.ceil(x)),
+    "round": c_round,
+    "fix": c_fix,
+}
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+register(
+    ActorSpec(
+        "Sum", "math", 1, None, 1, SumSemantics,
+        operators=("+-",), operator_is_free_form=True,
+        is_calculation=True,
+        description="N-ary addition/subtraction with a sign string operator",
+    )
+)
+register(
+    ActorSpec(
+        "Product", "math", 1, None, 1, ProductSemantics,
+        operators=("*/",), operator_is_free_form=True,
+        is_calculation=True,
+        description="N-ary multiplication/division with an op string operator",
+    )
+)
+register(
+    ActorSpec(
+        "Gain", "math", 1, 1, 1, GainSemantics,
+        required_params=("gain",), is_calculation=True,
+        description="Multiply by a constant",
+    )
+)
+register(
+    ActorSpec(
+        "Bias", "math", 1, 1, 1, BiasSemantics,
+        required_params=("bias",), is_calculation=True,
+        description="Add a constant",
+    )
+)
+register(
+    ActorSpec(
+        "Abs", "math", 1, 1, 1, AbsSemantics, is_calculation=True,
+        description="Absolute value",
+    )
+)
+register(
+    ActorSpec(
+        "UnaryMinus", "math", 1, 1, 1, UnaryMinusSemantics, is_calculation=True,
+        description="Negation",
+    )
+)
+register(
+    ActorSpec(
+        "Signum", "math", 1, 1, 1, SignumSemantics,
+        description="Sign function (-1, 0, 1)",
+    )
+)
+register(
+    ActorSpec(
+        "Sqrt", "math", 1, 1, 1, SqrtSemantics, is_calculation=True,
+        description="Square root (float)",
+    )
+)
+register(
+    ActorSpec(
+        "Math", "math", 1, 1, 1, MathSemantics,
+        operators=MATH_OPERATORS, is_calculation=True,
+        description="Unary transcendental maths (exp, log, sin, ...)",
+    )
+)
+register(
+    ActorSpec(
+        "MinMax", "math", 1, None, 1, MinMaxSemantics,
+        operators=("min", "max"),
+        description="N-ary minimum/maximum",
+    )
+)
+register(
+    ActorSpec(
+        "Mod", "math", 2, 2, 1, ModSemantics, is_calculation=True,
+        description="C-style remainder",
+    )
+)
+register(
+    ActorSpec(
+        "Rounding", "math", 1, 1, 1, RoundingSemantics,
+        operators=ROUNDING_OPERATORS,
+        description="floor/ceil/round/fix on a float signal",
+    )
+)
+register(
+    ActorSpec(
+        "Saturation", "math", 1, 1, 1, SaturationSemantics,
+        required_params=("lower", "upper"),
+        description="Clamp to [lower, upper]",
+    )
+)
+register(
+    ActorSpec(
+        "DeadZone", "math", 1, 1, 1, DeadZoneSemantics,
+        required_params=("start", "end"),
+        description="Zero within a band, shifted through outside",
+    )
+)
+register(
+    ActorSpec(
+        "Quantizer", "math", 1, 1, 1, QuantizerSemantics,
+        required_params=("interval",),
+        description="Quantize to multiples of an interval",
+    )
+)
+register(
+    ActorSpec(
+        "Polynomial", "math", 1, 1, 1, PolynomialSemantics,
+        required_params=("coeffs",), is_calculation=True,
+        description="Polynomial evaluation, Horner form",
+    )
+)
+register(
+    ActorSpec(
+        "Power", "math", 2, 2, 1, PowerSemantics, is_calculation=True,
+        description="pow(base, exponent)",
+    )
+)
+register(
+    ActorSpec(
+        "Bitwise", "math", 1, None, 1, BitwiseSemantics,
+        operators=BITWISE_OPERATORS,
+        description="Bitwise AND/OR/XOR/NOT on integers",
+    )
+)
+register(
+    ActorSpec(
+        "Shift", "math", 1, 1, 1, ShiftSemantics,
+        operators=("<<", ">>"), required_params=("amount",), is_calculation=True,
+        description="Arithmetic shift by a constant",
+    )
+)
+register(
+    ActorSpec(
+        "DataTypeConversion", "math", 1, 1, 1, DataTypeConversionSemantics,
+        is_calculation=True,
+        description="Checked conversion to the pinned output type",
+    )
+)

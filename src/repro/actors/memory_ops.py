@@ -1,0 +1,350 @@
+"""Stateful actors.
+
+Simulink steps a model in two phases — all outputs, then all state
+updates — and non-direct-feedthrough actors (UnitDelay, Delay, Memory,
+DiscreteIntegrator) are what make feedback loops schedulable: their output
+depends only on state, so the topological sort ignores their input edges.
+
+State-storage casts (e.g. a UnitDelay whose pinned dtype is narrower than
+its input) wrap silently at runtime; the *static* downcast diagnosis
+(sizeof-style, Figure 4 of the paper) reports those configurations at
+instrumentation time instead.
+"""
+
+from __future__ import annotations
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import DType, checked_add, checked_cast, coerce_float
+from repro.model.errors import ValidationError
+
+
+def _store_cast(value, src: DType, dst: DType):
+    """Unflagged storage cast used by state updates."""
+    if dst.is_float:
+        return coerce_float(float(value), dst)
+    return checked_cast(value, src, dst)[0]
+
+
+def _initial_value(raw, dtype: DType):
+    if dtype.is_float:
+        return coerce_float(float(raw), dtype)
+    from repro.actors.math_ops import int_param
+
+    return int_param(raw, dtype)
+
+
+class UnitDelaySemantics(ActorSemantics):
+    """One-step delay: output is last step's input (initially ``initial``)."""
+
+    stateful = True
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def _bind(self):
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def init_state(self):
+        return _initial_value(self.actor.params.get("initial", 0), self._dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((state,))
+
+    def update(self, state, inputs, outputs):
+        return _store_cast(inputs[0], self.ctx.in_dtypes[0], self._dtype)
+
+
+class MemorySemantics(UnitDelaySemantics):
+    """Simulink's Memory block: identical discrete behaviour to UnitDelay."""
+
+
+class DelaySemantics(ActorSemantics):
+    """N-step delay implemented as a shift register."""
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        length = actor.params.get("length")
+        if not isinstance(length, int) or length < 1:
+            raise ValidationError(f"{path}: Delay length must be a positive int")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def _bind(self):
+        self._dtype = self.ctx.out_dtypes[0]
+        self._length = self.actor.params["length"]
+
+    def init_state(self):
+        initial = _initial_value(self.actor.params.get("initial", 0), self._dtype)
+        return [initial] * self._length
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((state[0],))
+
+    def update(self, state, inputs, outputs):
+        state.pop(0)
+        state.append(_store_cast(inputs[0], self.ctx.in_dtypes[0], self._dtype))
+        return state
+
+
+class AccumulatorSemantics(ActorSemantics):
+    """Running sum with direct feedthrough: ``y = state + u; state = y``.
+
+    This is the overflow generator of the paper's Figure 1 motivating
+    model — a long simulation eventually wraps the accumulated value, and
+    the checked add raises the wrap-on-overflow flag at exactly that step.
+    """
+
+    stateful = True
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def _bind(self):
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def init_state(self):
+        return _initial_value(self.actor.params.get("initial", 0), self._dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        if dtype.is_float:
+            u = coerce_float(float(inputs[0]), dtype)
+            y = coerce_float(state + u, dtype)
+            return StepResult((y,))
+        u, flags = checked_cast(inputs[0], self.ctx.in_dtypes[0], dtype)
+        y, f = checked_add(state, u, dtype)
+        return StepResult((y,), flags.merge(f))
+
+    def update(self, state, inputs, outputs):
+        return outputs[0]
+
+
+class DiscreteIntegratorSemantics(ActorSemantics):
+    """Forward-Euler integrator: ``y = state; state += K*dt*u``."""
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: DiscreteIntegrator output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        self._dtype = self.ctx.out_dtypes[0]
+        gain = float(self.actor.params.get("gain", 1.0))
+        self._k = coerce_float(gain * self.ctx.dt, self._dtype)
+
+    def init_state(self):
+        return _initial_value(self.actor.params.get("initial", 0.0), self._dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((state,))
+
+    def update(self, state, inputs, outputs):
+        dtype = self._dtype
+        u = coerce_float(float(inputs[0]), dtype)
+        return coerce_float(state + coerce_float(self._k * u, dtype), dtype)
+
+
+class DiscreteFilterSemantics(ActorSemantics):
+    """First-order IIR: ``y = b0*u + a1*y_prev`` (direct feedthrough)."""
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        for key in ("b0", "a1"):
+            if not isinstance(actor.params.get(key), (int, float)):
+                raise ValidationError(f"{path}: DiscreteFilter requires numeric {key!r}")
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: DiscreteFilter output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        dtype = self.ctx.out_dtypes[0]
+        self._dtype = dtype
+        self._b0 = coerce_float(float(self.actor.params["b0"]), dtype)
+        self._a1 = coerce_float(float(self.actor.params["a1"]), dtype)
+
+    def init_state(self):
+        return _initial_value(self.actor.params.get("initial", 0.0), self._dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        u = coerce_float(float(inputs[0]), dtype)
+        t1 = coerce_float(self._b0 * u, dtype)
+        t2 = coerce_float(self._a1 * state, dtype)
+        y = coerce_float(t1 + t2, dtype)
+        return StepResult((y,))
+
+    def update(self, state, inputs, outputs):
+        return outputs[0]
+
+
+class DiscreteDerivativeSemantics(ActorSemantics):
+    """Backward difference: ``y = (u - u_prev) / dt``."""
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: DiscreteDerivative output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        self._dtype = self.ctx.out_dtypes[0]
+        self._inv_dt = coerce_float(1.0 / self.ctx.dt, self._dtype)
+
+    def init_state(self):
+        return _initial_value(self.actor.params.get("initial", 0.0), self._dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        u = coerce_float(float(inputs[0]), dtype)
+        y = coerce_float(coerce_float(u - state, dtype) * self._inv_dt, dtype)
+        return StepResult((y,))
+
+    def update(self, state, inputs, outputs):
+        return coerce_float(float(inputs[0]), self._dtype)
+
+
+class RateLimiterSemantics(ActorSemantics):
+    """Clamp the per-step change of a signal to [-falling, +rising]."""
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        for key in ("rising", "falling"):
+            value = actor.params.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValidationError(
+                    f"{path}: RateLimiter requires non-negative numeric {key!r}"
+                )
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: RateLimiter output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (cls._float_like(in_dtypes),)
+
+    def _bind(self):
+        dtype = self.ctx.out_dtypes[0]
+        self._dtype = dtype
+        self._rising = coerce_float(float(self.actor.params["rising"]), dtype)
+        self._falling = coerce_float(float(self.actor.params["falling"]), dtype)
+
+    def init_state(self):
+        return _initial_value(self.actor.params.get("initial", 0.0), self._dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._dtype
+        u = coerce_float(float(inputs[0]), dtype)
+        upper = coerce_float(state + self._rising, dtype)
+        lower = coerce_float(state - self._falling, dtype)
+        y = lower if u < lower else upper if u > upper else u
+        return StepResult((y,))
+
+    def update(self, state, inputs, outputs):
+        return outputs[0]
+
+
+class ZeroOrderHoldSemantics(ActorSemantics):
+    """Identity at a single rate (a typed pass-through)."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (in_dtypes[0],)
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self.ctx.out_dtypes[0]
+        if dtype.is_float:
+            return StepResult((coerce_float(float(inputs[0]), dtype),))
+        value, flags = checked_cast(inputs[0], self.ctx.in_dtypes[0], dtype)
+        return StepResult((value,), flags)
+
+
+register(
+    ActorSpec(
+        "UnitDelay", "memory", 1, 1, 1, UnitDelaySemantics,
+        stateful=True, direct_feedthrough=False,
+        description="One-step delay",
+    )
+)
+register(
+    ActorSpec(
+        "Memory", "memory", 1, 1, 1, MemorySemantics,
+        stateful=True, direct_feedthrough=False,
+        description="Previous-step value (alias of UnitDelay at fixed rate)",
+    )
+)
+register(
+    ActorSpec(
+        "Delay", "memory", 1, 1, 1, DelaySemantics,
+        stateful=True, direct_feedthrough=False, required_params=("length",),
+        description="N-step delay (shift register)",
+    )
+)
+register(
+    ActorSpec(
+        "Accumulator", "memory", 1, 1, 1, AccumulatorSemantics,
+        stateful=True, is_calculation=True,
+        description="Running sum with direct feedthrough",
+    )
+)
+register(
+    ActorSpec(
+        "DiscreteIntegrator", "memory", 1, 1, 1, DiscreteIntegratorSemantics,
+        stateful=True, direct_feedthrough=False, is_calculation=True,
+        description="Forward-Euler discrete-time integrator",
+    )
+)
+register(
+    ActorSpec(
+        "DiscreteFilter", "memory", 1, 1, 1, DiscreteFilterSemantics,
+        stateful=True, required_params=("b0", "a1"), is_calculation=True,
+        description="First-order IIR filter",
+    )
+)
+register(
+    ActorSpec(
+        "DiscreteDerivative", "memory", 1, 1, 1, DiscreteDerivativeSemantics,
+        stateful=True, is_calculation=True,
+        description="Backward-difference derivative",
+    )
+)
+register(
+    ActorSpec(
+        "RateLimiter", "memory", 1, 1, 1, RateLimiterSemantics,
+        stateful=True, required_params=("rising", "falling"),
+        description="Per-step slew-rate limiter",
+    )
+)
+register(
+    ActorSpec(
+        "ZeroOrderHold", "memory", 1, 1, 1, ZeroOrderHoldSemantics,
+        description="Typed pass-through",
+    )
+)

@@ -1,0 +1,138 @@
+"""The actor-type registry.
+
+An :class:`ActorSpec` captures everything the preprocessing, coverage, and
+instrumentation steps need to know about a block type *statically*:
+input/output arity, the operator alphabet, whether the actor is a branch
+actor (condition coverage), contains boolean logic (decision coverage), or
+is a combination condition (MC/DC) — the exact predicates Algorithm 1 of
+the paper dispatches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Type
+
+from repro.model.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.actors.base import ActorSemantics
+    from repro.model.actor import Actor
+
+
+@dataclass(frozen=True)
+class ActorSpec:
+    """Static description of one block type."""
+
+    block_type: str
+    category: str
+    min_inputs: int
+    max_inputs: Optional[int]  # None = unbounded
+    n_outputs: int
+    semantics: "Type[ActorSemantics]"
+    operators: Optional[tuple[str, ...]] = None
+    operator_is_free_form: bool = False  # e.g. Sum's "+-+" sign strings
+    required_params: tuple[str, ...] = ()
+    stateful: bool = False
+    direct_feedthrough: bool = True
+    executable: bool = True  # False for structural markers (DataStoreMemory, EnablePort)
+    is_branch: bool = False
+    boolean_logic: bool = False
+    combination_condition: bool = False
+    is_calculation: bool = False  # subject to calculation diagnosis
+    description: str = ""
+    _extra: dict = field(default_factory=dict, compare=False)
+
+    def check_actor(self, actor: "Actor", path: str) -> None:
+        """Validate an actor instance against this spec."""
+        if actor.n_inputs < self.min_inputs or (
+            self.max_inputs is not None and actor.n_inputs > self.max_inputs
+        ):
+            upper = "inf" if self.max_inputs is None else str(self.max_inputs)
+            raise ValidationError(
+                f"{path}: {self.block_type} takes {self.min_inputs}..{upper} "
+                f"inputs, got {actor.n_inputs}"
+            )
+        if actor.n_outputs != self.n_outputs:
+            raise ValidationError(
+                f"{path}: {self.block_type} has {self.n_outputs} output(s), "
+                f"got {actor.n_outputs}"
+            )
+        self._check_operator(actor, path)
+        # Boolean-typed arithmetic is meaningless (and Simulink rejects it);
+        # only DataTypeConversion may produce bool in the math category.
+        if (
+            self.category == "math"
+            and self.block_type != "DataTypeConversion"
+            and actor.outputs
+            and actor.outputs[0].dtype is not None
+            and actor.outputs[0].dtype.is_bool
+        ):
+            raise ValidationError(
+                f"{path}: {self.block_type} cannot have a bool output dtype"
+            )
+        for param in self.required_params:
+            if param not in actor.params:
+                raise ValidationError(
+                    f"{path}: {self.block_type} requires parameter {param!r}"
+                )
+        self.semantics.check_params(actor, path)
+
+    def _check_operator(self, actor: "Actor", path: str) -> None:
+        if self.operators is None and not self.operator_is_free_form:
+            if actor.operator is not None:
+                raise ValidationError(
+                    f"{path}: {self.block_type} takes no operator, "
+                    f"got {actor.operator!r}"
+                )
+            return
+        if actor.operator is None:
+            raise ValidationError(f"{path}: {self.block_type} requires an operator")
+        if self.operator_is_free_form:
+            alphabet = set("".join(self.operators or ("+-",)))
+            if not actor.operator or not set(actor.operator) <= alphabet:
+                raise ValidationError(
+                    f"{path}: {self.block_type} operator {actor.operator!r} must "
+                    f"use only {''.join(sorted(alphabet))!r}"
+                )
+            if len(actor.operator) != actor.n_inputs:
+                raise ValidationError(
+                    f"{path}: {self.block_type} operator {actor.operator!r} length "
+                    f"must equal input count {actor.n_inputs}"
+                )
+        elif actor.operator not in self.operators:
+            raise ValidationError(
+                f"{path}: {self.block_type} operator {actor.operator!r} not in "
+                f"{sorted(self.operators)}"
+            )
+
+
+_REGISTRY: dict[str, ActorSpec] = {}
+
+
+def register(spec: ActorSpec) -> ActorSpec:
+    """Add a spec to the global registry (module import time)."""
+    if spec.block_type in _REGISTRY:
+        raise ValueError(f"block type {spec.block_type!r} registered twice")
+    _REGISTRY[spec.block_type] = spec
+    return spec
+
+
+def is_known_type(block_type: str) -> bool:
+    return block_type in _REGISTRY
+
+
+def get_spec(block_type: str) -> ActorSpec:
+    try:
+        return _REGISTRY[block_type]
+    except KeyError:
+        raise KeyError(f"unknown block type {block_type!r}") from None
+
+
+def get_semantics_class(block_type: str) -> "Type[ActorSemantics]":
+    return get_spec(block_type).semantics
+
+
+def all_specs() -> dict[str, ActorSpec]:
+    """A copy of the registry, keyed by block type."""
+    return dict(_REGISTRY)

@@ -1,0 +1,83 @@
+"""Sink and boundary actors.
+
+``Outport`` actors at the model root are the simulation's observable
+outputs; inside a subsystem they define its boundary.  ``Scope`` and
+``Display`` exist so models can mark signals for monitoring (the signal
+monitor instrumentation targets them by default); at execution time they
+are no-ops.  ``EnablePort`` is the structural marker that makes its
+enclosing subsystem conditionally executed.
+"""
+
+from __future__ import annotations
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.model.errors import ValidationError
+
+
+class OutportSemantics(ActorSemantics):
+    @classmethod
+    def check_params(cls, actor, path):
+        if "port_index" not in actor.params:
+            raise ValidationError(f"{path}: Outport requires a port_index parameter")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return ()
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult(())
+
+
+class NoOpSinkSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return ()
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult(())
+
+
+class EnablePortSemantics(ActorSemantics):
+    """Structural marker; the flattener turns it into a guard condition."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return ()
+
+    def output(self, state, inputs) -> StepResult:  # pragma: no cover - guarded
+        raise RuntimeError("EnablePort is structural and never executes")
+
+
+register(
+    ActorSpec(
+        "Outport", "sink", 1, 1, 0, OutportSemantics,
+        required_params=("port_index",),
+        description="Boundary output port",
+    )
+)
+register(
+    ActorSpec(
+        "Terminator", "sink", 1, 1, 0, NoOpSinkSemantics,
+        description="Discard a signal",
+    )
+)
+register(
+    ActorSpec(
+        "Scope", "sink", 1, None, 0, NoOpSinkSemantics,
+        description="Marks signals for monitoring",
+    )
+)
+register(
+    ActorSpec(
+        "Display", "sink", 1, 1, 0, NoOpSinkSemantics,
+        description="Marks a signal for display/monitoring",
+    )
+)
+register(
+    ActorSpec(
+        "EnablePort", "sink", 0, 0, 0, EnablePortSemantics,
+        executable=False,
+        description="Makes the enclosing subsystem conditionally executed",
+    )
+)

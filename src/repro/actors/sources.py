@@ -1,0 +1,399 @@
+"""Source actors.
+
+``Inport`` values come from the test-case stream (the engines write them
+directly), every other source synthesizes its value from internal state.
+Counter-driven sources (Clock, SineWave, Ramp...) deliberately keep their
+own step counter rather than reading the global loop variable: inside an
+enabled subsystem a source only advances on steps where its guard is
+active, and the generated C keeps a per-actor counter for the same reason.
+
+``RandomSource`` uses a 64-bit LCG (Knuth's MMIX constants) evaluated
+identically in Python and in the generated C, so stimuli embedded in a
+model are bit-reproducible across engines.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import F64, I32, coerce_float, wrap
+from repro.model.errors import ValidationError
+
+LCG_MUL = 6364136223846793005
+LCG_INC = 1442695040888963407
+_DOUBLE_SCALE = 1.0 / 9007199254740992.0  # 2**-53
+
+
+def lcg_next(state: int) -> int:
+    """One step of the shared 64-bit LCG (uint64 wrap)."""
+    return (state * LCG_MUL + LCG_INC) & 0xFFFFFFFFFFFFFFFF
+
+
+def lcg_uniform(state: int) -> float:
+    """Map an LCG state to a double in [0, 1) using its top 53 bits."""
+    return (state >> 11) * _DOUBLE_SCALE
+
+
+class InportSemantics(ActorSemantics):
+    """External input; the engines write its signal from the test case."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        # Root-level inports must pin a dtype; subsystem inports inherit
+        # theirs from the parent wire.  Scope is unknown here, so the
+        # root-pinning rule is enforced during type inference instead.
+        if "port_index" not in actor.params:
+            raise ValidationError(f"{path}: Inport requires a port_index parameter")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64,)
+
+    def output(self, state, inputs) -> StepResult:  # pragma: no cover - guarded
+        raise RuntimeError("Inport values are supplied by the engine")
+
+
+class ConstantSemantics(ActorSemantics):
+    @classmethod
+    def check_params(cls, actor, path):
+        value = actor.params.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(f"{path}: Constant requires a numeric 'value'")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64 if isinstance(actor.params["value"], float) else I32,)
+
+    def _bind(self):
+        from repro.actors.math_ops import int_param
+
+        dtype = self.ctx.out_dtypes[0]
+        raw = self.actor.params["value"]
+        if dtype.is_float:
+            self._value = coerce_float(float(raw), dtype)
+        else:
+            self._value = int_param(raw, dtype)
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((self._value,))
+
+
+class GroundSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64,)
+
+    def _bind(self):
+        self._value = 0.0 if self.ctx.out_dtypes[0].is_float else 0
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((self._value,))
+
+
+class _CounterBasedSource(ActorSemantics):
+    """Base for sources driven by a private step counter."""
+
+    stateful = True
+
+    def init_state(self):
+        return 0
+
+    def update(self, state, inputs, outputs):
+        return state + 1
+
+
+class ClockSemantics(_CounterBasedSource):
+    """Simulated time: ``y = n * dt`` (double)."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: Clock output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64,)
+
+    def output(self, state, inputs) -> StepResult:
+        y = coerce_float(float(state) * self.ctx.dt, self.ctx.out_dtypes[0])
+        return StepResult((y,))
+
+
+class CounterSemantics(ActorSemantics):
+    """Free-running modulo counter: 0, 1, ..., limit-1, 0, ..."""
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        limit = actor.params.get("limit")
+        if not isinstance(limit, int) or limit < 1:
+            raise ValidationError(f"{path}: Counter limit must be a positive int")
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_integer:
+            raise ValidationError(f"{path}: Counter output must be an integer type")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (I32,)
+
+    def _bind(self):
+        self._limit = self.actor.params["limit"]
+        self._dtype = self.ctx.out_dtypes[0]
+
+    def init_state(self):
+        return 0
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((wrap(state, self._dtype),))
+
+    def update(self, state, inputs, outputs):
+        return (state + 1) % self._limit
+
+
+class SineWaveSemantics(_CounterBasedSource):
+    """``y = amplitude * sin(w*n + phase) + bias`` with ``w = 2*pi*f*dt``."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        freq = actor.params.get("frequency")
+        if not isinstance(freq, (int, float)) or freq <= 0:
+            raise ValidationError(f"{path}: SineWave requires positive 'frequency'")
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: SineWave output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64,)
+
+    def _bind(self):
+        p = self.actor.params
+        self._w = 2.0 * math.pi * float(p["frequency"]) * self.ctx.dt
+        self._amplitude = float(p.get("amplitude", 1.0))
+        self._phase = float(p.get("phase", 0.0))
+        self._bias = float(p.get("bias", 0.0))
+
+    def output(self, state, inputs) -> StepResult:
+        y = self._amplitude * math.sin(self._w * float(state) + self._phase) + self._bias
+        y = coerce_float(y, self.ctx.out_dtypes[0])
+        return StepResult((y,))
+
+
+class RampSourceSemantics(_CounterBasedSource):
+    """``y = start + slope*dt*n`` (double)."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        if not isinstance(actor.params.get("slope"), (int, float)):
+            raise ValidationError(f"{path}: RampSource requires numeric 'slope'")
+        dt = actor.outputs[0].dtype
+        if dt is not None and not dt.is_float:
+            raise ValidationError(f"{path}: RampSource output must be float")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64,)
+
+    def _bind(self):
+        self._k = float(self.actor.params["slope"]) * self.ctx.dt
+        self._start = float(self.actor.params.get("start", 0.0))
+
+    def output(self, state, inputs) -> StepResult:
+        y = coerce_float(self._start + self._k * float(state), self.ctx.out_dtypes[0])
+        return StepResult((y,))
+
+
+class StepSourceSemantics(_CounterBasedSource):
+    """``y = before`` until step ``at``, then ``after``."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        at = actor.params.get("at")
+        if not isinstance(at, int) or at < 0:
+            raise ValidationError(f"{path}: StepSource requires non-negative int 'at'")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        before = actor.params.get("before", 0.0)
+        after = actor.params.get("after", 1.0)
+        floaty = isinstance(before, float) or isinstance(after, float)
+        return (F64 if floaty else I32,)
+
+    def _bind(self):
+        from repro.actors.math_ops import int_param
+
+        dtype = self.ctx.out_dtypes[0]
+        before = self.actor.params.get("before", 0.0)
+        after = self.actor.params.get("after", 1.0)
+        if dtype.is_float:
+            self._before = coerce_float(float(before), dtype)
+            self._after = coerce_float(float(after), dtype)
+        else:
+            self._before = int_param(before, dtype)
+            self._after = int_param(after, dtype)
+        self._at = self.actor.params["at"]
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((self._before if state < self._at else self._after,))
+
+
+class PulseGeneratorSemantics(_CounterBasedSource):
+    """``y = amplitude`` while ``n % period < duty``, else 0."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        period = actor.params.get("period")
+        duty = actor.params.get("duty")
+        if not isinstance(period, int) or period < 1:
+            raise ValidationError(f"{path}: PulseGenerator 'period' must be a positive int")
+        if not isinstance(duty, int) or not (0 <= duty <= period):
+            raise ValidationError(f"{path}: PulseGenerator 'duty' must be in 0..period")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64 if isinstance(actor.params.get("amplitude", 1.0), float) else I32,)
+
+    def _bind(self):
+        from repro.actors.math_ops import int_param
+
+        dtype = self.ctx.out_dtypes[0]
+        amplitude = self.actor.params.get("amplitude", 1.0)
+        if dtype.is_float:
+            self._high = coerce_float(float(amplitude), dtype)
+            self._low = 0.0
+        else:
+            self._high = int_param(amplitude, dtype)
+            self._low = 0
+        self._period = self.actor.params["period"]
+        self._duty = self.actor.params["duty"]
+
+    def output(self, state, inputs) -> StepResult:
+        high = (state % self._period) < self._duty
+        return StepResult((self._high if high else self._low,))
+
+
+class RandomSourceSemantics(ActorSemantics):
+    """Pseudo-random source, bit-identical across Python and generated C.
+
+    ``dist='uniform'`` yields doubles in [lo, hi); ``dist='int'`` yields
+    integers in [lo, hi] via the LCG's top 31 bits.
+    """
+
+    stateful = True
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dist = actor.params.get("dist", "uniform")
+        if dist not in ("uniform", "int"):
+            raise ValidationError(f"{path}: RandomSource dist must be 'uniform' or 'int'")
+        lo, hi = actor.params.get("lo", 0), actor.params.get("hi", 1)
+        if lo >= hi and dist == "uniform":
+            raise ValidationError(f"{path}: RandomSource needs lo < hi")
+        if dist == "int":
+            if not isinstance(lo, int) or not isinstance(hi, int) or lo > hi:
+                raise ValidationError(f"{path}: RandomSource int bounds need int lo <= hi")
+        if not isinstance(actor.params.get("seed", 1), int):
+            raise ValidationError(f"{path}: RandomSource seed must be an int")
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return (F64 if actor.params.get("dist", "uniform") == "uniform" else I32,)
+
+    def _bind(self):
+        p = self.actor.params
+        self._dist = p.get("dist", "uniform")
+        self._lo = p.get("lo", 0)
+        self._hi = p.get("hi", 1)
+        self._seed = p.get("seed", 1)
+        self._dtype = self.ctx.out_dtypes[0]
+        if self._dist == "int":
+            self._span = self._hi - self._lo + 1
+
+    def init_state(self):
+        # Scramble the seed once so seed=0 does not start at the increment.
+        return lcg_next(self._seed & 0xFFFFFFFFFFFFFFFF)
+
+    def output(self, state, inputs) -> StepResult:
+        if self._dist == "uniform":
+            u = lcg_uniform(state)
+            y = coerce_float(self._lo + u * (self._hi - self._lo), self._dtype)
+            return StepResult((y,))
+        r = self._lo + ((state >> 33) % self._span)
+        return StepResult((wrap(r, self._dtype),))
+
+    def update(self, state, inputs, outputs):
+        return lcg_next(state)
+
+
+register(
+    ActorSpec(
+        "Inport", "source", 0, 0, 1, InportSemantics,
+        required_params=("port_index",),
+        description="External input port (fed by test cases)",
+    )
+)
+register(
+    ActorSpec(
+        "Constant", "source", 0, 0, 1, ConstantSemantics,
+        required_params=("value",),
+        description="Constant value",
+    )
+)
+register(
+    ActorSpec(
+        "Ground", "source", 0, 0, 1, GroundSemantics,
+        description="Constant zero",
+    )
+)
+register(
+    ActorSpec(
+        "Clock", "source", 0, 0, 1, ClockSemantics, stateful=True,
+        description="Simulated time (n*dt)",
+    )
+)
+register(
+    ActorSpec(
+        "Counter", "source", 0, 0, 1, CounterSemantics,
+        stateful=True, required_params=("limit",),
+        description="Free-running modulo counter",
+    )
+)
+register(
+    ActorSpec(
+        "SineWave", "source", 0, 0, 1, SineWaveSemantics,
+        stateful=True, required_params=("frequency",),
+        description="Sine wave generator",
+    )
+)
+register(
+    ActorSpec(
+        "RampSource", "source", 0, 0, 1, RampSourceSemantics,
+        stateful=True, required_params=("slope",),
+        description="Linear ramp",
+    )
+)
+register(
+    ActorSpec(
+        "StepSource", "source", 0, 0, 1, StepSourceSemantics,
+        stateful=True, required_params=("at",),
+        description="Step change at a fixed step index",
+    )
+)
+register(
+    ActorSpec(
+        "PulseGenerator", "source", 0, 0, 1, PulseGeneratorSemantics,
+        stateful=True, required_params=("period", "duty"),
+        description="Rectangular pulse train",
+    )
+)
+register(
+    ActorSpec(
+        "RandomSource", "source", 0, 0, 1, RandomSourceSemantics,
+        stateful=True,
+        description="LCG pseudo-random source (cross-engine reproducible)",
+    )
+)

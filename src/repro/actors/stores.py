@@ -1,0 +1,99 @@
+"""Data-store actors — the model's global variables.
+
+``DataStoreMemory`` declares a named store (it is structural: never
+executed, carries no ports).  ``DataStoreRead``/``DataStoreWrite`` access
+it by name.  The schedule adds read-before-write ordering edges per store,
+so within one step every read observes the previous step's value — which is
+what makes the CSEV case study's ``quantity`` accumulator (paper §4) build
+up over a long simulation until its int32 wraps.
+"""
+
+from __future__ import annotations
+
+from repro.actors.base import ActorSemantics, StepResult
+from repro.actors.registry import ActorSpec, register
+from repro.dtypes import DType, checked_cast, coerce_float
+from repro.model.errors import ValidationError
+
+
+class DataStoreMemorySemantics(ActorSemantics):
+    """Structural declaration of a store; never executed."""
+
+    @classmethod
+    def check_params(cls, actor, path):
+        dtype_name = actor.params.get("dtype")
+        if not dtype_name:
+            raise ValidationError(f"{path}: DataStoreMemory requires a 'dtype' parameter")
+        try:
+            DType.parse(dtype_name)
+        except ValueError as exc:
+            raise ValidationError(f"{path}: {exc}") from None
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return ()
+
+    def output(self, state, inputs) -> StepResult:  # pragma: no cover - guarded
+        raise RuntimeError("DataStoreMemory is structural and never executes")
+
+
+class DataStoreReadSemantics(ActorSemantics):
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        store = actor.params["store"]
+        if store not in store_dtypes:
+            raise ValidationError(
+                f"DataStoreRead {actor.name!r} references unknown store {store!r}"
+            )
+        return (store_dtypes[store],)
+
+    def _bind(self):
+        self._store = self.actor.params["store"]
+
+    def output(self, state, inputs) -> StepResult:
+        return StepResult((self.ctx.stores.read(self._store),))
+
+
+class DataStoreWriteSemantics(ActorSemantics):
+    """Writes during the output phase; the cast into the store's dtype is
+    checked, so a wrapping write raises the overflow flag (CSEV error 2)."""
+
+    @classmethod
+    def infer_out_dtypes(cls, actor, in_dtypes, store_dtypes):
+        return ()
+
+    def _bind(self):
+        self._store = self.actor.params["store"]
+        self._store_dtype = self.ctx.stores.dtypes[self._store]
+
+    def output(self, state, inputs) -> StepResult:
+        dtype = self._store_dtype
+        if dtype.is_float:
+            self.ctx.stores.write(self._store, coerce_float(float(inputs[0]), dtype))
+            return StepResult(())
+        value, flags = checked_cast(inputs[0], self.ctx.in_dtypes[0], dtype)
+        self.ctx.stores.write(self._store, value)
+        return StepResult((), flags)
+
+
+register(
+    ActorSpec(
+        "DataStoreMemory", "store", 0, 0, 0, DataStoreMemorySemantics,
+        executable=False, required_params=("dtype",),
+        description="Named global store declaration",
+    )
+)
+register(
+    ActorSpec(
+        "DataStoreRead", "store", 0, 0, 1, DataStoreReadSemantics,
+        required_params=("store",),
+        description="Read a data store",
+    )
+)
+register(
+    ActorSpec(
+        "DataStoreWrite", "store", 1, 1, 0, DataStoreWriteSemantics,
+        required_params=("store",), is_calculation=True,
+        description="Write a data store (checked cast into the store dtype)",
+    )
+)

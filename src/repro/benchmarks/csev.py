@@ -1,0 +1,128 @@
+"""CSEV — charging system of an electric vehicle (Table 1: 152 actors,
+17 subsystems).
+
+The §4 case-study model.  Its core carries the two structures the paper
+injects errors into:
+
+* a ``quantity`` DataStoreMemory (int32) accumulating charged energy.  The
+  healthy model widens to int64, saturates below INT32_MAX, and narrows
+  back before the store write; the *injected* variant accumulates directly
+  in int32, so a long simulation eventually wraps (error 1);
+* a charging-power Product from rated voltage and current.  Healthy output
+  type int32; the injected variant narrows it to short int (int16), which
+  wraps immediately (error 2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import I16, I32, I64
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="CSEV",
+    description="Charging system of electric vehicle",
+    n_actors=152,
+    n_subsystems=17,
+    seed=0xC5EF,
+    compute_weight=0.55,
+    shares=(0.30, 0.14, 0.06, 0.50),
+)
+
+# Rated voltage/current per charging mode (slow AC, fast AC, DC, supercharge).
+RATED_VOLTAGE = [220, 240, 400, 800]
+RATED_CURRENT = [16, 32, 125, 250]
+QUANTITY_CAP = 2_000_000_000  # healthy clamp, just under INT32_MAX
+
+
+def _build_core(b: ModelBuilder, rng: random.Random,
+                inject_quantity_overflow: bool,
+                inject_power_downcast: bool) -> CoreRefs:
+    from repro.dtypes import F64
+
+    mode_raw = b.inport("Mode", dtype=I32)
+    plug = b.inport("Plug", dtype=I32)
+    demand = b.inport("Demand", dtype=I32)
+    ambient = b.inport("Ambient", dtype=F64)
+
+    # --- charging mode selection -------------------------------------
+    mode_abs = b.abs_("ModeAbs", mode_raw)
+    mode = b.block("Mod", "ModeWrap", [mode_abs, b.constant("NModes", 4)])
+    rated_v = b.direct_lookup("RatedV", mode, RATED_VOLTAGE)
+    rated_c = b.direct_lookup("RatedC", mode, RATED_CURRENT)
+
+    # --- charging power (case-study error 2 lives here) ---------------
+    power_dtype = I16 if inject_power_downcast else I32
+    power = b.mul("Power", rated_v, rated_c, dtype=power_dtype)
+    plugged = b.relational("Plugged", ">", plug, b.constant("Zero", 0))
+    charging = b.switch(
+        "Charging", power, plugged, b.constant("NoCharge", 0),
+        threshold=1, dtype=I32,
+    )
+    flow = b.abs_("Flow", charging, dtype=I32)
+
+    # --- quantity accumulation (case-study error 1 lives here) --------
+    store = b.data_store("quantity", dtype=I32, initial=0)
+    q_now = b.ds_read("ReadQ", store)
+    if inject_quantity_overflow:
+        # Injected: accumulate directly in int32 — wraps after a long run.
+        q_next = b.add("AddQ", q_now, flow, dtype=I32)
+        q_next = b.gain("QPad1", q_next, 1, dtype=I32)
+        q_next = b.gain("QPad2", q_next, 1, dtype=I32)
+        q_next = b.gain("QPad3", q_next, 1, dtype=I32)
+    else:
+        # Healthy: widen, clamp below INT32_MAX, narrow back.
+        q_wide = b.dtc("QWide", q_now, I64)
+        q_sum = b.add("AddQ", q_wide, flow, dtype=I64)
+        q_clamped = b.saturation("QClamp", q_sum, 0, QUANTITY_CAP, dtype=I64)
+        q_next = b.dtc("QNarrow", q_clamped, I32)
+    b.ds_write("WriteQ", store, q_next)
+
+    # --- state of charge and thermal model ----------------------------
+    soc = b.gain("SoC", q_next, 1, dtype=I32)
+    full = b.relational("Full", ">=", soc, b.constant("Cap", QUANTITY_CAP))
+    b.outport("ChargeDone", full)
+    b.outport("Quantity", soc)
+
+    heat = b.subsystem("Thermal", inputs=[ambient, charging])
+    amb_in, chg_in = heat.input_ref(0), heat.input_ref(1)
+    watts = heat.inner.gain("Watts", chg_in, 0.001)
+    rise = heat.inner.block(
+        "DiscreteFilter", "Rise", [watts], params={"b0": 0.2, "a1": 0.8}
+    )
+    temp = heat.inner.add("PackTemp", amb_in, rise)
+    hot = heat.inner.block(
+        "CompareToConstant", "Hot", [temp], operator=">", params={"constant": 60.0}
+    )
+    heat.set_output(temp, name="TempOut")
+    heat.set_output(hot, name="HotOut")
+    b.outport("PackTemp", heat.out(0))
+
+    # Derate only while actually charging AND hot AND not already full —
+    # a combination condition (MC/DC target).
+    derate_ctl = b.logic(
+        "DerateCtl", "AND", [heat.out(1), plugged, b.not_("NotFull", full)]
+    )
+    derate = b.switch(
+        "Derate", b.constant("HalfRate", 0), derate_ctl,
+        b.constant("FullRate", 1), threshold=1,
+    )
+    b.terminator("DerateEnd", derate)
+
+    return CoreRefs(int_ref=flow, float_ref=heat.out(0))
+
+
+def build(
+    *,
+    inject_quantity_overflow: bool = False,
+    inject_power_downcast: bool = False,
+) -> Model:
+    def core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+        return _build_core(
+            b, rng, inject_quantity_overflow, inject_power_downcast
+        )
+
+    return build_from_core(SPEC, core)

@@ -1,0 +1,78 @@
+"""FMTM — factory multi-point temperature monitor (Table 1: 276 actors,
+42 subsystems).  Many small per-sensor subsystems: filter, calibrate,
+compare against limits, aggregate alarms.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import F64, I32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="FMTM",
+    description="Factory Multi-point Temperature Monitor",
+    n_actors=276,
+    n_subsystems=42,
+    seed=0xF313,
+    compute_weight=0.55,
+    shares=(0.05, 0.10, 0.37, 0.48),
+)
+
+N_SENSORS = 3
+
+
+def _sensor_channel(b: ModelBuilder, index: int, raw, limit: float):
+    """One measurement channel: scale, smooth, range-check."""
+    ch = b.subsystem(f"Sensor{index}", inputs=[raw])
+    x = ch.input_ref(0)
+    scaled = ch.inner.gain("Scale", x, 120.0)  # [0,1) -> degrees C
+    offset = ch.inner.bias("Offset", scaled, -5.0 * index)
+    smooth = ch.inner.block(
+        "DiscreteFilter", "Smooth", [offset], params={"b0": 0.25, "a1": 0.75}
+    )
+    alarm = ch.inner.block(
+        "CompareToConstant", "Alarm", [smooth], operator=">",
+        params={"constant": limit},
+    )
+    ch.set_output(smooth, name="TempOut")
+    ch.set_output(alarm, name="AlarmOut")
+    return ch
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    raws = [b.inport(f"Probe{i}", dtype=F64) for i in range(N_SENSORS)]
+    scan = b.inport("Scan", dtype=I32)
+
+    channels = [
+        _sensor_channel(b, i, raw, limit)
+        for i, (raw, limit) in enumerate(zip(raws, (95.0, 90.0, 85.0)))
+    ]
+
+    temps = [ch.out(0) for ch in channels]
+    alarms = [ch.out(1) for ch in channels]
+
+    hottest = b.min_max("Hottest", "max", temps)
+    mean3 = b.gain("Mean", b.sum_("TempSum", temps), 1.0 / N_SENSORS)
+    any_alarm = b.logic("AnyAlarm", "OR", alarms)
+    all_alarm = b.logic("AllAlarm", "AND", alarms)
+
+    # Scan-selected channel readout.
+    scan_abs = b.abs_("ScanAbs", scan)
+    scan_idx = b.block("Mod", "ScanIdx", [scan_abs, b.constant("NSensors", N_SENSORS)])
+    selected = b.multiport_switch("Selected", scan_idx, temps)
+
+    b.outport("HottestOut", hottest)
+    b.outport("MeanTemp", mean3)
+    b.outport("AnyAlarmOut", any_alarm)
+    b.outport("Critical", all_alarm)
+    b.outport("SelectedOut", selected)
+
+    return CoreRefs(int_ref=scan_idx, float_ref=hottest)
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

@@ -1,0 +1,39 @@
+"""Error injection for the §4 case study.
+
+Two wrap-on-overflow errors are injected into the CSEV model, exactly as
+the paper describes:
+
+1. **quantity overflow** — the charged-energy data store accumulates in
+   int32 without the healthy widen-clamp-narrow guard, so a long charging
+   simulation eventually wraps (the paper detects this with the
+   ``in1 > 0 && in2 > 0 && out < 0`` condition at the add actor; here the
+   Sum actor's checked add raises the same wrap flag at the same step);
+2. **power downcast overflow** — the charging-power product's output type
+   is short int (int16) while rated voltage/current are int32, wrapping
+   immediately in the high-power modes (the paper's ``sizeof`` mismatch;
+   here both the static downcast warning and the runtime wrap fire).
+"""
+
+from __future__ import annotations
+
+from repro.model.model import Model
+from repro.benchmarks import csev
+
+# Actor paths of the injected faults (the diagnosis targets).
+QUANTITY_ADD_PATH = "CSEV_AddQ"
+POWER_PRODUCT_PATH = "CSEV_Power"
+
+
+def build_csev_with_quantity_overflow() -> Model:
+    """CSEV with case-study error 1 (slow accumulator wrap)."""
+    return csev.build(inject_quantity_overflow=True)
+
+
+def build_csev_with_power_downcast() -> Model:
+    """CSEV with case-study error 2 (immediate product wrap + downcast)."""
+    return csev.build(inject_power_downcast=True)
+
+
+def build_csev_healthy() -> Model:
+    """The uninjected CSEV (no wraps; the guard clamps instead)."""
+    return csev.build()

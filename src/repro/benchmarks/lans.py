@@ -1,0 +1,80 @@
+"""LANS — LAN switch controller (Table 1: 570 actors, 39 subsystems).
+Computation-heavy (one of the four models with the largest AccMoS/SSE
+ratios in Table 2): address hashing, per-port byte accounting, and rate
+estimation dominate over control flow.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import F64, I32, U32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="LANS",
+    description="LAN Switch controller",
+    n_actors=570,
+    n_subsystems=39,
+    seed=0x1A45,
+    compute_weight=0.82,
+    int_bias=0.85,
+    shares=(0.10, 0.25, 0.15, 0.50),
+)
+
+N_PORTS = 4
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    src_addr = b.inport("SrcAddr", dtype=I32)
+    dst_addr = b.inport("DstAddr", dtype=I32)
+    length = b.inport("Length", dtype=I32)
+    noise = b.inport("LineNoise", dtype=F64)
+
+    # --- address hash (bit-mix pipeline) --------------------------------
+    a_u = b.dtc("AddrU", dst_addr, U32)
+    h1 = b.shift("H1", ">>", a_u, 3, dtype=U32)
+    h2 = b.bitwise("H2", "XOR", [a_u, h1], dtype=U32)
+    h3 = b.shift("H3", "<<", h2, 2, dtype=U32)
+    h4 = b.bitwise("H4", "XOR", [h2, h3], dtype=U32)
+    port_u = b.block("Mod", "PortHash", [h4, b.constant("NPorts", N_PORTS, dtype=U32)])
+    port = b.dtc("Port", port_u, I32)
+
+    # --- per-port byte accounting ----------------------------------------
+    size = b.saturation("FrameLen", length, 64, 1518, dtype=I32)
+    totals = []
+    for p in range(N_PORTS):
+        is_port = b.block(
+            "CompareToConstant", f"IsPort{p}", [port], operator="==",
+            params={"constant": p},
+        )
+        credited = b.switch(f"Credit{p}", size, is_port, b.constant(f"Z{p}", 0), threshold=1)
+        total = b.accumulator(f"Bytes{p}", credited, dtype=I32)
+        totals.append(total)
+    grand = b.sum_("GrandTotal", totals, dtype=I32)
+
+    # --- rate estimation ---------------------------------------------------
+    rate = b.subsystem("RateEst", inputs=[size, noise])
+    sz, nz = rate.input_ref(0), rate.input_ref(1)
+    szf = rate.inner.gain("Widen", sz, 1.0)
+    jitter = rate.inner.mul("Jitter", szf, nz)
+    ewma = rate.inner.block(
+        "DiscreteFilter", "EWMA", [jitter], params={"b0": 0.05, "a1": 0.95}
+    )
+    rate.set_output(ewma)
+
+    # --- learning / flooding decision ---------------------------------------
+    known = b.relational("Known", "==", src_addr, dst_addr)
+    flood = b.not_("Flood", known)
+    b.outport("FwdPort", port)
+    b.outport("TotalBytes", grand)
+    b.outport("LineRate", rate.out(0))
+    b.outport("FloodOut", flood)
+
+    return CoreRefs(int_ref=size, float_ref=rate.out(0))
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

@@ -1,0 +1,72 @@
+"""LEDLC — LED light controller (Table 1: 170 actors, 31 subsystems).
+Computation-heavy: gamma lookup, PWM synthesis, soft-start ramping.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import F64, I32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="LEDLC",
+    description="LED light controller",
+    n_actors=170,
+    n_subsystems=31,
+    seed=0x1EDC,
+    compute_weight=0.80,
+    int_bias=0.75,
+    shares=(0.25, 0.20, 0.08, 0.47),
+)
+
+GAMMA_BP = [0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+GAMMA_TABLE = [0.0, 0.004, 0.022, 0.063, 0.135, 0.245, 0.402, 0.617, 1.0]
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    level = b.inport("Level", dtype=F64)     # requested brightness 0..1
+    daylight = b.inport("Daylight", dtype=F64)
+    enable = b.inport("Enable", dtype=I32)
+
+    # --- gamma correction + daylight compensation ------------------------
+    gamma = b.lookup1d("Gamma", level, GAMMA_BP, GAMMA_TABLE)
+    comp = b.sub("Comp", gamma, b.gain("DayScale", daylight, 0.3))
+    target = b.saturation("Target", comp, 0.0, 1.0)
+
+    # --- soft start (slew-limited brightness) -----------------------------
+    soft = b.block(
+        "RateLimiter", "SoftStart", [target],
+        params={"rising": 0.02, "falling": 0.05},
+    )
+
+    # --- PWM synthesis ------------------------------------------------------
+    pwm = b.subsystem("PWM", inputs=[soft])
+    duty = pwm.input_ref(0)
+    carrier = pwm.inner.block("Counter", "Carrier", params={"limit": 256})
+    carrier_f = pwm.inner.gain("CarrierF", carrier, 1.0 / 256.0)
+    on = pwm.inner.relational("On", ">=", duty, carrier_f)
+    pwm.set_output(on)
+    # Drive only when enabled AND it is dark enough AND a duty is requested
+    # — a combination condition (MC/DC target).
+    en_on = b.relational("EnOn", ">", enable, b.constant("Z", 0))
+    dark = b.relational("Dark", "<", daylight, b.constant("Dusk", 0.35))
+    wants = b.relational("Wants", ">", level, b.constant("MinLevel", 0.01))
+    drive = b.logic("Drive", "AND", [en_on, dark, wants])
+    gated = b.switch(
+        "Gated", pwm.out(0), drive, b.constant("Off", 0), threshold=1
+    )
+    b.outport("LedDrive", gated)
+    b.outport("Brightness", soft)
+
+    # --- power estimate -----------------------------------------------------
+    watts = b.mul("Watts", soft, b.constant("MaxW", 18.0))
+    b.outport("Power", watts)
+
+    return CoreRefs(int_ref=enable, float_ref=soft)
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

@@ -1,0 +1,43 @@
+"""The Figure-1 motivating model.
+
+Two inputs are independently accumulated and their running sums are added;
+with positive inputs the Sum actor's int32 result grows monotonically and
+eventually wraps — the long-term-execution error class the paper opens
+with.  ``overflow_rate`` tunes how many steps the wrap takes
+(roughly ``INT32_MAX / overflow_rate`` steps).
+"""
+
+from __future__ import annotations
+
+from repro.dtypes import I32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.stimuli import IntRandomStimulus
+
+
+def build_motivating_model() -> Model:
+    """Figure 1: accumulate two inputs, sum the accumulators."""
+    b = ModelBuilder("Motivate")
+    a = b.inport("InportA", dtype=I32)
+    c = b.inport("InportB", dtype=I32)
+    acc_a = b.accumulator("AccumA", a, dtype=I32)
+    acc_b = b.accumulator("AccumB", c, dtype=I32)
+    total = b.add("Sum", acc_a, acc_b, dtype=I32)
+    b.outport("Outport", total)
+    return b.build()
+
+
+def motivating_stimuli(*, overflow_rate: int = 40_000, seed: int = 11):
+    """Positive random inputs sized so the Sum wraps after roughly
+    ``INT32_MAX / overflow_rate`` steps."""
+    half = overflow_rate // 2
+    return {
+        "InportA": IntRandomStimulus(seed, 1, half),
+        "InportB": IntRandomStimulus(seed + 1, 1, half),
+    }
+
+
+def expected_overflow_step(*, overflow_rate: int = 40_000) -> int:
+    """Rough step at which the wrap should appear (for test tolerances)."""
+    mean_step_growth = 2 * (1 + overflow_rate // 2) / 2
+    return int((2**31) / mean_step_growth)

@@ -1,0 +1,216 @@
+"""Parametric subsystem patterns used to fill benchmark models.
+
+Every pattern adds an *exact* number of actors (counting the subsystem's
+own boundary ports and any enable port), so the factory can hit Table 1's
+per-model actor counts precisely.  Patterns are seeded: the same model
+name always generates the same structure.
+
+Two families mirror the paper's structural analysis:
+
+* *compute* patterns — chains of arithmetic actors (the kind whose
+  generated code benefits most from compiler optimization, §4);
+* *control* patterns — relational/logic/switch clusters (branchy code,
+  smaller speedups, and the source of condition/decision/MC/DC points).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.dtypes import I32, DType
+from repro.model.builder import ModelBuilder, Ref
+
+
+def pad_chain(b: ModelBuilder, src: Ref, count: int, dtype: Optional[DType]) -> Ref:
+    """Append exactly ``count`` pass-through-ish actors after ``src``."""
+    ref = src
+    for _ in range(count):
+        ref = b.gain(b.fresh_name("Pad"), ref, 1, dtype=dtype)
+    return ref
+
+
+_FLOAT_OPS = ("gain", "bias", "saturate", "deadzone", "quantize", "math",
+              "filter", "delay", "ratelimit", "round")
+_INT_OPS = ("gain", "bias", "abs", "shift", "delay", "saturate")
+_MATH_SAFE = ("sin", "cos", "tanh", "atan", "square")
+
+
+def _float_chain_body(inner: ModelBuilder, src: Ref, budget: int, rng: random.Random) -> Ref:
+    """``budget`` cost-1 float actors chained after ``src``."""
+    ref = src
+    for i in range(budget):
+        name = inner.fresh_name("Op")
+        if i % 4 == 3:
+            # Periodic clamping keeps rng-assembled chains finite.
+            ref = inner.saturation(name, ref, -1e6, 1e6)
+            continue
+        op = rng.choice(_FLOAT_OPS)
+        if op == "gain":
+            ref = inner.gain(name, ref, rng.choice([0.5, 1.25, 2.0, -1.5]))
+        elif op == "bias":
+            ref = inner.bias(name, ref, rng.choice([-3.0, 0.25, 7.5]))
+        elif op == "saturate":
+            ref = inner.saturation(name, ref, -500.0, 500.0)
+        elif op == "deadzone":
+            ref = inner.dead_zone(name, ref, -1.0, 1.0)
+        elif op == "quantize":
+            ref = inner.quantizer(name, ref, rng.choice([0.25, 0.5, 2.0]))
+        elif op == "math":
+            ref = inner.math(name, rng.choice(_MATH_SAFE), ref)
+        elif op == "filter":
+            ref = inner.block(
+                "DiscreteFilter", name, [ref], params={"b0": 0.3, "a1": 0.7}
+            )
+        elif op == "delay":
+            ref = inner.unit_delay(name, ref, initial=0.0)
+        elif op == "ratelimit":
+            ref = inner.block(
+                "RateLimiter", name, [ref],
+                params={"rising": 10.0, "falling": 10.0},
+            )
+        else:  # round
+            ref = inner.rounding(name, rng.choice(["floor", "ceil", "round"]), ref)
+    return ref
+
+
+def _int_chain_body(
+    inner: ModelBuilder, src: Ref, budget: int, rng: random.Random, dtype: DType
+) -> Ref:
+    """``budget`` cost-1 integer actors chained after ``src``."""
+    ref = src
+    for i in range(budget):
+        name = inner.fresh_name("Op")
+        if i % 5 == 4:
+            lo, hi = dtype.min_value // 2, dtype.max_value // 2
+            ref = inner.saturation(name, ref, lo, hi, dtype=dtype)
+            continue
+        op = rng.choice(_INT_OPS)
+        if op == "gain":
+            ref = inner.gain(name, ref, rng.choice([2, 3, -2]), dtype=dtype)
+        elif op == "bias":
+            ref = inner.bias(name, ref, rng.choice([-7, 5, 13]), dtype=dtype)
+        elif op == "abs":
+            ref = inner.abs_(name, ref, dtype=dtype)
+        elif op == "shift":
+            ref = inner.shift(name, ">>", ref, rng.choice([1, 2]), dtype=dtype)
+        elif op == "delay":
+            ref = inner.unit_delay(name, ref, initial=0, dtype=dtype)
+        else:
+            lo, hi = dtype.min_value // 4, dtype.max_value // 4
+            ref = inner.saturation(name, ref, lo, hi, dtype=dtype)
+    return ref
+
+
+def _branch_body(inner: ModelBuilder, src: Ref, budget: int, rng: random.Random) -> Ref:
+    """Control-flavoured body: comparisons, logic, switches.
+
+    Minimum budget 7; the remainder is more compare/switch rounds or pads.
+    """
+    ref = src
+    remaining = budget
+    first = True
+    while remaining >= 7 or (first and remaining >= 7):
+        first = False
+        t1, t2 = rng.randint(-50, 50), rng.randint(-50, 50)
+        r1 = inner.block(
+            "CompareToConstant", inner.fresh_name("Cmp"), [ref],
+            operator=rng.choice([">", "<", ">="]), params={"constant": t1},
+        )
+        r2 = inner.block(
+            "CompareToConstant", inner.fresh_name("Cmp"), [ref],
+            operator=rng.choice(["<=", "!=", "=="]), params={"constant": t2},
+        )
+        lg = inner.logic(
+            inner.fresh_name("Lg"), rng.choice(["AND", "OR", "XOR"]), [r1, r2]
+        )
+        alt = inner.gain(inner.fresh_name("Alt"), ref, rng.choice([2, -1, 3]))
+        neg = inner.neg(inner.fresh_name("Neg"), ref)
+        ref = inner.switch(
+            inner.fresh_name("Sw"), alt, lg, neg, threshold=1
+        )
+        remaining -= 6
+    return pad_chain(inner, ref, remaining, None)
+
+
+def _counter_body(inner: ModelBuilder, src: Ref, budget: int, rng: random.Random) -> Ref:
+    """Timer/counter logic (min 6): counter, pulse, compares, a switch."""
+    counter = inner.counter(
+        inner.fresh_name("Cnt"), limit=rng.choice([7, 24, 60, 100])
+    )
+    period = rng.choice([16, 48, 128])
+    pulse = inner.block(
+        "PulseGenerator", inner.fresh_name("Pulse"),
+        params={"period": period, "duty": period // 4, "amplitude": 1},
+    )
+    near_end = inner.block(
+        "CompareToConstant", inner.fresh_name("Late"), [counter],
+        operator=">", params={"constant": 3},
+    )
+    gate = inner.logic(inner.fresh_name("Gate"), "AND", [pulse, near_end])
+    ref = inner.switch(
+        inner.fresh_name("Sw"), src, gate,
+        inner.constant(inner.fresh_name("Idle"), 0), threshold=1,
+    )
+    return pad_chain(inner, ref, budget - 6, None)
+
+
+def _lookup_body(inner: ModelBuilder, src: Ref, budget: int, rng: random.Random) -> Ref:
+    """Table-driven body (min 3): saturate, interpolate, quantize."""
+    safe = inner.saturation(inner.fresh_name("Clamp"), src, -10.0, 10.0)
+    n = rng.choice([5, 9])
+    bp = [(-10.0 + 20.0 * i / (n - 1)) for i in range(n)]
+    table = [rng.uniform(-5.0, 5.0) for _ in range(n)]
+    ref = inner.lookup1d(inner.fresh_name("Lut"), safe, bp, table)
+    return pad_chain(inner, ref, budget - 2, None)
+
+
+_BODIES = {
+    "float_chain": (_float_chain_body, 1),
+    "int_chain": (None, 1),  # dispatched specially (dtype argument)
+    "branch": (_branch_body, 7),
+    "counter": (_counter_body, 7),
+    "lookup": (_lookup_body, 3),
+}
+
+COMPUTE_KINDS = ("float_chain", "int_chain", "lookup")
+CONTROL_KINDS = ("branch", "counter")
+
+MIN_PATTERN_ACTORS = 2 + max(m for _, m in _BODIES.values()) + 1  # ports+body+enable
+
+
+def pattern_subsystem(
+    b: ModelBuilder,
+    name: str,
+    kind: str,
+    src: Ref,
+    n_actors: int,
+    rng: random.Random,
+    *,
+    enable: Optional[Ref] = None,
+    int_dtype: DType = I32,
+) -> Ref:
+    """Create one pattern subsystem with exactly ``n_actors`` actors.
+
+    The count includes the inport, outport, and (when ``enable`` is given)
+    the enable port.  Returns the parent-scope output reference.
+    """
+    overhead = 2 + (1 if enable is not None else 0)
+    budget = n_actors - overhead
+    _, min_budget = _BODIES[kind]
+    if budget < min_budget:
+        raise ValueError(
+            f"pattern {kind!r} needs at least {min_budget + overhead} actors, "
+            f"got {n_actors}"
+        )
+    sub = b.subsystem(name, inputs=[src])
+    inner_src = sub.input_ref(0)
+    if kind == "int_chain":
+        ref = _int_chain_body(sub.inner, inner_src, budget, rng, int_dtype)
+    else:
+        body, _ = _BODIES[kind]
+        ref = body(sub.inner, inner_src, budget, rng)
+    out = sub.set_output(ref)
+    if enable is not None:
+        sub.set_enable(enable)
+    return out

@@ -1,0 +1,90 @@
+"""RAC — robotic arm controller (Table 1: 667 actors, 57 subsystems).
+The largest model; control-heavy per the paper's analysis (mode logic,
+per-joint limit supervision) around a PD servo core.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import F64, I32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="RAC",
+    description="Robotic arm controller",
+    n_actors=667,
+    n_subsystems=57,
+    seed=0x0AC1,
+    compute_weight=0.35,
+    shares=(0.05, 0.12, 0.35, 0.48),
+)
+
+
+def _joint_servo(b: ModelBuilder, index: int, setpoint, feedback):
+    """PD position servo for one joint, with limit supervision."""
+    j = b.subsystem(f"Joint{index}", inputs=[setpoint, feedback])
+    sp, fb = j.input_ref(0), j.input_ref(1)
+    err = j.inner.sub("Err", sp, fb)
+    p_term = j.inner.gain("P", err, 4.0)
+    d_term = j.inner.block("DiscreteDerivative", "D", [err], params={})
+    d_scaled = j.inner.gain("Kd", d_term, 0.5)
+    cmd = j.inner.add("Cmd", p_term, d_scaled)
+    safe = j.inner.saturation("Torque", cmd, -20.0, 20.0)
+    railed = j.inner.logic(
+        "Railed", "OR",
+        [
+            j.inner.block(
+                "CompareToConstant", "HiRail", [cmd], operator=">",
+                params={"constant": 20.0},
+            ),
+            j.inner.block(
+                "CompareToConstant", "LoRail", [cmd], operator="<",
+                params={"constant": -20.0},
+            ),
+        ],
+    )
+    j.set_output(safe, name="TorqueOut")
+    j.set_output(railed, name="RailedOut")
+    return j
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    target1 = b.inport("Target1", dtype=F64)
+    target2 = b.inport("Target2", dtype=F64)
+    pos1 = b.inport("Pos1", dtype=F64)
+    pos2 = b.inport("Pos2", dtype=F64)
+    mode = b.inport("OpMode", dtype=I32)
+
+    j1 = _joint_servo(b, 1, target1, pos1)
+    j2 = _joint_servo(b, 2, target2, pos2)
+
+    # --- mode supervision: 0 stop, 1 slow, 2 full ------------------------
+    mode_abs = b.abs_("ModeAbs", mode)
+    mode_idx = b.block("Mod", "ModeIdx", [mode_abs, b.constant("NModes", 3)])
+    scale = b.multiport_switch(
+        "Scale", mode_idx,
+        [b.constant("Stop", 0.0), b.constant("Slow", 0.25), b.constant("Full", 1.0)],
+    )
+    t1 = b.mul("T1", j1.out(0), scale)
+    t2 = b.mul("T2", j2.out(0), scale)
+
+    fault = b.logic("Fault", "OR", [j1.out(1), j2.out(1)])
+    latched = b.data_store("fault_latch", dtype=I32, initial=0)
+    prev = b.ds_read("FaultPrev", latched)
+    hold = b.logic("Hold", "OR", [fault, b.relational("Was", ">", prev, b.constant("Z0", 0))])
+    b.ds_write("FaultSet", latched, hold)
+
+    safe1 = b.switch("Safe1", b.constant("Zero1", 0.0), hold, t1, threshold=1)
+    safe2 = b.switch("Safe2", b.constant("Zero2", 0.0), hold, t2, threshold=1)
+    b.outport("Torque1", safe1)
+    b.outport("Torque2", safe2)
+    b.outport("FaultOut", hold)
+
+    return CoreRefs(int_ref=mode_idx, float_ref=t1)
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

@@ -1,0 +1,80 @@
+"""SPV — solar PV panel output control (Table 1: 131 actors, 16
+subsystems).  The smallest model and strongly computation-bound: power
+curve interpolation, perturb-and-observe tracking, efficiency maths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import F64, I32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="SPV",
+    description="Solar PV panel output control",
+    n_actors=131,
+    n_subsystems=16,
+    seed=0x59F5,
+    compute_weight=0.85,
+    int_bias=0.7,
+    shares=(0.28, 0.15, 0.07, 0.50),
+)
+
+# Panel IV power curve vs normalized operating voltage.
+CURVE_BP = [0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 1.0]
+CURVE_PW = [0.0, 0.35, 0.65, 0.88, 0.96, 1.0, 0.85, 0.0]
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    irradiance = b.inport("Irradiance", dtype=F64)  # 0..1
+    cell_temp = b.inport("CellTemp", dtype=F64)
+    grid_ok = b.inport("GridOk", dtype=I32)
+
+    # --- maximum power point tracking (perturb & observe) -----------------
+    mppt = b.subsystem("MPPT", inputs=[irradiance])
+    irr = mppt.input_ref(0)
+    vop = mppt.inner.block(
+        "DiscreteIntegrator", "Vop", [
+            mppt.inner.dead_zone("Perturb", mppt.inner.block(
+                "DiscreteDerivative", "dIrr", [irr], params={}
+            ), -0.001, 0.001)
+        ], params={"gain": 0.5, "initial": 0.7},
+    )
+    vclamped = mppt.inner.saturation("Vclamp", vop, 0.0, 1.0)
+    mppt.set_output(vclamped)
+    vnorm = mppt.out(0)
+
+    # --- panel power model ---------------------------------------------------
+    curve = b.lookup1d("IVCurve", vnorm, CURVE_BP, CURVE_PW)
+    raw_power = b.mul("RawPower", curve, irradiance)
+    # Temperature derating: -0.4%/degree above 25C (temp input is 0..1 -> 0..80C).
+    degrees = b.gain("Degrees", cell_temp, 80.0)
+    excess = b.dead_zone("Excess", degrees, 0.0, 25.0)
+    derate = b.sub("Derate", b.constant("One", 1.0), b.gain("TempCo", excess, 0.004))
+    derated = b.mul("Derated", raw_power, derate)
+    watts = b.gain("Watts", derated, 320.0)
+
+    # --- grid interface -------------------------------------------------------
+    # Export only when the grid is up AND the panel is producing AND the
+    # cells are not critically hot — a combination condition (MC/DC target).
+    grid_up = b.relational("GridUp", ">", grid_ok, b.constant("Z", 0))
+    producing = b.relational("Producing", ">", watts, b.constant("MinW", 1.0))
+    cool = b.relational("Cool", "<", degrees, b.constant("MaxC", 75.0))
+    exporting = b.logic("Exporting", "AND", [grid_up, producing, cool])
+    out_watts = b.switch(
+        "OutWatts", watts, exporting, b.constant("Island", 0.0), threshold=1
+    )
+    energy = b.accumulator("EnergyWh", b.gain("PerStep", out_watts, 1.0 / 3600.0))
+
+    b.outport("PowerW", out_watts)
+    b.outport("EnergyOut", energy)
+    b.outport("VopOut", vnorm)
+
+    return CoreRefs(int_ref=grid_ok, float_ref=watts)
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

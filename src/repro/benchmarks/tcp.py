@@ -1,0 +1,109 @@
+"""TCP — three-way handshake protocol model (Table 1: 330 actors, 42
+subsystems).  A connection state machine (CLOSED → SYN_SENT/SYN_RCVD →
+ESTABLISHED) with sequence-number arithmetic and retransmission timers;
+computation-heavy per the paper's Table-2 analysis (the checksum/sequence
+arithmetic dominates).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import I32, U32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="TCP",
+    description="TCP three-way handshake protocol",
+    n_actors=330,
+    n_subsystems=42,
+    seed=0x7C93,
+    compute_weight=0.75,
+    int_bias=0.85,
+    shares=(0.12, 0.15, 0.15, 0.58),
+)
+
+CLOSED, SYN_SENT, SYN_RCVD, ESTABLISHED = 0, 1, 2, 3
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    syn = b.inport("SynFlag", dtype=I32)
+    ack = b.inport("AckFlag", dtype=I32)
+    rst = b.inport("RstFlag", dtype=I32)
+    seq_in = b.inport("SeqIn", dtype=I32)
+
+    got_syn = b.relational("GotSyn", ">", syn, b.constant("Z1", 0))
+    got_ack = b.relational("GotAck", ">", ack, b.constant("Z2", 0))
+    got_rst = b.relational("GotRst", ">", rst, b.constant("Z3", 0))
+    synack = b.logic("SynAck", "AND", [got_syn, got_ack])
+
+    # --- connection state machine -----------------------------------------
+    state_store = b.data_store("conn_state", dtype=I32, initial=CLOSED)
+    state = b.ds_read("State", state_store)
+    in_closed = b.block(
+        "CompareToConstant", "InClosed", [state], operator="==",
+        params={"constant": CLOSED},
+    )
+    in_syn_sent = b.block(
+        "CompareToConstant", "InSynSent", [state], operator="==",
+        params={"constant": SYN_SENT},
+    )
+    in_syn_rcvd = b.block(
+        "CompareToConstant", "InSynRcvd", [state], operator="==",
+        params={"constant": SYN_RCVD},
+    )
+
+    # CLOSED --syn--> SYN_RCVD (passive) ; CLOSED --(local open pulse)--> SYN_SENT
+    local_open = b.block(
+        "PulseGenerator", "LocalOpen", params={"period": 97, "duty": 1, "amplitude": 1},
+    )
+    open_now = b.relational("OpenNow", ">", local_open, b.constant("Z4", 0))
+    passive = b.logic("Passive", "AND", [in_closed, got_syn])
+    active = b.logic("Active", "AND", [in_closed, open_now])
+    to_estab_a = b.logic("EstabA", "AND", [in_syn_sent, synack])
+    to_estab_b = b.logic("EstabB", "AND", [in_syn_rcvd, got_ack])
+    established = b.logic("Established", "OR", [to_estab_a, to_estab_b])
+
+    after_open = b.switch("AfterOpen", b.constant("SSent", SYN_SENT), active, state, threshold=1)
+    after_passive = b.switch("AfterSyn", b.constant("SRcvd", SYN_RCVD), passive, after_open, threshold=1)
+    after_estab = b.switch("AfterEstab", b.constant("SEst", ESTABLISHED), established, after_passive, threshold=1)
+    next_state = b.switch("NextState", b.constant("SClosed", CLOSED), got_rst, after_estab, threshold=1)
+    b.ds_write("StoreState", state_store, next_state)
+
+    # --- sequence number arithmetic -----------------------------------------
+    seq_u = b.dtc("SeqU", seq_in, U32)
+    isn = b.block("Counter", "ISN", params={"limit": 1 << 16})
+    isn_u = b.dtc("IsnU", isn, U32)
+    next_seq = b.add("NextSeq", seq_u, b.constant("One", 1, dtype=U32), dtype=U32)
+    ack_no = b.add("AckNo", next_seq, isn_u, dtype=U32)
+    cksum1 = b.bitwise("Ck1", "XOR", [seq_u, ack_no], dtype=U32)
+    cksum2 = b.shift("Ck2", ">>", cksum1, 16, dtype=U32)
+    cksum = b.bitwise("Ck3", "XOR", [cksum1, cksum2], dtype=U32)
+
+    # --- retransmission timer -------------------------------------------------
+    rto = b.subsystem("Retransmit", inputs=[next_state])
+    st_in = rto.input_ref(0)
+    waiting = rto.inner.block(
+        "CompareToConstant", "Waiting", [st_in], operator="<",
+        params={"constant": ESTABLISHED},
+    )
+    timer = rto.inner.block("Counter", "Timer", params={"limit": 64})
+    expired = rto.inner.block(
+        "CompareToConstant", "Expired", [timer], operator="==",
+        params={"constant": 63},
+    )
+    resend = rto.inner.logic("Resend", "AND", [waiting, expired])
+    rto.set_output(resend)
+
+    b.outport("ConnState", next_state)
+    b.outport("AckNumber", ack_no)
+    b.outport("Checksum", cksum)
+    b.outport("RetransmitOut", rto.out(0))
+
+    return CoreRefs(int_ref=next_state, float_ref=b.gain("SeqF", seq_in, 0.01))
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

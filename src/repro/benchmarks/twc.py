@@ -1,0 +1,75 @@
+"""TWC — train wheel speed controller (Table 1: 214 actors, 13
+subsystems).  Few, large subsystems (the lowest subsystem count per actor
+in Table 1): slip detection from wheel vs. train speed, adhesion-limited
+traction command, brake release logic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import F64, I32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="TWC",
+    description="Train wheel speed controller",
+    n_actors=214,
+    n_subsystems=13,
+    seed=0x73C2,
+    compute_weight=0.60,
+    shares=(0.15, 0.12, 0.28, 0.45),
+)
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    wheel = b.inport("WheelSpeed", dtype=F64)
+    train = b.inport("TrainSpeed", dtype=F64)
+    demand = b.inport("TractionDemand", dtype=F64)
+    brake = b.inport("BrakeRequest", dtype=I32)
+
+    # --- slip detection -----------------------------------------------------
+    slip = b.subsystem("SlipDetect", inputs=[wheel, train])
+    w, t = slip.input_ref(0), slip.input_ref(1)
+    ws = slip.inner.gain("WheelKph", w, 300.0)
+    ts = slip.inner.gain("TrainKph", t, 300.0)
+    diff = slip.inner.sub("Diff", ws, ts)
+    mag = slip.inner.abs_("Mag", diff)
+    ratio = slip.inner.div(
+        "Ratio", mag, slip.inner.bias("Floor", ts, 1.0)
+    )
+    slipping = slip.inner.block(
+        "CompareToConstant", "Slipping", [ratio], operator=">",
+        params={"constant": 0.08},
+    )
+    slip.set_output(slipping, name="SlipOut")
+    slip.set_output(ratio, name="RatioOut")
+
+    # --- adhesion-limited traction --------------------------------------------
+    limited = b.block(
+        "RateLimiter", "Jerk", [demand], params={"rising": 0.05, "falling": 0.2}
+    )
+    cut = b.switch(
+        "SlipCut", b.gain("Half", limited, 0.5), slip.out(0), limited, threshold=1
+    )
+    traction = b.saturation("Traction", cut, 0.0, 1.0)
+
+    # --- brake interlock ---------------------------------------------------------
+    braking = b.relational("Braking", ">", brake, b.constant("Z", 0))
+    command = b.switch("Command", b.constant("Coast", 0.0), braking, traction, threshold=1)
+    effort = b.gain("EffortKN", command, 250.0)
+
+    # --- odometer ------------------------------------------------------------------
+    dist = b.accumulator("Odometer", b.gain("PerStep", train, 0.01))
+
+    b.outport("TractionCmd", effort)
+    b.outport("SlipOut", slip.out(0))
+    b.outport("Distance", dist)
+
+    return CoreRefs(int_ref=brake, float_ref=effort)
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

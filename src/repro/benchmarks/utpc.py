@@ -1,0 +1,74 @@
+"""UTPC — underwater thruster power control (Table 1: 214 actors, 21
+subsystems).  Depth-dependent power compensation, thermal accumulation,
+and battery budget supervision.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtypes import F64, I32
+from repro.model.builder import ModelBuilder
+from repro.model.model import Model
+from repro.benchmarks.factory import BenchmarkSpec, CoreRefs, build_from_core
+
+SPEC = BenchmarkSpec(
+    name="UTPC",
+    description="Underwater thruster power control",
+    n_actors=214,
+    n_subsystems=21,
+    seed=0x09FC,
+    compute_weight=0.60,
+    shares=(0.08, 0.12, 0.18, 0.62),
+)
+
+
+def _core(b: ModelBuilder, rng: random.Random) -> CoreRefs:
+    thrust_cmd = b.inport("ThrustCmd", dtype=F64)  # 0..1
+    depth = b.inport("Depth", dtype=F64)  # 0..1 -> 0..500 m
+    water_temp = b.inport("WaterTemp", dtype=F64)
+    battery = b.inport("BatteryMilliV", dtype=I32)
+
+    # --- depth compensation: drag rises with pressure ----------------------
+    meters = b.gain("Meters", depth, 500.0)
+    # Pressure factor: 1 + 0.0008*m + 0.0000006*m^2 (Horner polynomial).
+    pressure = b.block(
+        "Polynomial", "Pressure", [meters],
+        params={"coeffs": [0.0000006, 0.0008, 1.0]},
+    )
+    compensated = b.mul("Compensated", thrust_cmd, pressure)
+
+    # --- motor power and thermal model -------------------------------------
+    power = b.subsystem("MotorPower", inputs=[compensated, water_temp])
+    cmd, wt = power.input_ref(0), power.input_ref(1)
+    squared = power.inner.math("Squared", "square", cmd)
+    watts = power.inner.gain("Watts", squared, 1200.0)
+    cooling = power.inner.gain("Cooling", wt, -40.0)
+    heat = power.inner.add("NetHeat", watts, cooling)
+    core_temp = power.inner.block(
+        "DiscreteFilter", "CoreTemp", [heat], params={"b0": 0.02, "a1": 0.98}
+    )
+    hot = power.inner.block(
+        "CompareToConstant", "Overheat", [core_temp], operator=">",
+        params={"constant": 55.0},
+    )
+    power.set_output(watts, name="WattsOut")
+    power.set_output(hot, name="HotOut")
+
+    # --- battery budget -----------------------------------------------------
+    volts_ok = b.relational(
+        "VoltsOk", ">", battery, b.constant("MinMilliV", 10)
+    )
+    runnable = b.logic("Runnable", "AND", [volts_ok, b.not_("Cool", power.out(1))])
+    applied = b.switch("Applied", power.out(0), runnable, b.constant("Idle", 0.0), threshold=1)
+    drawn = b.accumulator("EnergyJ", b.gain("PerStep", applied, 0.001))
+
+    b.outport("MotorWatts", applied)
+    b.outport("EnergyOut", drawn)
+    b.outport("OverheatOut", power.out(1))
+
+    return CoreRefs(int_ref=battery, float_ref=applied)
+
+
+def build() -> Model:
+    return build_from_core(SPEC, _core)

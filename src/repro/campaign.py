@@ -1,0 +1,147 @@
+"""Test campaigns: many test cases, one adequacy verdict.
+
+The paper motivates coverage collection as the way to "validate that test
+cases are comprehensive enough".  A :func:`run_campaign` does that loop at
+AccMoS speed: generate differently-seeded random test cases, simulate each
+(compiled), merge coverage, and stop when new cases stop uncovering new
+points — the classic saturation criterion.  All diagnostics found by any
+case are pooled, with the seed that first exposed each.
+
+::
+
+    from repro.campaign import run_campaign
+
+    outcome = run_campaign(prog, steps=100_000, max_cases=20)
+    print(outcome.summary())
+    for event, seed in outcome.diagnostics:
+        print(f"seed {seed}: {event}")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.coverage.metrics import ALL_METRICS, Metric
+from repro.coverage.report import CoverageReport
+from repro.diagnosis.events import DiagnosticEvent
+from repro.engines import simulate
+from repro.engines.base import SimulationOptions
+from repro.schedule.program import FlatProgram
+from repro.stimuli.generators import default_stimuli
+
+
+@dataclass
+class CaseOutcome:
+    """One test case's contribution."""
+
+    seed: int
+    steps_run: int
+    wall_time: float
+    new_points: int  # coverage points this case uncovered first
+    n_diagnostics: int
+
+
+@dataclass
+class CampaignOutcome:
+    """The campaign's aggregate verdict."""
+
+    merged: CoverageReport
+    cases: list[CaseOutcome] = field(default_factory=list)
+    # (event, seed of the case that first exposed it)
+    diagnostics: list[tuple[DiagnosticEvent, int]] = field(default_factory=list)
+    saturated: bool = False
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.cases)
+
+    def coverage_curve(self, metric: Metric) -> list[int]:
+        """Cumulative covered points after each case (recomputed from the
+        per-case new-point counts of that metric's share of the total)."""
+        curve, total = [], 0
+        for case in self.cases:
+            total += case.new_points
+            curve.append(total)
+        return curve
+
+    def summary(self) -> str:
+        status = "saturated" if self.saturated else "budget exhausted"
+        lines = [
+            f"campaign: {self.n_cases} case(s), {status}",
+            self.merged.summary(),
+        ]
+        if self.diagnostics:
+            lines.append(f"diagnostics found: {len(self.diagnostics)}")
+        return "\n".join(lines)
+
+
+def _total_covered(report: CoverageReport) -> int:
+    return sum(report.bitmaps[m].count() for m in ALL_METRICS)
+
+
+def run_campaign(
+    prog: FlatProgram,
+    *,
+    engine: str = "accmos",
+    steps: int = 50_000,
+    max_cases: int = 16,
+    plateau_patience: int = 3,
+    base_seed: int = 1,
+    options: Optional[SimulationOptions] = None,
+) -> CampaignOutcome:
+    """Run up to ``max_cases`` differently-seeded random test cases.
+
+    Stops early once ``plateau_patience`` consecutive cases uncover no new
+    coverage point (saturation).  ``options`` overrides everything except
+    ``steps`` handling; by default coverage and diagnostics are on.
+    """
+    if max_cases < 1:
+        raise ValueError("max_cases must be at least 1")
+    if plateau_patience < 1:
+        raise ValueError("plateau_patience must be at least 1")
+
+    merged: Optional[CoverageReport] = None
+    outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
+    seen_diagnostics: set[tuple[str, str]] = set()
+    dry_streak = 0
+
+    for index in range(max_cases):
+        seed = base_seed + index
+        stimuli = default_stimuli(prog, seed=seed)
+        opts = options or SimulationOptions(steps=steps)
+        result = simulate(prog, stimuli, engine=engine, options=opts)
+        if result.coverage is None:
+            raise ValueError(f"engine {engine!r} collects no coverage")
+
+        before = _total_covered(merged) if merged is not None else 0
+        if merged is None:
+            merged = CoverageReport.empty(result.coverage.points)
+        merged.merge(result.coverage)
+        new_points = _total_covered(merged) - before
+
+        fresh = 0
+        for event in result.diagnostics:
+            key = (event.path, event.kind.value)
+            if key not in seen_diagnostics:
+                seen_diagnostics.add(key)
+                outcome.diagnostics.append((event, seed))
+                fresh += 1
+
+        outcome.cases.append(
+            CaseOutcome(
+                seed=seed,
+                steps_run=result.steps_run,
+                wall_time=result.wall_time,
+                new_points=new_points,
+                n_diagnostics=fresh,
+            )
+        )
+
+        dry_streak = dry_streak + 1 if new_points == 0 else 0
+        if dry_streak >= plateau_patience:
+            outcome.saturated = True
+            break
+
+    outcome.merged = merged
+    return outcome

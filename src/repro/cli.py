@@ -1,0 +1,362 @@
+"""Command-line front end.
+
+::
+
+    accmos info model.xml                 # Table-1-style model statistics
+    accmos simulate model.xml [options]   # run any engine on a model file
+    accmos coverage model.xml [options]   # detailed coverage listing
+    accmos campaign model.xml [options]   # seed-sweep test campaign
+    accmos codegen model.xml -o sim.c     # emit the instrumented C source
+    accmos compare model.xml [options]    # run several engines, check agreement
+    accmos convert model.xml -o m.json    # native XML <-> generic JSON IR
+    accmos bench-table1                   # print the benchmark inventory
+    accmos demo                           # Figure-1 motivating demo
+
+Benchmark models can be addressed as ``bench:NAME`` (e.g. ``bench:CSEV``)
+anywhere a model file is expected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.benchmarks import TABLE1, build_benchmark
+from repro.benchmarks.motivating import build_motivating_model, motivating_stimuli
+from repro.diagnosis.events import DiagnosticKind
+from repro.engines import ENGINES, SimulationOptions, simulate
+from repro.model.model import Model
+from repro.schedule import preprocess
+from repro.slx import load_model
+from repro.stimuli import default_stimuli, load_csv
+
+
+def _load(spec: str) -> Model:
+    if spec.startswith("bench:"):
+        return build_benchmark(spec[len("bench:"):])
+    if spec.endswith(".json"):
+        from repro.slx import load_generic
+
+        return load_generic(spec)
+    return load_model(spec)
+
+
+def _stimuli_for(args, prog):
+    if getattr(args, "stimuli", None):
+        return load_csv(args.stimuli).to_stimuli()
+    return default_stimuli(prog, seed=getattr(args, "seed", 1))
+
+
+def _options_from(args) -> SimulationOptions:
+    halt_on = None
+    if getattr(args, "halt_on", None):
+        halt_on = frozenset(DiagnosticKind(k) for k in args.halt_on)
+    return SimulationOptions(
+        steps=args.steps,
+        coverage=not getattr(args, "no_coverage", False),
+        diagnostics=not getattr(args, "no_diagnostics", False),
+        halt_on=halt_on,
+        time_budget=getattr(args, "time_budget", None),
+    )
+
+
+def _print_result(result, as_json: bool) -> None:
+    if as_json:
+        payload = {
+            "engine": result.engine,
+            "model": result.model_name,
+            "steps_run": result.steps_run,
+            "wall_time": result.wall_time,
+            "outputs": {k: repr(v) for k, v in result.outputs.items()},
+            "checksums": {k: f"{v:#x}" for k, v in result.checksums.items()},
+            "halted_at": result.halted_at,
+            "diagnostics": [str(e) for e in result.diagnostics],
+        }
+        if result.coverage:
+            payload["coverage"] = {
+                m.value: round(result.coverage.percent(m), 2)
+                for m in result.coverage.metrics
+            }
+        print(json.dumps(payload, indent=2))
+        return
+    print(result.summary())
+    for name, value in result.outputs.items():
+        print(f"  output {name} = {value!r}")
+    if result.halted_at is not None:
+        print(f"  halted at step {result.halted_at}")
+    for event in result.diagnostics:
+        print(f"  {event}")
+
+
+def cmd_info(args) -> int:
+    model = _load(args.model)
+    prog = preprocess(model)
+    print(f"Model       : {model.name}")
+    if model.description:
+        print(f"Description : {model.description}")
+    print(f"#Actor      : {model.n_actors}")
+    print(f"#SubSystem  : {model.n_subsystems}")
+    print(f"Flat actors : {len(prog.actors)} (executable)")
+    print(f"Signals     : {len(prog.signals)}")
+    print(f"Guards      : {len(prog.guards)} (enabled subsystems)")
+    print(f"Data stores : {len(prog.stores)}")
+    print(f"Inports     : {', '.join(b.name for b in prog.inports) or '-'}")
+    print(f"Outports    : {', '.join(b.name for b in prog.outports) or '-'}")
+    histogram = model.block_type_histogram()
+    top = sorted(histogram.items(), key=lambda kv: -kv[1])[:12]
+    print("Top block types:")
+    for block_type, count in top:
+        print(f"  {block_type:24s} {count}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    model = _load(args.model)
+    prog = preprocess(model, dt=args.dt)
+    result = simulate(
+        prog,
+        _stimuli_for(args, prog),
+        engine=args.engine,
+        options=_options_from(args),
+    )
+    _print_result(result, args.json)
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from repro.codegen import generate_c_program
+    from repro.instrument import build_plan
+
+    model = _load(args.model)
+    prog = preprocess(model, dt=args.dt)
+    plan = build_plan(prog)
+    stimuli = _stimuli_for(args, prog)
+    source, _ = generate_c_program(prog, plan, stimuli, _options_from(args))
+    if args.output == "-":
+        sys.stdout.write(source)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(source)
+        print(f"wrote {source.count(chr(10)) + 1} lines to {args.output}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    model = _load(args.model)
+    prog = preprocess(model, dt=args.dt)
+    options = _options_from(args)
+    reference = None
+    agree = True
+    for engine in args.engines:
+        result = simulate(prog, _stimuli_for(args, prog), engine=engine, options=options)
+        line = f"{engine:8s} {result.wall_time:10.4f}s  steps={result.steps_run}"
+        if reference is None:
+            reference = result
+        else:
+            same = result.checksums == reference.checksums
+            agree &= same
+            line += "  " + ("outputs agree" if same else "OUTPUTS DIFFER")
+        print(line)
+    if not agree:
+        print("engines disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run a seed-sweep test campaign and print the adequacy verdict."""
+    from repro.campaign import run_campaign
+    from repro.coverage import coverage_listing
+
+    model = _load(args.model)
+    prog = preprocess(model, dt=args.dt)
+    outcome = run_campaign(
+        prog,
+        engine=args.engine,
+        steps=args.steps,
+        max_cases=args.cases,
+        plateau_patience=args.patience,
+        base_seed=args.seed,
+    )
+    print(outcome.summary())
+    print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
+          f"{'new diags':>10s}")
+    for i, case in enumerate(outcome.cases):
+        print(f"{i + 1:5d} {case.seed:6d} {case.steps_run:12,d} "
+              f"{case.new_points:11d} {case.n_diagnostics:10d}")
+    for event, seed in outcome.diagnostics:
+        print(f"  (seed {seed}) {event}")
+    if args.uncovered:
+        print(coverage_listing(prog, outcome.merged, max_items=args.uncovered))
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    """Simulate and print the detailed coverage listing."""
+    from repro.coverage import coverage_listing
+
+    model = _load(args.model)
+    prog = preprocess(model, dt=args.dt)
+    result = simulate(
+        prog,
+        _stimuli_for(args, prog),
+        engine=args.engine,
+        options=_options_from(args),
+    )
+    if result.coverage is None:
+        print(f"engine {args.engine!r} collects no coverage", file=sys.stderr)
+        return 1
+    print(f"{result.steps_run:,} steps in {result.wall_time:.3f}s "
+          f"({args.engine})")
+    print(coverage_listing(prog, result.coverage, max_items=args.max_items))
+    return 0
+
+
+def cmd_convert(args) -> int:
+    """Convert between the native XML format and the generic JSON IR."""
+    from repro.slx import load_generic, save_generic, save_model
+
+    source = args.model
+    if source.startswith("bench:"):
+        model = _load(source)
+    elif source.endswith(".json"):
+        model = load_generic(source)
+    else:
+        model = load_model(source)
+    if args.output.endswith(".json"):
+        save_generic(model, args.output)
+    else:
+        save_model(model, args.output)
+    print(f"converted {source} -> {args.output} "
+          f"({model.n_actors} actors, {model.n_subsystems} subsystems)")
+    return 0
+
+
+def cmd_bench_table1(args) -> int:
+    print(f"{'Model':6s} {'Functionality':42s} {'#Actor':>7s} {'#SubSystem':>11s}")
+    for name, (desc, n_actors, n_subsystems) in TABLE1.items():
+        print(f"{name:6s} {desc:42s} {n_actors:7d} {n_subsystems:11d}")
+    if args.verify:
+        for name in TABLE1:
+            model = build_benchmark(name)
+            expected = TABLE1[name]
+            status = (
+                "ok"
+                if (model.n_actors, model.n_subsystems) == expected[1:]
+                else "MISMATCH"
+            )
+            print(f"  built {name}: {model.n_actors}/{model.n_subsystems} {status}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    model = build_motivating_model()
+    prog = preprocess(model)
+    options = SimulationOptions(
+        steps=args.steps,
+        halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW}),
+    )
+    print("Figure-1 motivating model: accumulate-and-sum, int32 overflow.")
+    for engine in ("sse", "accmos"):
+        result = simulate(prog, motivating_stimuli(), engine=engine, options=options)
+        where = (
+            f"overflow detected at step {result.halted_at}"
+            if result.halted_at is not None
+            else "no overflow within the step budget"
+        )
+        print(f"  {engine:8s} {result.wall_time:8.3f}s  {where}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="accmos",
+        description="AccMoS reproduction: simulate dataflow models via code generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, steps_default=10_000):
+        p.add_argument("model", help="model XML file, or bench:NAME")
+        p.add_argument("--steps", type=int, default=steps_default)
+        p.add_argument("--dt", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=1, help="stimuli seed")
+        p.add_argument("--stimuli", help="CSV test-case file")
+        p.add_argument("--time-budget", type=float, default=None)
+        p.add_argument("--no-coverage", action="store_true")
+        p.add_argument("--no-diagnostics", action="store_true")
+        p.add_argument(
+            "--halt-on", nargs="*", metavar="KIND",
+            choices=[k.value for k in DiagnosticKind],
+            help="stop at the first diagnostic of these kinds",
+        )
+
+    p = sub.add_parser("info", help="model statistics")
+    p.add_argument("model")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("simulate", help="run one engine")
+    common(p)
+    p.add_argument("--engine", choices=sorted(ENGINES), default="accmos")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("codegen", help="emit the instrumented C source")
+    common(p)
+    p.add_argument("-o", "--output", default="-")
+    p.set_defaults(fn=cmd_codegen)
+
+    p = sub.add_parser("compare", help="run several engines and check agreement")
+    common(p, steps_default=5_000)
+    p.add_argument(
+        "--engines", nargs="+", choices=sorted(ENGINES),
+        default=["sse", "accmos"],
+    )
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("campaign", help="seed-sweep test campaign")
+    p.add_argument("model", help="model XML/JSON file, or bench:NAME")
+    p.add_argument("--steps", type=int, default=50_000)
+    p.add_argument("--dt", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1, help="base seed")
+    p.add_argument("--cases", type=int, default=16)
+    p.add_argument("--patience", type=int, default=3,
+                   help="stop after this many cases without new coverage")
+    p.add_argument("--engine", choices=["sse", "accmos"], default="accmos")
+    p.add_argument("--uncovered", type=int, default=0, metavar="N",
+                   help="also list up to N uncovered points")
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("coverage", help="detailed coverage listing")
+    common(p, steps_default=100_000)
+    p.add_argument("--engine", choices=["sse", "accmos"], default="accmos")
+    p.add_argument("--max-items", type=int, default=40,
+                   help="cap on uncovered points shown")
+    p.set_defaults(fn=cmd_coverage)
+
+    p = sub.add_parser(
+        "convert", help="convert between model XML and the generic JSON IR"
+    )
+    p.add_argument("model", help="model XML/JSON file, or bench:NAME")
+    p.add_argument("-o", "--output", required=True,
+                   help="target path (.xml or .json picks the format)")
+    p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser("bench-table1", help="print the benchmark inventory")
+    p.add_argument("--verify", action="store_true", help="also build each model")
+    p.set_defaults(fn=cmd_bench_table1)
+
+    p = sub.add_parser("demo", help="Figure-1 motivating demo")
+    p.add_argument("--steps", type=int, default=200_000)
+    p.set_defaults(fn=cmd_demo)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Simulation code synthesis (paper §3.3).
+
+Turns a preprocessed program plus an instrumentation plan into a complete,
+self-contained simulation program:
+
+* :mod:`~repro.codegen.runtime` — the generated C runtime prelude: wrap
+  arithmetic with flag reporting (the C mirror of :mod:`repro.dtypes`),
+  coverage tables, diagnosis slots, monitors, checksums, result output;
+* :mod:`~repro.codegen.templates` — the actor code template library: one C
+  emitter per block type, each mirroring the actor's Python reference
+  semantics bit for bit;
+* :mod:`~repro.codegen.compose` — simulation code composition: the model
+  step body in execution order, instrumentation inlined at each actor, the
+  main function with test-case import and the simulation loop;
+* :mod:`~repro.codegen.driver` — gcc compilation and execution, plus the
+  result-protocol parser;
+* :mod:`~repro.codegen.pybackend` — a generated-Python backend with the
+  same semantics (used by the Rapid-Accelerator analog engine and as a
+  no-compiler fallback).
+"""
+
+from repro.codegen.compose import generate_c_program
+from repro.codegen.driver import CompiledSimulation, compile_c_program, find_c_compiler
+from repro.codegen.pybackend import generate_py_step
+
+__all__ = [
+    "generate_c_program",
+    "compile_c_program",
+    "CompiledSimulation",
+    "find_c_compiler",
+    "generate_py_step",
+]

@@ -1,0 +1,67 @@
+"""Small C expression-building utilities shared by the actor templates."""
+
+from __future__ import annotations
+
+from repro.dtypes import DType
+from repro.stimuli.base import c_double_literal, c_int_literal
+
+
+def svar(sid: int) -> str:
+    """The C variable holding a signal's current value."""
+    return f"s{sid}"
+
+
+def state_var(actor_index: int, suffix: str = "") -> str:
+    """The C variable(s) holding an actor's internal state."""
+    return f"st{actor_index}{suffix}"
+
+
+def emit_cast(expr: str, src: DType, dst: DType) -> str:
+    """A checked-conversion expression; mirrors ``checked_cast``.
+
+    Bool sources fit everywhere (plain cast, no flags), bool destinations
+    use truthiness, identical types pass through.
+    """
+    if src is dst:
+        return expr
+    if dst.is_bool:
+        return f"ACC_TO_BOOL({expr})"
+    if src.is_bool:
+        return f"({dst.c_name})({expr})"
+    if src is DType.F32 and dst.is_integer:
+        # The float→int helpers take double; f32→f64 promotion is exact.
+        return f"acc_cast_f64_{dst.short_name}((double)({expr}))"
+    return f"acc_cast_{src.short_name}_{dst.short_name}({expr})"
+
+
+def float_literal(value: float, dtype: DType) -> str:
+    """An exact float literal in the compute type."""
+    lit = c_double_literal(float(value))
+    if dtype is DType.F32:
+        return f"(float){lit}"
+    return lit
+
+
+def value_literal(value, dtype: DType) -> str:
+    """A literal of ``value`` already conformed to ``dtype``."""
+    if dtype.is_float:
+        return float_literal(value, dtype)
+    return f"({dtype.c_name}){c_int_literal(int(value), dtype)}"
+
+
+def to_double(expr: str, src: DType) -> str:
+    """Promote any signal value to double for transcendental maths."""
+    if src is DType.F64:
+        return expr
+    return f"(double)({expr})"
+
+
+def fn32(name: str, dtype: DType) -> str:
+    """libm function name in the right precision (sin vs sinf is NOT used:
+    the Python reference always computes transcendentals in double, so the
+    generated code does too, then narrows)."""
+    return name
+
+
+def indent(code: str, by: str = "    ") -> str:
+    return "\n".join(by + line if line.strip() else line for line in code.split("\n"))

@@ -1,0 +1,473 @@
+"""Simulation code composition (paper §3.3, *Simulation Code Composition*).
+
+Assembles the complete C program: runtime prelude, global state (signals,
+actor states, stores, coverage tables, diagnosis slots, monitors,
+checksums), then ``main`` with test-case import, the simulation loop in
+execution order with every actor's instrumentation inlined at its
+position, the state-update phase, and the result-output protocol.
+
+The result protocol is plain text on stdout, one record per line::
+
+    steps_run 12345
+    halt -1
+    sim_seconds 0.123456789
+    checksum <outport> <u64>
+    output <outport> <int or %a hex-float>
+    cov <metric> <0/1 string, one char per point>
+    diag <slot> <first_step> <count>
+    mon <monitor-id> <step> <value>
+
+Slot/monitor indices are resolved back to actor paths by the
+:class:`ProgramLayout` the generator returns alongside the source text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.diagnosis.custom import CustomDiagnosis
+from repro.diagnosis.events import FLAG_KINDS, DiagnosticKind
+from repro.dtypes import DType
+from repro.engines.base import SimulationOptions
+from repro.instrument.plan import InstrumentationPlan
+from repro.model.errors import CodegenError
+from repro.codegen.cexpr import svar, value_literal
+from repro.codegen.runtime import runtime_header
+from repro.codegen.templates import (
+    EmitContext,
+    emit_actor_output,
+    emit_actor_update,
+)
+from repro.actors.math_ops import int_param
+from repro.dtypes import coerce_float
+from repro.schedule.program import EvalGuard, FlatProgram
+from repro.stimuli.base import Stimulus
+
+_FLAG_VARS = {
+    "overflow": "f_ov",
+    "div_by_zero": "f_dz",
+    "precision_loss": "f_pl",
+    "non_finite": "f_nf",
+    "out_of_bounds": "f_ob",
+}
+
+
+@dataclass
+class MonitorLayout:
+    mid: int
+    path: str
+    dtype: DType
+    value_var: str
+
+
+@dataclass
+class ProgramLayout:
+    """Everything the result parser needs to interpret the protocol."""
+
+    diag_slots: list[tuple[str, DiagnosticKind, str]] = field(default_factory=list)
+    monitors: list[MonitorLayout] = field(default_factory=list)
+    outports: list[tuple[str, DType]] = field(default_factory=list)
+
+
+def _substitute_custom_predicate(diag: CustomDiagnosis, fa, prog) -> str:
+    """Rewrite in0/out0 tokens of a C predicate to signal variables."""
+    if diag.c_predicate is None:
+        raise CodegenError(
+            f"custom diagnosis at {diag.actor_path!r} has no C predicate; "
+            f"AccMoS needs one (the Python predicate only serves the "
+            f"interpreted engines)"
+        )
+
+    def replace(match: re.Match) -> str:
+        kind, index = match.group(1), int(match.group(2))
+        sids = fa.input_sids if kind == "in" else fa.output_sids
+        if index >= len(sids):
+            raise CodegenError(
+                f"custom diagnosis at {diag.actor_path!r}: no {kind}{index}"
+            )
+        return svar(sids[index])
+
+    return re.sub(r"\b(in|out)(\d+)\b", replace, diag.c_predicate)
+
+
+def generate_c_program(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+) -> tuple[str, ProgramLayout]:
+    """Generate the full C source; returns ``(source, layout)``."""
+    ctx = EmitContext(prog=prog, plan=plan)
+    layout = ProgramLayout()
+    halt_kinds = options.halt_on or frozenset()
+    use_halt_label = bool(halt_kinds)
+
+    # ---- diagnosis slot assignment (flat order, deterministic) ----
+    slot_of: dict[tuple[int, str], int] = {}
+    custom_slot_of: dict[tuple[int, int], int] = {}
+    for inst in plan.actors:
+        for kind in sorted(inst.diagnose_kinds, key=lambda k: k.value):
+            slot_of[(inst.actor_index, kind.value)] = len(layout.diag_slots)
+            layout.diag_slots.append((inst.path, kind, ""))
+        for j, diag in enumerate(inst.custom):
+            custom_slot_of[(inst.actor_index, j)] = len(layout.diag_slots)
+            layout.diag_slots.append((inst.path, DiagnosticKind.CUSTOM, diag.message))
+
+    # ---- monitors ----
+    for inst in plan.actors:
+        if not inst.collect:
+            continue
+        fa = prog.actors[inst.actor_index]
+        if fa.output_sids:
+            sid = fa.output_sids[0]
+        elif fa.input_sids:
+            sid = fa.input_sids[0]
+        else:
+            continue
+        layout.monitors.append(
+            MonitorLayout(
+                mid=len(layout.monitors),
+                path=inst.path,
+                dtype=prog.signals[sid].dtype,
+                value_var=svar(sid),
+            )
+        )
+
+    layout.outports = [(b.name, b.dtype) for b in prog.outports]
+
+    # ---- per-node body (fills ctx.decls as templates declare state) ----
+    step_body = _emit_step_body(
+        ctx, prog, plan, slot_of, custom_slot_of, layout, halt_kinds, options
+    )
+    update_body = _emit_update_body(ctx, prog)
+    stim_body, stim_decls = _emit_stimuli(prog, stimuli)
+
+    # ---- globals ----
+    globals_: list[str] = []
+    globals_.append("/* ---- signals (persistent across steps) ---- */")
+    for sig in prog.signals:
+        globals_.append(f"static {sig.dtype.c_name} {svar(sig.sid)}; /* {sig.name} */")
+    globals_.append("/* ---- guards ---- */")
+    for guard in prog.guards:
+        globals_.append(f"static uint8_t g{guard.gid}; /* {guard.path} */")
+    globals_.append("/* ---- data stores ---- */")
+    for info in prog.stores.values():
+        if info.dtype.is_float:
+            init = value_literal(coerce_float(float(info.initial), info.dtype), info.dtype)
+        else:
+            init = value_literal(int_param(info.initial, info.dtype), info.dtype)
+        globals_.append(f"static {info.dtype.c_name} store_{info.name} = {init};")
+    globals_.append("/* ---- actor state ---- */")
+    globals_.extend(ctx.decls)
+    globals_.append("/* ---- stimuli state ---- */")
+    globals_.extend(stim_decls)
+
+    points = plan.points
+    if plan.coverage_enabled:
+        globals_.append("/* ---- coverage bitmaps ---- */")
+        globals_.append(f"static uint8_t cov_actor[{max(1, points.n_actor)}];")
+        globals_.append(f"static uint8_t cov_cond[{max(1, points.n_condition)}];")
+        globals_.append(f"static uint8_t cov_dec[{max(1, points.n_decision)}];")
+        globals_.append(f"static uint8_t cov_mcdc[{max(1, points.n_mcdc)}];")
+
+    n_slots = max(1, len(layout.diag_slots))
+    globals_.append("/* ---- diagnosis slots ---- */")
+    globals_.append(f"static int64_t diag_first[{n_slots}];")
+    globals_.append(f"static uint64_t diag_count[{n_slots}];")
+    globals_.append(
+        "#define ACC_DIAG(k) do { if (diag_first[k] < 0) diag_first[k] = step; "
+        "diag_count[k]++; } while (0)"
+    )
+
+    globals_.append("/* ---- signal monitors ---- */")
+    mon_limit = max(1, options.monitor_limit)
+    for mon in layout.monitors:
+        globals_.append(f"static int64_t mon{mon.mid}_step[{mon_limit}];")
+        globals_.append(f"static {mon.dtype.c_name} mon{mon.mid}_val[{mon_limit}];")
+        globals_.append(f"static int mon{mon.mid}_n;")
+
+    globals_.append("/* ---- output checksums ---- */")
+    for i, _ in enumerate(prog.outports):
+        globals_.append(f"static uint64_t chk{i};")
+
+    # ---- main ----
+    main_lines: list[str] = []
+    main_lines.append("int main(void) {")
+    main_lines.append("    int64_t halt_step = -1;")
+    main_lines.append("    int64_t steps_run = 0;")
+    main_lines.append("    struct timespec _t0, _t1;")
+    main_lines.append("    int64_t step;")
+    for i in range(max(1, len(layout.diag_slots))):
+        main_lines.append(f"    diag_first[{i}] = -1;")
+    main_lines.append("    clock_gettime(CLOCK_MONOTONIC, &_t0);")
+    main_lines.append(f"    for (step = 0; step < {options.steps}LL; step++) {{")
+    if options.time_budget is not None:
+        main_lines.append("        if ((step & 511) == 0) {")
+        main_lines.append("            clock_gettime(CLOCK_MONOTONIC, &_t1);")
+        main_lines.append(
+            "            if ((double)(_t1.tv_sec - _t0.tv_sec) + "
+            "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec) >= "
+            f"{options.time_budget!r}) break;"
+        )
+        main_lines.append("        }")
+    main_lines.append("        /* ---- test case import ---- */")
+    main_lines.append(_indent(stim_body, 8))
+    main_lines.append("        /* ---- model step (execution order) ---- */")
+    main_lines.append(_indent(step_body, 8))
+    main_lines.append("        /* ---- state update phase ---- */")
+    main_lines.append(_indent(update_body, 8))
+    if options.checksum and prog.outports:
+        main_lines.append("        /* ---- output checksums ---- */")
+        for i, binding in enumerate(prog.outports):
+            main_lines.append(
+                f"        ACC_CHK(chk{i}, {_bits_expr(svar(binding.sid), binding.dtype)});"
+            )
+    main_lines.append("        steps_run = step + 1;")
+    if use_halt_label:
+        main_lines.append("        continue;")
+        main_lines.append("    sim_halt:")
+        main_lines.append("        halt_step = step;")
+        main_lines.append("        steps_run = step + 1;")
+        main_lines.append("        break;")
+    main_lines.append("    }")
+    main_lines.append("    clock_gettime(CLOCK_MONOTONIC, &_t1);")
+    main_lines.append(
+        "    double _elapsed = (double)(_t1.tv_sec - _t0.tv_sec) + "
+        "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec);"
+    )
+    main_lines.append(_indent(_emit_report(prog, plan, layout, options), 4))
+    main_lines.append("    return 0;")
+    main_lines.append("}")
+
+    source = "\n".join(
+        [runtime_header(), "\n".join(globals_), "", "\n".join(main_lines), ""]
+    )
+    return source, layout
+
+
+# ----------------------------------------------------------------------
+# pieces
+# ----------------------------------------------------------------------
+def _indent(code: str, by: int) -> str:
+    pad = " " * by
+    return "\n".join(pad + line if line.strip() else line for line in code.split("\n"))
+
+
+def _bits_expr(var: str, dtype: DType) -> str:
+    if dtype is DType.F64:
+        return f"acc_bits_f64({var})"
+    if dtype is DType.F32:
+        return f"acc_bits_f32({var})"
+    return f"(uint64_t)(int64_t){var}"
+
+
+def _emit_stimuli(prog: FlatProgram, stimuli: Mapping[str, Stimulus]):
+    body: list[str] = []
+    decls: list[str] = []
+    for i, binding in enumerate(prog.inports):
+        stim = stimuli[binding.name]
+        prefix = f"stim{i}"
+        decl = stim.c_decls(prefix)
+        if decl:
+            decls.append(decl)
+        body.append(stim.c_step(svar(binding.sid), binding.dtype, prefix))
+    return "\n".join(body), decls
+
+
+def _mcdc_block(op: str, truth_exprs: list[str], base: int) -> str:
+    """Inline masking MC/DC; mirrors coverage.mcdc.mcdc_sides."""
+    n = len(truth_exprs)
+    if op in ("AND", "NAND"):
+        count = " + ".join(f"(!{t})" for t in truth_exprs)
+        all_hits = " ".join(f"cov_mcdc[{base + 2 * i + 1}] = 1;" for i in range(n))
+        chain = []
+        for i, t in enumerate(truth_exprs):
+            kw = "if" if i == 0 else "else if"
+            chain.append(f"{kw} (!{t}) cov_mcdc[{base + 2 * i}] = 1;")
+        return (
+            f"{{ int _nf2 = {count}; "
+            f"if (_nf2 == 0) {{ {all_hits} }} "
+            f"else if (_nf2 == 1) {{ {' '.join(chain)} }} }}"
+        )
+    if op in ("OR", "NOR"):
+        count = " + ".join(f"({t})" for t in truth_exprs)
+        all_hits = " ".join(f"cov_mcdc[{base + 2 * i}] = 1;" for i in range(n))
+        chain = []
+        for i, t in enumerate(truth_exprs):
+            kw = "if" if i == 0 else "else if"
+            chain.append(f"{kw} ({t}) cov_mcdc[{base + 2 * i + 1}] = 1;")
+        return (
+            f"{{ int _nt2 = {count}; "
+            f"if (_nt2 == 0) {{ {all_hits} }} "
+            f"else if (_nt2 == 1) {{ {' '.join(chain)} }} }}"
+        )
+    if op == "XOR":
+        return " ".join(
+            f"cov_mcdc[{base + 2 * i} + ({t} ? 1 : 0)] = 1;"
+            for i, t in enumerate(truth_exprs)
+        )
+    return ""
+
+
+def _emit_step_body(
+    ctx: EmitContext,
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    slot_of: dict,
+    custom_slot_of: dict,
+    layout: ProgramLayout,
+    halt_kinds: frozenset,
+    options: SimulationOptions,
+) -> str:
+    monitor_by_index = {m.path: m for m in layout.monitors}
+    lines: list[str] = []
+    for node in prog.order:
+        if isinstance(node, EvalGuard):
+            guard = prog.guards[node.gid]
+            parent = f"g{guard.parent} && " if guard.parent is not None else ""
+            lines.append(
+                f"g{node.gid} = (uint8_t)({parent}({svar(guard.signal)} > 0));"
+            )
+            continue
+
+        fa = prog.actors[node.actor_index]
+        inst = plan.actors[node.actor_index]
+        block: list[str] = [f"/* {fa.path} ({fa.block_type}) */"]
+        block.append("FLAGS_RESET();")
+        block.append(emit_actor_output(ctx, fa))
+
+        if plan.coverage_enabled:
+            block.append(f"cov_actor[{inst.actor_point}] = 1;")
+            if inst.decision_base is not None:
+                out = svar(fa.output_sids[0])
+                block.append(
+                    f"cov_dec[{inst.decision_base} + ({out} != 0 ? 1 : 0)] = 1;"
+                )
+            if inst.mcdc_base is not None:
+                truths = [f"({svar(s)} != 0)" for s in fa.input_sids]
+                block.append(
+                    _mcdc_block(inst.logic_op, truths, inst.mcdc_base[0])
+                )
+
+        if plan.diagnostics_enabled:
+            # FLAG_KINDS order, matching the interpreted engine's checks.
+            for flag_name, kind in FLAG_KINDS:
+                if kind not in inst.diagnose_kinds:
+                    continue
+                slot = slot_of[(fa.index, kind.value)]
+                flag = _FLAG_VARS[flag_name]
+                halt = " goto sim_halt;" if kind in halt_kinds else ""
+                block.append(f"if ({flag}) {{ ACC_DIAG({slot});{halt} }}")
+            for j, diag in enumerate(inst.custom):
+                slot = custom_slot_of[(fa.index, j)]
+                pred = _substitute_custom_predicate(diag, fa, prog)
+                halt = (
+                    " goto sim_halt;" if DiagnosticKind.CUSTOM in halt_kinds else ""
+                )
+                block.append(f"if ({pred}) {{ ACC_DIAG({slot});{halt} }}")
+
+        if inst.collect and inst.path in monitor_by_index:
+            mon = monitor_by_index[inst.path]
+            limit = max(1, options.monitor_limit)
+            block.append(
+                f"if (mon{mon.mid}_n < {limit}) {{ "
+                f"mon{mon.mid}_step[mon{mon.mid}_n] = step; "
+                f"mon{mon.mid}_val[mon{mon.mid}_n] = {mon.value_var}; "
+                f"mon{mon.mid}_n++; }}"
+            )
+
+        body = "\n".join(b for b in block if b)
+        if fa.guard is not None:
+            lines.append(f"if (g{fa.guard}) {{\n{_indent(body, 4)}\n}}")
+        else:
+            lines.append(body)
+    return "\n".join(lines)
+
+
+def _flag_for(kind: DiagnosticKind) -> str:
+    for flag_name, flag_kind in FLAG_KINDS:
+        if flag_kind is kind:
+            return flag_name
+    raise CodegenError(f"kind {kind} has no runtime flag")
+
+
+def _emit_update_body(ctx: EmitContext, prog: FlatProgram) -> str:
+    lines = []
+    for node in prog.order:
+        if isinstance(node, EvalGuard):
+            continue
+        fa = prog.actors[node.actor_index]
+        update = emit_actor_update(ctx, fa)
+        if not update:
+            continue
+        if fa.guard is not None:
+            lines.append(f"if (g{fa.guard}) {{ {update} }}")
+        else:
+            lines.append(update)
+    return "\n".join(lines) if lines else "/* no stateful actors */"
+
+
+def _emit_report(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    options: SimulationOptions,
+) -> str:
+    lines: list[str] = []
+    lines.append('printf("steps_run %lld\\n", (long long)steps_run);')
+    lines.append('printf("halt %lld\\n", (long long)halt_step);')
+    lines.append('printf("sim_seconds %.9f\\n", _elapsed);')
+    for i, binding in enumerate(prog.outports):
+        if options.checksum:
+            lines.append(
+                f'printf("checksum {binding.name} %llu\\n", '
+                f"(unsigned long long)chk{i});"
+            )
+        var = svar(binding.sid)
+        if binding.dtype.is_float:
+            lines.append(f'printf("output {binding.name} %a\\n", (double){var});')
+        elif binding.dtype.is_signed:
+            lines.append(
+                f'printf("output {binding.name} %lld\\n", (long long){var});'
+            )
+        else:
+            lines.append(
+                f'printf("output {binding.name} %llu\\n", '
+                f"(unsigned long long){var});"
+            )
+    if plan.coverage_enabled:
+        points = plan.points
+        for metric, array, n in (
+            ("actor", "cov_actor", points.n_actor),
+            ("condition", "cov_cond", points.n_condition),
+            ("decision", "cov_dec", points.n_decision),
+            ("mcdc", "cov_mcdc", points.n_mcdc),
+        ):
+            lines.append(f'printf("cov {metric} ");')
+            lines.append(
+                f"for (int _i = 0; _i < {n}; _i++) "
+                f"putchar('0' + {array}[_i]);"
+            )
+            lines.append("putchar('\\n');")
+    for slot in range(len(layout.diag_slots)):
+        lines.append(
+            f"if (diag_first[{slot}] >= 0) "
+            f'printf("diag {slot} %lld %llu\\n", '
+            f"(long long)diag_first[{slot}], "
+            f"(unsigned long long)diag_count[{slot}]);"
+        )
+    for mon in layout.monitors:
+        if mon.dtype.is_float:
+            value_fmt, value_cast = "%a", "(double)"
+        elif mon.dtype.is_signed:
+            value_fmt, value_cast = "%lld", "(long long)"
+        else:
+            value_fmt, value_cast = "%llu", "(unsigned long long)"
+        lines.append(
+            f"for (int _i = 0; _i < mon{mon.mid}_n; _i++) "
+            f'printf("mon {mon.mid} %lld {value_fmt}\\n", '
+            f"(long long)mon{mon.mid}_step[_i], {value_cast}mon{mon.mid}_val[_i]);"
+        )
+    return "\n".join(lines)

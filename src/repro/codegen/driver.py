@@ -1,0 +1,208 @@
+"""gcc compilation, execution, and result parsing.
+
+Compile flags matter for the bit-for-bit equivalence contract:
+
+* ``-O3`` — the paper's optimization level;
+* ``-ffp-contract=off`` — forbid fused multiply-add contraction, which
+  would change float results relative to the Python reference;
+* strict IEEE (gcc's default; never ``-ffast-math``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from shutil import which
+from typing import Optional
+
+from repro.coverage.bitmap import Bitmap
+from repro.coverage.metrics import Metric
+from repro.coverage.report import CoverageReport
+from repro.diagnosis.events import DiagnosticLog
+from repro.dtypes import DType
+from repro.engines.base import SimulationOptions, SimulationResult
+from repro.instrument.plan import InstrumentationPlan
+from repro.model.errors import CompilationError, SimulationError
+from repro.codegen.compose import ProgramLayout
+from repro.schedule.program import FlatProgram
+
+CFLAGS = ["-O3", "-ffp-contract=off", "-std=c11"]
+
+
+def find_c_compiler() -> Optional[str]:
+    """The first available C compiler, or None."""
+    for candidate in ("gcc", "cc", "clang"):
+        path = which(candidate)
+        if path:
+            return path
+    return None
+
+
+@dataclass
+class CompiledSimulation:
+    """A compiled simulation binary plus everything to interpret its run."""
+
+    binary: Path
+    source: Path
+    layout: ProgramLayout
+    compile_seconds: float
+    workdir: Optional[tempfile.TemporaryDirectory] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def execute(self) -> str:
+        proc = subprocess.run(
+            [str(self.binary)], capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise SimulationError(
+                f"simulation binary failed (exit {proc.returncode}): "
+                f"{proc.stderr[:2000]}"
+            )
+        return proc.stdout
+
+
+def compile_c_program(
+    source: str,
+    layout: ProgramLayout,
+    *,
+    workdir: Optional[Path] = None,
+    compiler: Optional[str] = None,
+) -> CompiledSimulation:
+    """Write and compile a generated program; returns the binary handle."""
+    compiler = compiler or find_c_compiler()
+    if compiler is None:
+        raise CompilationError("no C compiler found (need gcc, cc, or clang)")
+
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="accmos_")
+        workdir = Path(tmp.name)
+    workdir.mkdir(parents=True, exist_ok=True)
+    c_path = workdir / "simulation.c"
+    bin_path = workdir / "simulation"
+    c_path.write_text(source)
+
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [compiler, *CFLAGS, "-o", str(bin_path), str(c_path), "-lm"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise CompilationError(
+            f"{compiler} failed:\n{proc.stderr[:4000]}"
+        )
+    return CompiledSimulation(
+        binary=bin_path,
+        source=c_path,
+        layout=layout,
+        compile_seconds=elapsed,
+        workdir=tmp,
+    )
+
+
+# ----------------------------------------------------------------------
+# result parsing
+# ----------------------------------------------------------------------
+def _parse_value(text: str, dtype: DType):
+    if dtype.is_float:
+        return float.fromhex(text)
+    return int(text)
+
+
+def parse_result(
+    stdout: str,
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    options: SimulationOptions,
+    *,
+    engine: str = "accmos",
+) -> SimulationResult:
+    """Turn the protocol text into the shared result schema."""
+    steps_run = 0
+    halt_step = -1
+    sim_seconds = 0.0
+    outputs: dict[str, object] = {}
+    checksums: dict[str, int] = {}
+    bitmaps: dict[Metric, Bitmap] = {}
+    monitored: dict[str, list] = {
+        mon.path: [] for mon in layout.monitors
+    }
+    log = DiagnosticLog()
+    for event in plan.static_warnings:
+        log.add_static(event.path, event.kind, event.message)
+
+    out_dtypes = dict(layout.outports)
+    mon_by_id = {mon.mid: mon for mon in layout.monitors}
+    metric_by_name = {m.value: m for m in Metric}
+
+    for line in stdout.splitlines():
+        parts = line.split()
+        if not parts:
+            continue
+        tag = parts[0]
+        if tag == "steps_run":
+            steps_run = int(parts[1])
+        elif tag == "halt":
+            halt_step = int(parts[1])
+        elif tag == "sim_seconds":
+            sim_seconds = float(parts[1])
+        elif tag == "checksum":
+            checksums[parts[1]] = int(parts[2])
+        elif tag == "output":
+            outputs[parts[1]] = _parse_value(parts[2], out_dtypes[parts[1]])
+        elif tag == "cov":
+            metric = metric_by_name[parts[1]]
+            bits = parts[2] if len(parts) > 2 else ""
+            bitmaps[metric] = Bitmap.from_hits(
+                len(bits), (i for i, ch in enumerate(bits) if ch == "1")
+            )
+        elif tag == "diag":
+            slot, first, count = int(parts[1]), int(parts[2]), int(parts[3])
+            path, kind, message = layout.diag_slots[slot]
+            log.set_aggregate(path, kind, first, count, message)
+        elif tag == "mon":
+            mon = mon_by_id[int(parts[1])]
+            step, raw = int(parts[2]), parts[3]
+            monitored[mon.path].append((step, _parse_value(raw, mon.dtype)))
+        else:
+            raise SimulationError(f"unrecognized result line: {line!r}")
+
+    coverage = None
+    if plan.coverage_enabled:
+        expected = {
+            Metric.ACTOR: plan.points.n_actor,
+            Metric.CONDITION: plan.points.n_condition,
+            Metric.DECISION: plan.points.n_decision,
+            Metric.MCDC: plan.points.n_mcdc,
+        }
+        for metric, size in expected.items():
+            if metric not in bitmaps:
+                bitmaps[metric] = Bitmap(size)
+            elif len(bitmaps[metric]) != size:
+                raise SimulationError(
+                    f"coverage table size mismatch for {metric}: "
+                    f"got {len(bitmaps[metric])}, expected {size}"
+                )
+        coverage = CoverageReport.from_bitmaps(plan.points, bitmaps)
+
+    return SimulationResult(
+        engine=engine,
+        model_name=prog.model.name,
+        steps_requested=options.steps,
+        steps_run=steps_run,
+        wall_time=sim_seconds,
+        outputs=outputs,
+        checksums=checksums,
+        coverage=coverage,
+        diagnostics=log.events(),
+        halted_at=None if halt_step < 0 else halt_step,
+        monitored=monitored,
+    )

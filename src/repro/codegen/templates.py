@@ -1,0 +1,1113 @@
+"""The actor code template library (paper §3.3, *Actor Translation*).
+
+One emitter per block type.  Each produces the C for an actor's *output*
+phase (and, for stateful actors, its state declarations and *update* phase)
+that reproduces the corresponding Python semantics in
+:mod:`repro.actors` bit for bit:
+
+* integer work goes through the ``acc_*`` checked helpers of the runtime
+  prelude (wrap + flag, same as ``checked_*``);
+* ``f64`` arithmetic is plain double expressions in the same operation
+  order as the Python reference;
+* ``f32`` arithmetic is computed in double and narrowed per operation —
+  exactly what the Python reference does (every f32 intermediate passes
+  through ``coerce_float``), and immune to double-rounding divergence;
+* transcendentals call libm (the same libm CPython uses) with the Python
+  helpers' domain guards inlined.
+
+Branch actors (Switch, MultiportSwitch) also emit their own condition
+coverage inside each branch, mirroring Algorithm 1's ``instConditionCov``;
+all other instrumentation is composed around the actor block by
+:mod:`repro.codegen.compose`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.actors.math_ops import int_param
+from repro.dtypes import DType, coerce_float
+from repro.instrument.plan import ActorInstrumentation, InstrumentationPlan
+from repro.model.errors import CodegenError
+from repro.codegen.cexpr import emit_cast, state_var, svar, value_literal
+from repro.schedule.program import FlatActor, FlatProgram
+from repro.stimuli.base import c_double_literal
+
+
+@dataclass
+class EmitContext:
+    """Shared state the emitters need."""
+
+    prog: FlatProgram
+    plan: InstrumentationPlan
+    decls: list[str] = field(default_factory=list)  # global declarations
+
+    def in_dtype(self, fa: FlatActor, i: int) -> DType:
+        return self.prog.signals[fa.input_sids[i]].dtype
+
+    def out_dtype(self, fa: FlatActor, i: int = 0) -> DType:
+        return self.prog.signals[fa.output_sids[i]].dtype
+
+    def in_var(self, fa: FlatActor, i: int) -> str:
+        return svar(fa.input_sids[i])
+
+    def out_var(self, fa: FlatActor, i: int = 0) -> str:
+        return svar(fa.output_sids[i])
+
+    def declare(self, text: str) -> None:
+        self.decls.append(text)
+
+    def inst(self, fa: FlatActor) -> ActorInstrumentation:
+        return self.plan.actors[fa.index]
+
+
+# ----------------------------------------------------------------------
+# shared expression builders
+# ----------------------------------------------------------------------
+def _cast_in(ctx: EmitContext, fa: FlatActor, i: int, target: DType) -> str:
+    """Checked cast of input i into the compute dtype."""
+    return emit_cast(ctx.in_var(fa, i), ctx.in_dtype(fa, i), target)
+
+
+def _fop(a: str, op: str, b: str, dtype: DType) -> str:
+    """One float operation in the reference's rounding discipline."""
+    if dtype is DType.F32:
+        return f"(float)((double){a} {op} (double){b})"
+    return f"({a} {op} {b})"
+
+
+def _fin(ctx: EmitContext, fa: FlatActor, i: int, dtype: DType) -> str:
+    """coerce_float(float(input_i), dtype) as a C expression."""
+    src = ctx.in_dtype(fa, i)
+    if src is dtype:
+        return ctx.in_var(fa, i)
+    return f"({dtype.c_name}){ctx.in_var(fa, i)}"
+
+
+def _to_double(ctx: EmitContext, fa: FlatActor, i: int) -> str:
+    if ctx.in_dtype(fa, i) is DType.F64:
+        return ctx.in_var(fa, i)
+    return f"(double){ctx.in_var(fa, i)}"
+
+
+def _nf_check(out: str) -> str:
+    return f"if (!isfinite((double){out})) f_nf = 1;"
+
+
+def _narrow(expr: str, dtype: DType) -> str:
+    """Narrow a double expression into the output float type."""
+    if dtype is DType.F32:
+        return f"(float)({expr})"
+    return f"({expr})"
+
+
+def _compare_const(var: str, var_dtype: DType, op: str, const) -> str:
+    """Exact comparison of a signal against a Python-number constant."""
+    if var_dtype.is_float or isinstance(const, float):
+        return f"((double){var} {op} {c_double_literal(float(const))})"
+    return f"((__int128){var} {op} (__int128)({int(const)}LL))"
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+def emit_inport(ctx, fa):
+    return ""  # test-case import assigned the signal at the top of the step
+
+
+def emit_constant(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    raw = fa.actor.params["value"]
+    if dtype.is_float:
+        value = coerce_float(float(raw), dtype)
+    else:
+        value = int_param(raw, dtype)
+    return f"{ctx.out_var(fa)} = {value_literal(value, dtype)};"
+
+
+def emit_ground(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    return f"{ctx.out_var(fa)} = {value_literal(0, dtype)};"
+
+
+def _counter_state(ctx, fa) -> str:
+    st = state_var(fa.index, "_n")
+    ctx.declare(f"static int64_t {st} = 0;")
+    return st
+
+
+def emit_clock(ctx, fa):
+    st = _counter_state(ctx, fa)
+    dtype = ctx.out_dtype(fa)
+    dt_lit = c_double_literal(ctx.prog.dt)
+    return f"{ctx.out_var(fa)} = {_narrow(f'(double){st} * {dt_lit}', dtype)};"
+
+
+def emit_counter(ctx, fa):
+    st = state_var(fa.index, "_n")
+    ctx.declare(f"static int64_t {st} = 0;")
+    dtype = ctx.out_dtype(fa)
+    return f"{ctx.out_var(fa)} = ({dtype.c_name}){st};"
+
+
+def emit_sinewave(ctx, fa):
+    st = _counter_state(ctx, fa)
+    dtype = ctx.out_dtype(fa)
+    p = fa.actor.params
+    import math
+
+    w = 2.0 * math.pi * float(p["frequency"]) * ctx.prog.dt
+    amp = c_double_literal(float(p.get("amplitude", 1.0)))
+    ph = c_double_literal(float(p.get("phase", 0.0)))
+    bias = c_double_literal(float(p.get("bias", 0.0)))
+    expr = f"{amp} * sin({c_double_literal(w)} * (double){st} + {ph}) + {bias}"
+    return f"{ctx.out_var(fa)} = {_narrow(expr, dtype)};"
+
+
+def emit_rampsource(ctx, fa):
+    st = _counter_state(ctx, fa)
+    dtype = ctx.out_dtype(fa)
+    k = c_double_literal(float(fa.actor.params["slope"]) * ctx.prog.dt)
+    start = c_double_literal(float(fa.actor.params.get("start", 0.0)))
+    return f"{ctx.out_var(fa)} = {_narrow(f'{start} + {k} * (double){st}', dtype)};"
+
+
+def emit_stepsource(ctx, fa):
+    st = _counter_state(ctx, fa)
+    dtype = ctx.out_dtype(fa)
+    before = fa.actor.params.get("before", 0.0)
+    after = fa.actor.params.get("after", 1.0)
+    if dtype.is_float:
+        b = value_literal(coerce_float(float(before), dtype), dtype)
+        a = value_literal(coerce_float(float(after), dtype), dtype)
+    else:
+        b = value_literal(int_param(before, dtype), dtype)
+        a = value_literal(int_param(after, dtype), dtype)
+    return f"{ctx.out_var(fa)} = ({st} < {fa.actor.params['at']}) ? {b} : {a};"
+
+
+def emit_pulsegenerator(ctx, fa):
+    st = _counter_state(ctx, fa)
+    dtype = ctx.out_dtype(fa)
+    amplitude = fa.actor.params.get("amplitude", 1.0)
+    if dtype.is_float:
+        high = value_literal(coerce_float(float(amplitude), dtype), dtype)
+        low = value_literal(0.0, dtype)
+    else:
+        high = value_literal(int_param(amplitude, dtype), dtype)
+        low = value_literal(0, dtype)
+    period, duty = fa.actor.params["period"], fa.actor.params["duty"]
+    return (
+        f"{ctx.out_var(fa)} = (({st} % {period}) < {duty}) ? {high} : {low};"
+    )
+
+
+def emit_randomsource(ctx, fa):
+    from repro.actors.sources import lcg_next
+
+    st = state_var(fa.index, "_s")
+    seed = fa.actor.params.get("seed", 1) & 0xFFFFFFFFFFFFFFFF
+    ctx.declare(f"static uint64_t {st} = {lcg_next(seed)}ULL;")
+    dtype = ctx.out_dtype(fa)
+    p = fa.actor.params
+    if p.get("dist", "uniform") == "uniform":
+        lo = c_double_literal(float(p.get("lo", 0)))
+        hi = c_double_literal(float(p.get("hi", 1)))
+        scale = c_double_literal(1.0 / 9007199254740992.0)
+        expr = f"{lo} + ((double)({st} >> 11) * {scale}) * ({hi} - {lo})"
+        return f"{ctx.out_var(fa)} = {_narrow(expr, dtype)};"
+    lo, hi = int(p.get("lo", 0)), int(p.get("hi", 1))
+    span = hi - lo + 1
+    return (
+        f"{ctx.out_var(fa)} = ({dtype.c_name})"
+        f"({lo}LL + (int64_t)(({st} >> 33) % {span}ULL));"
+    )
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+def emit_sum(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    t = dtype.c_name
+    signs = fa.actor.operator
+    lines = []
+    if dtype.is_float:
+        first = _fin(ctx, fa, 0, dtype)
+        if signs[0] == "+":
+            lines.append(f"{t} _acc = {first};")
+        else:
+            lines.append(f"{t} _acc = -({first});")
+        for i in range(1, fa.actor.n_inputs):
+            lines.append(
+                f"_acc = {_fop('_acc', signs[i], _fin(ctx, fa, i, dtype), dtype)};"
+            )
+        lines.append(f"{ctx.out_var(fa)} = _acc;")
+        lines.append(_nf_check(ctx.out_var(fa)))
+    else:
+        s = dtype.short_name
+        first = _cast_in(ctx, fa, 0, dtype)
+        if signs[0] == "+":
+            lines.append(f"{t} _acc = {first};")
+        else:
+            lines.append(f"{t} _acc = acc_sub_{s}(({t})0, {first});")
+        for i in range(1, fa.actor.n_inputs):
+            op = "add" if signs[i] == "+" else "sub"
+            lines.append(f"_acc = acc_{op}_{s}(_acc, {_cast_in(ctx, fa, i, dtype)});")
+        lines.append(f"{ctx.out_var(fa)} = _acc;")
+    return "{ " + " ".join(lines) + " }"
+
+
+def emit_product(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    t = dtype.c_name
+    ops = fa.actor.operator
+    lines = []
+    if dtype.is_float:
+        one = "1.0f" if dtype is DType.F32 else "1.0"
+        first = _fin(ctx, fa, 0, dtype)
+        if ops[0] == "*":
+            lines.append(f"{t} _acc = {_fop(one, '*', first, dtype)};")
+        else:
+            lines.append(f"{t} _acc = {_fdiv(one, first, dtype)};")
+        for i in range(1, fa.actor.n_inputs):
+            operand = _fin(ctx, fa, i, dtype)
+            if ops[i] == "*":
+                lines.append(f"_acc = {_fop('_acc', '*', operand, dtype)};")
+            else:
+                lines.append(f"_acc = {_fdiv('_acc', operand, dtype)};")
+        lines.append(f"{ctx.out_var(fa)} = _acc;")
+        lines.append(_nf_check(ctx.out_var(fa)))
+    else:
+        s = dtype.short_name
+        first = _cast_in(ctx, fa, 0, dtype)
+        if ops[0] == "*":
+            lines.append(f"{t} _acc = {first};")
+        else:
+            lines.append(f"{t} _acc = acc_div_{s}(({t})1, {first});")
+        for i in range(1, fa.actor.n_inputs):
+            fn = "mul" if ops[i] == "*" else "div"
+            lines.append(f"_acc = acc_{fn}_{s}(_acc, {_cast_in(ctx, fa, i, dtype)});")
+        lines.append(f"{ctx.out_var(fa)} = _acc;")
+    return "{ " + " ".join(lines) + " }"
+
+
+def _fdiv(a: str, b: str, dtype: DType) -> str:
+    """Float division through the guarded helper (mirrors checked_div)."""
+    if dtype is DType.F32:
+        return f"(float)acc_div_f64((double){a}, (double){b})"
+    return f"acc_div_f64({a}, {b})"
+
+
+def emit_gain(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    gain = fa.actor.params["gain"]
+    out = ctx.out_var(fa)
+    if dtype.is_float:
+        k = value_literal(coerce_float(float(gain), dtype), dtype)
+        return f"{out} = {_fop(_fin(ctx, fa, 0, dtype), '*', k, dtype)};\n{_nf_check(out)}"
+    if isinstance(gain, float):
+        expr = f"{_to_double(ctx, fa, 0)} * {c_double_literal(gain)}"
+        return f"{out} = acc_cast_f64_{dtype.short_name}({expr});"
+    k = value_literal(int_param(gain, dtype), dtype)
+    return (
+        f"{out} = acc_mul_{dtype.short_name}({_cast_in(ctx, fa, 0, dtype)}, {k});"
+    )
+
+
+def emit_bias(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    bias = fa.actor.params["bias"]
+    out = ctx.out_var(fa)
+    if dtype.is_float:
+        b = value_literal(coerce_float(float(bias), dtype), dtype)
+        return f"{out} = {_fop(_fin(ctx, fa, 0, dtype), '+', b, dtype)};\n{_nf_check(out)}"
+    if isinstance(bias, float):
+        expr = f"{_to_double(ctx, fa, 0)} + {c_double_literal(bias)}"
+        return f"{out} = acc_cast_f64_{dtype.short_name}({expr});"
+    b = value_literal(int_param(bias, dtype), dtype)
+    return (
+        f"{out} = acc_add_{dtype.short_name}({_cast_in(ctx, fa, 0, dtype)}, {b});"
+    )
+
+
+def emit_abs(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    if dtype.is_float:
+        expr = f"fabs({_to_double(ctx, fa, 0)})"
+        return f"{out} = {_narrow(expr, dtype)};\n{_nf_check(out)}"
+    t, s = dtype.c_name, dtype.short_name
+    return (
+        f"{{ {t} _x = {_cast_in(ctx, fa, 0, dtype)}; "
+        f"{out} = (_x < 0) ? acc_neg_{s}(_x) : _x; }}"
+    )
+
+
+def emit_unaryminus(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    if dtype.is_float:
+        # Direct negation (sign-bit flip), matching the Python reference.
+        return (
+            f"{out} = -({_fin(ctx, fa, 0, dtype)});\n"
+            f"{_nf_check(out)}"
+        )
+    return f"{out} = acc_neg_{dtype.short_name}({_cast_in(ctx, fa, 0, dtype)});"
+
+
+def emit_signum(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    x = ctx.in_var(fa, 0)
+    sign = f"(({x} > 0) - ({x} < 0))"
+    if dtype.is_float:
+        return f"{out} = {_narrow(f'(double){sign}', dtype)};"
+    return f"{out} = ({dtype.c_name}){sign};"
+
+
+def emit_sqrt(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    return (
+        f"{{ double _v = {_to_double(ctx, fa, 0)}; "
+        f"{out} = {_narrow('_v >= 0.0 ? sqrt(_v) : (0.0/0.0)', dtype)}; }}\n"
+        f"{_nf_check(out)}"
+    )
+
+
+_MATH_EXPRS: dict[str, str] = {
+    "exp": "exp(_v)",
+    "log": "(_v > 0.0 ? log(_v) : (_v == 0.0 ? -(1.0/0.0) : (0.0/0.0)))",
+    "log10": "(_v > 0.0 ? log10(_v) : (_v == 0.0 ? -(1.0/0.0) : (0.0/0.0)))",
+    "sin": "sin(_v)",
+    "cos": "cos(_v)",
+    "tan": "tan(_v)",
+    "asin": "((_v >= -1.0 && _v <= 1.0) ? asin(_v) : (0.0/0.0))",
+    "acos": "((_v >= -1.0 && _v <= 1.0) ? acos(_v) : (0.0/0.0))",
+    "atan": "atan(_v)",
+    "sinh": "sinh(_v)",
+    "cosh": "cosh(_v)",
+    "tanh": "tanh(_v)",
+    "square": "(_v * _v)",
+    "reciprocal": "(_v == 0.0 ? (1.0/0.0) : (1.0/_v))",
+    "pow10": "pow(10.0, _v)",
+}
+
+
+def emit_math(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    op = fa.actor.operator
+    lines = [f"double _v = {_to_double(ctx, fa, 0)};"]
+    if op == "reciprocal":
+        lines.append("if (_v == 0.0) f_dz = 1;")
+    lines.append(f"{out} = {_narrow(_MATH_EXPRS[op], dtype)};")
+    return "{ " + " ".join(lines) + " }\n" + _nf_check(out)
+
+
+def emit_minmax(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    t = dtype.c_name
+    cmp = "<" if fa.actor.operator == "min" else ">"
+    if dtype.is_float:
+        first = _fin(ctx, fa, 0, dtype)
+        operands = [_fin(ctx, fa, i, dtype) for i in range(1, fa.actor.n_inputs)]
+    else:
+        first = _cast_in(ctx, fa, 0, dtype)
+        operands = [
+            _cast_in(ctx, fa, i, dtype) for i in range(1, fa.actor.n_inputs)
+        ]
+    lines = [f"{t} _m = {first};"]
+    for operand in operands:
+        lines.append(f"{{ {t} _c = {operand}; if (_c {cmp} _m) _m = _c; }}")
+    lines.append(f"{ctx.out_var(fa)} = _m;")
+    return "{ " + " ".join(lines) + " }"
+
+
+def emit_mod(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    if dtype.is_float:
+        a, b = _to_double(ctx, fa, 0), _to_double(ctx, fa, 1)
+        return (
+            f"{{ double _b = {b}; "
+            f"if (_b == 0.0) {{ f_dz = 1; {out} = {_narrow('0.0/0.0', dtype)}; }} "
+            f"else {{ {out} = {_narrow(f'fmod({a}, _b)', dtype)}; "
+            f"{_nf_check(out)} }} }}"
+        )
+    return (
+        f"{out} = acc_mod_{dtype.short_name}("
+        f"{_cast_in(ctx, fa, 0, dtype)}, {_cast_in(ctx, fa, 1, dtype)});"
+    )
+
+
+_ROUNDING_EXPRS = {
+    "floor": "floor(_v)",
+    "ceil": "ceil(_v)",
+    "round": "acc_round(_v)",
+    "fix": "trunc(_v)",
+}
+
+
+def emit_rounding(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    return (
+        f"{{ double _v = {_to_double(ctx, fa, 0)}; "
+        f"{out} = {_narrow(_ROUNDING_EXPRS[fa.actor.operator], dtype)}; }}\n"
+        f"{_nf_check(out)}"
+    )
+
+
+def emit_saturation(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    t = dtype.c_name
+    out = ctx.out_var(fa)
+    lower, upper = fa.actor.params["lower"], fa.actor.params["upper"]
+    if dtype.is_float:
+        lo = value_literal(coerce_float(float(lower), dtype), dtype)
+        hi = value_literal(coerce_float(float(upper), dtype), dtype)
+        x = _fin(ctx, fa, 0, dtype)
+    else:
+        lo = value_literal(int_param(lower, dtype), dtype)
+        hi = value_literal(int_param(upper, dtype), dtype)
+        x = _cast_in(ctx, fa, 0, dtype)
+    return (
+        f"{{ {t} _x = {x}; "
+        f"{out} = (_x < {lo}) ? {lo} : ((_x > {hi}) ? {hi} : _x); }}"
+    )
+
+
+def emit_deadzone(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    t = dtype.c_name
+    out = ctx.out_var(fa)
+    start = value_literal(coerce_float(float(fa.actor.params["start"]), dtype), dtype)
+    end = value_literal(coerce_float(float(fa.actor.params["end"]), dtype), dtype)
+    zero = "0.0f" if dtype is DType.F32 else "0.0"
+    return (
+        f"{{ {t} _x = {_fin(ctx, fa, 0, dtype)}; "
+        f"if (_x < {start}) {out} = {_fop('_x', '-', start, dtype)}; "
+        f"else if (_x > {end}) {out} = {_fop('_x', '-', end, dtype)}; "
+        f"else {out} = {zero}; }}\n"
+        f"{_nf_check(out)}"
+    )
+
+
+def emit_quantizer(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    q = c_double_literal(float(fa.actor.params["interval"]))
+    expr = f"{q} * acc_round({_to_double(ctx, fa, 0)} / {q})"
+    return f"{out} = {_narrow(expr, dtype)};\n{_nf_check(out)}"
+
+
+def emit_polynomial(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    lines = [f"double _x = {_to_double(ctx, fa, 0)};", "double _a = 0.0;"]
+    for c in fa.actor.params["coeffs"]:
+        lines.append(f"_a = _a * _x + {c_double_literal(float(c))};")
+    lines.append(f"{out} = {_narrow('_a', dtype)};")
+    return "{ " + " ".join(lines) + " }\n" + _nf_check(out)
+
+
+def emit_power(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    a, b = _to_double(ctx, fa, 0), _to_double(ctx, fa, 1)
+    return (
+        f"{{ double _a = {a}; double _b = {b}; "
+        f"{out} = {_narrow('(_a == 0.0 && _b < 0.0) ? (1.0/0.0) : pow(_a, _b)', dtype)}; }}\n"
+        f"{_nf_check(out)}"
+    )
+
+
+def emit_bitwise(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    t = dtype.c_name
+    out = ctx.out_var(fa)
+    op = fa.actor.operator
+    if op == "NOT":
+        return f"{out} = ({t})~{_cast_in(ctx, fa, 0, dtype)};"
+    c_op = {"AND": "&", "OR": "|", "XOR": "^"}[op]
+    lines = [f"{t} _a = {_cast_in(ctx, fa, 0, dtype)};"]
+    for i in range(1, fa.actor.n_inputs):
+        lines.append(f"_a = ({t})(_a {c_op} {_cast_in(ctx, fa, i, dtype)});")
+    lines.append(f"{out} = _a;")
+    return "{ " + " ".join(lines) + " }"
+
+
+def emit_shift(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    t, out = dtype.c_name, ctx.out_var(fa)
+    amount = fa.actor.params["amount"]
+    x = _cast_in(ctx, fa, 0, dtype)
+    if fa.actor.operator == ">>":
+        return f"{out} = ({t})(({x}) >> {amount});"
+    # Left shift = exact multiply by 2**amount, wrapped, like checked_mul.
+    return (
+        f"{{ __int128 _e = (__int128)({x}) << {amount}; "
+        f"{out} = ({t})_e; if ((__int128){out} != _e) f_ov = 1; }}"
+    )
+
+
+def emit_datatypeconversion(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    return f"{ctx.out_var(fa)} = {_cast_in(ctx, fa, 0, dtype)};"
+
+
+# ----------------------------------------------------------------------
+# logic / relational
+# ----------------------------------------------------------------------
+def _compare_signals(ctx, fa, op: str) -> str:
+    a_dt, b_dt = ctx.in_dtype(fa, 0), ctx.in_dtype(fa, 1)
+    a, b = ctx.in_var(fa, 0), ctx.in_var(fa, 1)
+    if a_dt.is_float or b_dt.is_float:
+        return f"((double){a} {op} (double){b})"
+    return f"((__int128){a} {op} (__int128){b})"
+
+
+def emit_relationaloperator(ctx, fa):
+    return f"{ctx.out_var(fa)} = (uint8_t){_compare_signals(ctx, fa, fa.actor.operator)};"
+
+
+def emit_logic(ctx, fa):
+    out = ctx.out_var(fa)
+    n = fa.actor.n_inputs
+    truths = [f"({ctx.in_var(fa, i)} != 0)" for i in range(n)]
+    op = fa.actor.operator
+    if op == "NOT":
+        expr = f"!{truths[0]}"
+    elif op == "AND":
+        expr = " && ".join(truths)
+    elif op == "OR":
+        expr = " || ".join(truths)
+    elif op == "NAND":
+        expr = f"!({' && '.join(truths)})"
+    elif op == "NOR":
+        expr = f"!({' || '.join(truths)})"
+    else:  # XOR: odd number of true inputs
+        expr = f"((({' + '.join(truths)}) % 2) == 1)"
+    return f"{out} = (uint8_t)({expr});"
+
+
+def emit_comparetoconstant(ctx, fa):
+    cond = _compare_const(
+        ctx.in_var(fa, 0), ctx.in_dtype(fa, 0),
+        fa.actor.operator, fa.actor.params["constant"],
+    )
+    return f"{ctx.out_var(fa)} = (uint8_t){cond};"
+
+
+def emit_comparetozero(ctx, fa):
+    cond = _compare_const(ctx.in_var(fa, 0), ctx.in_dtype(fa, 0), fa.actor.operator, 0)
+    return f"{ctx.out_var(fa)} = (uint8_t){cond};"
+
+
+# ----------------------------------------------------------------------
+# control
+# ----------------------------------------------------------------------
+def _cond_hit(ctx, fa, branch: int) -> str:
+    inst = ctx.inst(fa)
+    if inst.condition_base is None:
+        return ""
+    return f"cov_cond[{inst.condition_base[0] + branch}] = 1; "
+
+
+def emit_switch(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    threshold = fa.actor.params.get("threshold", 0)
+    cond = _compare_const(ctx.in_var(fa, 1), ctx.in_dtype(fa, 1), ">=", threshold)
+
+    def branch_value(i: int) -> str:
+        if dtype.is_float:
+            return _fin(ctx, fa, i, dtype)
+        return _cast_in(ctx, fa, i, dtype)
+
+    return (
+        f"if {cond} {{ {_cond_hit(ctx, fa, 0)}{out} = {branch_value(0)}; }} "
+        f"else {{ {_cond_hit(ctx, fa, 1)}{out} = {branch_value(2)}; }}"
+    )
+
+
+def emit_multiportswitch(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    n = fa.actor.n_inputs - 1
+    ctrl = ctx.in_var(fa, 0)
+    ctrl_dt = ctx.in_dtype(fa, 0)
+    ctrl_expr = f"(int64_t){ctrl}" if not ctrl_dt.is_float else f"(int64_t)(double){ctrl}"
+    cases = []
+    for i in range(n):
+        if dtype.is_float:
+            value = _fin(ctx, fa, 1 + i, dtype)
+        else:
+            value = _cast_in(ctx, fa, 1 + i, dtype)
+        cases.append(
+            f"case {i}: {_cond_hit(ctx, fa, i)}{out} = {value}; break;"
+        )
+    return (
+        f"{{ int64_t _i = {ctrl_expr}; "
+        f"if (_i < 0) {{ _i = 0; f_ob = 1; }} "
+        f"else if (_i >= {n}) {{ _i = {n - 1}; f_ob = 1; }} "
+        f"switch (_i) {{ {' '.join(cases)} }} }}"
+    )
+
+
+def emit_relay(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    initial = 1 if fa.actor.params.get("initial_on", False) else 0
+    ctx.declare(f"static int {st} = {initial};")
+    p = fa.actor.params
+    if dtype.is_float:
+        on_value = value_literal(coerce_float(float(p["on_value"]), dtype), dtype)
+        off_value = value_literal(coerce_float(float(p["off_value"]), dtype), dtype)
+    else:
+        on_value = value_literal(int_param(p["on_value"], dtype), dtype)
+        off_value = value_literal(int_param(p["off_value"], dtype), dtype)
+    u = ctx.in_var(fa, 0)
+    u_dt = ctx.in_dtype(fa, 0)
+    rises = _compare_const(u, u_dt, ">=", p["on_threshold"])
+    falls = _compare_const(u, u_dt, "<=", p["off_threshold"])
+    out = ctx.out_var(fa)
+    return (
+        f"{{ int _ns; if {rises} _ns = 1; else if {falls} _ns = 0; "
+        f"else _ns = {st}; "
+        f"if (_ns) {{ {_cond_hit(ctx, fa, 0)}{out} = {on_value}; }} "
+        f"else {{ {_cond_hit(ctx, fa, 1)}{out} = {off_value}; }} }}"
+    )
+
+
+def update_relay(ctx, fa):
+    st = state_var(fa.index)
+    u = ctx.in_var(fa, 0)
+    u_dt = ctx.in_dtype(fa, 0)
+    p = fa.actor.params
+    rises = _compare_const(u, u_dt, ">=", p["on_threshold"])
+    falls = _compare_const(u, u_dt, "<=", p["off_threshold"])
+    return f"if {rises} {st} = 1; else if {falls} {st} = 0;"
+
+
+def emit_merge(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    out = ctx.out_var(fa)
+    lines = []
+    for i, gid in enumerate(fa.merge_src_guards or ()):
+        if dtype.is_float:
+            value = _fin(ctx, fa, i, dtype)
+        else:
+            value = _cast_in(ctx, fa, i, dtype)
+        if gid is None:
+            lines.append(f"{out} = {value};")
+        else:
+            lines.append(f"if (g{gid}) {out} = {value};")
+    return " ".join(lines)
+
+
+# ----------------------------------------------------------------------
+# memory
+# ----------------------------------------------------------------------
+def _initial_literal(fa: FlatActor, dtype: DType, key: str = "initial", default=0) -> str:
+    raw = fa.actor.params.get(key, default)
+    if dtype.is_float:
+        return value_literal(coerce_float(float(raw), dtype), dtype)
+    return value_literal(int_param(raw, dtype), dtype)
+
+
+def emit_unitdelay(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    ctx.declare(f"static {dtype.c_name} {st} = {_initial_literal(fa, dtype)};")
+    return f"{ctx.out_var(fa)} = {st};"
+
+
+def update_unitdelay(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    src = ctx.in_dtype(fa, 0)
+    if dtype.is_float:
+        return f"{st} = {_fin(ctx, fa, 0, dtype)};"
+    return f"{st} = {emit_cast(ctx.in_var(fa, 0), src, dtype)};"
+
+
+def emit_delay(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    length = fa.actor.params["length"]
+    init = _initial_literal(fa, dtype)
+    initializer = ", ".join([init] * length)
+    ctx.declare(f"static {dtype.c_name} {st}_buf[{length}] = {{{initializer}}};")
+    ctx.declare(f"static int {st}_i = 0;")
+    return f"{ctx.out_var(fa)} = {st}_buf[{st}_i];"
+
+
+def update_delay(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    length = fa.actor.params["length"]
+    src = ctx.in_dtype(fa, 0)
+    if dtype.is_float:
+        stored = _fin(ctx, fa, 0, dtype)
+    else:
+        stored = emit_cast(ctx.in_var(fa, 0), src, dtype)
+    return (
+        f"{st}_buf[{st}_i] = {stored}; "
+        f"{st}_i = ({st}_i + 1 == {length}) ? 0 : {st}_i + 1;"
+    )
+
+
+def emit_accumulator(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    ctx.declare(f"static {dtype.c_name} {st} = {_initial_literal(fa, dtype)};")
+    out = ctx.out_var(fa)
+    if dtype.is_float:
+        return (
+            f"{out} = {_fop(st, '+', _fin(ctx, fa, 0, dtype), dtype)};"
+        )
+    return f"{out} = acc_add_{dtype.short_name}({st}, {_cast_in(ctx, fa, 0, dtype)});"
+
+
+def update_accumulator(ctx, fa):
+    return f"{state_var(fa.index)} = {ctx.out_var(fa)};"
+
+
+def emit_discreteintegrator(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    ctx.declare(
+        f"static {dtype.c_name} {st} = {_initial_literal(fa, dtype, default=0.0)};"
+    )
+    return f"{ctx.out_var(fa)} = {st};"
+
+
+def update_discreteintegrator(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    gain = float(fa.actor.params.get("gain", 1.0))
+    k = value_literal(coerce_float(gain * ctx.prog.dt, dtype), dtype)
+    u = _fin(ctx, fa, 0, dtype)
+    ku = _fop(k, "*", u, dtype)
+    return f"{st} = {_fop(st, '+', ku, dtype)};"
+
+
+def emit_discretefilter(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    ctx.declare(
+        f"static {dtype.c_name} {st} = {_initial_literal(fa, dtype, default=0.0)};"
+    )
+    b0 = value_literal(coerce_float(float(fa.actor.params["b0"]), dtype), dtype)
+    a1 = value_literal(coerce_float(float(fa.actor.params["a1"]), dtype), dtype)
+    u = _fin(ctx, fa, 0, dtype)
+    t1 = _fop(b0, "*", u, dtype)
+    t2 = _fop(a1, "*", st, dtype)
+    t = dtype.c_name
+    return (
+        f"{{ {t} _t1 = {t1}; {t} _t2 = {t2}; "
+        f"{ctx.out_var(fa)} = {_fop('_t1', '+', '_t2', dtype)}; }}"
+    )
+
+
+def update_discretefilter(ctx, fa):
+    return f"{state_var(fa.index)} = {ctx.out_var(fa)};"
+
+
+def emit_discretederivative(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    ctx.declare(
+        f"static {dtype.c_name} {st} = {_initial_literal(fa, dtype, default=0.0)};"
+    )
+    inv_dt = value_literal(coerce_float(1.0 / ctx.prog.dt, dtype), dtype)
+    u = _fin(ctx, fa, 0, dtype)
+    diff = _fop(u, "-", st, dtype)
+    t = dtype.c_name
+    return (
+        f"{{ {t} _d = {diff}; "
+        f"{ctx.out_var(fa)} = {_fop('_d', '*', inv_dt, dtype)}; }}"
+    )
+
+
+def update_discretederivative(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    return f"{state_var(fa.index)} = {_fin(ctx, fa, 0, dtype)};"
+
+
+def emit_ratelimiter(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    ctx.declare(
+        f"static {dtype.c_name} {st} = {_initial_literal(fa, dtype, default=0.0)};"
+    )
+    rising = value_literal(coerce_float(float(fa.actor.params["rising"]), dtype), dtype)
+    falling = value_literal(
+        coerce_float(float(fa.actor.params["falling"]), dtype), dtype
+    )
+    u = _fin(ctx, fa, 0, dtype)
+    up = _fop(st, "+", rising, dtype)
+    lo = _fop(st, "-", falling, dtype)
+    t = dtype.c_name
+    return (
+        f"{{ {t} _u = {u}; {t} _up = {up}; {t} _lo = {lo}; "
+        f"{ctx.out_var(fa)} = (_u < _lo) ? _lo : ((_u > _up) ? _up : _u); }}"
+    )
+
+
+def update_ratelimiter(ctx, fa):
+    return f"{state_var(fa.index)} = {ctx.out_var(fa)};"
+
+
+def emit_continuousintegrator(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    ctx.declare(
+        f"static {dtype.c_name} {st}_y = "
+        f"{_initial_literal(fa, dtype, default=0.0)};"
+    )
+    ctx.declare(f"static {dtype.c_name} {st}_f1, {st}_f2;")
+    ctx.declare(f"static int64_t {st}_n;")
+    return f"{ctx.out_var(fa)} = {st}_y;"
+
+
+def update_continuousintegrator(ctx, fa):
+    from repro.actors.continuous import AB2_C0, AB2_C1, AB3_C0, AB3_C1, AB3_C2
+
+    dtype = ctx.out_dtype(fa)
+    t = dtype.c_name
+    st = state_var(fa.index)
+    solver = fa.actor.params.get("solver", "ab2")
+    dt_lit = value_literal(coerce_float(ctx.prog.dt, dtype), dtype)
+
+    def lit(value: float) -> str:
+        return value_literal(coerce_float(value, dtype), dtype)
+
+    def ab2_slope() -> str:
+        t1 = _fop(lit(AB2_C0), "*", "_u", dtype)
+        t2 = _fop(lit(AB2_C1), "*", f"{st}_f1", dtype)
+        return _fop(t1, "-", t2, dtype)
+
+    def ab3_slope() -> str:
+        t1 = _fop(lit(AB3_C0), "*", "_u", dtype)
+        t2 = _fop(lit(AB3_C1), "*", f"{st}_f1", dtype)
+        t3 = _fop(lit(AB3_C2), "*", f"{st}_f2", dtype)
+        return _fop(_fop(t1, "-", t2, dtype), "+", t3, dtype)
+
+    if solver == "euler":
+        slope = "_slope = _u;"
+    elif solver == "ab2":
+        slope = (
+            f"if ({st}_n == 0) _slope = _u; "
+            f"else _slope = {ab2_slope()};"
+        )
+    else:
+        slope = (
+            f"if ({st}_n == 0) _slope = _u; "
+            f"else if ({st}_n == 1) _slope = {ab2_slope()}; "
+            f"else _slope = {ab3_slope()};"
+        )
+    step = _fop(dt_lit, "*", "_slope", dtype)
+    return (
+        f"{{ {t} _u = {_fin(ctx, fa, 0, dtype)}; {t} _slope; {slope} "
+        f"{st}_y = {_fop(f'{st}_y', '+', step, dtype)}; "
+        f"{st}_f2 = {st}_f1; {st}_f1 = _u; {st}_n += 1; }}"
+    )
+
+
+def emit_zeroorderhold(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    if dtype.is_float:
+        return f"{ctx.out_var(fa)} = {_fin(ctx, fa, 0, dtype)};"
+    return f"{ctx.out_var(fa)} = {_cast_in(ctx, fa, 0, dtype)};"
+
+
+def update_counter(ctx, fa):
+    st = state_var(fa.index, "_n")
+    limit = fa.actor.params["limit"]
+    return f"{st} = ({st} + 1 == {limit}) ? 0 : {st} + 1;"
+
+
+def update_counterbased(ctx, fa):
+    return f"{state_var(fa.index, '_n')} += 1;"
+
+
+def update_randomsource(ctx, fa):
+    from repro.actors.sources import LCG_INC, LCG_MUL
+
+    st = state_var(fa.index, "_s")
+    return f"{st} = {st} * {LCG_MUL}ULL + {LCG_INC}ULL;"
+
+
+# ----------------------------------------------------------------------
+# stores / lookup / sinks
+# ----------------------------------------------------------------------
+def emit_datastoreread(ctx, fa):
+    return f"{ctx.out_var(fa)} = store_{fa.actor.params['store']};"
+
+
+def emit_datastorewrite(ctx, fa):
+    store = fa.actor.params["store"]
+    info = ctx.prog.stores[store]
+    src = ctx.in_dtype(fa, 0)
+    if info.dtype.is_float:
+        if src is info.dtype:
+            value = ctx.in_var(fa, 0)
+        else:
+            value = f"({info.dtype.c_name}){ctx.in_var(fa, 0)}"
+    else:
+        value = emit_cast(ctx.in_var(fa, 0), src, info.dtype)
+    return f"store_{store} = {value};"
+
+
+def emit_lookup1d(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    bp = [float(b) for b in fa.actor.params["breakpoints"]]
+    tb = [float(t) for t in fa.actor.params["table"]]
+    n = len(bp)
+    ctx.declare(
+        f"static const double {st}_bp[{n}] = "
+        f"{{{', '.join(c_double_literal(b) for b in bp)}}};"
+    )
+    ctx.declare(
+        f"static const double {st}_tb[{n}] = "
+        f"{{{', '.join(c_double_literal(t) for t in tb)}}};"
+    )
+    out = ctx.out_var(fa)
+    return (
+        f"{{ double _x = {_to_double(ctx, fa, 0)}; double _y; "
+        f"if (_x <= {st}_bp[0]) _y = {st}_tb[0]; "
+        f"else if (_x >= {st}_bp[{n - 1}]) _y = {st}_tb[{n - 1}]; "
+        f"else {{ int _i = 0; while (_x > {st}_bp[_i + 1]) _i++; "
+        f"double _f = (_x - {st}_bp[_i]) / ({st}_bp[_i + 1] - {st}_bp[_i]); "
+        f"_y = {st}_tb[_i] + ({st}_tb[_i + 1] - {st}_tb[_i]) * _f; }} "
+        f"{out} = {_narrow('_y', dtype)}; }}"
+    )
+
+
+def emit_directlookup(ctx, fa):
+    dtype = ctx.out_dtype(fa)
+    st = state_var(fa.index)
+    raw = fa.actor.params["table"]
+    if dtype.is_float:
+        values = [value_literal(coerce_float(float(v), dtype), dtype) for v in raw]
+    else:
+        values = [value_literal(int_param(v, dtype), dtype) for v in raw]
+    n = len(values)
+    ctx.declare(
+        f"static const {dtype.c_name} {st}_tb[{n}] = {{{', '.join(values)}}};"
+    )
+    ctrl = ctx.in_var(fa, 0)
+    ctrl_dt = ctx.in_dtype(fa, 0)
+    idx = f"(int64_t){ctrl}" if not ctrl_dt.is_float else f"(int64_t)(double){ctrl}"
+    return (
+        f"{{ int64_t _i = {idx}; "
+        f"if (_i < 0) {{ _i = 0; f_ob = 1; }} "
+        f"else if (_i >= {n}) {{ _i = {n - 1}; f_ob = 1; }} "
+        f"{ctx.out_var(fa)} = {st}_tb[_i]; }}"
+    )
+
+
+def emit_sink(ctx, fa):
+    return ""
+
+
+# ----------------------------------------------------------------------
+# dispatch tables
+# ----------------------------------------------------------------------
+OUTPUT_EMITTERS: dict[str, Callable[[EmitContext, FlatActor], str]] = {
+    "Inport": emit_inport,
+    "Constant": emit_constant,
+    "Ground": emit_ground,
+    "Clock": emit_clock,
+    "Counter": emit_counter,
+    "SineWave": emit_sinewave,
+    "RampSource": emit_rampsource,
+    "StepSource": emit_stepsource,
+    "PulseGenerator": emit_pulsegenerator,
+    "RandomSource": emit_randomsource,
+    "Sum": emit_sum,
+    "Product": emit_product,
+    "Gain": emit_gain,
+    "Bias": emit_bias,
+    "Abs": emit_abs,
+    "UnaryMinus": emit_unaryminus,
+    "Signum": emit_signum,
+    "Sqrt": emit_sqrt,
+    "Math": emit_math,
+    "MinMax": emit_minmax,
+    "Mod": emit_mod,
+    "Rounding": emit_rounding,
+    "Saturation": emit_saturation,
+    "DeadZone": emit_deadzone,
+    "Quantizer": emit_quantizer,
+    "Polynomial": emit_polynomial,
+    "Power": emit_power,
+    "Bitwise": emit_bitwise,
+    "Shift": emit_shift,
+    "DataTypeConversion": emit_datatypeconversion,
+    "RelationalOperator": emit_relationaloperator,
+    "Logic": emit_logic,
+    "CompareToConstant": emit_comparetoconstant,
+    "CompareToZero": emit_comparetozero,
+    "Switch": emit_switch,
+    "MultiportSwitch": emit_multiportswitch,
+    "Relay": emit_relay,
+    "Merge": emit_merge,
+    "UnitDelay": emit_unitdelay,
+    "Memory": emit_unitdelay,
+    "Delay": emit_delay,
+    "Accumulator": emit_accumulator,
+    "DiscreteIntegrator": emit_discreteintegrator,
+    "DiscreteFilter": emit_discretefilter,
+    "DiscreteDerivative": emit_discretederivative,
+    "RateLimiter": emit_ratelimiter,
+    "ZeroOrderHold": emit_zeroorderhold,
+    "ContinuousIntegrator": emit_continuousintegrator,
+    "DataStoreRead": emit_datastoreread,
+    "DataStoreWrite": emit_datastorewrite,
+    "Lookup1D": emit_lookup1d,
+    "DirectLookup": emit_directlookup,
+    "Outport": emit_sink,
+    "Terminator": emit_sink,
+    "Scope": emit_sink,
+    "Display": emit_sink,
+}
+
+UPDATE_EMITTERS: dict[str, Callable[[EmitContext, FlatActor], str]] = {
+    "UnitDelay": update_unitdelay,
+    "Memory": update_unitdelay,
+    "Delay": update_delay,
+    "Accumulator": update_accumulator,
+    "DiscreteIntegrator": update_discreteintegrator,
+    "DiscreteFilter": update_discretefilter,
+    "DiscreteDerivative": update_discretederivative,
+    "RateLimiter": update_ratelimiter,
+    "ContinuousIntegrator": update_continuousintegrator,
+    "Relay": update_relay,
+    "Counter": update_counter,
+    "Clock": update_counterbased,
+    "SineWave": update_counterbased,
+    "RampSource": update_counterbased,
+    "StepSource": update_counterbased,
+    "PulseGenerator": update_counterbased,
+    "RandomSource": update_randomsource,
+}
+
+
+def emit_actor_output(ctx: EmitContext, fa: FlatActor) -> str:
+    try:
+        emitter = OUTPUT_EMITTERS[fa.block_type]
+    except KeyError:
+        raise CodegenError(f"no C template for block type {fa.block_type!r}") from None
+    return emitter(ctx, fa)
+
+
+def emit_actor_update(ctx: EmitContext, fa: FlatActor) -> Optional[str]:
+    emitter = UPDATE_EMITTERS.get(fa.block_type)
+    return emitter(ctx, fa) if emitter else None

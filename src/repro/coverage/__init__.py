@@ -1,0 +1,42 @@
+"""Model coverage: the four Simulink metrics the paper collects (§3.2.A).
+
+* **Actor coverage** — has each executable actor run at least once;
+* **Condition coverage** — at branch actors (Switch, MultiportSwitch), has
+  each selectable branch been taken;
+* **Decision coverage** — at boolean actors (Logic, RelationalOperator,
+  Compare*), has each outcome (true/false) been observed;
+* **MC/DC** — at combination conditions (Logic actors with two or more
+  inputs), has each condition been shown to independently affect the
+  outcome, in both directions (masking MC/DC).
+
+Coverage points are enumerated *statically* from a
+:class:`~repro.schedule.FlatProgram`, giving every engine (interpreted or
+generated-code) an identical bitmap layout, so reports are comparable — and
+equality-testable — across engines.
+"""
+
+from repro.coverage.bitmap import Bitmap
+from repro.coverage.metrics import Metric
+from repro.coverage.points import CoveragePoints, enumerate_points
+from repro.coverage.mcdc import mcdc_sides
+from repro.coverage.report import CoverageReport, MetricReport
+from repro.coverage.detail import (
+    UncoveredPoint,
+    accumulate_coverage,
+    coverage_listing,
+    uncovered_points,
+)
+
+__all__ = [
+    "Metric",
+    "Bitmap",
+    "CoveragePoints",
+    "enumerate_points",
+    "mcdc_sides",
+    "CoverageReport",
+    "MetricReport",
+    "UncoveredPoint",
+    "uncovered_points",
+    "coverage_listing",
+    "accumulate_coverage",
+]

@@ -1,0 +1,66 @@
+"""A plain bit set used to record hit coverage points.
+
+The generated C keeps one ``uint8_t`` per point (byte-per-point is faster
+to set than bit twiddling and the tables are small); this class mirrors
+that layout so parsed results and interpreted results compare directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Bitmap:
+    """Fixed-size hit table."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError("bitmap size must be non-negative")
+        self._bits = bytearray(size)
+
+    @classmethod
+    def from_hits(cls, size: int, hits: Iterable[int]) -> "Bitmap":
+        bm = cls(size)
+        for index in hits:
+            bm.set(index)
+        return bm
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def set(self, index: int) -> None:
+        self._bits[index] = 1
+
+    def test(self, index: int) -> bool:
+        return bool(self._bits[index])
+
+    def count(self) -> int:
+        return sum(self._bits)
+
+    def hit_indices(self) -> Iterator[int]:
+        return (i for i, b in enumerate(self._bits) if b)
+
+    def merge(self, other: "Bitmap") -> None:
+        """OR another bitmap of the same size into this one."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"bitmap size mismatch: {len(self)} vs {len(other)}"
+            )
+        for i, b in enumerate(other._bits):
+            if b:
+                self._bits[i] = 1
+
+    def copy(self) -> "Bitmap":
+        bm = Bitmap(0)
+        bm._bits = bytearray(self._bits)
+        return bm
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitmap({self.count()}/{len(self)})"

@@ -1,0 +1,153 @@
+"""Detailed, human-readable coverage findings.
+
+Percentages say *how much* is covered; developers need *what isn't*.
+:func:`uncovered_points` resolves every missed point back to its actor
+path and meaning ("branch 1 (else) never taken", "condition 2 never shown
+to independently drive the decision to false"), and
+:func:`coverage_listing` renders the full per-actor report.
+
+:func:`accumulate_coverage` runs several test cases (stimuli sets) against
+one program and merges their coverage — the test-suite-adequacy workflow
+the paper motivates coverage collection with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.coverage.metrics import Metric
+from repro.coverage.report import CoverageReport
+from repro.schedule.program import FlatProgram
+
+
+@dataclass(frozen=True)
+class UncoveredPoint:
+    """One coverage point that never fired."""
+
+    metric: Metric
+    actor_path: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.metric.title}] {self.actor_path}: {self.detail}"
+
+
+def _branch_label(block_type: str, branch: int, n_branches: int) -> str:
+    if block_type == "Switch":
+        return "then (control >= threshold)" if branch == 0 else "else"
+    return f"case {branch}"
+
+
+def uncovered_points(
+    prog: FlatProgram, report: CoverageReport
+) -> list[UncoveredPoint]:
+    """Every missed point, resolved to actor paths and meanings."""
+    points = report.points
+    findings: list[UncoveredPoint] = []
+
+    actor_bm = report.bitmaps[Metric.ACTOR]
+    for fa in prog.actors:
+        if not actor_bm.test(points.actor_point[fa.index]):
+            findings.append(
+                UncoveredPoint(Metric.ACTOR, fa.path, "never executed")
+            )
+
+    cond_bm = report.bitmaps[Metric.CONDITION]
+    for fa in prog.actors:
+        base_n = points.condition_base.get(fa.index)
+        if base_n is None:
+            continue
+        base, n = base_n
+        for branch in range(n):
+            if not cond_bm.test(base + branch):
+                findings.append(
+                    UncoveredPoint(
+                        Metric.CONDITION, fa.path,
+                        f"branch never taken: "
+                        f"{_branch_label(fa.block_type, branch, n)}",
+                    )
+                )
+
+    dec_bm = report.bitmaps[Metric.DECISION]
+    for fa in prog.actors:
+        base = points.decision_base.get(fa.index)
+        if base is None:
+            continue
+        for outcome, label in ((0, "false"), (1, "true")):
+            if not dec_bm.test(base + outcome):
+                findings.append(
+                    UncoveredPoint(
+                        Metric.DECISION, fa.path,
+                        f"outcome never observed: {label}",
+                    )
+                )
+
+    mcdc_bm = report.bitmaps[Metric.MCDC]
+    for fa in prog.actors:
+        base_n = points.mcdc_base.get(fa.index)
+        if base_n is None:
+            continue
+        base, n = base_n
+        for condition in range(n):
+            for side, label in ((0, "false"), (1, "true")):
+                if not mcdc_bm.test(base + 2 * condition + side):
+                    findings.append(
+                        UncoveredPoint(
+                            Metric.MCDC, fa.path,
+                            f"condition {condition} (input {condition}) never "
+                            f"shown to independently drive the decision "
+                            f"{label}",
+                        )
+                    )
+    return findings
+
+
+def coverage_listing(
+    prog: FlatProgram,
+    report: CoverageReport,
+    *,
+    max_items: Optional[int] = None,
+) -> str:
+    """A readable report: the four percentages plus every missed point."""
+    lines = [report.summary()]
+    findings = uncovered_points(prog, report)
+    if not findings:
+        lines.append("every coverage point hit")
+        return "\n".join(lines)
+    shown = findings if max_items is None else findings[:max_items]
+    lines.append(f"uncovered points ({len(findings)}):")
+    lines.extend(f"  {finding}" for finding in shown)
+    if max_items is not None and len(findings) > max_items:
+        lines.append(f"  ... and {len(findings) - max_items} more")
+    return "\n".join(lines)
+
+
+def accumulate_coverage(
+    prog: FlatProgram,
+    stimuli_sets: Iterable[Mapping],
+    *,
+    engine: str = "accmos",
+    steps: int = 10_000,
+) -> tuple[CoverageReport, list[CoverageReport]]:
+    """Run several test cases; returns (merged report, per-run reports).
+
+    This is the test-suite adequacy loop: each stimuli set is one test
+    case, and the merged report says whether the suite as a whole is
+    comprehensive enough (the paper's stated purpose for coverage).
+    """
+    from repro.engines import simulate
+
+    per_run: list[CoverageReport] = []
+    merged: Optional[CoverageReport] = None
+    for stimuli in stimuli_sets:
+        result = simulate(prog, dict(stimuli), engine=engine, steps=steps)
+        if result.coverage is None:
+            raise ValueError(f"engine {engine!r} collects no coverage")
+        per_run.append(result.coverage)
+        if merged is None:
+            merged = CoverageReport.empty(result.coverage.points)
+        merged.merge(result.coverage)
+    if merged is None:
+        raise ValueError("no stimuli sets supplied")
+    return merged, per_run

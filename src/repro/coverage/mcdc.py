@@ -1,0 +1,49 @@
+"""Masking MC/DC for combination-condition actors.
+
+For each evaluation of an N-input Logic actor we determine which conditions
+*independently affected* the outcome this step — i.e. flipping that input
+alone would flip the decision — and which side (the input's current truth
+value) that independence was demonstrated on.
+
+Per-operator masking rules (all derivable from the flip test):
+
+* AND / NAND — flipping input *i* flips the outcome iff every other input
+  is true.  So: all-true covers every condition's shown-true side; exactly
+  one false covers that condition's shown-false side.
+* OR / NOR — the dual: all-false covers every shown-false side; exactly
+  one true covers that condition's shown-true side.
+* XOR — flipping any input always flips the outcome, so every evaluation
+  covers each condition's current side.
+
+The generated C instrumentation implements the identical rules inline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def mcdc_sides(op: str, truths: tuple[bool, ...]) -> Iterator[tuple[int, bool]]:
+    """Yield ``(condition_index, side)`` pairs demonstrated this evaluation.
+
+    ``side`` is the condition's truth value at the demonstrating vector.
+    """
+    n = len(truths)
+    if op in ("AND", "NAND"):
+        n_false = sum(1 for t in truths if not t)
+        if n_false == 0:
+            for i in range(n):
+                yield i, True
+        elif n_false == 1:
+            yield truths.index(False), False
+    elif op in ("OR", "NOR"):
+        n_true = sum(1 for t in truths if t)
+        if n_true == 0:
+            for i in range(n):
+                yield i, False
+        elif n_true == 1:
+            yield truths.index(True), True
+    elif op == "XOR":
+        for i, t in enumerate(truths):
+            yield i, t
+    # NOT is single-input and never a combination condition.

@@ -1,0 +1,22 @@
+"""The coverage metric identifiers."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Metric(enum.Enum):
+    """One of the four Simulink coverage metrics."""
+
+    ACTOR = "actor"
+    CONDITION = "condition"
+    DECISION = "decision"
+    MCDC = "mcdc"
+
+    @property
+    def title(self) -> str:
+        return {"actor": "Actor", "condition": "Condition",
+                "decision": "Decision", "mcdc": "MC/DC"}[self.value]
+
+
+ALL_METRICS = (Metric.ACTOR, Metric.CONDITION, Metric.DECISION, Metric.MCDC)

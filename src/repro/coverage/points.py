@@ -1,0 +1,78 @@
+"""Static enumeration of coverage points over a flattened program.
+
+The layout is purely a function of the program (execution-order-stable
+actor indices), so the interpreted engine and the generated C agree on
+every point id without any handshake:
+
+* actor metric: one point per executable flat actor;
+* condition metric: one point per selectable branch of each branch actor;
+* decision metric: two points (false, true outcome) per boolean actor;
+* MC/DC metric: two points (shown-false, shown-true independence) per
+  condition of each combination-condition actor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.actors.registry import get_spec
+from repro.coverage.metrics import Metric
+from repro.schedule.program import FlatProgram
+
+
+@dataclass
+class CoveragePoints:
+    """Point tables for one program."""
+
+    # actor_index -> point id (actor metric)
+    actor_point: dict[int, int] = field(default_factory=dict)
+    # actor_index -> (base point id, branch count) (condition metric)
+    condition_base: dict[int, tuple[int, int]] = field(default_factory=dict)
+    # actor_index -> base point id; base+0 = false outcome, base+1 = true
+    decision_base: dict[int, int] = field(default_factory=dict)
+    # actor_index -> (base point id, condition count); condition i's
+    # shown-false side is base+2i, shown-true side is base+2i+1
+    mcdc_base: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    n_actor: int = 0
+    n_condition: int = 0
+    n_decision: int = 0
+    n_mcdc: int = 0
+
+    def total(self, metric: Metric) -> int:
+        return {
+            Metric.ACTOR: self.n_actor,
+            Metric.CONDITION: self.n_condition,
+            Metric.DECISION: self.n_decision,
+            Metric.MCDC: self.n_mcdc,
+        }[metric]
+
+
+def branch_count(block_type: str, n_inputs: int) -> int:
+    """Number of selectable branches of a branch actor."""
+    if block_type in ("Switch", "Relay"):
+        return 2
+    if block_type == "MultiportSwitch":
+        return n_inputs - 1  # input 0 is the control
+    raise ValueError(f"{block_type} is not a branch actor")
+
+
+def enumerate_points(prog: FlatProgram) -> CoveragePoints:
+    """Assign point ids in flat-actor order."""
+    points = CoveragePoints()
+    for fa in prog.actors:
+        spec = get_spec(fa.block_type)
+        points.actor_point[fa.index] = points.n_actor
+        points.n_actor += 1
+        if spec.is_branch:
+            n = branch_count(fa.block_type, fa.actor.n_inputs)
+            points.condition_base[fa.index] = (points.n_condition, n)
+            points.n_condition += n
+        if spec.boolean_logic:
+            points.decision_base[fa.index] = points.n_decision
+            points.n_decision += 2
+        if spec.combination_condition and fa.actor.n_inputs >= 2:
+            n = fa.actor.n_inputs
+            points.mcdc_base[fa.index] = (points.n_mcdc, n)
+            points.n_mcdc += 2 * n
+    return points

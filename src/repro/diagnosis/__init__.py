@@ -1,0 +1,25 @@
+"""Calculation diagnosis (§3.2.B of the paper).
+
+The diagnosable error kinds mirror the runtime diagnostics Simulink enables
+by default — wrap on overflow, division by zero, precision loss, array out
+of bounds — plus the static *downcast* configuration warning of the paper's
+Figure 4, and a non-finite (NaN/Inf) check for float paths.
+
+Which kinds apply to an actor depends on its type and operator (a Product
+with a ``/`` needs division-by-zero diagnosis, with ``*`` it does not);
+:func:`applicable_kinds` encodes that table.  Users add their own checks
+with :class:`CustomDiagnosis` callbacks.
+"""
+
+from repro.diagnosis.events import DiagnosticEvent, DiagnosticKind, DiagnosticLog
+from repro.diagnosis.rules import applicable_kinds, static_downcast_warnings
+from repro.diagnosis.custom import CustomDiagnosis
+
+__all__ = [
+    "DiagnosticKind",
+    "DiagnosticEvent",
+    "DiagnosticLog",
+    "applicable_kinds",
+    "static_downcast_warnings",
+    "CustomDiagnosis",
+]

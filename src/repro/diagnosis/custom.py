@@ -1,0 +1,79 @@
+"""User-defined signal diagnosis (paper §3.2.B, *Custom Signal Diagnose*).
+
+A :class:`CustomDiagnosis` attaches a predicate to one actor: whenever the
+predicate holds on the actor's runtime inputs/outputs, a CUSTOM diagnostic
+fires.  Two forms of the predicate are carried so every engine can run it:
+
+* ``predicate`` — a Python callable ``(step, inputs, outputs) -> bool``,
+  used by the interpreted engines;
+* ``c_predicate`` — a C expression over ``step``, ``in0..inN``, and
+  ``out0..outN``, inlined into AccMoS's generated code.
+
+For the engines to agree, the two must express the same condition; helpers
+like :func:`output_above` build matched pairs for common checks (threshold
+monitors, sudden-change detection is expressible with a UnitDelay in the
+model itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+Predicate = Callable[[int, tuple, tuple], bool]
+
+
+@dataclass
+class CustomDiagnosis:
+    """A user-defined check on one actor's runtime signals."""
+
+    actor_path: str
+    message: str
+    predicate: Optional[Predicate] = None
+    c_predicate: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.predicate is None and self.c_predicate is None:
+            raise ValueError(
+                "CustomDiagnosis needs a Python predicate, a C predicate, or both"
+            )
+
+
+def output_above(actor_path: str, limit, *, port: int = 0) -> CustomDiagnosis:
+    """Fire when an output exceeds ``limit`` (matched Python/C pair)."""
+    return CustomDiagnosis(
+        actor_path=actor_path,
+        message=f"output exceeds {limit}",
+        predicate=lambda step, inputs, outputs: outputs[port] > limit,
+        c_predicate=f"out{port} > {limit}",
+    )
+
+
+def output_below(actor_path: str, limit, *, port: int = 0) -> CustomDiagnosis:
+    """Fire when an output drops under ``limit`` (matched Python/C pair)."""
+    return CustomDiagnosis(
+        actor_path=actor_path,
+        message=f"output below {limit}",
+        predicate=lambda step, inputs, outputs: outputs[port] < limit,
+        c_predicate=f"out{port} < {limit}",
+    )
+
+
+def output_outside(actor_path: str, lo, hi, *, port: int = 0) -> CustomDiagnosis:
+    """Fire when an output leaves [lo, hi] (matched Python/C pair)."""
+    return CustomDiagnosis(
+        actor_path=actor_path,
+        message=f"output outside [{lo}, {hi}]",
+        predicate=lambda step, inputs, outputs: not (lo <= outputs[port] <= hi),
+        c_predicate=f"(out{port} < {lo}) || (out{port} > {hi})",
+    )
+
+
+def input_equals(actor_path: str, value, *, port: int = 0) -> CustomDiagnosis:
+    """Fire when an input hits an exact value (matched Python/C pair)."""
+    return CustomDiagnosis(
+        actor_path=actor_path,
+        message=f"input {port} equals {value}",
+        predicate=lambda step, inputs, outputs: inputs[port] == value,
+        c_predicate=f"in{port} == {value}",
+    )

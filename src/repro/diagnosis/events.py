@@ -1,0 +1,138 @@
+"""Diagnostic event records and the per-run aggregation log.
+
+Over a 50-million-step simulation the same wrap can fire millions of
+times; reports therefore aggregate per (actor path, kind): first step,
+occurrence count, and one representative message — enough to reproduce the
+paper's detection-time measurements (the first step *is* the detection
+point) without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class DiagnosticKind(enum.Enum):
+    """One diagnosable error category."""
+
+    WRAP_ON_OVERFLOW = "wrap_on_overflow"
+    DIV_BY_ZERO = "div_by_zero"
+    PRECISION_LOSS = "precision_loss"
+    NON_FINITE = "non_finite"
+    ARRAY_OUT_OF_BOUNDS = "array_out_of_bounds"
+    DOWNCAST = "downcast"  # static configuration warning
+    CUSTOM = "custom"
+
+    @property
+    def title(self) -> str:
+        return {
+            "wrap_on_overflow": "Wrap on overflow",
+            "div_by_zero": "Division by zero",
+            "precision_loss": "Precision loss",
+            "non_finite": "Non-finite value",
+            "array_out_of_bounds": "Array out of bounds",
+            "downcast": "Downcast",
+            "custom": "Custom diagnosis",
+        }[self.value]
+
+
+# ArithFlags field name -> kind (runtime flag mapping shared by engines).
+FLAG_KINDS = (
+    ("overflow", DiagnosticKind.WRAP_ON_OVERFLOW),
+    ("div_by_zero", DiagnosticKind.DIV_BY_ZERO),
+    ("precision_loss", DiagnosticKind.PRECISION_LOSS),
+    ("non_finite", DiagnosticKind.NON_FINITE),
+    ("out_of_bounds", DiagnosticKind.ARRAY_OUT_OF_BOUNDS),
+)
+
+
+@dataclass
+class DiagnosticEvent:
+    """Aggregated occurrences of one kind at one actor."""
+
+    path: str
+    kind: DiagnosticKind
+    first_step: int  # -1 for static (pre-simulation) warnings
+    count: int = 1
+    message: str = ""
+
+    def key(self) -> tuple[str, str]:
+        return (self.path, self.kind.value)
+
+    def __str__(self) -> str:
+        when = "static" if self.first_step < 0 else f"step {self.first_step}"
+        return (
+            f"WARNING: {self.kind.title} at {self.path} "
+            f"(first: {when}, count: {self.count})"
+        )
+
+
+class DiagnosticLog:
+    """Per-run aggregation with optional halt-on-first semantics."""
+
+    def __init__(self, halt_on: Optional[set[DiagnosticKind]] = None):
+        self._events: dict[tuple[str, str], DiagnosticEvent] = {}
+        self._halt_on = halt_on or set()
+        self.halted_at: Optional[int] = None
+        self.halt_event: Optional[DiagnosticEvent] = None
+
+    def record(
+        self, path: str, kind: DiagnosticKind, step: int, message: str = ""
+    ) -> bool:
+        """Record one occurrence; returns True if the run should halt."""
+        key = (path, kind.value)
+        event = self._events.get(key)
+        if event is None:
+            event = DiagnosticEvent(path, kind, step, 0, message)
+            self._events[key] = event
+        event.count += 1
+        if kind in self._halt_on and self.halted_at is None:
+            self.halted_at = step
+            self.halt_event = event
+            return True
+        return False
+
+    def add_static(self, path: str, kind: DiagnosticKind, message: str) -> None:
+        key = (path, kind.value)
+        if key not in self._events:
+            self._events[key] = DiagnosticEvent(path, kind, -1, 1, message)
+
+    def set_aggregate(
+        self, path: str, kind: DiagnosticKind, first_step: int, count: int,
+        message: str = "",
+    ) -> None:
+        """Install a pre-aggregated record (used by the generated-code
+        result parser, which receives totals rather than occurrences).
+
+        Records under the same key merge — several custom diagnoses on one
+        actor aggregate exactly like the interpreted engine's log does.
+        """
+        key = (path, kind.value)
+        existing = self._events.get(key)
+        if existing is None or existing.first_step < 0:
+            self._events[key] = DiagnosticEvent(path, kind, first_step, count, message)
+        else:
+            if first_step < existing.first_step:
+                existing.first_step = first_step
+                existing.message = message or existing.message
+            existing.count += count
+
+    def events(self) -> list[DiagnosticEvent]:
+        """Events sorted by first occurrence, statics first."""
+        return sorted(
+            self._events.values(), key=lambda e: (e.first_step, e.path, e.kind.value)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def first_runtime_step(self, kind: Optional[DiagnosticKind] = None) -> Optional[int]:
+        """Earliest runtime occurrence (of one kind, or any)."""
+        steps = [
+            e.first_step
+            for e in self._events.values()
+            if e.first_step >= 0 and (kind is None or e.kind is kind)
+        ]
+        return min(steps) if steps else None

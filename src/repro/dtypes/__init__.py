@@ -1,0 +1,87 @@
+"""Typed values with C-compatible semantics.
+
+Simulink models carry explicit data types on every signal (``int32``,
+``uint8``, ``double``, ...), and the errors AccMoS diagnoses — wrap on
+overflow, downcast, precision loss — are artifacts of fixed-width
+arithmetic.  This package provides:
+
+* :class:`DType` — the scalar type lattice used across the whole library,
+* wrap-around arithmetic that matches what ``gcc``-compiled C code does,
+* checked casts that report overflow / precision-loss / downcast flags,
+* helpers mapping every :class:`DType` onto its C and numpy spellings.
+
+All simulation engines (interpreted and generated-code alike) route scalar
+arithmetic through this package, which is what makes the cross-engine
+equivalence property (SSE output == AccMoS output, bit for bit on integers)
+testable.
+"""
+
+from repro.dtypes.dtype import (
+    DType,
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    U8,
+    U16,
+    U32,
+    U64,
+    INTEGER_DTYPES,
+    FLOAT_DTYPES,
+    SIGNED_DTYPES,
+    UNSIGNED_DTYPES,
+    promote,
+)
+from repro.dtypes.arith import (
+    ArithFlags,
+    checked_add,
+    checked_cast,
+    checked_div,
+    checked_mod,
+    checked_mul,
+    checked_neg,
+    checked_sub,
+    coerce_float,
+    wrap,
+    wrap_add,
+    wrap_mul,
+    wrap_neg,
+    wrap_sub,
+)
+
+__all__ = [
+    "DType",
+    "BOOL",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "F32",
+    "F64",
+    "INTEGER_DTYPES",
+    "FLOAT_DTYPES",
+    "SIGNED_DTYPES",
+    "UNSIGNED_DTYPES",
+    "promote",
+    "ArithFlags",
+    "wrap",
+    "wrap_add",
+    "wrap_sub",
+    "wrap_mul",
+    "wrap_neg",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "checked_div",
+    "checked_mod",
+    "checked_neg",
+    "checked_cast",
+    "coerce_float",
+]

@@ -1,0 +1,248 @@
+"""C-compatible scalar arithmetic with error-flag reporting.
+
+Two layers are provided:
+
+* ``wrap_*`` — raw two's-complement wrap-around arithmetic, exactly what the
+  generated C code computes (signed overflow is performed in unsigned
+  arithmetic there, so it is well-defined and matches this module).
+* ``checked_*`` — the same arithmetic, plus an :class:`ArithFlags` record
+  saying *what went wrong on the way*: wrap on overflow, division by zero,
+  precision loss, NaN/Inf production.  The interpreted SSE engine and the
+  diagnosis instrumentation both consume these flags.
+
+Division follows C semantics (truncation toward zero); a zero divisor yields
+a flagged result of 0 so that simulation can continue deterministically, and
+the generated C emits the identical guard (avoiding undefined behaviour and
+keeping both engines bit-identical).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes.dtype import DType
+
+
+@dataclass(frozen=True)
+class ArithFlags:
+    """What a checked operation observed.
+
+    The flag names follow the Simulink runtime-diagnostic vocabulary used in
+    the paper: *wrap on overflow*, *division by zero*, *precision loss*.
+    """
+
+    overflow: bool = False
+    div_by_zero: bool = False
+    precision_loss: bool = False
+    non_finite: bool = False
+    out_of_bounds: bool = False
+
+    def __bool__(self) -> bool:
+        return (
+            self.overflow
+            or self.div_by_zero
+            or self.precision_loss
+            or self.non_finite
+            or self.out_of_bounds
+        )
+
+    def merge(self, other: "ArithFlags") -> "ArithFlags":
+        if not other:
+            return self
+        if not self:
+            return other
+        return ArithFlags(
+            overflow=self.overflow or other.overflow,
+            div_by_zero=self.div_by_zero or other.div_by_zero,
+            precision_loss=self.precision_loss or other.precision_loss,
+            non_finite=self.non_finite or other.non_finite,
+            out_of_bounds=self.out_of_bounds or other.out_of_bounds,
+        )
+
+
+OK = ArithFlags()
+_OVERFLOW = ArithFlags(overflow=True)
+_DIV_BY_ZERO = ArithFlags(div_by_zero=True)
+_PRECISION_LOSS = ArithFlags(precision_loss=True)
+_NON_FINITE = ArithFlags(non_finite=True)
+OUT_OF_BOUNDS = ArithFlags(out_of_bounds=True)
+
+
+# ----------------------------------------------------------------------
+# raw wrap arithmetic
+# ----------------------------------------------------------------------
+def wrap(value: int, dtype: DType) -> int:
+    """Reduce an unbounded integer to ``dtype``'s range, two's-complement."""
+    if dtype.is_bool:
+        return 1 if value else 0
+    if dtype.is_float:
+        raise ValueError("wrap() applies to integer types only")
+    mask = (1 << dtype.bits) - 1
+    value &= mask
+    if dtype.is_signed and value > dtype.max_value:
+        value -= 1 << dtype.bits
+    return value
+
+
+_F32_OVERFLOW_EDGE = 3.0e38  # anything below this narrows without overflow
+
+
+def coerce_float(value: float, dtype: DType) -> float:
+    """Round a Python float to the storage precision of ``dtype``.
+
+    ``f32`` signals must round-trip through IEEE single precision so the
+    interpreted engine matches the generated C bit for bit.  Values beyond
+    single range overflow to inf silently (C's narrowing conversion does
+    the same without any signal).
+    """
+    if dtype is DType.F32:
+        if -_F32_OVERFLOW_EDGE < value < _F32_OVERFLOW_EDGE:
+            return float(np.float32(value))
+        with np.errstate(over="ignore"):
+            return float(np.float32(value))
+    return float(value)
+
+
+def wrap_add(a: int, b: int, dtype: DType) -> int:
+    return wrap(a + b, dtype)
+
+
+def wrap_sub(a: int, b: int, dtype: DType) -> int:
+    return wrap(a - b, dtype)
+
+
+def wrap_mul(a: int, b: int, dtype: DType) -> int:
+    return wrap(a * b, dtype)
+
+
+def wrap_neg(a: int, dtype: DType) -> int:
+    return wrap(-a, dtype)
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C integer division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    """C ``%``: remainder with the sign of the dividend."""
+    return a - _trunc_div(a, b) * b
+
+
+# ----------------------------------------------------------------------
+# checked arithmetic
+# ----------------------------------------------------------------------
+def _checked_float(value: float, dtype: DType) -> tuple[float, ArithFlags]:
+    value = coerce_float(value, dtype)
+    if math.isnan(value) or math.isinf(value):
+        return value, _NON_FINITE
+    return value, OK
+
+
+def checked_add(a, b, dtype: DType):
+    """``a + b`` in ``dtype``; returns ``(result, flags)``."""
+    if dtype.is_float:
+        return _checked_float(a + b, dtype)
+    exact = int(a) + int(b)
+    result = wrap(exact, dtype)
+    return result, (OK if result == exact else _OVERFLOW)
+
+
+def checked_sub(a, b, dtype: DType):
+    """``a - b`` in ``dtype``; returns ``(result, flags)``."""
+    if dtype.is_float:
+        return _checked_float(a - b, dtype)
+    exact = int(a) - int(b)
+    result = wrap(exact, dtype)
+    return result, (OK if result == exact else _OVERFLOW)
+
+
+def checked_mul(a, b, dtype: DType):
+    """``a * b`` in ``dtype``; returns ``(result, flags)``."""
+    if dtype.is_float:
+        return _checked_float(a * b, dtype)
+    exact = int(a) * int(b)
+    result = wrap(exact, dtype)
+    return result, (OK if result == exact else _OVERFLOW)
+
+
+def checked_neg(a, dtype: DType):
+    """``-a`` in ``dtype``; returns ``(result, flags)``."""
+    if dtype.is_float:
+        return _checked_float(-a, dtype)
+    exact = -int(a)
+    result = wrap(exact, dtype)
+    return result, (OK if result == exact else _OVERFLOW)
+
+
+def checked_div(a, b, dtype: DType):
+    """``a / b`` in ``dtype``; returns ``(result, flags)``.
+
+    Integer division truncates toward zero (C semantics).  A zero divisor
+    returns a flagged 0 — the generated C contains the identical guard.
+    INT_MIN / -1 is flagged as overflow and wraps.
+    """
+    if dtype.is_float:
+        if b == 0:
+            # IEEE produces +-inf / nan; flag it as division by zero.
+            value = math.nan if a == 0 else math.inf if a > 0 else -math.inf
+            return coerce_float(value, dtype), _DIV_BY_ZERO
+        return _checked_float(a / b, dtype)
+    a = int(a)
+    b = int(b)
+    if b == 0:
+        return 0, _DIV_BY_ZERO
+    exact = _trunc_div(a, b)
+    result = wrap(exact, dtype)
+    return result, (OK if result == exact else _OVERFLOW)
+
+
+def checked_mod(a, b, dtype: DType):
+    """``a % b`` in ``dtype`` (sign of dividend); returns ``(result, flags)``."""
+    if dtype.is_float:
+        if b == 0:
+            return coerce_float(math.nan, dtype), _DIV_BY_ZERO
+        return _checked_float(math.fmod(a, b), dtype)
+    a = int(a)
+    b = int(b)
+    if b == 0:
+        return 0, _DIV_BY_ZERO
+    exact = _trunc_mod(a, b)
+    result = wrap(exact, dtype)
+    return result, (OK if result == exact else _OVERFLOW)
+
+
+def checked_cast(value, src: DType, dst: DType):
+    """Convert ``value`` from ``src`` to ``dst``; returns ``(result, flags)``.
+
+    Overflow means the value wrapped (integer target too narrow); precision
+    loss means a fractional part was truncated (float → integer) or an
+    integer was not exactly representable (wide integer → float).
+    """
+    if dst.is_bool:
+        return (1 if value else 0), OK
+    if dst.is_float:
+        result = coerce_float(float(value), dst)
+        flags = OK
+        if src.is_integer and int(result) != int(value):
+            flags = _PRECISION_LOSS
+        if math.isnan(result) or math.isinf(result):
+            flags = flags.merge(_NON_FINITE)
+        return result, flags
+    # integer destination
+    if src.is_float:
+        if math.isnan(value) or math.isinf(value):
+            return 0, _NON_FINITE
+        truncated = int(value)  # C float->int conversion truncates
+        flags = OK if float(truncated) == float(value) else _PRECISION_LOSS
+        result = wrap(truncated, dst)
+        if not (dst.min_value <= truncated <= dst.max_value):
+            flags = flags.merge(_OVERFLOW)
+        return result, flags
+    ivalue = int(value)
+    result = wrap(ivalue, dst)
+    return result, (OK if result == ivalue else _OVERFLOW)

@@ -1,0 +1,50 @@
+"""One-call simulation front door."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.engines.accmos import run_accmos
+from repro.engines.base import SimulationOptions, SimulationResult
+from repro.engines.sse import run_sse
+from repro.engines.sse_ac import run_sse_ac
+from repro.engines.sse_rac import run_sse_rac
+from repro.model.model import Model
+from repro.schedule.compile import preprocess
+from repro.schedule.program import FlatProgram
+from repro.stimuli.base import Stimulus
+from repro.stimuli.generators import default_stimuli
+
+ENGINES = {
+    "sse": run_sse,
+    "sse_ac": run_sse_ac,
+    "sse_rac": run_sse_rac,
+    "accmos": run_accmos,
+}
+
+
+def simulate(
+    model: Union[Model, FlatProgram],
+    stimuli: Optional[Mapping[str, Stimulus]] = None,
+    *,
+    engine: str = "accmos",
+    options: Optional[SimulationOptions] = None,
+    dt: float = 1.0,
+    **option_kwargs,
+) -> SimulationResult:
+    """Simulate a model with the chosen engine.
+
+    ``model`` may be a :class:`Model` (preprocessed here) or an already
+    preprocessed :class:`FlatProgram`.  ``stimuli`` defaults to seeded
+    random streams per inport.  Remaining keyword arguments construct the
+    :class:`SimulationOptions` (e.g. ``steps=100_000``).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {sorted(ENGINES)}")
+    if options is not None and option_kwargs:
+        raise ValueError("pass either options= or option keyword arguments, not both")
+    prog = model if isinstance(model, FlatProgram) else preprocess(model, dt=dt)
+    if stimuli is None:
+        stimuli = default_stimuli(prog)
+    opts = options or SimulationOptions(**option_kwargs)
+    return ENGINES[engine](prog, stimuli, opts)

@@ -1,0 +1,272 @@
+"""The interpreted simulation engine — the SSE baseline.
+
+This engine is the library's *reference semantics*: it steps the flattened
+program actor by actor through Python object dispatch, evaluating guards,
+collecting all four coverage metrics, and running every applicable
+diagnosis each step — the same work Simulink's normal-mode engine performs
+interpretively, and the same cost model the paper attributes to it.
+
+Everything observable (outputs, checksums, coverage bitmaps, diagnostics,
+halt steps) is defined here first; the other engines — including AccMoS's
+generated C — must reproduce it exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.actors.base import BindContext, StoreBank
+from repro.actors.registry import get_spec
+from repro.coverage.bitmap import Bitmap
+from repro.coverage.mcdc import mcdc_sides
+from repro.coverage.metrics import Metric
+from repro.coverage.report import CoverageReport
+from repro.diagnosis.events import FLAG_KINDS, DiagnosticKind, DiagnosticLog
+from repro.dtypes import checked_cast, coerce_float
+from repro.engines.base import (
+    SimulationOptions,
+    SimulationResult,
+    checksum_step,
+    signal_bits,
+)
+from repro.instrument import build_plan
+from repro.model.errors import SimulationError
+from repro.schedule.program import EvalGuard, FlatProgram
+from repro.stimuli.base import Stimulus
+
+_TIME_CHECK_INTERVAL = 512
+
+
+def _bind_all(prog: FlatProgram):
+    """Instantiate semantics and initial state for every flat actor."""
+    stores = StoreBank()
+    for info in prog.stores.values():
+        initial = info.initial
+        if info.dtype.is_float:
+            initial = coerce_float(float(initial), info.dtype)
+        else:
+            from repro.actors.math_ops import int_param
+
+            initial = int_param(initial, info.dtype)
+        stores.declare(info.name, info.dtype, initial)
+
+    semantics = []
+    states = []
+    for fa in prog.actors:
+        ctx = BindContext(
+            in_dtypes=tuple(prog.signals[s].dtype for s in fa.input_sids),
+            out_dtypes=tuple(prog.signals[s].dtype for s in fa.output_sids),
+            stores=stores,
+            dt=prog.dt,
+        )
+        sem = get_spec(fa.block_type).semantics(fa.actor, ctx)
+        semantics.append(sem)
+        states.append(sem.init_state())
+    return stores, semantics, states
+
+
+def _check_stimuli(prog: FlatProgram, stimuli: Mapping[str, Stimulus]) -> None:
+    missing = [b.name for b in prog.inports if b.name not in stimuli]
+    if missing:
+        raise SimulationError(f"no stimulus for inport(s): {missing}")
+
+
+def run_sse(
+    prog: FlatProgram,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+) -> SimulationResult:
+    """Run the interpreted engine; see module docstring."""
+    _check_stimuli(prog, stimuli)
+    plan = build_plan(
+        prog,
+        coverage=options.coverage,
+        diagnostics=options.diagnostics,
+        collect=options.collect,
+        diagnose=options.diagnose,
+        custom=options.custom,
+    )
+    stores, semantics, states = _bind_all(prog)
+
+    signals = [
+        0.0 if (s.dtype and s.dtype.is_float) else 0 for s in prog.signals
+    ]
+    guard_active = [False] * len(prog.guards)
+
+    bitmaps = {
+        Metric.ACTOR: Bitmap(plan.points.n_actor),
+        Metric.CONDITION: Bitmap(plan.points.n_condition),
+        Metric.DECISION: Bitmap(plan.points.n_decision),
+        Metric.MCDC: Bitmap(plan.points.n_mcdc),
+    }
+    actor_bm = bitmaps[Metric.ACTOR]
+    cond_bm = bitmaps[Metric.CONDITION]
+    dec_bm = bitmaps[Metric.DECISION]
+    mcdc_bm = bitmaps[Metric.MCDC]
+
+    log = DiagnosticLog(halt_on=options.halt_on)
+    for event in plan.static_warnings:
+        log.add_static(event.path, event.kind, event.message)
+
+    monitored: dict[str, list] = {
+        inst.path: [] for inst in plan.actors if inst.collect
+    }
+    monitor_limit = options.monitor_limit
+
+    inport_feeds = [
+        (stimuli[b.name], b.sid, b.dtype) for b in prog.inports
+    ]
+    for stim, _, _ in inport_feeds:
+        stim.reset()
+    outport_bindings = [(b.name, b.sid, b.dtype) for b in prog.outports]
+    checksums = {name: 0 for name, _, _ in outport_bindings}
+
+    stateful = [
+        (fa, semantics[fa.index])
+        for fa in prog.actors
+        if get_spec(fa.block_type).stateful
+    ]
+    instrumentation = plan.actors
+    actors = prog.actors
+    order = prog.order
+    coverage_on = options.coverage
+    diagnostics_on = options.diagnostics
+
+    halted = False
+    steps_run = 0
+    start = time.perf_counter()
+    deadline = (
+        start + options.time_budget if options.time_budget is not None else None
+    )
+
+    for step in range(options.steps):
+        if deadline is not None and step % _TIME_CHECK_INTERVAL == 0:
+            if time.perf_counter() >= deadline:
+                break
+
+        for stim, sid, dtype in inport_feeds:
+            signals[sid] = stim.conform(stim.next(), dtype)
+
+        for node in order:
+            if isinstance(node, EvalGuard):
+                guard = prog.guards[node.gid]
+                parent_ok = guard.parent is None or guard_active[guard.parent]
+                guard_active[node.gid] = parent_ok and signals[guard.signal] > 0
+                continue
+
+            idx = node.actor_index
+            fa = actors[idx]
+            if fa.guard is not None and not guard_active[fa.guard]:
+                continue
+            inst = instrumentation[idx]
+            bt = fa.block_type
+
+            branch = None
+            flags = None
+            if bt == "Inport":
+                inputs = ()
+                outputs = (signals[fa.output_sids[0]],)
+            elif bt == "Merge":
+                inputs = tuple(signals[s] for s in fa.input_sids)
+                chosen = None
+                for i, gid in enumerate(fa.merge_src_guards):
+                    if gid is None or guard_active[gid]:
+                        chosen = i
+                if chosen is not None:
+                    sem = semantics[idx]
+                    dtype = sem.ctx.out_dtypes[0]
+                    if dtype.is_float:
+                        value = coerce_float(float(inputs[chosen]), dtype)
+                    else:
+                        value, _ = checked_cast(
+                            inputs[chosen], sem.ctx.in_dtypes[chosen], dtype
+                        )
+                    signals[fa.output_sids[0]] = value
+                outputs = (signals[fa.output_sids[0]],)
+            else:
+                inputs = tuple(signals[s] for s in fa.input_sids)
+                outputs, flags, branch = semantics[idx].output(states[idx], inputs)
+                for sid, value in zip(fa.output_sids, outputs):
+                    signals[sid] = value
+
+            if coverage_on:
+                actor_bm.set(inst.actor_point)
+                if inst.condition_base is not None and branch is not None:
+                    cond_bm.set(inst.condition_base[0] + branch)
+                if inst.decision_base is not None:
+                    dec_bm.set(inst.decision_base + (1 if outputs[0] else 0))
+                if inst.mcdc_base is not None:
+                    truths = tuple(v != 0 for v in inputs)
+                    base = inst.mcdc_base[0]
+                    for i, side in mcdc_sides(inst.logic_op, truths):
+                        mcdc_bm.set(base + 2 * i + (1 if side else 0))
+
+            if diagnostics_on:
+                # Check order matches the generated C: FLAG_KINDS order,
+                # halting immediately at the first halt-kind occurrence.
+                if flags and inst.diagnose_kinds:
+                    for flag_name, kind in FLAG_KINDS:
+                        if getattr(flags, flag_name) and kind in inst.diagnose_kinds:
+                            if log.record(fa.path, kind, step):
+                                halted = True
+                                break
+                if not halted and inst.custom:
+                    for diag in inst.custom:
+                        if diag.predicate is not None and diag.predicate(
+                            step, inputs, outputs
+                        ):
+                            if log.record(
+                                fa.path, DiagnosticKind.CUSTOM, step, diag.message
+                            ):
+                                halted = True
+                                break
+                if halted:
+                    break
+
+            if inst.collect:
+                samples = monitored[inst.path]
+                if len(samples) < monitor_limit:
+                    value = outputs[0] if outputs else (inputs[0] if inputs else None)
+                    samples.append((step, value))
+
+        if halted:
+            steps_run = step + 1
+            break
+
+        for fa, sem in stateful:
+            if fa.guard is not None and not guard_active[fa.guard]:
+                continue
+            idx = fa.index
+            inputs = tuple(signals[s] for s in fa.input_sids)
+            outputs = tuple(signals[s] for s in fa.output_sids)
+            states[idx] = sem.update(states[idx], inputs, outputs)
+
+        if options.checksum:
+            for name, sid, dtype in outport_bindings:
+                checksums[name] = checksum_step(
+                    checksums[name], signal_bits(signals[sid], dtype)
+                )
+        steps_run = step + 1
+
+    wall_time = time.perf_counter() - start
+
+    coverage = (
+        CoverageReport.from_bitmaps(plan.points, bitmaps) if coverage_on else None
+    )
+    outputs_final = {
+        name: signals[sid] for name, sid, _ in outport_bindings
+    }
+    return SimulationResult(
+        engine="sse",
+        model_name=prog.model.name,
+        steps_requested=options.steps,
+        steps_run=steps_run,
+        wall_time=wall_time,
+        outputs=outputs_final,
+        checksums=checksums if options.checksum else {},
+        coverage=coverage,
+        diagnostics=log.events(),
+        halted_at=log.halted_at,
+        monitored=monitored,
+    )

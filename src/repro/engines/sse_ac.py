@@ -1,0 +1,211 @@
+"""Accelerator-mode analog (SSE_ac).
+
+Models Simulink's Accelerator mode: the model is compiled into an
+intermediate "MEX" form — stateless actors become specialized per-actor
+functions (:mod:`repro.engines.mex`), stateful/boundary actors become
+pre-bound closures — but execution still walks that list step by step
+inside the host process, synchronizing output data with the host every
+step.  Per the paper, this mode performs **no** error diagnosis and **no**
+coverage collection (those option fields are ignored), which together with
+the compiled dispatch is where its speed advantage over plain SSE comes
+from.
+
+Outputs and checksums still match the reference engine exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping
+
+from repro.actors.registry import get_spec
+from repro.dtypes import checked_cast, coerce_float
+from repro.engines.base import (
+    SimulationOptions,
+    SimulationResult,
+    checksum_step,
+    signal_bits,
+)
+from repro.engines.sse import _bind_all, _check_stimuli
+from repro.schedule.program import EvalGuard, FlatProgram
+from repro.stimuli.base import Stimulus
+
+_TIME_CHECK_INTERVAL = 512
+
+
+def _compile_closures(prog: FlatProgram, semantics, states, signals, guard_active):
+    """One callable per execution-order node (the 'MEX' intermediate).
+
+    Stateless actors compile to specialized functions (see
+    :mod:`repro.engines.mex`); stateful actors, Merge, and boundary actors
+    keep generic semantics closures.
+    """
+    from repro.engines.mex import compile_mex_functions
+
+    mex_fns = compile_mex_functions(prog)
+    step_fns: list[Callable[[], None]] = []
+    for node in prog.order:
+        if isinstance(node, EvalGuard):
+            guard = prog.guards[node.gid]
+            gid, parent, sid = node.gid, guard.parent, guard.signal
+
+            if parent is None:
+                def eval_guard(gid=gid, sid=sid):
+                    guard_active[gid] = signals[sid] > 0
+            else:
+                def eval_guard(gid=gid, sid=sid, parent=parent):
+                    guard_active[gid] = guard_active[parent] and signals[sid] > 0
+            step_fns.append(eval_guard)
+            continue
+
+        fa = prog.actors[node.actor_index]
+        idx = fa.index
+        in_sids, out_sids = fa.input_sids, fa.output_sids
+        gid = fa.guard
+
+        if fa.block_type == "Inport":
+            continue  # fed directly by the engine
+        if fa.block_type in ("Outport", "Terminator", "Scope", "Display"):
+            continue  # nothing to compute
+
+        if fa.block_type == "Merge":
+            sem = semantics[idx]
+            out_sid = out_sids[0]
+            dtype = sem.ctx.out_dtypes[0]
+            in_dtypes = sem.ctx.in_dtypes
+            src_guards = fa.merge_src_guards
+
+            def run_merge(
+                in_sids=in_sids, out_sid=out_sid, dtype=dtype,
+                in_dtypes=in_dtypes, src_guards=src_guards, gid=gid,
+            ):
+                if gid is not None and not guard_active[gid]:
+                    return
+                chosen = None
+                for i, g in enumerate(src_guards):
+                    if g is None or guard_active[g]:
+                        chosen = i
+                if chosen is None:
+                    return
+                value = signals[in_sids[chosen]]
+                if dtype.is_float:
+                    signals[out_sid] = coerce_float(float(value), dtype)
+                else:
+                    signals[out_sid] = checked_cast(value, in_dtypes[chosen], dtype)[0]
+            step_fns.append(run_merge)
+            continue
+
+        mex_fn = mex_fns.get(idx)
+        if mex_fn is not None:
+            if gid is None:
+                def run_actor(mex_fn=mex_fn):
+                    mex_fn(signals)
+            else:
+                def run_actor(mex_fn=mex_fn, gid=gid):
+                    if guard_active[gid]:
+                        mex_fn(signals)
+            step_fns.append(run_actor)
+            continue
+
+        output = semantics[idx].output
+        if gid is None:
+            def run_actor(output=output, idx=idx, in_sids=in_sids, out_sids=out_sids):
+                result = output(states[idx], tuple(signals[s] for s in in_sids))
+                for sid, value in zip(out_sids, result.outputs):
+                    signals[sid] = value
+        else:
+            def run_actor(
+                output=output, idx=idx, in_sids=in_sids, out_sids=out_sids, gid=gid
+            ):
+                if not guard_active[gid]:
+                    return
+                result = output(states[idx], tuple(signals[s] for s in in_sids))
+                for sid, value in zip(out_sids, result.outputs):
+                    signals[sid] = value
+        step_fns.append(run_actor)
+
+    update_fns: list[Callable[[], None]] = []
+    for node in prog.order:
+        if isinstance(node, EvalGuard):
+            continue
+        fa = prog.actors[node.actor_index]
+        if not get_spec(fa.block_type).stateful:
+            continue
+        idx, in_sids, out_sids, gid = (
+            fa.index, fa.input_sids, fa.output_sids, fa.guard
+        )
+        update = semantics[idx].update
+
+        def run_update(update=update, idx=idx, in_sids=in_sids, out_sids=out_sids, gid=gid):
+            if gid is not None and not guard_active[gid]:
+                return
+            states[idx] = update(
+                states[idx],
+                tuple(signals[s] for s in in_sids),
+                tuple(signals[s] for s in out_sids),
+            )
+        update_fns.append(run_update)
+
+    return step_fns, update_fns
+
+
+def run_sse_ac(
+    prog: FlatProgram,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+) -> SimulationResult:
+    """Run the Accelerator-mode analog; see module docstring."""
+    _check_stimuli(prog, stimuli)
+    _, semantics, states = _bind_all(prog)
+    signals = [0.0 if (s.dtype and s.dtype.is_float) else 0 for s in prog.signals]
+    guard_active = [False] * len(prog.guards)
+
+    inport_feeds = [(stimuli[b.name], b.sid, b.dtype) for b in prog.inports]
+    for stim, _, _ in inport_feeds:
+        stim.reset()
+    outport_bindings = [(b.name, b.sid, b.dtype) for b in prog.outports]
+    checksums = {name: 0 for name, _, _ in outport_bindings}
+    host_view: dict[str, object] = {}
+
+    step_fns, update_fns = _compile_closures(
+        prog, semantics, states, signals, guard_active
+    )
+
+    steps_run = 0
+    start = time.perf_counter()
+    deadline = start + options.time_budget if options.time_budget is not None else None
+
+    for step in range(options.steps):
+        if deadline is not None and step % _TIME_CHECK_INTERVAL == 0:
+            if time.perf_counter() >= deadline:
+                break
+        for stim, sid, dtype in inport_feeds:
+            signals[sid] = stim.conform(stim.next(), dtype)
+        for fn in step_fns:
+            fn()
+        for fn in update_fns:
+            fn()
+        # Per-step host synchronization: the Accelerator still transfers
+        # output data back to the host every step.
+        for name, sid, dtype in outport_bindings:
+            value = signals[sid]
+            host_view[name] = value
+            if options.checksum:
+                checksums[name] = checksum_step(
+                    checksums[name], signal_bits(value, dtype)
+                )
+        steps_run = step + 1
+
+    wall_time = time.perf_counter() - start
+    return SimulationResult(
+        engine="sse_ac",
+        model_name=prog.model.name,
+        steps_requested=options.steps,
+        steps_run=steps_run,
+        wall_time=wall_time,
+        outputs={name: signals[sid] for name, sid, _ in outport_bindings},
+        checksums=checksums if options.checksum else {},
+        coverage=None,  # Accelerator mode cannot collect coverage
+        diagnostics=[],  # ... nor run error diagnosis
+        halted_at=None,
+    )

@@ -1,0 +1,20 @@
+"""Simulation-oriented instrumentation (paper §3.2, Algorithm 1).
+
+:func:`build_plan` walks the flattened actors in execution order and
+decides, per actor, exactly what the simulation must observe there:
+
+* its coverage points (actor always; condition for branch actors; decision
+  for boolean logic; MC/DC for combination conditions),
+* whether its signals are collected (the signal monitor / ``collectList``),
+* which runtime diagnoses apply (``diagnoseList`` × the per-type rule
+  table), plus static downcast findings,
+* any user-supplied custom diagnoses.
+
+The resulting :class:`InstrumentationPlan` is engine-neutral: the
+interpreted SSE engine executes it directly, and the code generator turns
+each entry into inlined C instrumentation.
+"""
+
+from repro.instrument.plan import ActorInstrumentation, InstrumentationPlan, build_plan
+
+__all__ = ["InstrumentationPlan", "ActorInstrumentation", "build_plan"]

@@ -1,0 +1,147 @@
+"""Algorithm 1: per-actor instrumentation planning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.actors.registry import get_spec
+from repro.coverage.points import CoveragePoints, enumerate_points
+from repro.diagnosis.custom import CustomDiagnosis
+from repro.diagnosis.events import DiagnosticEvent, DiagnosticKind
+from repro.diagnosis.rules import applicable_kinds, static_downcast_warnings
+from repro.model.errors import ValidationError
+from repro.schedule.program import FlatProgram
+
+
+@dataclass
+class ActorInstrumentation:
+    """Everything to observe at one flat actor."""
+
+    actor_index: int
+    path: str
+    # Coverage instrumentation (ids into the shared CoveragePoints layout).
+    actor_point: int = -1
+    condition_base: Optional[tuple[int, int]] = None  # (base, n branches)
+    decision_base: Optional[int] = None
+    mcdc_base: Optional[tuple[int, int]] = None  # (base, n conditions)
+    logic_op: Optional[str] = None  # operator for MC/DC side computation
+    # Data collection (signal monitor).
+    collect: bool = False
+    # Runtime diagnosis kinds wired in at this actor.
+    diagnose_kinds: frozenset[DiagnosticKind] = frozenset()
+    # User callbacks.
+    custom: tuple[CustomDiagnosis, ...] = ()
+
+    @property
+    def needs_diagnosis(self) -> bool:
+        return bool(self.diagnose_kinds) or bool(self.custom)
+
+
+@dataclass
+class InstrumentationPlan:
+    """The program-wide instrumentation decisions."""
+
+    points: CoveragePoints
+    actors: list[ActorInstrumentation] = field(default_factory=list)
+    static_warnings: list[DiagnosticEvent] = field(default_factory=list)
+    coverage_enabled: bool = True
+    diagnostics_enabled: bool = True
+
+    def by_index(self, actor_index: int) -> ActorInstrumentation:
+        return self.actors[actor_index]
+
+
+def build_plan(
+    prog: FlatProgram,
+    *,
+    coverage: bool = True,
+    diagnostics: bool = True,
+    collect: Sequence[str] | str = "outports",
+    diagnose: Sequence[str] | str = "all",
+    custom: Iterable[CustomDiagnosis] = (),
+) -> InstrumentationPlan:
+    """Plan instrumentation for a preprocessed program.
+
+    ``collect`` selects the signal-monitor targets: ``"outports"`` (root
+    output ports plus anything feeding a Scope/Display), ``"all"`` (every
+    actor), or an explicit list of actor paths.  ``diagnose`` selects the
+    diagnosis targets: ``"all"`` (every actor with applicable kinds) or an
+    explicit path list.
+    """
+    points = enumerate_points(prog)
+    plan = InstrumentationPlan(
+        points=points, coverage_enabled=coverage, diagnostics_enabled=diagnostics
+    )
+
+    collect_paths = _resolve_collect(prog, collect)
+    diagnose_paths = _resolve_paths(prog, diagnose)
+    custom_by_path: dict[str, list[CustomDiagnosis]] = {}
+    known_paths = {fa.path for fa in prog.actors}
+    for diag in custom:
+        if diag.actor_path not in known_paths:
+            raise ValidationError(
+                f"custom diagnosis targets unknown actor {diag.actor_path!r}"
+            )
+        custom_by_path.setdefault(diag.actor_path, []).append(diag)
+
+    # Algorithm 1's traversal: actors in execution order (flat order is
+    # already deterministic and the ids come from the shared layout).
+    for fa in prog.actors:
+        spec = get_spec(fa.block_type)
+        inst = ActorInstrumentation(actor_index=fa.index, path=fa.path)
+        if coverage:
+            inst.actor_point = points.actor_point[fa.index]
+            if spec.is_branch:
+                inst.condition_base = points.condition_base[fa.index]
+            if spec.boolean_logic:
+                inst.decision_base = points.decision_base[fa.index]
+            if fa.index in points.mcdc_base:
+                inst.mcdc_base = points.mcdc_base[fa.index]
+                inst.logic_op = fa.actor.operator
+        inst.collect = fa.path in collect_paths
+        if diagnostics and (diagnose_paths is None or fa.path in diagnose_paths):
+            inst.diagnose_kinds = applicable_kinds(fa)
+        inst.custom = tuple(custom_by_path.get(fa.path, ()))
+        plan.actors.append(inst)
+
+    if diagnostics:
+        plan.static_warnings = static_downcast_warnings(prog)
+    return plan
+
+
+def _resolve_collect(prog: FlatProgram, collect: Sequence[str] | str) -> set[str]:
+    if collect == "all":
+        return {fa.path for fa in prog.actors}
+    if collect == "outports":
+        paths = {binding.path for binding in prog.outports}
+        # Anything feeding a Scope/Display is also monitored.
+        for fa in prog.actors:
+            if fa.block_type in ("Scope", "Display"):
+                for sid in fa.input_sids:
+                    producer = prog.signals[sid].producer
+                    if producer is not None:
+                        paths.add(prog.actors[producer].path)
+        return paths
+    if isinstance(collect, str):
+        raise ValidationError(f"unknown collect selector {collect!r}")
+    return _check_paths(prog, collect)
+
+
+def _resolve_paths(
+    prog: FlatProgram, selector: Sequence[str] | str
+) -> Optional[set[str]]:
+    """None means "no restriction" (every actor with applicable kinds)."""
+    if selector == "all":
+        return None
+    if isinstance(selector, str):
+        raise ValidationError(f"unknown diagnose selector {selector!r}")
+    return _check_paths(prog, selector)
+
+
+def _check_paths(prog: FlatProgram, paths: Sequence[str]) -> set[str]:
+    known = {fa.path for fa in prog.actors}
+    unknown = [p for p in paths if p not in known]
+    if unknown:
+        raise ValidationError(f"unknown actor paths: {unknown}")
+    return set(paths)

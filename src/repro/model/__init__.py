@@ -1,0 +1,47 @@
+"""In-memory representation of a Simulink-style dataflow model.
+
+A :class:`Model` is a tree of :class:`Subsystem` scopes; each scope holds
+:class:`Actor` instances (blocks) and the :class:`Connection` wires between
+their ports.  This mirrors how the paper describes Simulink's storage
+(§3.1): an *actors* part with per-actor fundamental information, and a
+*relationships* part with the data-flow wiring.
+
+Models can be constructed three ways:
+
+* programmatically via :class:`ModelBuilder` (the usual route in tests and
+  the benchmark generators),
+* parsed from the XML model-file format (:mod:`repro.slx`),
+* assembled directly from the dataclasses here.
+"""
+
+from repro.model.errors import (
+    ConnectionError_,
+    ModelError,
+    ScheduleError,
+    TypeInferenceError,
+    ValidationError,
+)
+from repro.model.actor import Actor, Port
+from repro.model.connection import Connection, EndPoint
+from repro.model.subsystem import Subsystem
+from repro.model.model import Model
+from repro.model.builder import ModelBuilder, Ref, SubsystemHandle
+from repro.model.validate import validate_model
+
+__all__ = [
+    "Actor",
+    "Port",
+    "Connection",
+    "EndPoint",
+    "Subsystem",
+    "Model",
+    "ModelBuilder",
+    "SubsystemHandle",
+    "Ref",
+    "validate_model",
+    "ModelError",
+    "ValidationError",
+    "ConnectionError_",
+    "ScheduleError",
+    "TypeInferenceError",
+]

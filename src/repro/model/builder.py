@@ -1,0 +1,540 @@
+"""Fluent construction API for models.
+
+Example
+-------
+The Figure-1 motivating model (two accumulators whose sum overflows)::
+
+    from repro.model import ModelBuilder
+    from repro.dtypes import I32
+
+    b = ModelBuilder("Motivate")
+    a = b.inport("A", dtype=I32)
+    c = b.inport("B", dtype=I32)
+    acc_a = b.accumulator("AccA", a, dtype=I32)
+    acc_b = b.accumulator("AccB", c, dtype=I32)
+    total = b.add("Sum", acc_a, acc_b, dtype=I32)
+    b.outport("Out", total)
+    model = b.build()
+
+References returned by builder methods are ``(actor name, output port)``
+pairs local to the current scope; they are accepted anywhere an input is
+expected (a bare string means port 0).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence, Union
+
+from repro.dtypes import BOOL, DType, F64
+from repro.model.actor import Actor
+from repro.model.connection import Connection, EndPoint
+from repro.model.errors import ValidationError
+from repro.model.model import Model
+from repro.model.subsystem import INPORT, OUTPORT, Subsystem
+
+
+class Ref(NamedTuple):
+    """A source reference: an actor (or subsystem) output port in scope."""
+
+    actor: str
+    port: int = 0
+
+
+RefLike = Union[Ref, str, tuple]
+
+
+def as_ref(value: RefLike) -> Ref:
+    """Normalize a user-supplied source reference."""
+    if isinstance(value, Ref):
+        return value
+    if isinstance(value, str):
+        return Ref(value, 0)
+    if isinstance(value, tuple) and len(value) == 2:
+        return Ref(str(value[0]), int(value[1]))
+    raise TypeError(f"cannot interpret {value!r} as a source reference")
+
+
+class ModelBuilder:
+    """Builds a :class:`Model` (or populates one subsystem scope of it)."""
+
+    def __init__(self, name: str, _scope: Optional[Subsystem] = None):
+        if _scope is None:
+            self._model: Optional[Model] = Model(name)
+            self._scope = self._model.root
+        else:
+            self._model = None
+            self._scope = _scope
+        self._fresh_counter = 0
+
+    @property
+    def scope(self) -> Subsystem:
+        return self._scope
+
+    # ------------------------------------------------------------------
+    # core primitives
+    # ------------------------------------------------------------------
+    def block(
+        self,
+        block_type: str,
+        name: str,
+        inputs: Sequence[RefLike] = (),
+        *,
+        operator: Optional[str] = None,
+        n_outputs: int = 1,
+        out_dtype: Optional[DType] = None,
+        params: Optional[dict] = None,
+    ) -> Ref:
+        """Add a generic actor and wire its inputs; returns its output 0."""
+        actor = Actor.create(
+            name,
+            block_type,
+            n_inputs=len(inputs),
+            n_outputs=n_outputs,
+            operator=operator,
+            out_dtype=out_dtype,
+            params=params,
+        )
+        self._scope.add_actor(actor)
+        for port, src in enumerate(inputs):
+            self.connect(src, Ref(name, port))
+        return Ref(name, 0)
+
+    def connect(self, src: RefLike, dst: RefLike) -> None:
+        """Wire a source output port to a destination input port."""
+        s, d = as_ref(src), as_ref(dst)
+        self._scope.connect(Connection(EndPoint(s.actor, s.port), EndPoint(d.actor, d.port)))
+
+    def fresh_name(self, prefix: str) -> str:
+        """A name not yet used in this scope, for generated filler actors."""
+        while True:
+            self._fresh_counter += 1
+            candidate = f"{prefix}{self._fresh_counter}"
+            if candidate not in self._scope.actors and candidate not in self._scope.subsystems:
+                return candidate
+
+    def build(self) -> Model:
+        """Validate and return the finished model (root builders only)."""
+        if self._model is None:
+            raise ValidationError("build() may only be called on the root builder")
+        from repro.model.validate import validate_model
+
+        validate_model(self._model)
+        return self._model
+
+    # ------------------------------------------------------------------
+    # sources and sinks
+    # ------------------------------------------------------------------
+    def inport(self, name: str, *, dtype: DType = F64) -> Ref:
+        index = self._scope.n_boundary_inputs
+        self.block(INPORT, name, out_dtype=dtype, params={"port_index": index})
+        return Ref(name, 0)
+
+    def outport(self, name: str, src: RefLike) -> None:
+        index = self._scope.n_boundary_outputs
+        self.block(OUTPORT, name, [src], n_outputs=0, params={"port_index": index})
+
+    def constant(self, name: str, value, *, dtype: Optional[DType] = None) -> Ref:
+        if dtype is None:
+            dtype = F64 if isinstance(value, float) else DType.I32
+        return self.block("Constant", name, out_dtype=dtype, params={"value": value})
+
+    def terminator(self, name: str, src: RefLike) -> None:
+        self.block("Terminator", name, [src], n_outputs=0)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def sum_(
+        self,
+        name: str,
+        inputs: Sequence[RefLike],
+        *,
+        signs: Optional[str] = None,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """N-ary Sum actor; ``signs`` like ``"+-+"`` (default all ``+``)."""
+        signs = signs or "+" * len(inputs)
+        if len(signs) != len(inputs):
+            raise ValidationError(
+                f"Sum {name!r}: {len(inputs)} inputs but signs {signs!r}"
+            )
+        return self.block("Sum", name, inputs, operator=signs, out_dtype=dtype)
+
+    def add(self, name: str, a: RefLike, b: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.sum_(name, [a, b], signs="++", dtype=dtype)
+
+    def sub(self, name: str, a: RefLike, b: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.sum_(name, [a, b], signs="+-", dtype=dtype)
+
+    def product(
+        self,
+        name: str,
+        inputs: Sequence[RefLike],
+        *,
+        ops: Optional[str] = None,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """N-ary Product actor; ``ops`` like ``"**/"`` (default all ``*``)."""
+        ops = ops or "*" * len(inputs)
+        if len(ops) != len(inputs):
+            raise ValidationError(
+                f"Product {name!r}: {len(inputs)} inputs but ops {ops!r}"
+            )
+        return self.block("Product", name, inputs, operator=ops, out_dtype=dtype)
+
+    def mul(self, name: str, a: RefLike, b: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.product(name, [a, b], ops="**", dtype=dtype)
+
+    def div(self, name: str, a: RefLike, b: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.product(name, [a, b], ops="*/", dtype=dtype)
+
+    def gain(self, name: str, src: RefLike, k, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Gain", name, [src], out_dtype=dtype, params={"gain": k})
+
+    def bias(self, name: str, src: RefLike, b, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Bias", name, [src], out_dtype=dtype, params={"bias": b})
+
+    def math(self, name: str, op: str, src: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        """Unary Math actor: exp, log, log10, sin, cos, tan, sqrt, square,
+        reciprocal, tanh, sinh, cosh, asin, acos, atan, floor, ceil, round."""
+        return self.block("Math", name, [src], operator=op, out_dtype=dtype)
+
+    def abs_(self, name: str, src: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Abs", name, [src], out_dtype=dtype)
+
+    def neg(self, name: str, src: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("UnaryMinus", name, [src], out_dtype=dtype)
+
+    def sign(self, name: str, src: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Signum", name, [src], out_dtype=dtype)
+
+    def sqrt(self, name: str, src: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Sqrt", name, [src], out_dtype=dtype)
+
+    def min_max(
+        self,
+        name: str,
+        op: str,
+        inputs: Sequence[RefLike],
+        *,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """``op`` is ``"min"`` or ``"max"``."""
+        return self.block("MinMax", name, inputs, operator=op, out_dtype=dtype)
+
+    def mod(self, name: str, a: RefLike, b: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Mod", name, [a, b], out_dtype=dtype)
+
+    def saturation(
+        self, name: str, src: RefLike, lower, upper, *, dtype: Optional[DType] = None
+    ) -> Ref:
+        return self.block(
+            "Saturation", name, [src], out_dtype=dtype, params={"lower": lower, "upper": upper}
+        )
+
+    def dead_zone(
+        self, name: str, src: RefLike, start, end, *, dtype: Optional[DType] = None
+    ) -> Ref:
+        return self.block(
+            "DeadZone", name, [src], out_dtype=dtype, params={"start": start, "end": end}
+        )
+
+    def dtc(self, name: str, src: RefLike, dtype: DType) -> Ref:
+        """DataTypeConversion to ``dtype``."""
+        return self.block("DataTypeConversion", name, [src], out_dtype=dtype)
+
+    def rounding(self, name: str, op: str, src: RefLike, *, dtype: Optional[DType] = None) -> Ref:
+        """``op`` in floor/ceil/round/fix."""
+        return self.block("Rounding", name, [src], operator=op, out_dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # bitwise / shifts
+    # ------------------------------------------------------------------
+    def bitwise(
+        self,
+        name: str,
+        op: str,
+        inputs: Sequence[RefLike],
+        *,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """``op`` in AND/OR/XOR/NOT (NOT takes one input)."""
+        return self.block("Bitwise", name, inputs, operator=op, out_dtype=dtype)
+
+    def shift(
+        self, name: str, op: str, src: RefLike, amount: int, *, dtype: Optional[DType] = None
+    ) -> Ref:
+        """Arithmetic shift by a constant; ``op`` in ``<<``/``>>``."""
+        return self.block(
+            "Shift", name, [src], operator=op, out_dtype=dtype, params={"amount": amount}
+        )
+
+    # ------------------------------------------------------------------
+    # logic / relational / control
+    # ------------------------------------------------------------------
+    def relational(self, name: str, op: str, a: RefLike, b: RefLike) -> Ref:
+        """``op`` in ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``."""
+        return self.block("RelationalOperator", name, [a, b], operator=op, out_dtype=BOOL)
+
+    def logic(self, name: str, op: str, inputs: Sequence[RefLike]) -> Ref:
+        """N-ary Logic actor; ``op`` in AND/OR/NAND/NOR/XOR/NOT."""
+        return self.block("Logic", name, inputs, operator=op, out_dtype=BOOL)
+
+    def not_(self, name: str, src: RefLike) -> Ref:
+        return self.logic(name, "NOT", [src])
+
+    def switch(
+        self,
+        name: str,
+        on_true: RefLike,
+        control: RefLike,
+        on_false: RefLike,
+        *,
+        threshold=0,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """Switch actor: output is ``on_true`` when ``control >= threshold``
+        (Simulink's default criterion), else ``on_false``."""
+        return self.block(
+            "Switch",
+            name,
+            [on_true, control, on_false],
+            out_dtype=dtype,
+            params={"threshold": threshold},
+        )
+
+    def multiport_switch(
+        self,
+        name: str,
+        control: RefLike,
+        cases: Sequence[RefLike],
+        *,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """Output selects ``cases[control]``; out-of-range clamps (flagged)."""
+        return self.block("MultiportSwitch", name, [control, *cases], out_dtype=dtype)
+
+    def merge(self, name: str, inputs: Sequence[RefLike], *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Merge", name, inputs, out_dtype=dtype)
+
+    def relay(
+        self,
+        name: str,
+        src: RefLike,
+        *,
+        on_threshold,
+        off_threshold,
+        on_value=1,
+        off_value=0,
+        initial_on: bool = False,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """Hysteresis switch: latches on at ``on_threshold``, off at
+        ``off_threshold``, holds in between."""
+        return self.block(
+            "Relay",
+            name,
+            [src],
+            out_dtype=dtype,
+            params={
+                "on_threshold": on_threshold,
+                "off_threshold": off_threshold,
+                "on_value": on_value,
+                "off_value": off_value,
+                "initial_on": initial_on,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # stateful actors
+    # ------------------------------------------------------------------
+    def unit_delay(
+        self, name: str, src: RefLike, *, initial=0, dtype: Optional[DType] = None
+    ) -> Ref:
+        return self.block(
+            "UnitDelay", name, [src], out_dtype=dtype, params={"initial": initial}
+        )
+
+    def delay(
+        self, name: str, src: RefLike, length: int, *, initial=0, dtype: Optional[DType] = None
+    ) -> Ref:
+        return self.block(
+            "Delay", name, [src], out_dtype=dtype, params={"length": length, "initial": initial}
+        )
+
+    def memory(self, name: str, src: RefLike, *, initial=0, dtype: Optional[DType] = None) -> Ref:
+        return self.block("Memory", name, [src], out_dtype=dtype, params={"initial": initial})
+
+    def accumulator(
+        self, name: str, src: RefLike, *, initial=0, dtype: Optional[DType] = None
+    ) -> Ref:
+        """Discrete accumulator: state += input each step, outputs new state."""
+        return self.block(
+            "Accumulator", name, [src], out_dtype=dtype, params={"initial": initial}
+        )
+
+    def discrete_integrator(
+        self,
+        name: str,
+        src: RefLike,
+        *,
+        gain=1.0,
+        initial=0.0,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        return self.block(
+            "DiscreteIntegrator",
+            name,
+            [src],
+            out_dtype=dtype,
+            params={"gain": gain, "initial": initial},
+        )
+
+    def continuous_integrator(
+        self,
+        name: str,
+        src: RefLike,
+        *,
+        solver: str = "ab2",
+        initial: float = 0.0,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """Fixed-step Adams-Bashforth integrator over the input derivative
+        (``solver`` in euler/ab2/ab3) — continuous-model support."""
+        return self.block(
+            "ContinuousIntegrator",
+            name,
+            [src],
+            out_dtype=dtype,
+            params={"solver": solver, "initial": initial},
+        )
+
+    def counter(
+        self, name: str, *, limit: int, dtype: Optional[DType] = None
+    ) -> Ref:
+        """Free-running counter 0..limit-1, wrapping."""
+        return self.block("Counter", name, out_dtype=dtype, params={"limit": limit})
+
+    # ------------------------------------------------------------------
+    # data stores
+    # ------------------------------------------------------------------
+    def data_store(self, name: str, *, dtype: DType, initial=0) -> str:
+        """Declare a DataStoreMemory; returns the store name for read/write."""
+        self.block(
+            "DataStoreMemory",
+            name,
+            n_outputs=0,
+            params={"initial": initial, "dtype": dtype.short_name},
+        )
+        return name
+
+    def ds_read(self, name: str, store: str, *, dtype: Optional[DType] = None) -> Ref:
+        return self.block("DataStoreRead", name, out_dtype=dtype, params={"store": store})
+
+    def ds_write(self, name: str, store: str, src: RefLike) -> None:
+        self.block("DataStoreWrite", name, [src], n_outputs=0, params={"store": store})
+
+    # ------------------------------------------------------------------
+    # lookup / indexing
+    # ------------------------------------------------------------------
+    def lookup1d(
+        self,
+        name: str,
+        src: RefLike,
+        breakpoints: Sequence[float],
+        table: Sequence[float],
+        *,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """1-D lookup with linear interpolation and end clipping."""
+        return self.block(
+            "Lookup1D",
+            name,
+            [src],
+            out_dtype=dtype,
+            params={"breakpoints": list(breakpoints), "table": list(table)},
+        )
+
+    def direct_lookup(
+        self,
+        name: str,
+        index: RefLike,
+        table: Sequence,
+        *,
+        dtype: Optional[DType] = None,
+    ) -> Ref:
+        """Direct table indexing — the array-out-of-bounds diagnosis target."""
+        return self.block(
+            "DirectLookup", name, [index], out_dtype=dtype, params={"table": list(table)}
+        )
+
+    def quantizer(
+        self, name: str, src: RefLike, interval, *, dtype: Optional[DType] = None
+    ) -> Ref:
+        return self.block(
+            "Quantizer", name, [src], out_dtype=dtype, params={"interval": interval}
+        )
+
+    # ------------------------------------------------------------------
+    # subsystems
+    # ------------------------------------------------------------------
+    def subsystem(self, name: str, inputs: Sequence[RefLike] = ()) -> "SubsystemHandle":
+        child = Subsystem(name)
+        self._scope.add_subsystem(child)
+        handle = SubsystemHandle(self, child)
+        for src in inputs:
+            handle.add_input(src)
+        return handle
+
+
+class SubsystemHandle:
+    """Handle for populating a child subsystem and wiring its boundary."""
+
+    def __init__(self, parent: ModelBuilder, scope: Subsystem):
+        self._parent = parent
+        self._scope = scope
+        self.inner = ModelBuilder(scope.name, _scope=scope)
+
+    @property
+    def name(self) -> str:
+        return self._scope.name
+
+    def add_input(self, src: RefLike, *, name: Optional[str] = None) -> Ref:
+        """Create the next boundary Inport fed from ``src`` in the parent;
+        returns the inner reference to read it from."""
+        if self._scope.has_enable_port:
+            raise ValidationError(
+                f"subsystem {self._scope.name!r}: add all inputs before set_enable() "
+                f"(the enable slot must stay the last parent-side input)"
+            )
+        index = self._scope.n_boundary_inputs
+        port_name = name or f"In{index + 1}"
+        self.inner.block(INPORT, port_name, params={"port_index": index})
+        self._parent.connect(src, Ref(self._scope.name, index))
+        return Ref(port_name, 0)
+
+    def input_ref(self, index: int) -> Ref:
+        ports = self._scope.boundary_ports(INPORT)
+        return Ref(ports[index].name, 0)
+
+    def set_enable(self, src: RefLike, *, name: str = "Enable") -> None:
+        """Make this subsystem conditionally executed: it runs only on steps
+        where the parent-scope signal ``src`` is positive; its signals hold
+        their previous values otherwise."""
+        if self._scope.has_enable_port:
+            raise ValidationError(
+                f"subsystem {self._scope.name!r} already has an enable port"
+            )
+        self.inner.block("EnablePort", name, n_outputs=0)
+        self._parent.connect(src, Ref(self._scope.name, self._scope.enable_slot))
+
+    def set_output(self, src: RefLike, *, name: Optional[str] = None) -> Ref:
+        """Create the next boundary Outport fed from the inner ``src``;
+        returns the parent-scope reference to the subsystem's new output."""
+        index = self._scope.n_boundary_outputs
+        port_name = name or f"Out{index + 1}"
+        self.inner.block(OUTPORT, port_name, [src], n_outputs=0, params={"port_index": index})
+        return Ref(self._scope.name, index)
+
+    def out(self, index: int = 0) -> Ref:
+        return Ref(self._scope.name, index)

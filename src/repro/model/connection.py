@@ -1,0 +1,41 @@
+"""Wires between actor ports — the model file's *relationships* part."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EndPoint:
+    """One end of a wire: an actor (or child subsystem) name plus a port
+    index, both local to the enclosing subsystem scope."""
+
+    actor: str
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ValueError(f"port index must be non-negative, got {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.actor}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed wire from a source output port to a destination input port.
+
+    One source may fan out to many destinations; each destination input port
+    must be driven by exactly one source (validated in
+    :mod:`repro.model.validate`).
+    """
+
+    src: EndPoint
+    dst: EndPoint
+
+    @classmethod
+    def of(cls, src_actor: str, src_port: int, dst_actor: str, dst_port: int) -> "Connection":
+        return cls(EndPoint(src_actor, src_port), EndPoint(dst_actor, dst_port))
+
+    def __str__(self) -> str:
+        return f"{self.src} -> {self.dst}"

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the model layer and the preprocessing steps."""
+
+from __future__ import annotations
+
+
+class ModelError(Exception):
+    """Base class for every error raised by this library's model handling."""
+
+
+class ValidationError(ModelError):
+    """The model is structurally invalid (bad names, unconnected ports...)."""
+
+
+class ConnectionError_(ValidationError):
+    """A wire references a missing actor/port or double-drives an input.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``ConnectionError`` (an OSError subclass with unrelated meaning).
+    """
+
+
+class ScheduleError(ModelError):
+    """Execution order cannot be established (e.g. an algebraic loop)."""
+
+
+class TypeInferenceError(ModelError):
+    """Signal data types cannot be resolved consistently."""
+
+
+class ParseError(ModelError):
+    """A model file could not be parsed."""
+
+
+class CodegenError(ModelError):
+    """Simulation code could not be generated for the model."""
+
+
+class CompilationError(CodegenError):
+    """The external C compiler rejected the generated code."""
+
+
+class SimulationError(ModelError):
+    """A simulation run failed to execute or report results."""

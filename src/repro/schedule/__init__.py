@@ -1,0 +1,37 @@
+"""Model preprocessing: hierarchy flattening, execution order, and signal
+type inference.
+
+This package implements the paper's first step (§3.1): parse the model's
+actors, reconstruct the data flow from the relationship part, and derive an
+execution order by topological sorting of the directed computation graph.
+Its product is a :class:`~repro.schedule.program.FlatProgram` — the single
+intermediate representation every engine and the code generator consume.
+"""
+
+from repro.schedule.program import (
+    EvalGuard,
+    ExecActor,
+    FlatActor,
+    FlatProgram,
+    Guard,
+    SignalInfo,
+    StoreInfo,
+)
+from repro.schedule.flatten import flatten
+from repro.schedule.order import compute_execution_order
+from repro.schedule.typeinfer import infer_types
+from repro.schedule.compile import preprocess
+
+__all__ = [
+    "FlatProgram",
+    "FlatActor",
+    "SignalInfo",
+    "StoreInfo",
+    "Guard",
+    "ExecActor",
+    "EvalGuard",
+    "flatten",
+    "compute_execution_order",
+    "infer_types",
+    "preprocess",
+]

@@ -1,0 +1,24 @@
+"""The full preprocessing pipeline in one call."""
+
+from __future__ import annotations
+
+from repro.model.model import Model
+from repro.model.validate import validate_model
+from repro.schedule.flatten import flatten
+from repro.schedule.order import compute_execution_order
+from repro.schedule.program import FlatProgram
+from repro.schedule.typeinfer import infer_types
+
+
+def preprocess(model: Model, *, dt: float = 1.0) -> FlatProgram:
+    """Validate, flatten, type-infer, and schedule a model.
+
+    This is the paper's complete Model Preprocessing step; the returned
+    :class:`FlatProgram` is what every engine and the code generator take
+    as input.
+    """
+    validate_model(model)
+    prog = flatten(model, dt=dt)
+    infer_types(prog)
+    compute_execution_order(prog)
+    return prog

@@ -1,0 +1,249 @@
+"""Hierarchy flattening.
+
+Turns the subsystem tree into a flat actor list with numbered signals:
+
+* every real actor output becomes a signal;
+* subsystem boundary plumbing (nested Inport/Outport actors and the
+  parent-side virtual ports of a subsystem) is resolved away by aliasing,
+  so crossing a subsystem boundary costs nothing at runtime;
+* enabled subsystems become :class:`~repro.schedule.program.Guard` records,
+  and every actor inside carries the innermost guard id;
+* ``DataStoreMemory`` declarations are collected into the store table.
+
+Signals are *persistent* across steps in every engine, which is what gives
+enabled subsystems their hold-last-value semantics for free: a disabled
+region simply does not recompute its signals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.dtypes import DType
+from repro.model.actor import Actor
+from repro.model.errors import ValidationError
+from repro.model.model import Model
+from repro.model.subsystem import INPORT, OUTPORT, Subsystem
+from repro.schedule.program import (
+    FlatActor,
+    FlatProgram,
+    Guard,
+    PortBinding,
+    SignalInfo,
+    StoreInfo,
+)
+
+# Block types that never become flat actors.
+_STRUCTURAL = ("EnablePort", "DataStoreMemory")
+
+_SigKey = tuple[str, str, int]  # (scope_path, actor_or_child_name, out_port)
+_DeferredAlias = tuple[str, str, str, int]  # ("input_of", scope_path, actor, port)
+
+
+class _Flattener:
+    def __init__(self, model: Model, dt: float):
+        self.model = model
+        self.prog = FlatProgram(model=model, dt=dt)
+        self.sids: dict[_SigKey, int] = {}
+        self.names: dict[int, str] = {}
+        self.alias: dict[int, Union[int, _DeferredAlias]] = {}
+        self.input_src: dict[tuple[str, str, int], int] = {}
+        self.enable_src: dict[str, int] = {}  # child scope path -> raw sid
+
+    # ------------------------------------------------------------------
+    def run(self) -> FlatProgram:
+        root = self.model.root
+        self._allocate(root, root.name)
+        self._wire(root, root.name)
+        self._emit(root, root.name, guard=None)
+        self._fill_merge_guards()
+        self._compact()
+        return self.prog
+
+    # ------------------------------------------------------------------
+    # pass 1: allocate signal ids for every output port (incl. plumbing)
+    # ------------------------------------------------------------------
+    def _allocate(self, scope: Subsystem, path: str) -> None:
+        for actor in scope.actors.values():
+            for port in range(actor.n_outputs):
+                self._new_sid((path, actor.name, port), self._sig_name(path, actor, port))
+            if actor.block_type == "DataStoreMemory":
+                self._declare_store(actor, path)
+        for child in scope.subsystems.values():
+            child_path = f"{path}_{child.name}"
+            for k in range(child.n_boundary_outputs):
+                self._new_sid((path, child.name, k), f"{child_path}_vout{k}")
+            self._allocate(child, child_path)
+
+    def _new_sid(self, key: _SigKey, name: str) -> int:
+        sid = len(self.sids)
+        self.sids[key] = sid
+        self.names[sid] = name
+        return sid
+
+    @staticmethod
+    def _sig_name(path: str, actor: Actor, port: int) -> str:
+        base = f"{path}_{actor.name}"
+        return f"{base}_out" if actor.n_outputs == 1 else f"{base}_out{port}"
+
+    def _declare_store(self, actor: Actor, path: str) -> None:
+        if actor.name in self.prog.stores:
+            raise ValidationError(
+                f"data store {actor.name!r} declared in more than one scope "
+                f"({self.prog.stores[actor.name].path} and {path})"
+            )
+        dtype = DType.parse(actor.params["dtype"])
+        self.prog.stores[actor.name] = StoreInfo(
+            name=actor.name,
+            dtype=dtype,
+            initial=actor.params.get("initial", 0),
+            path=f"{path}_{actor.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # pass 2: record wiring, aliases, and enable sources
+    # ------------------------------------------------------------------
+    def _wire(self, scope: Subsystem, path: str) -> None:
+        for conn in scope.connections:
+            src_sid = self.sids[(path, conn.src.actor, conn.src.port)]
+            dst_name, dst_port = conn.dst.actor, conn.dst.port
+            if dst_name in scope.actors:
+                self.input_src[(path, dst_name, dst_port)] = src_sid
+                continue
+            child = scope.subsystems[dst_name]
+            child_path = f"{path}_{child.name}"
+            if child.has_enable_port and dst_port == child.enable_slot:
+                self.enable_src[child_path] = src_sid
+            else:
+                inport = child.boundary_ports(INPORT)[dst_port]
+                inner_sid = self.sids[(child_path, inport.name, 0)]
+                self.alias[inner_sid] = src_sid
+
+        for child in scope.subsystems.values():
+            child_path = f"{path}_{child.name}"
+            # Parent-side virtual outputs alias the inner Outport's source.
+            for k, outport in enumerate(child.boundary_ports(OUTPORT)):
+                virt_sid = self.sids[(path, child.name, k)]
+                self.alias[virt_sid] = ("input_of", child_path, outport.name, 0)
+            self._wire(child, child_path)
+
+    def _resolve(self, sid: int) -> int:
+        seen = set()
+        while sid in self.alias:
+            if sid in seen:
+                raise ValidationError("cyclic boundary aliasing detected")
+            seen.add(sid)
+            target = self.alias[sid]
+            if isinstance(target, tuple):
+                _, scope_path, actor, port = target
+                sid = self.input_src[(scope_path, actor, port)]
+            else:
+                sid = target
+        return sid
+
+    # ------------------------------------------------------------------
+    # pass 3: create guards and flat actors in deterministic order
+    # ------------------------------------------------------------------
+    def _emit(self, scope: Subsystem, path: str, guard: Optional[int]) -> None:
+        is_root = scope is self.model.root
+        for actor in scope.actors.values():
+            if actor.block_type in _STRUCTURAL:
+                continue
+            if not is_root and actor.block_type in (INPORT, OUTPORT):
+                continue  # boundary plumbing, aliased away
+            self._emit_actor(actor, path, guard, is_root)
+        for child in scope.subsystems.values():
+            child_path = f"{path}_{child.name}"
+            child_guard = guard
+            if child.has_enable_port:
+                if child_path not in self.enable_src:
+                    raise ValidationError(
+                        f"{child_path}: enabled subsystem has no enable connection"
+                    )
+                gid = len(self.prog.guards)
+                self.prog.guards.append(
+                    Guard(
+                        gid=gid,
+                        signal=self._resolve(self.enable_src[child_path]),
+                        parent=guard,
+                        path=child_path,
+                    )
+                )
+                child_guard = gid
+            self._emit(child, child_path, child_guard)
+
+    def _emit_actor(
+        self, actor: Actor, path: str, guard: Optional[int], is_root: bool
+    ) -> None:
+        index = len(self.prog.actors)
+        input_sids = tuple(
+            self._resolve(self.input_src[(path, actor.name, port)])
+            for port in range(actor.n_inputs)
+        )
+        output_sids = tuple(
+            self.sids[(path, actor.name, port)] for port in range(actor.n_outputs)
+        )
+        fa = FlatActor(
+            index=index,
+            path=f"{path}_{actor.name}",
+            actor=actor.copy(),
+            guard=guard,
+            input_sids=input_sids,
+            output_sids=output_sids,
+        )
+        self.prog.actors.append(fa)
+        if is_root and actor.block_type == INPORT:
+            self.prog.inports.append(
+                PortBinding(actor.name, fa.path, output_sids[0], actor.outputs[0].dtype)
+            )
+        if is_root and actor.block_type == OUTPORT:
+            self.prog.outports.append(PortBinding(actor.name, fa.path, input_sids[0]))
+
+    # ------------------------------------------------------------------
+    # final passes
+    # ------------------------------------------------------------------
+    def _fill_merge_guards(self) -> None:
+        producer_guard: dict[int, Optional[int]] = {}
+        for fa in self.prog.actors:
+            for sid in fa.output_sids:
+                producer_guard[sid] = fa.guard
+        for fa in self.prog.actors:
+            if fa.block_type == "Merge":
+                fa.merge_src_guards = tuple(
+                    producer_guard.get(sid) for sid in fa.input_sids
+                )
+
+    def _compact(self) -> None:
+        """Renumber signals densely, keeping only real (produced) ones."""
+        remap: dict[int, int] = {}
+        for fa in self.prog.actors:
+            for sid in fa.output_sids:
+                if sid not in remap:
+                    remap[sid] = len(remap)
+
+        def m(sid: int) -> int:
+            try:
+                return remap[sid]
+            except KeyError:
+                raise ValidationError(
+                    f"signal {self.names.get(sid, sid)!r} has no producer"
+                ) from None
+
+        inverse = {new: old for old, new in remap.items()}
+        self.prog.signals = [
+            SignalInfo(sid=i, name=self.names[inverse[i]]) for i in range(len(remap))
+        ]
+        for fa in self.prog.actors:
+            fa.input_sids = tuple(m(s) for s in fa.input_sids)
+            fa.output_sids = tuple(m(s) for s in fa.output_sids)
+            for sid in fa.output_sids:
+                self.prog.signals[sid].producer = fa.index
+        for guard in self.prog.guards:
+            guard.signal = m(guard.signal)
+        for binding in self.prog.inports + self.prog.outports:
+            binding.sid = m(binding.sid)
+
+
+def flatten(model: Model, *, dt: float = 1.0) -> FlatProgram:
+    """Flatten ``model`` into a :class:`FlatProgram` (no order/types yet)."""
+    return _Flattener(model, dt).run()

@@ -1,0 +1,129 @@
+"""Execution-order computation (the paper's *schedule convert* module).
+
+Builds the directed computation graph over flattened actors and guard
+evaluations, then topologically sorts it.  Edge rules:
+
+* data: a signal's producer precedes each *direct-feedthrough* consumer
+  (non-feedthrough actors — delays, integrators — read state, not their
+  current input, so their input edges are omitted; that is what makes
+  feedback loops schedulable);
+* guards: a guard's enable-signal producer and its parent guard precede
+  the guard's evaluation node, which precedes every node it guards;
+* data stores: every read of a store precedes every write of it, so reads
+  observe the previous step's value;
+* Merge: each input's producer *and* that producer's guard evaluation
+  precede the Merge.
+
+A cycle over these edges is an algebraic loop; :class:`ScheduleError`
+reports one witness cycle by actor path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.actors.registry import get_spec
+from repro.model.errors import ScheduleError
+from repro.schedule.program import EvalGuard, ExecActor, FlatProgram, Node
+
+
+def compute_execution_order(prog: FlatProgram) -> None:
+    """Fill ``prog.order`` with a deterministic topological node order."""
+    nodes: list[Node] = [ExecActor(fa.index) for fa in prog.actors]
+    nodes += [EvalGuard(g.gid) for g in prog.guards]
+    node_pos = {node: i for i, node in enumerate(nodes)}
+
+    edges: dict[Node, set[Node]] = {node: set() for node in nodes}  # dep -> dependents
+    indegree: dict[Node, int] = {node: 0 for node in nodes}
+
+    def add_edge(before: Node, after: Node) -> None:
+        if after not in edges[before]:
+            edges[before].add(after)
+            indegree[after] += 1
+
+    producer_node: dict[int, Node] = {}
+    for fa in prog.actors:
+        for sid in fa.output_sids:
+            producer_node[sid] = ExecActor(fa.index)
+
+    store_reads: dict[str, list[Node]] = {}
+    store_writes: dict[str, list[Node]] = {}
+
+    for fa in prog.actors:
+        node = ExecActor(fa.index)
+        spec = get_spec(fa.block_type)
+        if spec.direct_feedthrough:
+            for sid in fa.input_sids:
+                add_edge(producer_node[sid], node)
+        if fa.guard is not None:
+            add_edge(EvalGuard(fa.guard), node)
+        if fa.block_type == "DataStoreRead":
+            store_reads.setdefault(fa.actor.params["store"], []).append(node)
+        elif fa.block_type == "DataStoreWrite":
+            store_writes.setdefault(fa.actor.params["store"], []).append(node)
+        if fa.block_type == "Merge" and fa.merge_src_guards:
+            for gid in fa.merge_src_guards:
+                if gid is not None:
+                    add_edge(EvalGuard(gid), node)
+
+    for guard in prog.guards:
+        node = EvalGuard(guard.gid)
+        add_edge(producer_node[guard.signal], node)
+        if guard.parent is not None:
+            add_edge(EvalGuard(guard.parent), node)
+
+    for store, writes in store_writes.items():
+        for read in store_reads.get(store, []):
+            for write in writes:
+                add_edge(read, write)
+
+    # Kahn's algorithm with a position-keyed heap for determinism.
+    ready = [(node_pos[n], n) for n in nodes if indegree[n] == 0]
+    heapq.heapify(ready)
+    order: list[Node] = []
+    while ready:
+        _, node = heapq.heappop(ready)
+        order.append(node)
+        for dependent in edges[node]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                heapq.heappush(ready, (node_pos[dependent], dependent))
+
+    if len(order) != len(nodes):
+        raise ScheduleError(
+            "algebraic loop detected: " + _describe_cycle(prog, edges, indegree)
+        )
+    prog.order = order
+
+
+def _describe_cycle(
+    prog: FlatProgram,
+    edges: dict[Node, set[Node]],
+    indegree: dict[Node, int],
+) -> str:
+    """Find one cycle among the unresolved nodes for the error message."""
+    remaining = {n for n, d in indegree.items() if d > 0}
+
+    def name(node: Node) -> str:
+        if isinstance(node, ExecActor):
+            return prog.actors[node.actor_index].path
+        return f"guard({prog.guards[node.gid].path})"
+
+    start = next(iter(remaining))
+    path: list[Node] = [start]
+    seen: dict[Node, int] = {start: 0}
+    node: Optional[Node] = start
+    while node is not None:
+        successor = next(
+            (m for m in edges[node] if m in remaining), None
+        )
+        if successor is None:
+            break
+        if successor in seen:
+            cycle = path[seen[successor]:] + [successor]
+            return " -> ".join(name(n) for n in cycle)
+        seen[successor] = len(path)
+        path.append(successor)
+        node = successor
+    return ", ".join(sorted(name(n) for n in remaining))

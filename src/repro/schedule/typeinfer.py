@@ -1,0 +1,77 @@
+"""Signal data-type inference.
+
+The model file records port types "as default values" (§3.1 of the paper);
+concrete types are pinned only where the modeller chose them (Inports,
+DataTypeConversion, explicitly typed blocks).  This pass propagates types
+forward along the flattened data flow to a fixpoint:
+
+1. seed every pinned output port;
+2. repeatedly visit actors whose input types are all known and ask their
+   semantics class for default output types;
+3. stop when nothing changes; leftover unknowns are an error (feedback
+   loops must pin at least one dtype, like in Simulink).
+
+After inference each actor is re-validated against its spec, which catches
+resolved-type conflicts (e.g. a Bitwise actor receiving floats).
+"""
+
+from __future__ import annotations
+
+from repro.actors.registry import get_spec
+from repro.model.errors import TypeInferenceError, ValidationError
+from repro.schedule.program import FlatProgram
+
+
+def infer_types(prog: FlatProgram) -> None:
+    """Resolve every signal's dtype in place."""
+    store_dtypes = {name: info.dtype for name, info in prog.stores.items()}
+    sig_dtype = [None] * prog.n_signals
+
+    # Seed pinned ports.
+    for fa in prog.actors:
+        if fa.block_type == "Inport" and fa.actor.outputs[0].dtype is None:
+            raise TypeInferenceError(
+                f"{fa.path}: root Inport must pin its data type"
+            )
+        for port, sid in zip(fa.actor.outputs, fa.output_sids):
+            if port.dtype is not None:
+                sig_dtype[sid] = port.dtype
+
+    # Forward fixpoint.
+    pending = [fa for fa in prog.actors if any(sig_dtype[s] is None for s in fa.output_sids)]
+    while pending:
+        progressed = False
+        still_pending = []
+        for fa in pending:
+            in_dtypes = tuple(sig_dtype[s] for s in fa.input_sids)
+            if any(dt is None for dt in in_dtypes):
+                still_pending.append(fa)
+                continue
+            semantics = get_spec(fa.block_type).semantics
+            try:
+                inferred = semantics.infer_out_dtypes(fa.actor, in_dtypes, store_dtypes)
+            except ValidationError:
+                raise
+            for sid, dtype in zip(fa.output_sids, inferred):
+                if sig_dtype[sid] is None:
+                    sig_dtype[sid] = dtype
+            progressed = True
+        if not progressed:
+            unresolved = ", ".join(fa.path for fa in still_pending[:5])
+            raise TypeInferenceError(
+                f"cannot infer signal types (pin a dtype to break the cycle); "
+                f"unresolved at: {unresolved}"
+            )
+        pending = still_pending
+
+    # Write back to signals and actor port copies; re-validate.
+    for sid, dtype in enumerate(sig_dtype):
+        prog.signals[sid].dtype = dtype
+    for fa in prog.actors:
+        for port, sid in zip(fa.actor.inputs, fa.input_sids):
+            port.dtype = sig_dtype[sid]
+        for port, sid in zip(fa.actor.outputs, fa.output_sids):
+            port.dtype = sig_dtype[sid]
+        get_spec(fa.block_type).check_actor(fa.actor, fa.path)
+    for binding in prog.inports + prog.outports:
+        binding.dtype = sig_dtype[binding.sid]

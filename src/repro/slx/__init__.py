@@ -1,0 +1,31 @@
+"""The model file format.
+
+Mirrors how the paper describes Simulink's storage (§3.1): a model file
+has two parts — an *actors* part holding each block's fundamental
+information (name, type, calculation operator, I/O port counts, with data
+types recorded only where the modeller pinned them) and a *relationships*
+part holding every data-flow connection.  The on-disk encoding is XML
+(Simulink's ``.slx`` is itself zipped XML).
+
+Round trip is lossless: ``parse_model(write_model(m)) == m`` structurally.
+"""
+
+from repro.slx.writer import model_to_xml, save_model
+from repro.slx.parser import load_model, parse_model
+from repro.slx.generic import (
+    generic_to_model,
+    load_generic,
+    model_to_generic,
+    save_generic,
+)
+
+__all__ = [
+    "model_to_xml",
+    "save_model",
+    "parse_model",
+    "load_model",
+    "model_to_generic",
+    "generic_to_model",
+    "save_generic",
+    "load_generic",
+]

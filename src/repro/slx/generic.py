@@ -1,0 +1,177 @@
+"""Generic JSON dataflow interchange (the paper's §5 extensibility).
+
+The paper proposes "a well-structured intermediate representation that
+ensures compatibility with various model-driven design tools"
+(Ptolemy-II, SCADE, Tsmart...).  This module defines that interchange
+surface: a flat, tool-neutral JSON encoding of a dataflow model —
+blocks with dotted scope paths, typed output ports, and ``from -> to``
+wires — plus lossless conversion to and from the native :class:`Model`.
+
+An external tool only has to emit this JSON to get the whole AccMoS
+pipeline (preprocessing, instrumentation, all four engines) for free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.dtypes import DType
+from repro.model.actor import Actor
+from repro.model.connection import Connection, EndPoint
+from repro.model.errors import ParseError
+from repro.model.model import Model
+from repro.model.subsystem import Subsystem
+from repro.model.validate import validate_model
+
+FORMAT_NAME = "accmos-dataflow"
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+def _export_block(actor: Actor, scope_path: str) -> dict[str, Any]:
+    block: dict[str, Any] = {
+        "id": actor.name,
+        "scope": scope_path,
+        "type": actor.block_type,
+        "inputs": actor.n_inputs,
+        "outputs": [
+            {"dtype": port.dtype.short_name} if port.dtype is not None else {}
+            for port in actor.outputs
+        ],
+    }
+    if actor.operator is not None:
+        block["operator"] = actor.operator
+    if actor.params:
+        block["params"] = actor.params
+    return block
+
+
+def model_to_generic(model: Model) -> dict[str, Any]:
+    """Encode a model as the generic interchange document."""
+    blocks: list[dict[str, Any]] = []
+    scopes: list[str] = []
+    wires: list[dict[str, str]] = []
+
+    def walk(scope: Subsystem, path: str) -> None:
+        for actor in scope.actors.values():
+            blocks.append(_export_block(actor, path))
+        for conn in scope.connections:
+            wires.append({"from": str(conn.src), "to": str(conn.dst),
+                          "scope": path})
+        for child in scope.subsystems.values():
+            child_path = f"{path}.{child.name}" if path else child.name
+            scopes.append(child_path)
+            walk(child, child_path)
+
+    walk(model.root, "")
+    document: dict[str, Any] = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": model.name,
+        "scopes": scopes,
+        "blocks": blocks,
+        "wires": wires,
+    }
+    if model.description:
+        document["description"] = model.description
+    if model.metadata:
+        document["metadata"] = model.metadata
+    return document
+
+
+def save_generic(model: Model, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(model_to_generic(model), indent=2, sort_keys=False) + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# import
+# ----------------------------------------------------------------------
+def _parse_endpoint(text: str) -> EndPoint:
+    name, sep, port = str(text).rpartition(":")
+    if not sep:
+        raise ParseError(f"malformed wire endpoint {text!r} (want block:port)")
+    try:
+        return EndPoint(name, int(port))
+    except ValueError:
+        raise ParseError(f"malformed wire endpoint {text!r}") from None
+
+
+def generic_to_model(document: dict[str, Any]) -> Model:
+    """Decode an interchange document into a validated :class:`Model`."""
+    if document.get("format") != FORMAT_NAME:
+        raise ParseError(
+            f"not an {FORMAT_NAME} document (format={document.get('format')!r})"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ParseError(
+            f"unsupported {FORMAT_NAME} version {document.get('version')!r}"
+        )
+    name = document.get("name")
+    if not name:
+        raise ParseError("document has no model name")
+
+    root = Subsystem(name)
+    scope_index: dict[str, Subsystem] = {"": root}
+    for dotted in document.get("scopes", ()):
+        parts = dotted.split(".")
+        parent = ".".join(parts[:-1])
+        if parent not in scope_index:
+            raise ParseError(f"scope {dotted!r} declared before parent {parent!r}")
+        child = Subsystem(parts[-1])
+        scope_index[parent].add_subsystem(child)
+        scope_index[dotted] = child
+
+    for block in document.get("blocks", ()):
+        try:
+            block_id = block["id"]
+            block_type = block["type"]
+        except KeyError as exc:
+            raise ParseError(f"block missing required field {exc}") from None
+        scope_path = block.get("scope", "")
+        if scope_path not in scope_index:
+            raise ParseError(f"block {block_id!r} references unknown scope "
+                             f"{scope_path!r}")
+        outputs = block.get("outputs", [])
+        actor = Actor.create(
+            block_id,
+            block_type,
+            n_inputs=int(block.get("inputs", 0)),
+            n_outputs=len(outputs),
+            operator=block.get("operator"),
+            params=block.get("params", {}),
+        )
+        for port, spec in zip(actor.outputs, outputs):
+            if spec.get("dtype"):
+                port.dtype = DType.parse(spec["dtype"])
+        scope_index[scope_path].add_actor(actor)
+
+    for wire in document.get("wires", ()):
+        scope_path = wire.get("scope", "")
+        if scope_path not in scope_index:
+            raise ParseError(f"wire references unknown scope {scope_path!r}")
+        scope_index[scope_path].connect(
+            Connection(_parse_endpoint(wire["from"]), _parse_endpoint(wire["to"]))
+        )
+
+    model = Model(
+        name=name,
+        root=root,
+        description=document.get("description", ""),
+    )
+    model.metadata = dict(document.get("metadata", {}))
+    validate_model(model)
+    return model
+
+
+def load_generic(path: str | Path) -> Model:
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"{path}: invalid JSON: {exc}") from None
+    return generic_to_model(document)

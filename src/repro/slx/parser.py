@@ -1,0 +1,137 @@
+"""Model file parser (the paper's *model parser* module).
+
+Reads the two parts in the order the paper describes: first the actors
+part (basic per-actor information, separately stored), then the
+relationships part reconnecting every signal.  The reconstructed model is
+validated before it is returned.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.dtypes import DType
+from repro.model.actor import Actor
+from repro.model.connection import Connection, EndPoint
+from repro.model.errors import ParseError
+from repro.model.model import Model
+from repro.model.subsystem import Subsystem
+from repro.model.validate import validate_model
+
+
+def _parse_actor(el: ET.Element) -> Actor:
+    name = el.get("name")
+    block_type = el.get("type")
+    if not name or not block_type:
+        raise ParseError("actor element missing name or type")
+    ports_el = el.find("ports")
+    if ports_el is None:
+        raise ParseError(f"actor {name!r}: missing ports element")
+    n_inputs = int(ports_el.get("inputs", "0"))
+    n_outputs = int(ports_el.get("outputs", "0"))
+
+    params = {}
+    params_el = el.find("params")
+    if params_el is not None and params_el.text:
+        params = json.loads(params_el.text)
+
+    actor = Actor.create(
+        name,
+        block_type,
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        operator=el.get("operator"),
+        params=params,
+    )
+    for port_el in el.findall("port"):
+        direction = port_el.get("dir")
+        index = int(port_el.get("index", "0"))
+        ports = actor.inputs if direction == "in" else actor.outputs
+        if index >= len(ports):
+            raise ParseError(f"actor {name!r}: port index {index} out of range")
+        dtype = port_el.get("dtype")
+        if dtype:
+            ports[index].dtype = DType.parse(dtype)
+        port_name = port_el.get("name")
+        if port_name:
+            ports[index].name = port_name
+    return actor
+
+
+def _parse_subsystem(el: ET.Element) -> Subsystem:
+    scope = Subsystem(el.get("name", ""))
+    if not scope.name:
+        raise ParseError("subsystem element missing name")
+    for child in el:
+        if child.tag == "actor":
+            scope.add_actor(_parse_actor(child))
+        elif child.tag == "subsystem":
+            scope.add_subsystem(_parse_subsystem(child))
+        else:
+            raise ParseError(f"unexpected element {child.tag!r} in actors part")
+    return scope
+
+
+def _parse_endpoint(text: str) -> EndPoint:
+    actor, sep, port = text.rpartition(":")
+    if not sep:
+        raise ParseError(f"malformed endpoint {text!r} (want actor:port)")
+    return EndPoint(actor, int(port))
+
+
+def parse_model(text: str) -> Model:
+    """Parse model-file XML text into a validated :class:`Model`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed model XML: {exc}") from None
+    if root.tag != "model":
+        raise ParseError(f"expected <model> root element, got <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise ParseError("model element missing name")
+
+    # --- part 1: actors ---
+    actors_el = root.find("actors")
+    if actors_el is None:
+        raise ParseError("model file has no actors part")
+    scopes = actors_el.findall("subsystem")
+    if len(scopes) != 1:
+        raise ParseError("actors part must contain exactly one root subsystem")
+    model_root = _parse_subsystem(scopes[0])
+
+    # --- part 2: relationships ---
+    relationships_el = root.find("relationships")
+    if relationships_el is None:
+        raise ParseError("model file has no relationships part")
+    for scope_el in relationships_el.findall("scope"):
+        path = scope_el.get("path", "")
+        parts = path.split(".")
+        if parts[0] != model_root.name:
+            raise ParseError(f"relationship scope {path!r} outside the model")
+        scope = model_root
+        for part in parts[1:]:
+            child = scope.subsystems.get(part)
+            if child is None:
+                raise ParseError(f"relationship scope {path!r} not found")
+            scope = child
+        for conn_el in scope_el.findall("connection"):
+            src = conn_el.get("from")
+            dst = conn_el.get("to")
+            if not src or not dst:
+                raise ParseError(f"scope {path!r}: connection missing from/to")
+            scope.connect(Connection(_parse_endpoint(src), _parse_endpoint(dst)))
+
+    model = Model(name=name, root=model_root, description=root.get("description", ""))
+    meta_el = root.find("metadata")
+    if meta_el is not None and meta_el.text:
+        model.metadata = json.loads(meta_el.text)
+    validate_model(model)
+    return model
+
+
+def load_model(path: str | Path) -> Model:
+    """Read and parse a model file from disk."""
+    return parse_model(Path(path).read_text())

@@ -1,0 +1,86 @@
+"""Model file writer."""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.model.actor import Actor
+from repro.model.model import Model
+from repro.model.subsystem import Subsystem
+
+
+def _actor_element(actor: Actor) -> ET.Element:
+    el = ET.Element("actor", name=actor.name, type=actor.block_type)
+    if actor.operator is not None:
+        el.set("operator", actor.operator)
+    ET.SubElement(
+        el, "ports", inputs=str(actor.n_inputs), outputs=str(actor.n_outputs)
+    )
+    if actor.params:
+        params = ET.SubElement(el, "params")
+        params.text = json.dumps(actor.params, sort_keys=True)
+    for direction, ports in (("in", actor.inputs), ("out", actor.outputs)):
+        for port in ports:
+            # Only non-default port facts are stored; the paper notes the
+            # actors part records I/O types "as default values" otherwise.
+            attrs = {}
+            if port.dtype is not None:
+                attrs["dtype"] = port.dtype.short_name
+            if port.name != f"port{port.index}":
+                attrs["name"] = port.name
+            if attrs:
+                ET.SubElement(
+                    el, "port", dir=direction, index=str(port.index), **attrs
+                )
+    return el
+
+
+def _subsystem_actors(scope: Subsystem) -> ET.Element:
+    el = ET.Element("subsystem", name=scope.name)
+    for actor in scope.actors.values():
+        el.append(_actor_element(actor))
+    for child in scope.subsystems.values():
+        el.append(_subsystem_actors(child))
+    return el
+
+
+def _relationships(scope: Subsystem, path: str, parent: ET.Element) -> None:
+    if scope.connections:
+        scope_el = ET.SubElement(parent, "scope", path=path)
+        for conn in scope.connections:
+            ET.SubElement(
+                scope_el,
+                "connection",
+                {
+                    "from": f"{conn.src.actor}:{conn.src.port}",
+                    "to": f"{conn.dst.actor}:{conn.dst.port}",
+                },
+            )
+    for child in scope.subsystems.values():
+        _relationships(child, f"{path}.{child.name}", parent)
+
+
+def model_to_xml(model: Model) -> str:
+    """Serialize a model to the two-part XML text."""
+    root = ET.Element("model", name=model.name)
+    if model.description:
+        root.set("description", model.description)
+    if model.metadata:
+        meta = ET.SubElement(root, "metadata")
+        meta.text = json.dumps(model.metadata, sort_keys=True)
+
+    actors = ET.SubElement(root, "actors")
+    actors.append(_subsystem_actors(model.root))
+
+    relationships = ET.SubElement(root, "relationships")
+    _relationships(model.root, model.root.name, relationships)
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def save_model(model: Model, path: str | Path) -> None:
+    """Write a model file to disk."""
+    Path(path).write_text(model_to_xml(model))

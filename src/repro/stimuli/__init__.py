@@ -1,0 +1,41 @@
+"""Test cases: the input streams fed to a model's root Inports.
+
+Each :class:`Stimulus` yields one value per simulation step *and* knows how
+to emit C code computing the identical stream, so the interpreted engines
+and AccMoS's generated program consume bit-identical test cases — random
+stimuli included (they share the library's 64-bit LCG).
+
+``TestCaseTable`` covers the paper's "test cases import": explicit
+per-step vectors, loadable from CSV, embedded into the generated code as
+static arrays.
+"""
+
+from repro.stimuli.base import Stimulus
+from repro.stimuli.generators import (
+    ConstantStimulus,
+    IntRandomStimulus,
+    PulseStimulus,
+    RampStimulus,
+    SequenceStimulus,
+    SineStimulus,
+    StepStimulus,
+    UniformRandomStimulus,
+    default_stimuli,
+)
+from repro.stimuli.io import TestCaseTable, load_csv, save_csv
+
+__all__ = [
+    "Stimulus",
+    "ConstantStimulus",
+    "SequenceStimulus",
+    "RampStimulus",
+    "SineStimulus",
+    "StepStimulus",
+    "PulseStimulus",
+    "UniformRandomStimulus",
+    "IntRandomStimulus",
+    "default_stimuli",
+    "TestCaseTable",
+    "load_csv",
+    "save_csv",
+]

@@ -1,0 +1,70 @@
+"""The stimulus interface.
+
+A stimulus is a resettable stream: engines call :meth:`reset` once, then
+:meth:`next` once per step.  For code generation it contributes two C
+fragments: global declarations (state variables, data tables) and the
+per-step statement storing this step's value into a target variable.
+
+C float literals are emitted as hex floats (``float.hex()``), which round
+trip exactly, so the generated stream matches the Python stream bit for
+bit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.dtypes import DType, coerce_float, wrap
+
+
+def c_double_literal(value: float) -> str:
+    """An exact C literal for a Python float."""
+    if value != value:  # NaN
+        return "(0.0/0.0)"
+    if value == float("inf"):
+        return "(1.0/0.0)"
+    if value == float("-inf"):
+        return "(-1.0/0.0)"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{value:.1f}"
+    return value.hex()
+
+
+def c_int_literal(value: int, dtype: DType) -> str:
+    """A C literal of ``value`` with the right suffix for ``dtype``."""
+    if dtype.is_signed and value == dtype.min_value and dtype.bits == 64:
+        # INT64_MIN cannot be written directly.
+        return "(-9223372036854775807LL - 1)"
+    return f"{value}{dtype.c_literal_suffix}"
+
+
+class Stimulus(ABC):
+    """One input port's value stream."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Rewind to step 0."""
+
+    @abstractmethod
+    def next(self):
+        """The value for the current step; advances the stream."""
+
+    @abstractmethod
+    def c_decls(self, prefix: str) -> str:
+        """Global C declarations (state vars, tables); '' if none."""
+
+    @abstractmethod
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        """C statement(s) assigning this step's value to ``target``.
+
+        May reference the loop variable ``step`` (an ``int64_t``).
+        """
+
+    def conform(self, value, dtype: DType):
+        """Fit a raw stimulus value to a port dtype (wrap/coerce, no flags) —
+        the same implicit conversion a C assignment performs."""
+        if dtype.is_float:
+            return coerce_float(float(value), dtype)
+        if isinstance(value, float):
+            return wrap(int(value), dtype)
+        return wrap(int(value), dtype)

@@ -1,0 +1,275 @@
+"""Concrete stimulus generators."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.actors.sources import LCG_INC, LCG_MUL, lcg_next, lcg_uniform
+from repro.dtypes import DType, F64
+from repro.stimuli.base import Stimulus, c_double_literal
+
+
+class ConstantStimulus(Stimulus):
+    """The same value every step."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def reset(self) -> None:
+        pass
+
+    def next(self):
+        return self.value
+
+    def c_decls(self, prefix: str) -> str:
+        return ""
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        if dtype.is_float:
+            return f"{target} = {c_double_literal(float(self.value))};"
+        return f"{target} = {int(self.value)};"
+
+
+class SequenceStimulus(Stimulus):
+    """An explicit vector of values, cycled when exhausted."""
+
+    def __init__(self, values: Sequence):
+        if not values:
+            raise ValueError("SequenceStimulus needs at least one value")
+        self.values = list(values)
+        self._i = 0
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def next(self):
+        value = self.values[self._i]
+        self._i = (self._i + 1) % len(self.values)
+        return value
+
+    def c_decls(self, prefix: str) -> str:
+        floaty = any(isinstance(v, float) for v in self.values)
+        if floaty:
+            body = ", ".join(c_double_literal(float(v)) for v in self.values)
+            ctype = "double"
+        else:
+            body = ", ".join(str(int(v)) for v in self.values)
+            ctype = "int64_t"
+        return (
+            f"static const {ctype} {prefix}_data[{len(self.values)}] = {{{body}}};"
+        )
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        return f"{target} = ({dtype.c_name}){prefix}_data[step % {len(self.values)}];"
+
+
+class RampStimulus(Stimulus):
+    """``start + slope * step`` (double)."""
+
+    def __init__(self, start: float = 0.0, slope: float = 1.0):
+        self.start = float(start)
+        self.slope = float(slope)
+        self._n = 0
+
+    def reset(self) -> None:
+        self._n = 0
+
+    def next(self):
+        value = self.start + self.slope * float(self._n)
+        self._n += 1
+        return value
+
+    def c_decls(self, prefix: str) -> str:
+        return ""
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        return (
+            f"{target} = ({dtype.c_name})({c_double_literal(self.start)} + "
+            f"{c_double_literal(self.slope)} * (double)step);"
+        )
+
+
+class SineStimulus(Stimulus):
+    """``amplitude * sin(w*step + phase) + bias`` with ``w`` precomputed."""
+
+    def __init__(self, amplitude=1.0, period_steps=100, phase=0.0, bias=0.0):
+        if period_steps <= 0:
+            raise ValueError("period_steps must be positive")
+        self.amplitude = float(amplitude)
+        self.w = 2.0 * math.pi / float(period_steps)
+        self.phase = float(phase)
+        self.bias = float(bias)
+        self._n = 0
+
+    def reset(self) -> None:
+        self._n = 0
+
+    def next(self):
+        value = self.amplitude * math.sin(self.w * float(self._n) + self.phase) + self.bias
+        self._n += 1
+        return value
+
+    def c_decls(self, prefix: str) -> str:
+        return ""
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        return (
+            f"{target} = ({dtype.c_name})({c_double_literal(self.amplitude)} * "
+            f"sin({c_double_literal(self.w)} * (double)step + "
+            f"{c_double_literal(self.phase)}) + {c_double_literal(self.bias)});"
+        )
+
+
+class StepStimulus(Stimulus):
+    """``before`` until step ``at``, then ``after``."""
+
+    def __init__(self, at: int, before=0, after=1):
+        self.at = int(at)
+        self.before = before
+        self.after = after
+        self._n = 0
+
+    def reset(self) -> None:
+        self._n = 0
+
+    def next(self):
+        value = self.before if self._n < self.at else self.after
+        self._n += 1
+        return value
+
+    def c_decls(self, prefix: str) -> str:
+        return ""
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        def lit(v):
+            return c_double_literal(float(v)) if dtype.is_float else str(int(v))
+
+        return (
+            f"{target} = (step < {self.at}) ? ({dtype.c_name}){lit(self.before)} "
+            f": ({dtype.c_name}){lit(self.after)};"
+        )
+
+
+class PulseStimulus(Stimulus):
+    """``high`` while ``step % period < duty``, else ``low``."""
+
+    def __init__(self, period: int, duty: int, high=1, low=0):
+        if period < 1 or not (0 <= duty <= period):
+            raise ValueError("need period >= 1 and 0 <= duty <= period")
+        self.period = int(period)
+        self.duty = int(duty)
+        self.high = high
+        self.low = low
+        self._n = 0
+
+    def reset(self) -> None:
+        self._n = 0
+
+    def next(self):
+        value = self.high if (self._n % self.period) < self.duty else self.low
+        self._n += 1
+        return value
+
+    def c_decls(self, prefix: str) -> str:
+        return ""
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        def lit(v):
+            return c_double_literal(float(v)) if dtype.is_float else str(int(v))
+
+        return (
+            f"{target} = ((step % {self.period}) < {self.duty}) ? "
+            f"({dtype.c_name}){lit(self.high)} : ({dtype.c_name}){lit(self.low)};"
+        )
+
+
+class _LcgStimulus(Stimulus):
+    """Shared LCG plumbing for the random stimuli."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed) & 0xFFFFFFFFFFFFFFFF
+        self._state = lcg_next(self.seed)
+
+    def reset(self) -> None:
+        self._state = lcg_next(self.seed)
+
+    def _advance(self) -> int:
+        state = self._state
+        self._state = lcg_next(state)
+        return state
+
+    def c_decls(self, prefix: str) -> str:
+        initial = lcg_next(self.seed)
+        return f"static uint64_t {prefix}_s = {initial}ULL;"
+
+    def _c_advance(self, prefix: str) -> str:
+        return f"{prefix}_s = {prefix}_s * {LCG_MUL}ULL + {LCG_INC}ULL;"
+
+
+class UniformRandomStimulus(_LcgStimulus):
+    """Doubles uniform in [lo, hi), bit-identical across engines."""
+
+    def __init__(self, seed: int, lo: float = 0.0, hi: float = 1.0):
+        if not lo < hi:
+            raise ValueError("need lo < hi")
+        super().__init__(seed)
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def next(self):
+        u = lcg_uniform(self._advance())
+        return self.lo + u * (self.hi - self.lo)
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        lo, hi = c_double_literal(self.lo), c_double_literal(self.hi)
+        return (
+            f"{{ uint64_t _r = {prefix}_s; {self._c_advance(prefix)} "
+            f"{target} = ({dtype.c_name})({lo} + ((double)(_r >> 11) * "
+            f"{c_double_literal(1.0 / 9007199254740992.0)}) * ({hi} - {lo})); }}"
+        )
+
+
+class IntRandomStimulus(_LcgStimulus):
+    """Integers uniform in [lo, hi], bit-identical across engines."""
+
+    def __init__(self, seed: int, lo: int, hi: int):
+        if lo > hi:
+            raise ValueError("need lo <= hi")
+        super().__init__(seed)
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.span = self.hi - self.lo + 1
+
+    def next(self):
+        return self.lo + ((self._advance() >> 33) % self.span)
+
+    def c_step(self, target: str, dtype: DType, prefix: str) -> str:
+        return (
+            f"{{ uint64_t _r = {prefix}_s; {self._c_advance(prefix)} "
+            f"{target} = ({dtype.c_name})({self.lo}LL + "
+            f"(int64_t)((_r >> 33) % {self.span}ULL)); }}"
+        )
+
+
+def default_stimuli(prog, *, seed: int = 1) -> dict[str, Stimulus]:
+    """Reasonable random stimuli for every root inport of a program.
+
+    Integer ports get ints in [-100, 100] (unsigned: [0, 200]), bool ports
+    coin flips, float ports uniforms in [0, 1) — each port seeded
+    distinctly but deterministically from ``seed``.
+    """
+    stimuli: dict[str, Stimulus] = {}
+    for i, binding in enumerate(prog.inports):
+        port_seed = seed * 1_000_003 + i
+        dtype = binding.dtype or F64
+        if dtype.is_bool:
+            stimuli[binding.name] = IntRandomStimulus(port_seed, 0, 1)
+        elif dtype.is_integer:
+            lo, hi = (-100, 100) if dtype.is_signed else (0, 200)
+            lo = max(lo, dtype.min_value)
+            hi = min(hi, dtype.max_value)
+            stimuli[binding.name] = IntRandomStimulus(port_seed, lo, hi)
+        else:
+            stimuli[binding.name] = UniformRandomStimulus(port_seed, 0.0, 1.0)
+    return stimuli

@@ -1,0 +1,85 @@
+"""Explicit test-case tables and their CSV round trip.
+
+A :class:`TestCaseTable` is the paper's imported test case: one column per
+root inport, one row per step.  It converts to per-port
+:class:`SequenceStimulus` streams (cycled if the simulation outruns the
+table) for any engine.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.stimuli.generators import SequenceStimulus
+
+
+def _parse_cell(text: str):
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+@dataclass
+class TestCaseTable:
+    """Columnar test-case data keyed by inport name."""
+
+    __test__ = False  # starts with "Test" but is not a pytest test class
+
+    columns: dict[str, list] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"test-case columns differ in length: {sorted(lengths)}")
+
+    @property
+    def n_steps(self) -> int:
+        return len(next(iter(self.columns.values()))) if self.columns else 0
+
+    @property
+    def port_names(self) -> list[str]:
+        return list(self.columns)
+
+    def to_stimuli(self) -> dict[str, SequenceStimulus]:
+        return {name: SequenceStimulus(values) for name, values in self.columns.items()}
+
+    def row(self, step: int) -> dict[str, object]:
+        return {name: values[step] for name, values in self.columns.items()}
+
+    @classmethod
+    def from_rows(cls, names: Sequence[str], rows: Sequence[Sequence]) -> "TestCaseTable":
+        columns: dict[str, list] = {name: [] for name in names}
+        for row in rows:
+            if len(row) != len(names):
+                raise ValueError(
+                    f"row has {len(row)} cells, expected {len(names)}"
+                )
+            for name, cell in zip(names, row):
+                columns[name].append(cell)
+        return cls(columns)
+
+
+def save_csv(table: TestCaseTable, path: str | Path) -> None:
+    """Write a table as a header + one row per step."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.port_names)
+        for step in range(table.n_steps):
+            writer.writerow([table.columns[name][step] for name in table.port_names])
+
+
+def load_csv(path: str | Path) -> TestCaseTable:
+    """Read a table written by :func:`save_csv` (ints stay ints)."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty test-case file") from None
+        rows = [[_parse_cell(cell) for cell in row] for row in reader if row]
+    return TestCaseTable.from_rows([h.strip() for h in header], rows)

@@ -1,0 +1,99 @@
+"""AccMoS engine option matrix: budgets, dt, monitors, disabled features."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationOptions, simulate
+from repro.dtypes import F64, I32
+from repro.model import ModelBuilder
+from repro.schedule import preprocess
+from repro.stimuli import ConstantStimulus, UniformRandomStimulus
+
+from conftest import requires_cc
+from helpers import assert_results_agree
+
+pytestmark = requires_cc
+
+
+def _prog(dt: float = 1.0):
+    b = ModelBuilder("Opt")
+    x = b.inport("X", dtype=F64)
+    integ = b.discrete_integrator("I", x, gain=2.0)
+    scaled = b.gain("G", integ, 0.5)
+    b.block("Scope", "Watch", [scaled], n_outputs=0)
+    b.outport("Y", scaled)
+    return preprocess(b.build(), dt=dt)
+
+
+class TestOptionMatrix:
+    def test_time_budget_stops_generated_code(self):
+        prog = _prog()
+        options = SimulationOptions(steps=2_000_000_000, time_budget=0.2)
+        result = simulate(prog, {"X": ConstantStimulus(0.001)},
+                          engine="accmos", options=options)
+        assert 0 < result.steps_run < 2_000_000_000
+        assert result.wall_time < 2.0
+
+    def test_dt_affects_integration_identically(self):
+        for dt in (1.0, 0.25, 0.01):
+            prog = _prog(dt=dt)
+            stim = lambda: {"X": UniformRandomStimulus(5, 0.0, 1.0)}  # noqa: E731
+            sse = simulate(prog, stim(), engine="sse", steps=300)
+            acc = simulate(prog, stim(), engine="accmos", steps=300)
+            assert_results_agree(sse, acc)
+
+    def test_scope_feeder_monitored_in_both_engines(self):
+        prog = _prog()
+        options = SimulationOptions(steps=20, monitor_limit=20)
+        sse = simulate(prog, {"X": ConstantStimulus(1.0)}, engine="sse",
+                       options=options)
+        acc = simulate(prog, {"X": ConstantStimulus(1.0)}, engine="accmos",
+                       options=options)
+        assert "Opt_G" in sse.monitored  # the Scope's feeder
+        assert sse.monitored["Opt_G"] == acc.monitored["Opt_G"]
+
+    def test_coverage_and_diagnostics_both_disabled(self):
+        prog = _prog()
+        options = SimulationOptions(steps=50, coverage=False, diagnostics=False)
+        result = simulate(prog, {"X": ConstantStimulus(1.0)}, engine="accmos",
+                          options=options)
+        assert result.coverage is None
+        assert result.diagnostics == []
+        reference = simulate(prog, {"X": ConstantStimulus(1.0)}, engine="sse",
+                             options=options)
+        assert result.checksums == reference.checksums
+
+    def test_checksum_disabled_in_generated_code(self):
+        prog = _prog()
+        options = SimulationOptions(steps=10, checksum=False)
+        result = simulate(prog, {"X": ConstantStimulus(1.0)}, engine="accmos",
+                          options=options)
+        assert result.checksums == {}
+
+    def test_monitor_limit_zero_like_small(self):
+        prog = _prog()
+        options = SimulationOptions(steps=50, monitor_limit=1)
+        result = simulate(prog, {"X": ConstantStimulus(1.0)}, engine="accmos",
+                          options=options)
+        assert all(len(v) == 1 for v in result.monitored.values())
+
+    def test_model_without_outports(self):
+        b = ModelBuilder("NoOut")
+        x = b.inport("X", dtype=I32)
+        b.terminator("T", b.gain("G", x, 2))
+        prog = preprocess(b.build())
+        sse = simulate(prog, {"X": ConstantStimulus(3)}, engine="sse", steps=10)
+        acc = simulate(prog, {"X": ConstantStimulus(3)}, engine="accmos", steps=10)
+        assert sse.outputs == acc.outputs == {}
+        assert sse.coverage.bitmaps == acc.coverage.bitmaps
+
+    def test_model_without_inports(self):
+        b = ModelBuilder("NoIn")
+        c = b.block("Counter", "Cnt", params={"limit": 5})
+        b.outport("Y", c)
+        prog = preprocess(b.build())
+        sse = simulate(prog, {}, engine="sse", steps=12)
+        acc = simulate(prog, {}, engine="accmos", steps=12)
+        assert_results_agree(sse, acc)
+        assert sse.outputs["Y"] == 1  # 11 % 5 after holding the output phase

@@ -1,0 +1,309 @@
+"""Unit tests for arithmetic actor semantics, invoked directly."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.actors.base import BindContext, StoreBank
+from repro.actors.registry import get_spec
+from repro.dtypes import F32, F64, I8, I16, I32, U8, DType
+from repro.model.actor import Actor
+
+
+def run_actor(
+    block_type,
+    inputs=(),
+    *,
+    in_dtypes=(),
+    out_dtype=None,
+    operator=None,
+    params=None,
+    state=None,
+    dt=1.0,
+):
+    """Instantiate one semantics object and run one output phase."""
+    actor = Actor.create(
+        "A",
+        block_type,
+        n_inputs=len(inputs),
+        n_outputs=get_spec(block_type).n_outputs,
+        operator=operator,
+        out_dtype=out_dtype,
+        params=params,
+    )
+    ctx = BindContext(
+        in_dtypes=tuple(in_dtypes),
+        out_dtypes=(out_dtype,) * actor.n_outputs,
+        stores=StoreBank(),
+        dt=dt,
+    )
+    sem = get_spec(block_type).semantics(actor, ctx)
+    if state is None:
+        state = sem.init_state()
+    result = sem.output(state, tuple(inputs))
+    return result, sem, state
+
+
+class TestSum:
+    def test_basic_add(self):
+        res, _, _ = run_actor("Sum", (3, 4), in_dtypes=(I32, I32),
+                              out_dtype=I32, operator="++")
+        assert res.outputs == (7,) and not res.flags
+
+    def test_signs(self):
+        res, _, _ = run_actor("Sum", (10, 3, 2), in_dtypes=(I32,) * 3,
+                              out_dtype=I32, operator="+-+")
+        assert res.outputs == (9,)
+
+    def test_leading_minus(self):
+        res, _, _ = run_actor("Sum", (10, 3), in_dtypes=(I32, I32),
+                              out_dtype=I32, operator="-+")
+        assert res.outputs == (-7,)
+
+    def test_overflow_flag(self):
+        res, _, _ = run_actor("Sum", (127, 1), in_dtypes=(I8, I8),
+                              out_dtype=I8, operator="++")
+        assert res.outputs == (-128,) and res.flags.overflow
+
+    def test_input_cast_flags(self):
+        res, _, _ = run_actor("Sum", (300, 1), in_dtypes=(I32, I32),
+                              out_dtype=I8, operator="++")
+        assert res.flags.overflow  # 300 does not fit i8
+
+    def test_float_negated_first_term(self):
+        res, _, _ = run_actor("Sum", (0.0, 0.0), in_dtypes=(F64, F64),
+                              out_dtype=F64, operator="-+")
+        # -(+0.0) + 0.0 == +0.0; the first term alone would be -0.0.
+        assert math.copysign(1.0, res.outputs[0]) == 1.0
+
+    def test_float_inf_flags_non_finite(self):
+        res, _, _ = run_actor("Sum", (1.7e308, 1.7e308), in_dtypes=(F64, F64),
+                              out_dtype=F64, operator="++")
+        assert math.isinf(res.outputs[0]) and res.flags.non_finite
+
+
+class TestProduct:
+    def test_multiply(self):
+        res, _, _ = run_actor("Product", (6, 7), in_dtypes=(I32, I32),
+                              out_dtype=I32, operator="**")
+        assert res.outputs == (42,)
+
+    def test_divide_truncates(self):
+        res, _, _ = run_actor("Product", (-7, 2), in_dtypes=(I32, I32),
+                              out_dtype=I32, operator="*/")
+        assert res.outputs == (-3,)
+
+    def test_divide_by_zero_flag(self):
+        res, _, _ = run_actor("Product", (5, 0), in_dtypes=(I32, I32),
+                              out_dtype=I32, operator="*/")
+        assert res.outputs == (0,) and res.flags.div_by_zero
+
+    def test_leading_reciprocal(self):
+        res, _, _ = run_actor("Product", (4.0,), in_dtypes=(F64,),
+                              out_dtype=F64, operator="/")
+        assert res.outputs == (0.25,)
+
+    def test_float_div_by_zero(self):
+        res, _, _ = run_actor("Product", (1.0, 0.0), in_dtypes=(F64, F64),
+                              out_dtype=F64, operator="*/")
+        assert math.isinf(res.outputs[0]) and res.flags.div_by_zero
+
+
+class TestGainBias:
+    def test_int_gain(self):
+        res, _, _ = run_actor("Gain", (5,), in_dtypes=(I32,), out_dtype=I32,
+                              params={"gain": 3})
+        assert res.outputs == (15,)
+
+    def test_int_gain_overflow(self):
+        res, _, _ = run_actor("Gain", (100,), in_dtypes=(I8,), out_dtype=I8,
+                              params={"gain": 2})
+        assert res.flags.overflow
+
+    def test_float_gain_on_int_output(self):
+        res, _, _ = run_actor("Gain", (7,), in_dtypes=(I32,), out_dtype=I32,
+                              params={"gain": 0.5})
+        assert res.outputs == (3,) and res.flags.precision_loss
+
+    def test_f32_gain_rounds_per_op(self):
+        from repro.dtypes import coerce_float
+
+        res, _, _ = run_actor("Gain", (0.1,), in_dtypes=(F64,), out_dtype=F32,
+                              params={"gain": 3.0})
+        x32 = coerce_float(0.1, F32)
+        assert res.outputs[0] == coerce_float(x32 * 3.0, F32)
+
+    def test_bias(self):
+        res, _, _ = run_actor("Bias", (5,), in_dtypes=(I32,), out_dtype=I32,
+                              params={"bias": -8})
+        assert res.outputs == (-3,)
+
+
+class TestUnary:
+    def test_abs_int_min_wraps(self):
+        res, _, _ = run_actor("Abs", (-128,), in_dtypes=(I8,), out_dtype=I8)
+        assert res.outputs == (-128,) and res.flags.overflow
+
+    def test_abs_float(self):
+        res, _, _ = run_actor("Abs", (-2.5,), in_dtypes=(F64,), out_dtype=F64)
+        assert res.outputs == (2.5,)
+
+    def test_neg(self):
+        res, _, _ = run_actor("UnaryMinus", (5,), in_dtypes=(I32,), out_dtype=I32)
+        assert res.outputs == (-5,)
+
+    def test_neg_float_zero_keeps_sign_semantics(self):
+        res, _, _ = run_actor("UnaryMinus", (0.0,), in_dtypes=(F64,), out_dtype=F64)
+        assert math.copysign(1.0, res.outputs[0]) == -1.0
+
+    def test_signum(self):
+        for value, expected in ((5, 1), (-5, -1), (0, 0)):
+            res, _, _ = run_actor("Signum", (value,), in_dtypes=(I32,), out_dtype=I32)
+            assert res.outputs == (expected,)
+
+    def test_signum_nan_is_zero(self):
+        res, _, _ = run_actor("Signum", (math.nan,), in_dtypes=(F64,), out_dtype=F64)
+        assert res.outputs == (0.0,)
+
+    def test_sqrt_negative_is_nan(self):
+        res, _, _ = run_actor("Sqrt", (-1.0,), in_dtypes=(F64,), out_dtype=F64)
+        assert math.isnan(res.outputs[0]) and res.flags.non_finite
+
+
+class TestMathOps:
+    @pytest.mark.parametrize("op,value,expected", [
+        ("exp", 0.0, 1.0),
+        ("log", 1.0, 0.0),
+        ("log10", 100.0, 2.0),
+        ("sin", 0.0, 0.0),
+        ("cos", 0.0, 1.0),
+        ("tanh", 0.0, 0.0),
+        ("square", 3.0, 9.0),
+        ("reciprocal", 4.0, 0.25),
+        ("atan", 0.0, 0.0),
+    ])
+    def test_values(self, op, value, expected):
+        res, _, _ = run_actor("Math", (value,), in_dtypes=(F64,), out_dtype=F64,
+                              operator=op)
+        assert res.outputs[0] == pytest.approx(expected)
+
+    def test_log_zero_is_neg_inf(self):
+        res, _, _ = run_actor("Math", (0.0,), in_dtypes=(F64,), out_dtype=F64,
+                              operator="log")
+        assert res.outputs[0] == -math.inf and res.flags.non_finite
+
+    def test_log_negative_is_nan(self):
+        res, _, _ = run_actor("Math", (-1.0,), in_dtypes=(F64,), out_dtype=F64,
+                              operator="log")
+        assert math.isnan(res.outputs[0])
+
+    def test_asin_domain(self):
+        res, _, _ = run_actor("Math", (2.0,), in_dtypes=(F64,), out_dtype=F64,
+                              operator="asin")
+        assert math.isnan(res.outputs[0])
+
+    def test_reciprocal_of_zero_flags_div(self):
+        res, _, _ = run_actor("Math", (0.0,), in_dtypes=(F64,), out_dtype=F64,
+                              operator="reciprocal")
+        assert math.isinf(res.outputs[0])
+        assert res.flags.div_by_zero and res.flags.non_finite
+
+    def test_exp_overflow_to_inf(self):
+        res, _, _ = run_actor("Math", (1000.0,), in_dtypes=(F64,), out_dtype=F64,
+                              operator="exp")
+        assert res.outputs[0] == math.inf and res.flags.non_finite
+
+
+class TestRangeShaping:
+    def test_minmax(self):
+        res, _, _ = run_actor("MinMax", (3, 9, -2), in_dtypes=(I32,) * 3,
+                              out_dtype=I32, operator="min")
+        assert res.outputs == (-2,)
+        res, _, _ = run_actor("MinMax", (3, 9, -2), in_dtypes=(I32,) * 3,
+                              out_dtype=I32, operator="max")
+        assert res.outputs == (9,)
+
+    def test_mod(self):
+        res, _, _ = run_actor("Mod", (-7, 3), in_dtypes=(I32, I32), out_dtype=I32)
+        assert res.outputs == (-1,)
+
+    @pytest.mark.parametrize("op,value,expected", [
+        ("floor", 2.7, 2.0),
+        ("ceil", 2.1, 3.0),
+        ("round", 2.5, 3.0),
+        ("round", -2.5, -3.0),
+        ("fix", -2.9, -2.0),
+    ])
+    def test_rounding(self, op, value, expected):
+        res, _, _ = run_actor("Rounding", (value,), in_dtypes=(F64,),
+                              out_dtype=F64, operator=op)
+        assert res.outputs == (expected,)
+
+    def test_saturation(self):
+        res, _, _ = run_actor("Saturation", (150,), in_dtypes=(I32,), out_dtype=I32,
+                              params={"lower": -100, "upper": 100})
+        assert res.outputs == (100,)
+        res, _, _ = run_actor("Saturation", (-150,), in_dtypes=(I32,), out_dtype=I32,
+                              params={"lower": -100, "upper": 100})
+        assert res.outputs == (-100,)
+
+    def test_dead_zone(self):
+        params = {"start": -1.0, "end": 1.0}
+        cases = ((0.5, 0.0), (2.0, 1.0), (-3.0, -2.0))
+        for value, expected in cases:
+            res, _, _ = run_actor("DeadZone", (value,), in_dtypes=(F64,),
+                                  out_dtype=F64, params=params)
+            assert res.outputs == (expected,)
+
+    def test_quantizer(self):
+        res, _, _ = run_actor("Quantizer", (1.3,), in_dtypes=(F64,), out_dtype=F64,
+                              params={"interval": 0.5})
+        assert res.outputs == (1.5,)
+
+
+class TestPolyPowerBits:
+    def test_polynomial_horner(self):
+        # 2x^2 - x + 3 at x=4 -> 31
+        res, _, _ = run_actor("Polynomial", (4.0,), in_dtypes=(F64,), out_dtype=F64,
+                              params={"coeffs": [2.0, -1.0, 3.0]})
+        assert res.outputs == (31.0,)
+
+    def test_power(self):
+        res, _, _ = run_actor("Power", (2.0, 10.0), in_dtypes=(F64, F64),
+                              out_dtype=F64)
+        assert res.outputs == (1024.0,)
+
+    def test_power_zero_negative_exponent(self):
+        res, _, _ = run_actor("Power", (0.0, -1.0), in_dtypes=(F64, F64),
+                              out_dtype=F64)
+        assert math.isinf(res.outputs[0]) and res.flags.non_finite
+
+    def test_bitwise(self):
+        res, _, _ = run_actor("Bitwise", (0b1100, 0b1010), in_dtypes=(U8, U8),
+                              out_dtype=U8, operator="AND")
+        assert res.outputs == (0b1000,)
+        res, _, _ = run_actor("Bitwise", (0b1100,), in_dtypes=(U8,),
+                              out_dtype=U8, operator="NOT")
+        assert res.outputs == (0b11110011,)
+
+    def test_bitwise_not_signed(self):
+        res, _, _ = run_actor("Bitwise", (0,), in_dtypes=(I8,), out_dtype=I8,
+                              operator="NOT")
+        assert res.outputs == (-1,)
+
+    def test_shift_left_is_checked_multiply(self):
+        res, _, _ = run_actor("Shift", (100,), in_dtypes=(I8,), out_dtype=I8,
+                              operator="<<", params={"amount": 2})
+        assert res.flags.overflow
+
+    def test_shift_right_arithmetic(self):
+        res, _, _ = run_actor("Shift", (-5,), in_dtypes=(I32,), out_dtype=I32,
+                              operator=">>", params={"amount": 1})
+        assert res.outputs == (-3,)  # floor, like C sign-propagating shift
+
+    def test_dtc(self):
+        res, _, _ = run_actor("DataTypeConversion", (300,), in_dtypes=(I32,),
+                              out_dtype=I8)
+        assert res.outputs == (44,) and res.flags.overflow

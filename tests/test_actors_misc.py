@@ -1,0 +1,285 @@
+"""Unit tests for logic, control, memory, source, lookup, and store actors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.actors.base import BindContext, StoreBank
+from repro.actors.registry import get_spec
+from repro.actors.sources import lcg_next, lcg_uniform
+from repro.dtypes import BOOL, F64, I8, I16, I32, U64
+from repro.model.actor import Actor
+
+from test_actors_math import run_actor
+
+
+def run_stateful(block_type, input_seq, **kwargs):
+    """Run several output+update cycles; returns the output sequence."""
+    params = kwargs.pop("params", None)
+    out_dtype = kwargs.pop("out_dtype")
+    in_dtypes = kwargs.pop("in_dtypes", ())
+    operator = kwargs.pop("operator", None)
+    dt = kwargs.pop("dt", 1.0)
+    n_in = len(input_seq[0]) if input_seq else 0
+    actor = Actor.create(
+        "A", block_type, n_inputs=n_in,
+        n_outputs=get_spec(block_type).n_outputs,
+        operator=operator, out_dtype=out_dtype, params=params,
+    )
+    ctx = BindContext(
+        in_dtypes=tuple(in_dtypes), out_dtypes=(out_dtype,) * actor.n_outputs,
+        stores=kwargs.pop("stores", StoreBank()), dt=dt,
+    )
+    sem = get_spec(block_type).semantics(actor, ctx)
+    state = sem.init_state()
+    outputs = []
+    for inputs in input_seq:
+        result = sem.output(state, tuple(inputs))
+        outputs.append(result.outputs[0] if result.outputs else None)
+        state = sem.update(state, tuple(inputs), result.outputs)
+    return outputs
+
+
+class TestRelationalAndLogic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("==", 3, 3, 1), ("==", 3, 4, 0),
+        ("!=", 3, 4, 1), ("<", 3, 4, 1), ("<=", 4, 4, 1),
+        (">", 5, 4, 1), (">=", 3, 4, 0),
+    ])
+    def test_relational(self, op, a, b, expected):
+        res, _, _ = run_actor("RelationalOperator", (a, b),
+                              in_dtypes=(I32, I32), out_dtype=BOOL, operator=op)
+        assert res.outputs == (expected,)
+
+    def test_relational_mixed_types_exact(self):
+        res, _, _ = run_actor("RelationalOperator", (2**53 + 1, float(2**53)),
+                              in_dtypes=(I32, F64), out_dtype=BOOL, operator=">")
+        assert res.outputs == (1,)  # exact comparison, no rounding
+
+    @pytest.mark.parametrize("op,values,expected", [
+        ("AND", (1, 1, 1), 1), ("AND", (1, 0, 1), 0),
+        ("OR", (0, 0, 0), 0), ("OR", (0, 2, 0), 1),
+        ("NAND", (1, 1), 0), ("NOR", (0, 0), 1),
+        ("XOR", (1, 1, 1), 1), ("XOR", (1, 1, 0), 0),
+        ("NOT", (0,), 1), ("NOT", (7,), 0),
+    ])
+    def test_logic(self, op, values, expected):
+        res, _, _ = run_actor("Logic", values,
+                              in_dtypes=(I32,) * len(values),
+                              out_dtype=BOOL, operator=op)
+        assert res.outputs == (expected,)
+
+    def test_compare_to_constant(self):
+        res, _, _ = run_actor("CompareToConstant", (10,), in_dtypes=(I32,),
+                              out_dtype=BOOL, operator=">",
+                              params={"constant": 5})
+        assert res.outputs == (1,)
+
+    def test_compare_to_zero(self):
+        res, _, _ = run_actor("CompareToZero", (-1,), in_dtypes=(I32,),
+                              out_dtype=BOOL, operator="<")
+        assert res.outputs == (1,)
+
+
+class TestControl:
+    def test_switch_branches(self):
+        res, _, _ = run_actor("Switch", (10, 1, 20), in_dtypes=(I32,) * 3,
+                              out_dtype=I32, params={"threshold": 1})
+        assert res.outputs == (10,) and res.branch == 0
+        res, _, _ = run_actor("Switch", (10, 0, 20), in_dtypes=(I32,) * 3,
+                              out_dtype=I32, params={"threshold": 1})
+        assert res.outputs == (20,) and res.branch == 1
+
+    def test_switch_casts_selected_input(self):
+        res, _, _ = run_actor("Switch", (300, 1, 0), in_dtypes=(I32, I32, I32),
+                              out_dtype=I8, params={"threshold": 1})
+        assert res.outputs == (44,) and res.flags.overflow
+
+    def test_multiport_switch(self):
+        res, _, _ = run_actor("MultiportSwitch", (1, 10, 20, 30),
+                              in_dtypes=(I32,) * 4, out_dtype=I32)
+        assert res.outputs == (20,) and res.branch == 1 and not res.flags
+
+    def test_multiport_switch_clamps_and_flags(self):
+        res, _, _ = run_actor("MultiportSwitch", (9, 10, 20, 30),
+                              in_dtypes=(I32,) * 4, out_dtype=I32)
+        assert res.outputs == (30,) and res.flags.out_of_bounds
+        res, _, _ = run_actor("MultiportSwitch", (-1, 10, 20, 30),
+                              in_dtypes=(I32,) * 4, out_dtype=I32)
+        assert res.outputs == (10,) and res.flags.out_of_bounds
+
+
+class TestMemory:
+    def test_unit_delay(self):
+        outs = run_stateful("UnitDelay", [(1,), (2,), (3,)],
+                            in_dtypes=(I32,), out_dtype=I32,
+                            params={"initial": 9})
+        assert outs == [9, 1, 2]
+
+    def test_delay_n(self):
+        outs = run_stateful("Delay", [(i,) for i in range(1, 6)],
+                            in_dtypes=(I32,), out_dtype=I32,
+                            params={"length": 3, "initial": 0})
+        assert outs == [0, 0, 0, 1, 2]
+
+    def test_accumulator(self):
+        outs = run_stateful("Accumulator", [(5,), (5,), (5,)],
+                            in_dtypes=(I32,), out_dtype=I32,
+                            params={"initial": 1})
+        assert outs == [6, 11, 16]
+
+    def test_discrete_integrator_forward_euler(self):
+        outs = run_stateful("DiscreteIntegrator", [(2.0,)] * 3,
+                            in_dtypes=(F64,), out_dtype=F64,
+                            params={"gain": 0.5, "initial": 1.0})
+        assert outs == [1.0, 2.0, 3.0]
+
+    def test_discrete_derivative(self):
+        outs = run_stateful("DiscreteDerivative", [(1.0,), (3.0,), (6.0,)],
+                            in_dtypes=(F64,), out_dtype=F64, params={})
+        assert outs == [1.0, 2.0, 3.0]
+
+    def test_discrete_filter(self):
+        outs = run_stateful("DiscreteFilter", [(1.0,)] * 3,
+                            in_dtypes=(F64,), out_dtype=F64,
+                            params={"b0": 0.5, "a1": 0.5})
+        assert outs == [0.5, 0.75, 0.875]
+
+    def test_rate_limiter(self):
+        outs = run_stateful("RateLimiter", [(10.0,), (10.0,), (-10.0,)],
+                            in_dtypes=(F64,), out_dtype=F64,
+                            params={"rising": 1.0, "falling": 2.0})
+        assert outs == [1.0, 2.0, 0.0]
+
+    def test_zero_order_hold_is_identity(self):
+        res, _, _ = run_actor("ZeroOrderHold", (7,), in_dtypes=(I32,), out_dtype=I32)
+        assert res.outputs == (7,)
+
+
+class TestSources:
+    def test_constant_conforms_to_dtype(self):
+        res, _, _ = run_actor("Constant", (), out_dtype=I8, params={"value": 300})
+        assert res.outputs == (44,)
+
+    def test_clock(self):
+        outs = run_stateful("Clock", [()] * 3, out_dtype=F64, dt=0.5)
+        assert outs == [0.0, 0.5, 1.0]
+
+    def test_counter_wraps(self):
+        outs = run_stateful("Counter", [()] * 5, out_dtype=I32,
+                            params={"limit": 3})
+        assert outs == [0, 1, 2, 0, 1]
+
+    def test_step_source(self):
+        outs = run_stateful("StepSource", [()] * 4, out_dtype=I32,
+                            params={"at": 2, "before": 5, "after": 9})
+        assert outs == [5, 5, 9, 9]
+
+    def test_pulse_generator(self):
+        outs = run_stateful("PulseGenerator", [()] * 6, out_dtype=I32,
+                            params={"period": 3, "duty": 1, "amplitude": 4})
+        assert outs == [4, 0, 0, 4, 0, 0]
+
+    def test_sine_wave(self):
+        outs = run_stateful("SineWave", [()] * 2, out_dtype=F64,
+                            params={"frequency": 0.25, "amplitude": 2.0})
+        assert outs[0] == pytest.approx(0.0)
+        assert outs[1] == pytest.approx(2.0 * math.sin(2 * math.pi * 0.25))
+
+    def test_random_uniform_in_range_and_deterministic(self):
+        outs1 = run_stateful("RandomSource", [()] * 50, out_dtype=F64,
+                             params={"dist": "uniform", "lo": 2.0, "hi": 3.0,
+                                     "seed": 7})
+        outs2 = run_stateful("RandomSource", [()] * 50, out_dtype=F64,
+                             params={"dist": "uniform", "lo": 2.0, "hi": 3.0,
+                                     "seed": 7})
+        assert outs1 == outs2
+        assert all(2.0 <= v < 3.0 for v in outs1)
+        assert len(set(outs1)) > 40
+
+    def test_random_int_covers_range(self):
+        outs = run_stateful("RandomSource", [()] * 300, out_dtype=I32,
+                            params={"dist": "int", "lo": -2, "hi": 2, "seed": 9})
+        assert set(outs) == {-2, -1, 0, 1, 2}
+
+    def test_lcg_helpers(self):
+        state = lcg_next(1)
+        assert 0 <= state < 2**64
+        assert 0.0 <= lcg_uniform(state) < 1.0
+
+
+class TestLookupAndStores:
+    def test_lookup1d_interpolates(self):
+        params = {"breakpoints": [0.0, 1.0, 2.0], "table": [0.0, 10.0, 30.0]}
+        res, _, _ = run_actor("Lookup1D", (0.5,), in_dtypes=(F64,),
+                              out_dtype=F64, params=params)
+        assert res.outputs == (5.0,)
+        res, _, _ = run_actor("Lookup1D", (1.5,), in_dtypes=(F64,),
+                              out_dtype=F64, params=params)
+        assert res.outputs == (20.0,)
+
+    def test_lookup1d_clips_ends(self):
+        params = {"breakpoints": [0.0, 1.0], "table": [5.0, 6.0]}
+        res, _, _ = run_actor("Lookup1D", (-10.0,), in_dtypes=(F64,),
+                              out_dtype=F64, params=params)
+        assert res.outputs == (5.0,)
+        res, _, _ = run_actor("Lookup1D", (10.0,), in_dtypes=(F64,),
+                              out_dtype=F64, params=params)
+        assert res.outputs == (6.0,)
+
+    def test_direct_lookup_oob(self):
+        params = {"table": [10, 20, 30]}
+        res, _, _ = run_actor("DirectLookup", (5,), in_dtypes=(I32,),
+                              out_dtype=I32, params=params)
+        assert res.outputs == (30,) and res.flags.out_of_bounds
+        res, _, _ = run_actor("DirectLookup", (-2,), in_dtypes=(I32,),
+                              out_dtype=I32, params=params)
+        assert res.outputs == (10,) and res.flags.out_of_bounds
+
+    def test_store_read_write(self):
+        stores = StoreBank()
+        stores.declare("mem", I32, 5)
+        reader = Actor.create("R", "DataStoreRead", n_inputs=0, n_outputs=1,
+                              params={"store": "mem"})
+        read_sem = get_spec("DataStoreRead").semantics(
+            reader, BindContext(in_dtypes=(), out_dtypes=(I32,), stores=stores)
+        )
+        assert read_sem.output(None, ()).outputs == (5,)
+
+        writer = Actor.create("W", "DataStoreWrite", n_inputs=1, n_outputs=0,
+                              params={"store": "mem"})
+        write_sem = get_spec("DataStoreWrite").semantics(
+            writer, BindContext(in_dtypes=(I32,), out_dtypes=(), stores=stores)
+        )
+        result = write_sem.output(None, (42,))
+        assert not result.flags
+        assert stores.read("mem") == 42
+        assert read_sem.output(None, ()).outputs == (42,)
+
+    def test_store_write_narrow_flags_overflow(self):
+        stores = StoreBank()
+        stores.declare("mem", I8, 0)
+        actor = Actor.create("W", "DataStoreWrite", n_inputs=1, n_outputs=0,
+                             params={"store": "mem"})
+        ctx = BindContext(in_dtypes=(I32,), out_dtypes=(), stores=stores)
+        sem = get_spec("DataStoreWrite").semantics(actor, ctx)
+        result = sem.output(None, (300,))
+        assert result.flags.overflow
+        assert stores.read("mem") == 44
+
+    def test_store_bank_reset(self):
+        stores = StoreBank()
+        stores.declare("mem", I32, 1)
+        stores.write("mem", 99)
+        stores.reset()
+        assert stores.read("mem") == 1
+
+    def test_store_bank_duplicate_declare(self):
+        from repro.model.errors import ValidationError
+
+        stores = StoreBank()
+        stores.declare("mem", I32, 0)
+        with pytest.raises(ValidationError):
+            stores.declare("mem", I16, 0)

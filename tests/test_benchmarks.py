@@ -1,0 +1,150 @@
+"""The benchmark model suite: Table-1 fidelity, determinism, structural
+mix, the motivating model, and the case-study injections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DiagnosticKind, SimulationOptions, simulate
+from repro.benchmarks import (
+    TABLE1,
+    benchmark_stimuli,
+    build_benchmark,
+    build_csev_with_power_downcast,
+    build_csev_with_quantity_overflow,
+    build_motivating_model,
+)
+from repro.benchmarks.inject import (
+    POWER_PRODUCT_PATH,
+    QUANTITY_ADD_PATH,
+    build_csev_healthy,
+)
+from repro.benchmarks.motivating import expected_overflow_step, motivating_stimuli
+from repro.schedule import preprocess
+from repro.slx import model_to_xml
+
+
+@pytest.mark.parametrize("name", sorted(TABLE1))
+class TestTable1Fidelity:
+    def test_counts_match_paper(self, name):
+        model = build_benchmark(name)
+        _, n_actors, n_subsystems = TABLE1[name]
+        assert model.n_actors == n_actors
+        assert model.n_subsystems == n_subsystems
+
+    def test_deterministic_generation(self, name):
+        assert model_to_xml(build_benchmark(name)) == model_to_xml(
+            build_benchmark(name)
+        )
+
+    def test_preprocesses_and_simulates(self, name):
+        prog = preprocess(build_benchmark(name))
+        result = simulate(prog, benchmark_stimuli(prog), engine="sse", steps=100)
+        assert result.steps_run == 100
+        assert result.coverage is not None
+
+
+class TestBenchmarkStructure:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_benchmark("NOPE")
+
+    def test_name_is_case_insensitive(self):
+        assert build_benchmark("csev").name == "CSEV"
+
+    def test_compute_heavy_models_have_more_math(self):
+        """LANS/SPV (computation-heavy per the paper) carry a higher share
+        of arithmetic actors than the control-heavy CPUT/RAC."""
+
+        def math_share(name):
+            from repro.actors import get_spec
+
+            model = build_benchmark(name)
+            hist = model.block_type_histogram()
+            total = sum(hist.values())
+            math_n = sum(
+                count for block_type, count in hist.items()
+                if get_spec(block_type).category == "math"
+            )
+            return math_n / total
+
+        compute = (math_share("LANS") + math_share("SPV")) / 2
+        control = (math_share("CPUT") + math_share("RAC")) / 2
+        assert compute > control
+
+    def test_every_model_has_unreachable_regions(self):
+        """Coverage ceilings stay below 100% like the paper's Table 3."""
+        for name in ("CSEV", "TCP"):
+            prog = preprocess(build_benchmark(name))
+            result = simulate(prog, benchmark_stimuli(prog), engine="sse",
+                              steps=2_000)
+            from repro.coverage import Metric
+
+            assert result.coverage.percent(Metric.ACTOR) < 95.0
+
+    def test_csev_has_quantity_store(self):
+        prog = preprocess(build_benchmark("CSEV"))
+        assert "quantity" in prog.stores
+        assert prog.stores["quantity"].dtype.short_name == "i32"
+
+
+class TestMotivatingModel:
+    def test_structure_matches_figure1(self):
+        model = build_motivating_model()
+        hist = model.block_type_histogram()
+        assert hist["Accumulator"] == 2
+        assert hist["Sum"] == 1
+
+    def test_overflow_occurs_near_expected_step(self):
+        prog = preprocess(build_motivating_model())
+        estimate = expected_overflow_step()
+        result = simulate(
+            prog, motivating_stimuli(), engine="sse",
+            options=SimulationOptions(
+                steps=3 * estimate,
+                halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW}),
+            ),
+        )
+        assert result.halted_at is not None
+        assert 0.3 * estimate < result.halted_at < 3 * estimate
+
+
+class TestCaseStudyInjections:
+    def test_healthy_model_never_wraps(self):
+        prog = preprocess(build_csev_healthy())
+        result = simulate(prog, benchmark_stimuli(prog), engine="sse",
+                          steps=3_000)
+        wraps = [e for e in result.diagnostics
+                 if e.kind is DiagnosticKind.WRAP_ON_OVERFLOW]
+        assert wraps == []
+
+    def test_injected_variants_preserve_table1_counts(self):
+        _, n_actors, n_subsystems = TABLE1["CSEV"]
+        for build in (build_csev_with_quantity_overflow,
+                      build_csev_with_power_downcast):
+            model = build()
+            assert model.n_actors == n_actors
+            assert model.n_subsystems == n_subsystems
+
+    def test_error1_wraps_late_at_the_add_actor(self):
+        prog = preprocess(build_csev_with_quantity_overflow())
+        options = SimulationOptions(
+            steps=300_000,
+            halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW}),
+        )
+        result = simulate(prog, benchmark_stimuli(prog), engine="sse",
+                          options=options)
+        event = result.diagnostic(QUANTITY_ADD_PATH,
+                                  DiagnosticKind.WRAP_ON_OVERFLOW)
+        assert event is not None
+        assert result.halted_at > 10_000  # long-run error
+
+    def test_error2_wraps_immediately_at_the_product(self):
+        prog = preprocess(build_csev_with_power_downcast())
+        result = simulate(prog, benchmark_stimuli(prog), engine="sse",
+                          steps=2_000)
+        event = result.diagnostic(POWER_PRODUCT_PATH,
+                                  DiagnosticKind.WRAP_ON_OVERFLOW)
+        assert event is not None and event.first_step < 50
+        downcast = result.diagnostic(POWER_PRODUCT_PATH, DiagnosticKind.DOWNCAST)
+        assert downcast is not None and downcast.first_step == -1

@@ -1,0 +1,217 @@
+"""Code generation: source structure, compilation, the result protocol,
+custom predicate substitution, and the Python backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationOptions, simulate
+from repro.codegen import generate_c_program, generate_py_step
+from repro.codegen.driver import compile_c_program, find_c_compiler, parse_result
+from repro.diagnosis import CustomDiagnosis, DiagnosticKind
+from repro.dtypes import F64, I16, I32
+from repro.instrument import build_plan
+from repro.model import ModelBuilder
+from repro.model.errors import CodegenError, CompilationError, SimulationError
+from repro.schedule import preprocess
+from repro.stimuli import ConstantStimulus, IntRandomStimulus, default_stimuli
+
+from conftest import requires_cc
+
+
+def _prog():
+    b = ModelBuilder("Gen")
+    x = b.inport("X", dtype=I32)
+    pos = b.relational("Pos", ">", x, b.constant("Z", 0))
+    sw = b.switch("Sw", x, pos, b.neg("N", x), threshold=1)
+    nw = b.dtc("Nw", b.gain("G", sw, 3, dtype=I32), I16)
+    b.outport("Y", nw)
+    return preprocess(b.build())
+
+
+def _generate(prog=None, options=None, stimuli=None, **plan_kwargs):
+    prog = prog or _prog()
+    plan = build_plan(prog, **plan_kwargs)
+    options = options or SimulationOptions(steps=100)
+    stimuli = stimuli or default_stimuli(prog)
+    source, layout = generate_c_program(prog, plan, stimuli, options)
+    return prog, plan, options, source, layout
+
+
+class TestGeneratedSource:
+    def test_structure(self):
+        _, _, _, source, _ = _generate()
+        assert "int main(void)" in source
+        assert "/* ---- test case import ---- */" in source
+        assert "/* ---- model step (execution order) ---- */" in source
+        assert "steps_run" in source
+
+    def test_actor_comments_present(self):
+        _, _, _, source, _ = _generate()
+        assert "/* Gen_Sw (Switch) */" in source
+        assert "/* Gen_Nw (DataTypeConversion) */" in source
+
+    def test_condition_coverage_inside_branches(self):
+        _, _, _, source, _ = _generate()
+        assert "cov_cond[0] = 1" in source
+        assert "cov_cond[1] = 1" in source
+
+    def test_diagnosis_calls_present(self):
+        _, _, _, source, layout = _generate()
+        assert "ACC_DIAG(" in source
+        paths = {path for path, _, _ in layout.diag_slots}
+        assert "Gen_Nw" in paths  # the narrowing conversion
+
+    def test_halt_label_only_when_halting(self):
+        _, _, _, source, _ = _generate()
+        assert "sim_halt" not in source
+        options = SimulationOptions(
+            steps=10, halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW})
+        )
+        _, _, _, source, _ = _generate(options=options)
+        assert "goto sim_halt;" in source
+
+    def test_no_coverage_when_disabled(self):
+        _, _, _, source, _ = _generate(coverage=False)
+        assert "cov_actor" not in source
+
+    def test_time_budget_emits_clock_check(self):
+        options = SimulationOptions(steps=10, time_budget=1.0)
+        _, _, _, source, _ = _generate(options=options)
+        assert source.count("clock_gettime") >= 3
+
+    def test_monitor_arrays_sized_by_limit(self):
+        options = SimulationOptions(steps=10, monitor_limit=13)
+        _, _, _, source, _ = _generate(options=options)
+        assert "mon0_step[13]" in source
+
+    def test_custom_predicate_substitution(self):
+        prog = _prog()
+        diag = CustomDiagnosis(
+            actor_path="Gen_Sw", message="watch",
+            c_predicate="out0 > 100 || in1 == 0",
+        )
+        plan = build_plan(prog, custom=[diag])
+        source, layout = generate_c_program(
+            prog, plan, default_stimuli(prog), SimulationOptions(steps=5)
+        )
+        sw = prog.actor_by_path("Gen_Sw")
+        out_var = f"s{sw.output_sids[0]}"
+        in1_var = f"s{sw.input_sids[1]}"
+        assert f"{out_var} > 100 || {in1_var} == 0" in source
+
+    def test_custom_without_c_predicate_rejected(self):
+        prog = _prog()
+        diag = CustomDiagnosis(
+            actor_path="Gen_Sw", message="watch",
+            predicate=lambda step, i, o: False,
+        )
+        plan = build_plan(prog, custom=[diag])
+        with pytest.raises(CodegenError, match="no C predicate"):
+            generate_c_program(
+                prog, plan, default_stimuli(prog), SimulationOptions(steps=5)
+            )
+
+    def test_custom_predicate_port_out_of_range(self):
+        prog = _prog()
+        diag = CustomDiagnosis(
+            actor_path="Gen_Sw", message="watch", c_predicate="in9 > 0"
+        )
+        plan = build_plan(prog, custom=[diag])
+        with pytest.raises(CodegenError, match="no in9"):
+            generate_c_program(
+                prog, plan, default_stimuli(prog), SimulationOptions(steps=5)
+            )
+
+
+@requires_cc
+class TestCompileAndParse:
+    def test_compile_and_execute(self):
+        _, plan, options, source, layout = _generate()
+        compiled = compile_c_program(source, layout)
+        stdout = compiled.execute()
+        assert "steps_run 100" in stdout
+
+    def test_compile_error_reported(self):
+        _, _, _, _, layout = _generate()
+        with pytest.raises(CompilationError, match="failed"):
+            compile_c_program("this is not C;", layout)
+
+    def test_parse_result_full(self):
+        prog, plan, options, source, layout = _generate()
+        compiled = compile_c_program(source, layout)
+        result = parse_result(
+            compiled.execute(), prog, plan, layout, options
+        )
+        assert result.steps_run == 100
+        assert result.engine == "accmos"
+        assert "Y" in result.outputs
+        assert result.coverage is not None
+
+    def test_parse_result_rejects_garbage(self):
+        prog, plan, options, _, layout = _generate()
+        with pytest.raises(SimulationError, match="unrecognized"):
+            parse_result("???", prog, plan, layout, options)
+
+    def test_find_c_compiler(self):
+        assert find_c_compiler() is not None
+
+    def test_workdir_artifacts_kept(self, tmp_path):
+        _, _, _, source, layout = _generate()
+        compiled = compile_c_program(source, layout, workdir=tmp_path)
+        assert (tmp_path / "simulation.c").exists()
+        assert (tmp_path / "simulation").exists()
+        assert compiled.compile_seconds > 0
+
+    def test_accmos_run_reports_extras(self):
+        prog = _prog()
+        result = simulate(prog, default_stimuli(prog), engine="accmos", steps=50)
+        assert result.extra["compile_seconds"] > 0
+        assert result.extra["source_lines"] > 100
+
+    def test_accmos_keep_artifacts(self, tmp_path):
+        from repro.engines import run_accmos
+
+        prog = _prog()
+        result = run_accmos(
+            prog, default_stimuli(prog), SimulationOptions(steps=10),
+            workdir=tmp_path, keep_artifacts=True,
+        )
+        artifacts = result.extra["artifacts"]
+        assert artifacts.source_path.exists()
+        assert artifacts.binary_path.exists()
+
+
+class TestPyBackend:
+    def test_generated_module_compiles(self):
+        prog = _prog()
+        source = generate_py_step(prog)
+        compile(source, "<test>", "exec")
+
+    def test_run_signature(self):
+        prog = _prog()
+        namespace = {}
+        exec(compile(generate_py_step(prog), "<test>", "exec"), namespace)
+        stim = ConstantStimulus(5)
+        feeds = [lambda: stim.conform(stim.next(), I32)]
+        frames = []
+        steps_run, outputs = namespace["run"](4, feeds, frames.extend)
+        assert steps_run == 4
+        assert "Y" in outputs
+        assert len(frames) == 4  # final flush delivers all frames
+
+    def test_unknown_block_type_raises(self):
+        from repro.codegen.pybackend import _PyEmit, _emit_actor
+        from repro.schedule.program import FlatActor
+        from repro.model.actor import Actor
+
+        prog = _prog()
+        emitter = _PyEmit(prog)
+        fake = FlatActor(
+            index=0, path="X", guard=None,
+            actor=Actor.create("X", "Sum", n_inputs=1, operator="+"),
+            input_sids=(0,), output_sids=(0,),
+        )
+        fake.actor.block_type = "Imaginary"
+        with pytest.raises(CodegenError):
+            _emit_actor(emitter, fake, [])

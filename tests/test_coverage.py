@@ -1,0 +1,202 @@
+"""Coverage metrics: points, bitmaps, MC/DC masking, reports."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coverage import Bitmap, CoverageReport, Metric, enumerate_points, mcdc_sides
+from repro.coverage.metrics import ALL_METRICS
+from repro.coverage.points import branch_count
+from repro.dtypes import I32
+from repro.model import ModelBuilder
+from repro.schedule import preprocess
+
+
+class TestBitmap:
+    def test_set_and_count(self):
+        bm = Bitmap(8)
+        bm.set(0)
+        bm.set(5)
+        bm.set(5)
+        assert bm.count() == 2
+        assert bm.test(5) and not bm.test(1)
+        assert list(bm.hit_indices()) == [0, 5]
+
+    def test_merge(self):
+        a = Bitmap.from_hits(4, [0])
+        b = Bitmap.from_hits(4, [3])
+        a.merge(b)
+        assert list(a.hit_indices()) == [0, 3]
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitmap(3).merge(Bitmap(4))
+
+    def test_copy_is_independent(self):
+        a = Bitmap.from_hits(4, [1])
+        b = a.copy()
+        b.set(2)
+        assert not a.test(2)
+
+    def test_equality(self):
+        assert Bitmap.from_hits(4, [1]) == Bitmap.from_hits(4, [1])
+        assert Bitmap.from_hits(4, [1]) != Bitmap.from_hits(4, [2])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(-1)
+
+
+class TestMcdcSides:
+    def test_and_all_true_covers_true_sides(self):
+        assert set(mcdc_sides("AND", (True, True, True))) == {
+            (0, True), (1, True), (2, True)
+        }
+
+    def test_and_one_false_covers_that_false_side(self):
+        assert set(mcdc_sides("AND", (True, False, True))) == {(1, False)}
+
+    def test_and_two_false_covers_nothing(self):
+        assert set(mcdc_sides("AND", (False, False, True))) == set()
+
+    def test_or_duals(self):
+        assert set(mcdc_sides("OR", (False, False))) == {(0, False), (1, False)}
+        assert set(mcdc_sides("OR", (True, False))) == {(0, True)}
+        assert set(mcdc_sides("OR", (True, True))) == set()
+
+    def test_nand_nor_use_same_masking(self):
+        assert set(mcdc_sides("NAND", (True, True))) == set(
+            mcdc_sides("AND", (True, True))
+        )
+        assert set(mcdc_sides("NOR", (False, True))) == set(
+            mcdc_sides("OR", (False, True))
+        )
+
+    def test_xor_every_input_always_independent(self):
+        assert set(mcdc_sides("XOR", (True, False))) == {(0, True), (1, False)}
+
+    @given(
+        st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR"]),
+        st.lists(st.booleans(), min_size=2, max_size=5),
+    )
+    def test_masking_matches_flip_test(self, op, truths):
+        """A condition is demonstrated iff flipping it flips the outcome."""
+        from repro.actors.logic_ops import evaluate_logic
+
+        truths = tuple(truths)
+        outcome = evaluate_logic(op, truths)
+        expected = set()
+        for i in range(len(truths)):
+            flipped = tuple(
+                not t if j == i else t for j, t in enumerate(truths)
+            )
+            if evaluate_logic(op, flipped) != outcome:
+                expected.add((i, truths[i]))
+        assert set(mcdc_sides(op, truths)) == expected
+
+
+class TestPoints:
+    def _prog(self):
+        b = ModelBuilder("Cov")
+        x = b.inport("X", dtype=I32)
+        pos = b.relational("Pos", ">", x, b.constant("Z", 0))
+        neg = b.relational("Neg", "<", x, b.constant("Z2", 0))
+        both = b.logic("Both", "AND", [pos, neg])
+        sw = b.switch("Sw", x, both, b.neg("N", x), threshold=1)
+        mp = b.multiport_switch("Mp", x, [sw, x, x])
+        b.outport("Y", mp)
+        return preprocess(b.build())
+
+    def test_actor_points_one_per_flat_actor(self):
+        prog = self._prog()
+        points = enumerate_points(prog)
+        assert points.n_actor == len(prog.actors)
+        assert sorted(points.actor_point.values()) == list(range(points.n_actor))
+
+    def test_condition_points(self):
+        prog = self._prog()
+        points = enumerate_points(prog)
+        # Switch: 2 branches; MultiportSwitch with 3 cases: 3 branches.
+        assert points.n_condition == 5
+
+    def test_decision_points_two_per_boolean_actor(self):
+        prog = self._prog()
+        points = enumerate_points(prog)
+        # Pos, Neg, Both -> 3 boolean actors.
+        assert points.n_decision == 6
+
+    def test_mcdc_points_two_per_condition(self):
+        prog = self._prog()
+        points = enumerate_points(prog)
+        # Only Both (2 inputs) is a combination condition.
+        assert points.n_mcdc == 4
+
+    def test_branch_count(self):
+        assert branch_count("Switch", 3) == 2
+        assert branch_count("MultiportSwitch", 5) == 4
+        with pytest.raises(ValueError):
+            branch_count("Gain", 1)
+
+    def test_layout_is_deterministic(self):
+        prog = self._prog()
+        p1 = enumerate_points(prog)
+        p2 = enumerate_points(prog)
+        assert p1.actor_point == p2.actor_point
+        assert p1.condition_base == p2.condition_base
+        assert p1.decision_base == p2.decision_base
+        assert p1.mcdc_base == p2.mcdc_base
+
+
+class TestReport:
+    def _report(self):
+        b = ModelBuilder("R")
+        x = b.inport("X", dtype=I32)
+        pos = b.relational("Pos", ">", x, b.constant("Z", 0))
+        b.outport("Y", pos)
+        prog = preprocess(b.build())
+        return enumerate_points(prog)
+
+    def test_empty_report(self):
+        points = self._report()
+        report = CoverageReport.empty(points)
+        assert report.percent(Metric.ACTOR) == 0.0
+        assert report.metrics[Metric.ACTOR].covered == 0
+
+    def test_zero_total_counts_as_full(self):
+        points = self._report()
+        report = CoverageReport.empty(points)
+        assert report.percent(Metric.MCDC) == 100.0  # no combination conditions
+
+    def test_merge_accumulates_and_recounts(self):
+        points = self._report()
+        r1 = CoverageReport.empty(points)
+        r1.bitmaps[Metric.ACTOR].set(0)
+        r2 = CoverageReport.empty(points)
+        r2.bitmaps[Metric.ACTOR].set(1)
+        r1.merge(r2)
+        assert r1.bitmaps[Metric.ACTOR].count() == 2
+        assert r1.metrics[Metric.ACTOR].covered == 2
+
+    def test_summary_mentions_all_metrics(self):
+        report = CoverageReport.empty(self._report())
+        text = report.summary()
+        for metric in ALL_METRICS:
+            assert metric.title in text
+
+    def test_mcdc_covered_conditions(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        p = b.relational("P", ">", x, b.constant("Z", 0))
+        q = b.relational("Q", "<", x, b.constant("T", 10))
+        b.outport("Y", b.logic("L", "AND", [p, q]))
+        prog = preprocess(b.build())
+        points = enumerate_points(prog)
+        report = CoverageReport.empty(points)
+        base, n = points.mcdc_base[prog.actor_by_path("M_L").index]
+        assert n == 2
+        report.bitmaps[Metric.MCDC].set(base + 0)  # cond 0 false side
+        report.bitmaps[Metric.MCDC].set(base + 1)  # cond 0 true side
+        report.bitmaps[Metric.MCDC].set(base + 2)  # cond 1 false side only
+        assert report.mcdc_covered_conditions() == 1

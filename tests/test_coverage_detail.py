@@ -1,0 +1,163 @@
+"""Detailed coverage findings and test-suite accumulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import simulate
+from repro.coverage import (
+    Metric,
+    accumulate_coverage,
+    coverage_listing,
+    uncovered_points,
+)
+from repro.dtypes import I32
+from repro.model import ModelBuilder
+from repro.schedule import preprocess
+from repro.stimuli import ConstantStimulus, SequenceStimulus
+
+
+def _prog():
+    b = ModelBuilder("Det")
+    x = b.inport("X", dtype=I32)
+    y = b.inport("Y", dtype=I32)
+    p = b.relational("P", ">", x, b.constant("Z", 0))
+    q = b.relational("Q", ">", y, b.constant("Z2", 0))
+    both = b.logic("Both", "AND", [p, q])
+    sw = b.switch("Sw", x, both, b.neg("N", x), threshold=1)
+    en = b.relational("En", ">", x, b.constant("K90", 90))
+    sub = b.subsystem("Rare", inputs=[x])
+    sub.inner.gain("Boost", sub.input_ref(0), 5)
+    sub.set_enable(en)
+    b.outport("Out", sw)
+    return preprocess(b.build())
+
+
+def _run(prog, xs, ys):
+    return simulate(
+        prog,
+        {"X": SequenceStimulus(xs), "Y": SequenceStimulus(ys)},
+        engine="sse", steps=max(len(xs), len(ys)),
+    )
+
+
+class TestUncoveredPoints:
+    def test_never_executed_actor_reported(self):
+        prog = _prog()
+        result = _run(prog, [1, -1], [1, -1])  # x never > 90
+        findings = uncovered_points(prog, result.coverage)
+        texts = [str(f) for f in findings]
+        assert any("Det_Rare_Boost" in t and "never executed" in t
+                   for t in texts)
+
+    def test_missing_branch_reported_with_label(self):
+        prog = _prog()
+        result = _run(prog, [1], [1])  # switch only takes the then branch
+        findings = uncovered_points(prog, result.coverage)
+        labels = [f.detail for f in findings
+                  if f.metric is Metric.CONDITION and f.actor_path == "Det_Sw"]
+        assert labels == ["branch never taken: else"]
+
+    def test_missing_decision_outcome_reported(self):
+        prog = _prog()
+        result = _run(prog, [1], [1])
+        findings = uncovered_points(prog, result.coverage)
+        p_outcomes = [f.detail for f in findings
+                      if f.metric is Metric.DECISION and f.actor_path == "Det_P"]
+        assert p_outcomes == ["outcome never observed: false"]
+
+    def test_mcdc_sides_reported_per_condition(self):
+        prog = _prog()
+        result = _run(prog, [1], [1])  # only TT observed
+        findings = [f for f in uncovered_points(prog, result.coverage)
+                    if f.metric is Metric.MCDC]
+        # Neither condition was shown to drive the decision false.
+        assert len(findings) == 2
+        assert all("false" in f.detail for f in findings)
+
+    def test_full_coverage_reports_nothing(self):
+        b = ModelBuilder("Tiny")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", b.gain("G", x, 2))
+        prog = preprocess(b.build())
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse", steps=3)
+        assert uncovered_points(prog, result.coverage) == []
+        assert "every coverage point hit" in coverage_listing(prog, result.coverage)
+
+    def test_listing_caps_items(self):
+        prog = _prog()
+        result = _run(prog, [1], [1])
+        text = coverage_listing(prog, result.coverage, max_items=2)
+        assert "... and" in text
+
+
+class TestAccumulateCoverage:
+    def test_suite_covers_more_than_any_single_case(self):
+        prog = _prog()
+        cases = [
+            {"X": ConstantStimulus(1), "Y": ConstantStimulus(1)},
+            {"X": ConstantStimulus(-1), "Y": ConstantStimulus(1)},
+            {"X": ConstantStimulus(1), "Y": ConstantStimulus(-1)},
+            {"X": ConstantStimulus(95), "Y": ConstantStimulus(-1)},
+        ]
+        merged, per_run = accumulate_coverage(prog, cases, engine="sse", steps=5)
+        assert len(per_run) == 4
+        for metric in Metric:
+            best_single = max(r.metrics[metric].covered for r in per_run)
+            assert merged.metrics[metric].covered >= best_single
+        # The suite together exercises the rare region and both AND sides.
+        assert merged.percent(Metric.ACTOR) == 100.0
+        assert merged.percent(Metric.MCDC) == 100.0
+
+    def test_empty_suite_rejected(self):
+        prog = _prog()
+        with pytest.raises(ValueError, match="no stimuli"):
+            accumulate_coverage(prog, [], engine="sse")
+
+    def test_engine_without_coverage_rejected(self):
+        prog = _prog()
+        with pytest.raises(ValueError, match="no coverage"):
+            accumulate_coverage(
+                prog,
+                [{"X": ConstantStimulus(1), "Y": ConstantStimulus(1)}],
+                engine="sse_rac", steps=2,
+            )
+
+
+class TestRelayBlock:
+    def test_hysteresis_latching(self):
+        b = ModelBuilder("R")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", b.relay("Ry", x, on_threshold=5, off_threshold=-5,
+                               on_value=1, off_value=0))
+        prog = preprocess(b.build())
+        from repro import SimulationOptions
+
+        options = SimulationOptions(steps=6, collect="all", monitor_limit=8)
+        result = simulate(
+            prog, {"X": SequenceStimulus([0, 7, 0, -7, 0, 7])},
+            engine="sse", options=options,
+        )
+        values = [v for _, v in result.monitored["R_Y"]]
+        # off; rises on; holds; falls off; holds; on again.
+        assert values == [0, 1, 1, 0, 0, 1]
+
+    def test_relay_condition_coverage(self):
+        b = ModelBuilder("R")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", b.relay("Ry", x, on_threshold=5, off_threshold=-5))
+        prog = preprocess(b.build())
+        result = simulate(prog, {"X": ConstantStimulus(0)}, engine="sse", steps=3)
+        assert result.coverage.metrics[Metric.CONDITION].covered == 1
+        result = simulate(prog, {"X": SequenceStimulus([7, -7])}, engine="sse",
+                          steps=4)
+        assert result.coverage.metrics[Metric.CONDITION].covered == 2
+
+    def test_relay_threshold_order_validated(self):
+        from repro.model.errors import ValidationError
+
+        b = ModelBuilder("R")
+        x = b.inport("X", dtype=I32)
+        b.relay("Ry", x, on_threshold=-5, off_threshold=5)
+        with pytest.raises(ValidationError, match="must not exceed"):
+            preprocess(b.build())

@@ -1,0 +1,196 @@
+"""Diagnosis: the per-type rule table, static downcast analysis, the
+aggregation log, and custom signal diagnosis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnosis import (
+    CustomDiagnosis,
+    DiagnosticKind,
+    DiagnosticLog,
+    applicable_kinds,
+    static_downcast_warnings,
+)
+from repro.diagnosis.custom import (
+    input_equals,
+    output_above,
+    output_below,
+    output_outside,
+)
+from repro.dtypes import F64, I8, I16, I32, I64
+from repro.model import ModelBuilder
+from repro.schedule import preprocess
+
+K = DiagnosticKind
+
+
+def _flat(build):
+    b = ModelBuilder("D")
+    build(b)
+    return preprocess(b.build())
+
+
+class TestApplicableKinds:
+    def test_product_with_division_needs_div_by_zero(self):
+        prog = _flat(lambda b: b.div(
+            "P", b.inport("X", dtype=I32), b.inport("Y", dtype=I32), dtype=I32
+        ))
+        kinds = applicable_kinds(prog.actor_by_path("D_P"))
+        assert K.DIV_BY_ZERO in kinds and K.WRAP_ON_OVERFLOW in kinds
+
+    def test_product_multiply_only_skips_div_by_zero(self):
+        prog = _flat(lambda b: b.mul(
+            "P", b.inport("X", dtype=I32), b.inport("Y", dtype=I32), dtype=I32
+        ))
+        kinds = applicable_kinds(prog.actor_by_path("D_P"))
+        assert K.DIV_BY_ZERO not in kinds and K.WRAP_ON_OVERFLOW in kinds
+
+    def test_float_sum_has_no_wrap(self):
+        prog = _flat(lambda b: b.add(
+            "S", b.inport("X", dtype=F64), b.inport("Y", dtype=F64)
+        ))
+        kinds = applicable_kinds(prog.actor_by_path("D_S"))
+        assert K.WRAP_ON_OVERFLOW not in kinds and K.NON_FINITE in kinds
+
+    def test_math_reciprocal_adds_div_by_zero(self):
+        prog = _flat(lambda b: b.math(
+            "M", "reciprocal", b.inport("X", dtype=F64)
+        ))
+        kinds = applicable_kinds(prog.actor_by_path("D_M"))
+        assert K.DIV_BY_ZERO in kinds
+        prog = _flat(lambda b: b.math("M", "sin", b.inport("X", dtype=F64)))
+        assert K.DIV_BY_ZERO not in applicable_kinds(prog.actor_by_path("D_M"))
+
+    def test_dtc_narrowing(self):
+        prog = _flat(lambda b: b.dtc("C", b.inport("X", dtype=I64), I16))
+        kinds = applicable_kinds(prog.actor_by_path("D_C"))
+        assert K.WRAP_ON_OVERFLOW in kinds and K.PRECISION_LOSS in kinds
+
+    def test_direct_lookup_is_oob(self):
+        prog = _flat(lambda b: b.direct_lookup(
+            "L", b.inport("X", dtype=I32), [1, 2, 3]
+        ))
+        assert K.ARRAY_OUT_OF_BOUNDS in applicable_kinds(prog.actor_by_path("D_L"))
+
+    def test_multiport_switch_is_oob_even_without_calculation(self):
+        prog = _flat(lambda b: b.multiport_switch(
+            "M", b.inport("S", dtype=I32),
+            [b.constant("A", 1), b.constant("B", 2)],
+        ))
+        assert applicable_kinds(prog.actor_by_path("D_M")) == {K.ARRAY_OUT_OF_BOUNDS}
+
+    def test_non_calculation_actor_has_none(self):
+        prog = _flat(lambda b: b.unit_delay(
+            "U", b.inport("X", dtype=I32), dtype=I32
+        ))
+        assert applicable_kinds(prog.actor_by_path("D_U")) == frozenset()
+
+
+class TestStaticDowncast:
+    def test_narrowing_input_flagged(self):
+        prog = _flat(lambda b: b.add(
+            "S", b.inport("X", dtype=I64), b.inport("Y", dtype=I64), dtype=I32
+        ))
+        warnings = static_downcast_warnings(prog)
+        assert len(warnings) == 2  # both i64 inputs narrow to i32
+        assert all(w.kind is K.DOWNCAST and w.first_step == -1 for w in warnings)
+        assert all(w.path == "D_S" for w in warnings)
+
+    def test_no_warning_when_widening(self):
+        prog = _flat(lambda b: b.add(
+            "S", b.inport("X", dtype=I8), b.inport("Y", dtype=I8), dtype=I32
+        ))
+        assert static_downcast_warnings(prog) == []
+
+    def test_float_paths_not_statically_flagged(self):
+        prog = _flat(lambda b: b.add(
+            "S", b.inport("X", dtype=F64), b.inport("Y", dtype=F64)
+        ))
+        assert static_downcast_warnings(prog) == []
+
+
+class TestDiagnosticLog:
+    def test_aggregation(self):
+        log = DiagnosticLog()
+        for step in (5, 9, 12):
+            log.record("p", K.WRAP_ON_OVERFLOW, step)
+        events = log.events()
+        assert len(events) == 1
+        assert events[0].first_step == 5 and events[0].count == 3
+
+    def test_separate_kinds_separate_events(self):
+        log = DiagnosticLog()
+        log.record("p", K.WRAP_ON_OVERFLOW, 1)
+        log.record("p", K.DIV_BY_ZERO, 2)
+        assert len(log) == 2
+
+    def test_halt_on_first_matching_kind(self):
+        log = DiagnosticLog(halt_on={K.DIV_BY_ZERO})
+        assert not log.record("p", K.WRAP_ON_OVERFLOW, 1)
+        assert log.record("p", K.DIV_BY_ZERO, 2)
+        assert log.halted_at == 2
+        assert log.halt_event.kind is K.DIV_BY_ZERO
+
+    def test_statics_sort_first_and_never_halt(self):
+        log = DiagnosticLog(halt_on={K.DOWNCAST})
+        log.add_static("p", K.DOWNCAST, "narrows")
+        log.record("q", K.WRAP_ON_OVERFLOW, 3)
+        events = log.events()
+        assert events[0].kind is K.DOWNCAST and events[0].first_step == -1
+        assert log.halted_at is None
+
+    def test_first_runtime_step(self):
+        log = DiagnosticLog()
+        log.add_static("p", K.DOWNCAST, "")
+        log.record("q", K.DIV_BY_ZERO, 7)
+        log.record("r", K.WRAP_ON_OVERFLOW, 3)
+        assert log.first_runtime_step() == 3
+        assert log.first_runtime_step(K.DIV_BY_ZERO) == 7
+        assert log.first_runtime_step(K.CUSTOM) is None
+
+    def test_set_aggregate_merges(self):
+        log = DiagnosticLog()
+        log.set_aggregate("p", K.CUSTOM, 10, 4, "a")
+        log.set_aggregate("p", K.CUSTOM, 3, 2, "b")
+        events = log.events()
+        assert len(events) == 1
+        assert events[0].first_step == 3 and events[0].count == 6
+
+    def test_event_str(self):
+        log = DiagnosticLog()
+        log.record("Model_Minus", K.WRAP_ON_OVERFLOW, 17)
+        text = str(log.events()[0])
+        assert "Wrap on overflow" in text and "Model_Minus" in text
+        assert "step 17" in text
+
+
+class TestCustomDiagnosis:
+    def test_requires_some_predicate(self):
+        with pytest.raises(ValueError):
+            CustomDiagnosis(actor_path="p", message="m")
+
+    def test_helpers_build_matched_pairs(self):
+        for diag in (
+            output_above("p", 10),
+            output_below("p", -1),
+            output_outside("p", 0, 5),
+            input_equals("p", 3),
+        ):
+            assert diag.predicate is not None and diag.c_predicate is not None
+
+    def test_output_above_predicate(self):
+        diag = output_above("p", 10)
+        assert diag.predicate(0, (), (11,))
+        assert not diag.predicate(0, (), (10,))
+
+    def test_output_outside_predicate(self):
+        diag = output_outside("p", 0, 5)
+        assert diag.predicate(0, (), (-1,))
+        assert diag.predicate(0, (), (6,))
+        assert not diag.predicate(0, (), (3,))
+
+    def test_input_equals_predicate(self):
+        diag = input_equals("p", 3, port=1)
+        assert diag.predicate(0, (0, 3), ())
+        assert not diag.predicate(0, (3, 0), ())

@@ -1,0 +1,110 @@
+"""Cross-engine equivalence over the model zoo.
+
+The library's central invariant: for any model and stimuli, all four
+engines produce identical outputs and per-step checksums; the two
+instrumented engines (SSE, AccMoS) additionally produce identical coverage
+bitmaps and diagnostics.  Every zoo model exercises a different slice of
+the actor palette, so a divergence anywhere in semantics, templates, or
+the Python backend fails here with the model named.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationOptions, simulate
+from repro.schedule import preprocess
+
+from conftest import requires_cc
+from helpers import ZOO, assert_results_agree
+
+STEPS = 400
+
+
+@pytest.fixture(scope="module")
+def zoo_programs():
+    programs = {}
+    for name, factory in ZOO.items():
+        model, stimuli = factory()
+        programs[name] = (preprocess(model), stimuli)
+    return programs
+
+
+@pytest.fixture(scope="module")
+def sse_results(zoo_programs):
+    results = {}
+    for name, (prog, stimuli) in zoo_programs.items():
+        results[name] = simulate(prog, stimuli(), engine="sse", steps=STEPS)
+    return results
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_sse_ac_matches_sse(zoo_programs, sse_results, name):
+    prog, stimuli = zoo_programs[name]
+    result = simulate(prog, stimuli(), engine="sse_ac", steps=STEPS)
+    assert_results_agree(sse_results[name], result, coverage=False, diagnostics=False)
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_sse_rac_matches_sse(zoo_programs, sse_results, name):
+    prog, stimuli = zoo_programs[name]
+    result = simulate(prog, stimuli(), engine="sse_rac", steps=STEPS)
+    assert_results_agree(sse_results[name], result, coverage=False, diagnostics=False)
+
+
+@requires_cc
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_accmos_matches_sse(zoo_programs, sse_results, name):
+    prog, stimuli = zoo_programs[name]
+    result = simulate(prog, stimuli(), engine="accmos", steps=STEPS)
+    assert_results_agree(sse_results[name], result)
+
+
+@requires_cc
+@pytest.mark.parametrize("name", ["int_arith", "guarded", "stores", "stateful"])
+def test_accmos_matches_sse_long(zoo_programs, name):
+    """Longer runs catch state-update and wrap-accumulation divergence."""
+    prog, stimuli = zoo_programs[name]
+    reference = simulate(prog, stimuli(), engine="sse", steps=5_000)
+    result = simulate(prog, stimuli(), engine="accmos", steps=5_000)
+    assert_results_agree(reference, result)
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_sse_is_deterministic(zoo_programs, sse_results, name):
+    prog, stimuli = zoo_programs[name]
+    again = simulate(prog, stimuli(), engine="sse", steps=STEPS)
+    assert_results_agree(sse_results[name], again)
+
+
+@requires_cc
+def test_zero_steps_all_engines(zoo_programs):
+    prog, stimuli = zoo_programs["int_arith"]
+    reference = simulate(prog, stimuli(), engine="sse", steps=0)
+    assert reference.steps_run == 0
+    for engine in ("sse_ac", "sse_rac", "accmos"):
+        result = simulate(prog, stimuli(), engine=engine, steps=0)
+        assert result.steps_run == 0
+        assert result.checksums == reference.checksums
+
+
+@requires_cc
+def test_single_step_all_engines(zoo_programs):
+    prog, stimuli = zoo_programs["float_pipeline"]
+    reference = simulate(prog, stimuli(), engine="sse", steps=1)
+    for engine in ("sse_ac", "sse_rac"):
+        result = simulate(prog, stimuli(), engine=engine, steps=1)
+        assert_results_agree(reference, result, coverage=False, diagnostics=False)
+    result = simulate(prog, stimuli(), engine="accmos", steps=1)
+    assert_results_agree(reference, result)
+
+
+@requires_cc
+def test_monitored_signals_match(zoo_programs):
+    prog, stimuli = zoo_programs["control"]
+    options = SimulationOptions(steps=100, collect="all", monitor_limit=50)
+    reference = simulate(prog, stimuli(), engine="sse", options=options)
+    result = simulate(prog, stimuli(), engine="accmos", options=options)
+    assert set(result.monitored) == set(reference.monitored)
+    for path, samples in reference.monitored.items():
+        assert result.monitored[path] == samples, path

@@ -1,0 +1,273 @@
+"""Behavioural tests of the interpreted reference engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import DiagnosticKind, SimulationOptions, simulate
+from repro.dtypes import F64, I8, I32
+from repro.model import ModelBuilder
+from repro.model.errors import SimulationError
+from repro.schedule import preprocess
+from repro.stimuli import ConstantStimulus, IntRandomStimulus, SequenceStimulus
+
+
+def _accumulator_prog():
+    b = ModelBuilder("Acc")
+    x = b.inport("X", dtype=I32)
+    acc = b.accumulator("Sum", x, dtype=I32)
+    b.outport("Y", acc)
+    return preprocess(b.build())
+
+
+class TestBasics:
+    def test_outputs_accumulate(self):
+        prog = _accumulator_prog()
+        result = simulate(prog, {"X": ConstantStimulus(5)}, engine="sse", steps=10)
+        assert result.outputs["Y"] == 50
+        assert result.steps_run == 10
+
+    def test_missing_stimulus_rejected(self):
+        prog = _accumulator_prog()
+        with pytest.raises(SimulationError, match="no stimulus"):
+            simulate(prog, {}, engine="sse", steps=1)
+
+    def test_monitoring_outports_by_default(self):
+        prog = _accumulator_prog()
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse", steps=5)
+        assert result.monitored["Acc_Y"] == [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5)
+        ]
+
+    def test_monitor_limit(self):
+        prog = _accumulator_prog()
+        options = SimulationOptions(steps=100, monitor_limit=7)
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse",
+                          options=options)
+        assert len(result.monitored["Acc_Y"]) == 7
+
+    def test_checksum_disabled(self):
+        prog = _accumulator_prog()
+        options = SimulationOptions(steps=5, checksum=False)
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse",
+                          options=options)
+        assert result.checksums == {}
+
+    def test_time_budget_stops_early(self):
+        prog = _accumulator_prog()
+        options = SimulationOptions(steps=10**9, time_budget=0.05)
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse",
+                          options=options)
+        assert 0 < result.steps_run < 10**9
+        assert result.wall_time < 2.0
+
+    def test_steps_per_second(self):
+        prog = _accumulator_prog()
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse", steps=100)
+        assert result.steps_per_second > 0
+
+
+class TestDiagnosticsAndHalt:
+    def test_overflow_detected_at_exact_step(self):
+        prog = _accumulator_prog()
+        # 2**31 / 10**6 = 2147.48... -> wraps on step 2148 (0-indexed 2147).
+        result = simulate(prog, {"X": ConstantStimulus(10**6)}, engine="sse",
+                          steps=3000)
+        event = result.diagnostic("Acc_Sum", DiagnosticKind.WRAP_ON_OVERFLOW)
+        assert event.first_step == 2147
+        assert result.first_detection_step() == 2147
+
+    def test_halt_on_stops_simulation(self):
+        prog = _accumulator_prog()
+        options = SimulationOptions(
+            steps=10**6,
+            halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW}),
+        )
+        result = simulate(prog, {"X": ConstantStimulus(10**6)}, engine="sse",
+                          options=options)
+        assert result.halted_at == 2147
+        assert result.steps_run == 2148
+
+    def test_halt_ignores_other_kinds(self):
+        prog = _accumulator_prog()
+        options = SimulationOptions(
+            steps=3000, halt_on=frozenset({DiagnosticKind.DIV_BY_ZERO})
+        )
+        result = simulate(prog, {"X": ConstantStimulus(10**6)}, engine="sse",
+                          options=options)
+        assert result.halted_at is None
+        assert result.steps_run == 3000
+
+    def test_diagnostics_disabled_means_no_events(self):
+        prog = _accumulator_prog()
+        options = SimulationOptions(steps=3000, diagnostics=False)
+        result = simulate(prog, {"X": ConstantStimulus(10**6)}, engine="sse",
+                          options=options)
+        assert result.diagnostics == []
+
+    def test_custom_diagnosis_fires(self):
+        from repro.diagnosis.custom import output_above
+
+        prog = _accumulator_prog()
+        options = SimulationOptions(
+            steps=20, custom=(output_above("Acc_Sum", 10),)
+        )
+        result = simulate(prog, {"X": ConstantStimulus(3)}, engine="sse",
+                          options=options)
+        event = result.diagnostic("Acc_Sum", DiagnosticKind.CUSTOM)
+        assert event is not None and event.first_step == 3  # 12 > 10
+
+    def test_division_by_zero_event(self):
+        b = ModelBuilder("Div")
+        x = b.inport("X", dtype=I32)
+        y = b.inport("Y", dtype=I32)
+        b.outport("Q", b.div("D", x, y, dtype=I32))
+        prog = preprocess(b.build())
+        result = simulate(
+            prog,
+            {"X": ConstantStimulus(6), "Y": SequenceStimulus([2, 0, 3])},
+            engine="sse",
+            steps=6,
+        )
+        event = result.diagnostic("Div_D", DiagnosticKind.DIV_BY_ZERO)
+        assert event.first_step == 1 and event.count == 2
+
+
+class TestGuardsAndMerge:
+    def _guarded_prog(self):
+        b = ModelBuilder("G")
+        x = b.inport("X", dtype=I32)
+        en = b.relational("En", ">", x, b.constant("Z", 0))
+        sub = b.subsystem("S", inputs=[x])
+        boosted = sub.inner.gain("Boost", sub.input_ref(0), 10)
+        out = sub.set_output(boosted)
+        sub.set_enable(en)
+        b.outport("Y", out)
+        return preprocess(b.build())
+
+    def test_disabled_subsystem_holds_output(self):
+        prog = self._guarded_prog()
+        stim = SequenceStimulus([5, -1, -2, 3])
+        options = SimulationOptions(steps=4, collect="all", monitor_limit=10)
+        result = simulate(prog, {"X": stim}, engine="sse", options=options)
+        assert [v for _, v in result.monitored["G_Y"]] == [50, 50, 50, 30]
+
+    def test_disabled_actor_not_covered(self):
+        prog = self._guarded_prog()
+        result = simulate(prog, {"X": ConstantStimulus(-1)}, engine="sse", steps=3)
+        from repro.coverage import Metric
+
+        boost = prog.actor_by_path("G_S_Boost")
+        points = result.coverage.points
+        assert not result.coverage.bitmaps[Metric.ACTOR].test(
+            points.actor_point[boost.index]
+        )
+
+    def test_stateful_actor_freezes_while_disabled(self):
+        b = ModelBuilder("G")
+        x = b.inport("X", dtype=I32)
+        en = b.relational("En", ">", x, b.constant("Z", 0))
+        sub = b.subsystem("S", inputs=[x])
+        counter = sub.inner.counter("Cnt", limit=100)
+        out = sub.set_output(counter)
+        sub.set_enable(en)
+        b.outport("Y", out)
+        prog = preprocess(b.build())
+        stim = SequenceStimulus([1, 1, -1, -1, 1])
+        options = SimulationOptions(steps=5, collect="all", monitor_limit=10)
+        result = simulate(prog, {"X": stim}, engine="sse", options=options)
+        assert [v for _, v in result.monitored["G_Y"]] == [0, 1, 1, 1, 2]
+
+    def test_merge_picks_last_active_and_holds(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        hot = b.relational("Hot", ">", x, b.constant("K", 5))
+        cold = b.relational("Cold", "<", x, b.constant("K2", -5))
+        s1 = b.subsystem("H", inputs=[x])
+        o1 = s1.set_output(s1.inner.gain("G1", s1.input_ref(0), 1))
+        s1.set_enable(hot)
+        s2 = b.subsystem("C", inputs=[x])
+        o2 = s2.set_output(s2.inner.gain("G2", s2.input_ref(0), -1))
+        s2.set_enable(cold)
+        b.outport("Y", b.merge("Mg", [o1, o2], dtype=I32))
+        prog = preprocess(b.build())
+        stim = SequenceStimulus([10, -10, 0, 7])
+        options = SimulationOptions(steps=4, collect="all", monitor_limit=10)
+        result = simulate(prog, {"X": stim}, engine="sse", options=options)
+        # hot -> 10; cold -> 10 (negated -10); none -> hold; hot -> 7
+        assert [v for _, v in result.monitored["M_Y"]] == [10, 10, 10, 7]
+
+
+class TestCoverageCollection:
+    def test_switch_condition_coverage(self):
+        from repro.coverage import Metric
+
+        b = ModelBuilder("C")
+        x = b.inport("X", dtype=I32)
+        sw = b.switch("Sw", x, x, b.neg("N", x), threshold=0)
+        b.outport("Y", sw)
+        prog = preprocess(b.build())
+        # Always positive control: only branch 0.
+        r = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse", steps=5)
+        assert r.coverage.metrics[Metric.CONDITION].covered == 1
+        # Mixed control: both branches.
+        r = simulate(prog, {"X": SequenceStimulus([1, -1])}, engine="sse", steps=5)
+        assert r.coverage.metrics[Metric.CONDITION].covered == 2
+
+    def test_decision_coverage_needs_both_outcomes(self):
+        from repro.coverage import Metric
+
+        b = ModelBuilder("C")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", b.relational("R", ">", x, b.constant("Z", 0)))
+        prog = preprocess(b.build())
+        r = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse", steps=5)
+        assert r.coverage.metrics[Metric.DECISION].covered == 1
+        r = simulate(prog, {"X": SequenceStimulus([1, -1])}, engine="sse", steps=5)
+        assert r.coverage.metrics[Metric.DECISION].covered == 2
+
+    def test_mcdc_and_gate(self):
+        from repro.coverage import Metric
+
+        b = ModelBuilder("C")
+        x = b.inport("X", dtype=I32)
+        y = b.inport("Y", dtype=I32)
+        p = b.relational("P", ">", x, b.constant("Z", 0))
+        q = b.relational("Q", ">", y, b.constant("Z2", 0))
+        b.outport("O", b.logic("L", "AND", [p, q]))
+        prog = preprocess(b.build())
+
+        def run(xs, ys):
+            return simulate(
+                prog,
+                {"X": SequenceStimulus(xs), "Y": SequenceStimulus(ys)},
+                engine="sse", steps=len(xs),
+            ).coverage.metrics[Metric.MCDC]
+
+        # TT only: both true sides, no false sides -> 2 of 4.
+        assert run([1], [1]).covered == 2
+        # TT, TF, FT: full independence demonstrated -> 4 of 4.
+        assert run([1, 1, -1], [1, -1, 1]).covered == 4
+        # FF only: masked, nothing demonstrated.
+        assert run([-1], [-1]).covered == 0
+
+    def test_coverage_disabled(self):
+        prog = _accumulator_prog()
+        options = SimulationOptions(steps=5, coverage=False)
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse",
+                          options=options)
+        assert result.coverage is None
+
+
+class TestFloatBehaviour:
+    def test_nan_propagates_without_crashing(self):
+        b = ModelBuilder("F")
+        x = b.inport("X", dtype=F64)
+        b.outport("Y", b.math("L", "log", x))
+        prog = preprocess(b.build())
+        result = simulate(prog, {"X": ConstantStimulus(-1.0)}, engine="sse", steps=3)
+        assert math.isnan(result.outputs["Y"])
+        event = result.diagnostic("F_L", DiagnosticKind.NON_FINITE)
+        assert event is not None and event.count == 3

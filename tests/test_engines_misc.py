@@ -1,0 +1,127 @@
+"""Engine-specific behaviour: Accelerator/Rapid-Accelerator analogs and
+the one-call API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ENGINES, SimulationOptions, simulate
+from repro.dtypes import I32
+from repro.model import ModelBuilder
+from repro.model.errors import SimulationError
+from repro.schedule import preprocess
+from repro.stimuli import ConstantStimulus
+
+from helpers import ZOO
+
+
+def _prog():
+    b = ModelBuilder("E")
+    x = b.inport("X", dtype=I32)
+    b.outport("Y", b.accumulator("Acc", x, dtype=I32))
+    return preprocess(b.build())
+
+
+class TestAcceleratorAnalogs:
+    def test_ac_reports_no_coverage_or_diagnostics(self):
+        prog = _prog()
+        result = simulate(prog, {"X": ConstantStimulus(10**6)}, engine="sse_ac",
+                          steps=3000)
+        assert result.coverage is None
+        assert result.diagnostics == []
+        assert result.engine == "sse_ac"
+
+    def test_rac_reports_no_coverage_or_diagnostics(self):
+        prog = _prog()
+        result = simulate(prog, {"X": ConstantStimulus(10**6)}, engine="sse_rac",
+                          steps=3000)
+        assert result.coverage is None
+        assert result.diagnostics == []
+        assert result.extra["precompile_seconds"] > 0
+
+    def test_rac_time_budget(self):
+        prog = _prog()
+        options = SimulationOptions(steps=10**9, time_budget=0.05)
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse_rac",
+                          options=options)
+        assert 0 < result.steps_run < 10**9
+
+    def test_ac_time_budget(self):
+        prog = _prog()
+        options = SimulationOptions(steps=10**9, time_budget=0.05)
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse_ac",
+                          options=options)
+        assert 0 < result.steps_run < 10**9
+
+    def test_rac_partial_batch_flushes(self):
+        prog = _prog()
+        # 70 steps = one full sync batch (64) + a 6-frame tail.
+        result = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse_rac",
+                          steps=70)
+        reference = simulate(prog, {"X": ConstantStimulus(1)}, engine="sse",
+                             steps=70)
+        assert result.checksums == reference.checksums
+
+    def test_rac_missing_stimulus(self):
+        prog = _prog()
+        with pytest.raises(SimulationError, match="no stimulus"):
+            simulate(prog, {}, engine="sse_rac", steps=1)
+
+    def test_engines_are_ranked_by_speed_on_a_big_model(self):
+        """The paper's ordering: SSE slowest, then AC, then RAC."""
+        from repro.benchmarks import benchmark_stimuli, build_benchmark
+
+        prog = preprocess(build_benchmark("SPV"))
+        times = {}
+        for engine in ("sse", "sse_ac", "sse_rac"):
+            result = simulate(prog, benchmark_stimuli(prog), engine=engine,
+                              steps=4000)
+            times[engine] = result.wall_time
+        assert times["sse"] > times["sse_ac"], times
+        assert times["sse_ac"] > times["sse_rac"], times
+
+
+class TestSimulateApi:
+    def test_accepts_model_directly(self):
+        b = ModelBuilder("A")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", x)
+        result = simulate(b.build(), {"X": ConstantStimulus(3)}, engine="sse",
+                          steps=2)
+        assert result.outputs["Y"] == 3
+
+    def test_default_stimuli_generated(self):
+        result = simulate(_prog(), engine="sse", steps=10)
+        assert result.steps_run == 10
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate(_prog(), engine="warp", steps=1)
+
+    def test_options_and_kwargs_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            simulate(_prog(), engine="sse",
+                     options=SimulationOptions(steps=1), steps=2)
+
+    def test_engine_registry(self):
+        assert set(ENGINES) == {"sse", "sse_ac", "sse_rac", "accmos"}
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SimulationOptions(steps=-1)
+
+    def test_result_summary_readable(self):
+        result = simulate(_prog(), engine="sse", steps=5)
+        text = result.summary()
+        assert "sse" in text and "5/5 steps" in text
+
+
+class TestZooOnAnalogEngines:
+    @pytest.mark.parametrize("name", ["guarded", "stores", "sources"])
+    def test_special_semantics_survive_closure_compilation(self, name):
+        """Guards, stores, and stateful sources through sse_ac closures."""
+        model, stimuli = ZOO[name]()
+        prog = preprocess(model)
+        reference = simulate(prog, stimuli(), engine="sse", steps=200)
+        result = simulate(prog, stimuli(), engine="sse_ac", steps=200)
+        assert result.checksums == reference.checksums

@@ -1,0 +1,62 @@
+"""The example scripts stay runnable (the quickest ones run end to end;
+the long-running ones are compiled and their model builders exercised)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from conftest import requires_cc
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart", "overflow_detection", "ev_charging_diagnosis",
+    "coverage_analysis", "model_files", "continuous_ode",
+])
+def test_example_compiles(name):
+    source = (EXAMPLES / f"{name}.py").read_text()
+    compile(source, name, "exec")
+
+
+@requires_cc
+def test_model_files_example_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "model_files.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "generated C simulation" in proc.stdout
+    assert "heat=0" in proc.stdout and "heat=1" in proc.stdout
+
+
+def test_quickstart_model_builds_and_agrees():
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import quickstart
+
+        model = quickstart.build_model()
+    finally:
+        sys.path.pop(0)
+    from repro import simulate
+    from repro.schedule import preprocess
+    from repro.stimuli import default_stimuli
+
+    prog = preprocess(model)
+    r1 = simulate(prog, default_stimuli(prog), engine="sse", steps=500)
+    r2 = simulate(prog, default_stimuli(prog), engine="sse_rac", steps=500)
+    assert r1.checksums == r2.checksums
+
+
+@requires_cc
+def test_continuous_ode_example_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "continuous_ode.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "ab3" in proc.stdout

@@ -1,0 +1,157 @@
+"""The generic JSON dataflow IR (§5 extensibility, implemented)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import simulate
+from repro.model.errors import ParseError
+from repro.schedule import preprocess
+from repro.slx import (
+    generic_to_model,
+    load_generic,
+    model_to_generic,
+    model_to_xml,
+    save_generic,
+)
+from repro.stimuli import default_stimuli
+
+from helpers import ZOO
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_zoo_models_roundtrip(self, name):
+        model, _ = ZOO[name]()
+        again = generic_to_model(model_to_generic(model))
+        assert model_to_xml(again) == model_to_xml(model)
+
+    def test_file_roundtrip(self, tmp_path):
+        model, _ = ZOO["guarded"]()
+        path = tmp_path / "model.json"
+        save_generic(model, path)
+        again = load_generic(path)
+        assert model_to_xml(again) == model_to_xml(model)
+
+    def test_document_shape(self):
+        model, _ = ZOO["stores"]()
+        document = model_to_generic(model)
+        assert document["format"] == "accmos-dataflow"
+        assert document["version"] == 1
+        assert any(b["type"] == "DataStoreMemory" for b in document["blocks"])
+        assert all(":" in w["from"] and ":" in w["to"]
+                   for w in document["wires"])
+
+    def test_imported_model_simulates_identically(self):
+        model, stimuli = ZOO["control"]()
+        again = generic_to_model(model_to_generic(model))
+        p1, p2 = preprocess(model), preprocess(again)
+        r1 = simulate(p1, stimuli(), engine="sse", steps=300)
+        r2 = simulate(p2, stimuli(), engine="sse", steps=300)
+        assert r1.checksums == r2.checksums
+        assert r1.coverage.bitmaps == r2.coverage.bitmaps
+
+
+class TestHandWrittenDocument:
+    """An external tool's document: written by hand, not exported."""
+
+    DOC = {
+        "format": "accmos-dataflow",
+        "version": 1,
+        "name": "External",
+        "scopes": ["Filter"],
+        "blocks": [
+            {"id": "In1", "scope": "", "type": "Inport",
+             "params": {"port_index": 0}, "inputs": 0,
+             "outputs": [{"dtype": "f64"}]},
+            {"id": "FIn", "scope": "Filter", "type": "Inport",
+             "params": {"port_index": 0}, "inputs": 0, "outputs": [{}]},
+            {"id": "Smooth", "scope": "Filter", "type": "DiscreteFilter",
+             "params": {"b0": 0.5, "a1": 0.5}, "inputs": 1, "outputs": [{}]},
+            {"id": "FOut", "scope": "Filter", "type": "Outport",
+             "params": {"port_index": 0}, "inputs": 1, "outputs": []},
+            {"id": "Out1", "scope": "", "type": "Outport",
+             "params": {"port_index": 0}, "inputs": 1, "outputs": []},
+        ],
+        "wires": [
+            {"from": "In1:0", "to": "Filter:0", "scope": ""},
+            {"from": "Filter:0", "to": "Out1:0", "scope": ""},
+            {"from": "FIn:0", "to": "Smooth:0", "scope": "Filter"},
+            {"from": "Smooth:0", "to": "FOut:0", "scope": "Filter"},
+        ],
+    }
+
+    def test_imports_and_runs(self):
+        model = generic_to_model(json.loads(json.dumps(self.DOC)))
+        assert model.n_actors == 5 and model.n_subsystems == 1
+        prog = preprocess(model)
+        result = simulate(prog, default_stimuli(prog), engine="sse", steps=50)
+        assert result.steps_run == 50
+
+
+class TestErrors:
+    def test_wrong_format(self):
+        with pytest.raises(ParseError, match="not an accmos-dataflow"):
+            generic_to_model({"format": "ptolemy", "version": 1, "name": "X"})
+
+    def test_wrong_version(self):
+        with pytest.raises(ParseError, match="unsupported"):
+            generic_to_model({"format": "accmos-dataflow", "version": 9,
+                              "name": "X"})
+
+    def test_missing_name(self):
+        with pytest.raises(ParseError, match="no model name"):
+            generic_to_model({"format": "accmos-dataflow", "version": 1})
+
+    def test_scope_before_parent(self):
+        with pytest.raises(ParseError, match="before parent"):
+            generic_to_model({
+                "format": "accmos-dataflow", "version": 1, "name": "X",
+                "scopes": ["A.B"], "blocks": [], "wires": [],
+            })
+
+    def test_unknown_block_scope(self):
+        with pytest.raises(ParseError, match="unknown scope"):
+            generic_to_model({
+                "format": "accmos-dataflow", "version": 1, "name": "X",
+                "blocks": [{"id": "G", "scope": "Ghost", "type": "Ground",
+                            "inputs": 0, "outputs": [{}]}],
+            })
+
+    def test_malformed_endpoint(self):
+        with pytest.raises(ParseError, match="malformed wire endpoint"):
+            generic_to_model({
+                "format": "accmos-dataflow", "version": 1, "name": "X",
+                "blocks": [], "wires": [{"from": "nocolon", "to": "A:0"}],
+            })
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{ not json")
+        with pytest.raises(ParseError, match="invalid JSON"):
+            load_generic(path)
+
+
+class TestCliConvert:
+    def test_xml_to_json_and_back(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.slx import load_model, save_model
+
+        model, _ = ZOO["f32"]()
+        xml_path = tmp_path / "m.xml"
+        save_model(model, xml_path)
+        json_path = tmp_path / "m.json"
+        assert main(["convert", str(xml_path), "-o", str(json_path)]) == 0
+        xml2_path = tmp_path / "m2.xml"
+        assert main(["convert", str(json_path), "-o", str(xml2_path)]) == 0
+        assert model_to_xml(load_model(xml2_path)) == model_to_xml(model)
+
+    def test_bench_to_json(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "spv.json"
+        assert main(["convert", "bench:SPV", "-o", str(out)]) == 0
+        model = load_generic(out)
+        assert model.n_actors == 131

@@ -1,0 +1,132 @@
+"""Halt-on-first-diagnostic parity between SSE and AccMoS.
+
+The halt path is the subtlest cross-engine contract: both engines must
+stop at the same step, having recorded the same prefix of diagnostics, no
+matter how flags, custom checks, and monitors interleave within the step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DiagnosticKind, SimulationOptions, simulate
+from repro.diagnosis.custom import CustomDiagnosis
+from repro.dtypes import I8, I32
+from repro.model import ModelBuilder
+from repro.schedule import preprocess
+from repro.stimuli import ConstantStimulus, SequenceStimulus
+
+from conftest import requires_cc
+from helpers import assert_results_agree
+
+
+def _multi_fault_prog():
+    """Division by zero, wrap, and OOB all fire — at different steps."""
+    b = ModelBuilder("Faults")
+    x = b.inport("X", dtype=I32)
+    y = b.inport("Y", dtype=I32)
+    b.outport("Q", b.div("Div", x, y, dtype=I32))
+    narrow = b.dtc("Narrow", b.gain("Big", x, 1000, dtype=I32), I8)
+    b.outport("N", narrow)
+    b.outport("L", b.direct_lookup("Lut", y, [7, 8]))
+    return preprocess(b.build())
+
+
+def _stimuli():
+    return {
+        # step 0: OOB at Lut (index 2); step 1: wrap at Narrow;
+        # step 2: division by zero.
+        "X": SequenceStimulus([0, 5000, 0]),
+        "Y": SequenceStimulus([2, 1, 0]),
+    }
+
+
+@requires_cc
+class TestHaltParity:
+    @pytest.mark.parametrize("kind,expected_step", [
+        (DiagnosticKind.WRAP_ON_OVERFLOW, 1),
+        (DiagnosticKind.DIV_BY_ZERO, 2),
+        (DiagnosticKind.ARRAY_OUT_OF_BOUNDS, 0),
+    ])
+    def test_halt_step_matches(self, kind, expected_step):
+        prog = _multi_fault_prog()
+        options = SimulationOptions(steps=100, halt_on=frozenset({kind}))
+        sse = simulate(prog, _stimuli(), engine="sse", options=options)
+        acc = simulate(prog, _stimuli(), engine="accmos", options=options)
+        assert sse.halted_at == expected_step
+        assert_results_agree(sse, acc)
+
+    def test_halt_on_multiple_kinds_takes_earliest(self):
+        prog = _multi_fault_prog()
+        options = SimulationOptions(
+            steps=100,
+            halt_on=frozenset({DiagnosticKind.DIV_BY_ZERO,
+                               DiagnosticKind.WRAP_ON_OVERFLOW}),
+        )
+        sse = simulate(prog, _stimuli(), engine="sse", options=options)
+        acc = simulate(prog, _stimuli(), engine="accmos", options=options)
+        assert sse.halted_at == 1  # the wrap comes first
+        assert_results_agree(sse, acc)
+
+    def test_no_halt_records_everything(self):
+        prog = _multi_fault_prog()
+        options = SimulationOptions(steps=9)  # stimuli cycle: 3 fault rounds
+        sse = simulate(prog, _stimuli(), engine="sse", options=options)
+        acc = simulate(prog, _stimuli(), engine="accmos", options=options)
+        assert_results_agree(sse, acc)
+        div = sse.diagnostic("Faults_Div", DiagnosticKind.DIV_BY_ZERO)
+        assert div.count == 3  # steps 2, 5, 8
+
+    def test_custom_halt_parity(self):
+        prog = _multi_fault_prog()
+        watch = CustomDiagnosis(
+            actor_path="Faults_Big",
+            message="suspicious spike",
+            predicate=lambda step, i, o: o[0] > 1_000_000,
+            c_predicate="out0 > 1000000",
+        )
+        options = SimulationOptions(
+            steps=100, custom=(watch,),
+            halt_on=frozenset({DiagnosticKind.CUSTOM}),
+        )
+        sse = simulate(prog, _stimuli(), engine="sse", options=options)
+        acc = simulate(prog, _stimuli(), engine="accmos", options=options)
+        assert sse.halted_at == 1  # 5000 * 1000 > 1e6
+        assert_results_agree(sse, acc)
+
+    def test_flag_halt_beats_custom_on_same_actor(self):
+        """When a flag diagnostic and a custom check would both fire at the
+        same actor in the same step, both engines stop after the flag."""
+        b = ModelBuilder("Order")
+        x = b.inport("X", dtype=I32)
+        narrow = b.dtc("Narrow", x, I8)
+        b.outport("Y", narrow)
+        prog = preprocess(b.build())
+        watch = CustomDiagnosis(
+            actor_path="Order_Narrow", message="any value",
+            predicate=lambda step, i, o: True, c_predicate="1",
+        )
+        options = SimulationOptions(
+            steps=10, custom=(watch,),
+            halt_on=frozenset({DiagnosticKind.WRAP_ON_OVERFLOW,
+                               DiagnosticKind.CUSTOM}),
+        )
+        stim = {"X": ConstantStimulus(500)}  # wraps i8 immediately
+        sse = simulate(prog, dict(stim), engine="sse", options=options)
+        acc = simulate(prog, dict(stim), engine="accmos", options=options)
+        assert sse.halted_at == 0
+        assert_results_agree(sse, acc)
+        kinds = {e.kind for e in sse.diagnostics if e.first_step >= 0}
+        assert kinds == {DiagnosticKind.WRAP_ON_OVERFLOW}  # custom never ran
+
+    def test_halted_run_checksums_cover_completed_steps_only(self):
+        prog = _multi_fault_prog()
+        options = SimulationOptions(
+            steps=100, halt_on=frozenset({DiagnosticKind.DIV_BY_ZERO})
+        )
+        halted = simulate(prog, _stimuli(), engine="sse", options=options)
+        assert halted.halted_at == 2 and halted.steps_run == 3
+        # A clean 2-step run must have the same checksums: the halted step
+        # contributes nothing.
+        clean = simulate(prog, _stimuli(), engine="sse", steps=2)
+        assert halted.checksums == clean.checksums

@@ -1,0 +1,124 @@
+"""Instrumentation planning (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnosis import DiagnosticKind
+from repro.diagnosis.custom import output_above
+from repro.dtypes import F64, I16, I32, I64
+from repro.instrument import build_plan
+from repro.model import ModelBuilder
+from repro.model.errors import ValidationError
+from repro.schedule import preprocess
+
+
+def _prog():
+    b = ModelBuilder("P")
+    x = b.inport("X", dtype=I64)
+    pos = b.relational("Pos", ">", x, b.constant("Z", 0))
+    neg = b.relational("Neg", "<", x, b.constant("Z2", 0))
+    both = b.logic("Both", "AND", [pos, neg])
+    sw = b.switch("Sw", x, both, b.neg("N", x, dtype=I64), threshold=1, dtype=I64)
+    narrowed = b.dtc("Nw", sw, I16)
+    b.outport("Y", narrowed)
+    b.block("Scope", "Probe", [pos], n_outputs=0)
+    return preprocess(b.build())
+
+
+class TestBuildPlan:
+    def test_every_actor_instrumented(self):
+        prog = _prog()
+        plan = build_plan(prog)
+        assert len(plan.actors) == len(prog.actors)
+        points = sorted(inst.actor_point for inst in plan.actors)
+        assert points == list(range(len(prog.actors)))
+
+    def test_branch_actor_gets_condition_base(self):
+        prog = _prog()
+        plan = build_plan(prog)
+        sw = plan.by_index(prog.actor_by_path("P_Sw").index)
+        assert sw.condition_base == (0, 2)
+
+    def test_boolean_actor_gets_decision_base(self):
+        prog = _prog()
+        plan = build_plan(prog)
+        pos = plan.by_index(prog.actor_by_path("P_Pos").index)
+        assert pos.decision_base is not None
+
+    def test_combination_condition_gets_mcdc(self):
+        prog = _prog()
+        plan = build_plan(prog)
+        both = plan.by_index(prog.actor_by_path("P_Both").index)
+        assert both.mcdc_base == (0, 2)
+        assert both.logic_op == "AND"
+        pos = plan.by_index(prog.actor_by_path("P_Pos").index)
+        assert pos.mcdc_base is None
+
+    def test_default_collect_is_outports_and_scopes(self):
+        prog = _prog()
+        plan = build_plan(prog)
+        collected = {inst.path for inst in plan.actors if inst.collect}
+        assert collected == {"P_Y", "P_Pos"}  # outport + the Scope's feeder
+
+    def test_collect_all(self):
+        prog = _prog()
+        plan = build_plan(prog, collect="all")
+        assert all(inst.collect for inst in plan.actors)
+
+    def test_collect_explicit_paths(self):
+        prog = _prog()
+        plan = build_plan(prog, collect=["P_Sw"])
+        collected = {inst.path for inst in plan.actors if inst.collect}
+        assert collected == {"P_Sw"}
+
+    def test_collect_unknown_path_rejected(self):
+        prog = _prog()
+        with pytest.raises(ValidationError, match="unknown actor paths"):
+            build_plan(prog, collect=["P_Ghost"])
+
+    def test_collect_unknown_selector_rejected(self):
+        prog = _prog()
+        with pytest.raises(ValidationError, match="unknown collect selector"):
+            build_plan(prog, collect="everything")
+
+    def test_diagnose_restricted_to_paths(self):
+        prog = _prog()
+        plan = build_plan(prog, diagnose=["P_Nw"])
+        diagnosed = {
+            inst.path for inst in plan.actors if inst.diagnose_kinds
+        }
+        assert diagnosed == {"P_Nw"}
+
+    def test_diagnostics_disabled(self):
+        prog = _prog()
+        plan = build_plan(prog, diagnostics=False)
+        assert all(not inst.diagnose_kinds for inst in plan.actors)
+        assert plan.static_warnings == []
+
+    def test_coverage_disabled(self):
+        prog = _prog()
+        plan = build_plan(prog, coverage=False)
+        assert all(inst.actor_point == -1 for inst in plan.actors)
+        assert all(inst.condition_base is None for inst in plan.actors)
+
+    def test_static_warnings_collected(self):
+        prog = _prog()
+        plan = build_plan(prog)
+        assert any(
+            w.kind is DiagnosticKind.DOWNCAST and w.path == "P_Nw"
+            for w in plan.static_warnings
+        )
+
+    def test_custom_attached_to_actor(self):
+        prog = _prog()
+        diag = output_above("P_Sw", 100)
+        plan = build_plan(prog, custom=[diag])
+        sw = plan.by_index(prog.actor_by_path("P_Sw").index)
+        assert sw.custom == (diag,)
+        assert sw.needs_diagnosis
+
+    def test_custom_unknown_path_rejected(self):
+        prog = _prog()
+        with pytest.raises(ValidationError, match="unknown actor"):
+            build_plan(prog, custom=[output_above("P_Ghost", 1)])

@@ -1,0 +1,134 @@
+"""Smaller internal contracts: C expression helpers, cycle reporting,
+summaries, and CLI odds and ends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtypes import BOOL, F32, F64, I8, I32, I64, U64
+from repro.model import ModelBuilder
+from repro.model.errors import ScheduleError
+from repro.schedule import preprocess
+
+
+class TestCExprHelpers:
+    def test_emit_cast_identity(self):
+        from repro.codegen.cexpr import emit_cast
+
+        assert emit_cast("x", I32, I32) == "x"
+
+    def test_emit_cast_to_bool(self):
+        from repro.codegen.cexpr import emit_cast
+
+        assert emit_cast("x", I32, BOOL) == "ACC_TO_BOOL(x)"
+
+    def test_emit_cast_from_bool_is_plain(self):
+        from repro.codegen.cexpr import emit_cast
+
+        assert emit_cast("x", BOOL, I32) == "(int32_t)(x)"
+
+    def test_emit_cast_f32_to_int_promotes(self):
+        from repro.codegen.cexpr import emit_cast
+
+        assert emit_cast("x", F32, I8) == "acc_cast_f64_i8((double)(x))"
+
+    def test_emit_cast_checked_helper(self):
+        from repro.codegen.cexpr import emit_cast
+
+        assert emit_cast("x", I64, I8) == "acc_cast_i64_i8(x)"
+
+    def test_value_literal_int64_min(self):
+        from repro.codegen.cexpr import value_literal
+
+        text = value_literal(-(2**63), I64)
+        assert "9223372036854775807" in text and "- 1" in text
+
+    def test_float_literal_exact(self):
+        from repro.codegen.cexpr import value_literal
+
+        assert value_literal(2.0, F64) == "2.0"  # integral floats stay readable
+        assert value_literal(0.1, F64) == "0x1.999999999999ap-4"  # exact hex
+        assert float.fromhex(value_literal(0.5, F64)) == 0.5
+
+    def test_runtime_header_contains_all_int_helpers(self):
+        from repro.codegen.runtime import runtime_header
+        from repro.dtypes.dtype import INTEGER_DTYPES
+
+        header = runtime_header()
+        for dt in INTEGER_DTYPES:
+            for op in ("add", "sub", "mul", "div", "mod", "neg"):
+                assert f"acc_{op}_{dt.short_name}(" in header
+
+
+class TestCycleReporting:
+    def test_cycle_message_names_the_actors(self):
+        b = ModelBuilder("Loop")
+        x = b.inport("X", dtype=I32)
+        b.block("Sum", "A", [x, ("B", 0)], operator="++", out_dtype=I32)
+        b.block("Gain", "B", [("A", 0)], params={"gain": 1}, out_dtype=I32)
+        with pytest.raises(ScheduleError) as exc:
+            preprocess(b.build())
+        message = str(exc.value)
+        assert "Loop_A" in message and "Loop_B" in message
+        assert "->" in message  # a witness path, not just a node list
+
+    def test_three_node_cycle(self):
+        b = ModelBuilder("Loop3")
+        x = b.inport("X", dtype=I32)
+        b.block("Sum", "A", [x, ("C", 0)], operator="++", out_dtype=I32)
+        b.block("Gain", "B", [("A", 0)], params={"gain": 1}, out_dtype=I32)
+        b.block("Gain", "C", [("B", 0)], params={"gain": 1}, out_dtype=I32)
+        with pytest.raises(ScheduleError, match="algebraic loop"):
+            preprocess(b.build())
+
+
+class TestProgramConveniences:
+    def test_summary_and_lookups(self):
+        b = ModelBuilder("Conv")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", b.gain("G", x, 2))
+        prog = preprocess(b.build())
+        assert "Conv" in prog.summary()
+        assert prog.actor_by_path("Conv_G").block_type == "Gain"
+        assert prog.signal_by_name("Conv_G_out").dtype is I32
+        with pytest.raises(KeyError):
+            prog.actor_by_path("Conv_Ghost")
+        with pytest.raises(KeyError):
+            prog.signal_by_name("nope")
+
+    def test_guard_chain_empty_for_unguarded(self):
+        b = ModelBuilder("Conv")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", x)
+        prog = preprocess(b.build())
+        assert prog.guard_chain(None) == []
+
+
+class TestCliCoverageCommand:
+    def test_listing_printed(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.slx import save_model
+
+        b = ModelBuilder("Cov")
+        x = b.inport("X", dtype=I32)
+        sw = b.switch("Sw", x, x, b.neg("N", x), threshold=0)
+        b.outport("Y", sw)
+        path = tmp_path / "cov.xml"
+        save_model(b.build(), path)
+        assert main(["coverage", str(path), "--engine", "sse",
+                     "--steps", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "uncovered points" in out or "every coverage point hit" in out
+
+    def test_engine_without_coverage_fails(self, capsys, tmp_path):
+        # --no-coverage turns collection off: the command must refuse.
+        from repro.cli import main
+        from repro.slx import save_model
+
+        b = ModelBuilder("Cov")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", x)
+        path = tmp_path / "cov.xml"
+        save_model(b.build(), path)
+        assert main(["coverage", str(path), "--engine", "sse",
+                     "--steps", "5", "--no-coverage"]) == 1

@@ -1,0 +1,322 @@
+"""Unit tests for the model layer: actors, ports, connections, subsystems,
+the builder, and structural validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtypes import BOOL, F64, I16, I32
+from repro.model import (
+    Actor,
+    Connection,
+    EndPoint,
+    Model,
+    ModelBuilder,
+    Port,
+    Subsystem,
+    ValidationError,
+    validate_model,
+)
+from repro.model.builder import Ref, as_ref
+from repro.model.errors import ConnectionError_
+
+
+class TestPort:
+    def test_defaults(self):
+        port = Port(2)
+        assert port.name == "port2" and port.dtype is None
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Port(-1)
+
+
+class TestActor:
+    def test_create(self):
+        actor = Actor.create("Add", "Sum", n_inputs=2, operator="++", out_dtype=I32)
+        assert actor.n_inputs == 2 and actor.n_outputs == 1
+        assert actor.out_dtype is I32
+
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            Actor.create("", "Sum", n_inputs=1)
+        with pytest.raises(ValueError):
+            Actor.create("has space", "Sum", n_inputs=1)
+        with pytest.raises(ValueError):
+            Actor.create("dot.name", "Sum", n_inputs=1)
+
+    def test_non_dense_ports_rejected(self):
+        with pytest.raises(ValueError, match="densely"):
+            Actor(name="A", block_type="Sum", inputs=[Port(1)])
+
+    def test_copy_is_deep_enough(self):
+        actor = Actor.create("G", "Gain", n_inputs=1, params={"gain": 2})
+        clone = actor.copy()
+        clone.params["gain"] = 5
+        clone.outputs[0].dtype = I32
+        assert actor.params["gain"] == 2
+        assert actor.outputs[0].dtype is None
+
+    def test_out_dtype_requires_single_output(self):
+        actor = Actor.create("D", "Demux", n_inputs=1, n_outputs=2)
+        with pytest.raises(ValueError):
+            _ = actor.out_dtype
+
+
+class TestEndpointsAndRefs:
+    def test_endpoint_str(self):
+        assert str(EndPoint("A", 1)) == "A:1"
+        assert str(Connection.of("A", 0, "B", 2)) == "A:0 -> B:2"
+
+    def test_as_ref_accepts_strings_tuples_refs(self):
+        assert as_ref("X") == Ref("X", 0)
+        assert as_ref(("X", 3)) == Ref("X", 3)
+        assert as_ref(Ref("Y", 1)) == Ref("Y", 1)
+
+    def test_as_ref_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_ref(42)
+
+
+class TestSubsystem:
+    def test_duplicate_actor_rejected(self):
+        scope = Subsystem("S")
+        scope.add_actor(Actor.create("A", "Terminator", n_inputs=1, n_outputs=0))
+        with pytest.raises(ValidationError, match="duplicate"):
+            scope.add_actor(Actor.create("A", "Terminator", n_inputs=1, n_outputs=0))
+
+    def test_actor_subsystem_name_clash_rejected(self):
+        scope = Subsystem("S")
+        scope.add_subsystem(Subsystem("Inner"))
+        with pytest.raises(ValidationError, match="duplicate"):
+            scope.add_actor(Actor.create("Inner", "Ground", n_inputs=0))
+
+    def test_resolve(self):
+        scope = Subsystem("S")
+        actor = scope.add_actor(Actor.create("A", "Ground", n_inputs=0))
+        child = scope.add_subsystem(Subsystem("C"))
+        assert scope.resolve("A") is actor
+        assert scope.resolve("C") is child
+        with pytest.raises(KeyError):
+            scope.resolve("missing")
+
+    def test_iter_actors_paths_use_underscore_convention(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        sub.inner.gain("G", sub.input_ref(0), 2)
+        model = b._model
+        paths = {path for path, _ in model.iter_actors()}
+        assert "M_X" in paths
+        assert "M_S_G" in paths
+
+    def test_counts(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        inner_ref = sub.inner.gain("G", sub.input_ref(0), 2)
+        nested = sub.inner.subsystem("N", inputs=[inner_ref])
+        nested.inner.gain("G2", nested.input_ref(0), 3)
+        model = b._model
+        assert model.n_subsystems == 2
+        # X, S.In1, S.G, N.In1, N.G2
+        assert model.n_actors == 5
+
+
+class TestBuilder:
+    def test_quickstart_shape(self):
+        b = ModelBuilder("Demo")
+        x = b.inport("X", dtype=I32)
+        acc = b.accumulator("Acc", x, dtype=I32)
+        b.outport("Y", acc)
+        model = b.build()
+        assert model.n_actors == 3
+        assert [p.name for p in model.inports] == ["X"]
+        assert [p.name for p in model.outports] == ["Y"]
+
+    def test_build_only_on_root(self):
+        b = ModelBuilder("Demo")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        with pytest.raises(ValidationError, match="root builder"):
+            sub.inner.build()
+
+    def test_sum_signs_must_match_input_count(self):
+        b = ModelBuilder("Demo")
+        x = b.inport("X", dtype=I32)
+        with pytest.raises(ValidationError):
+            b.sum_("S", [x, x], signs="+")
+
+    def test_fresh_name_never_collides(self):
+        b = ModelBuilder("Demo")
+        b.constant("Pad1", 0)
+        x = b.inport("X", dtype=I32)
+        name = b.fresh_name("Pad")
+        assert name != "Pad1"
+        b.gain(name, x, 1)
+
+    def test_subsystem_enable_must_come_after_inputs(self):
+        b = ModelBuilder("Demo")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        sub.inner.terminator("T", sub.input_ref(0))
+        sub.set_enable(x)
+        with pytest.raises(ValidationError, match="before set_enable"):
+            sub.add_input(x)
+
+    def test_double_enable_rejected(self):
+        b = ModelBuilder("Demo")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        sub.inner.terminator("T", sub.input_ref(0))
+        sub.set_enable(x)
+        with pytest.raises(ValidationError, match="already has an enable"):
+            sub.set_enable(x)
+
+    def test_data_store_roundtrip(self):
+        b = ModelBuilder("Demo")
+        x = b.inport("X", dtype=I32)
+        store = b.data_store("mem", dtype=I32, initial=7)
+        value = b.ds_read("Rd", store)
+        b.ds_write("Wr", store, b.add("Add", value, x, dtype=I32))
+        b.outport("Y", value)
+        model = b.build()
+        assert model.n_actors == 6
+
+
+class TestValidation:
+    def _base(self):
+        b = ModelBuilder("V")
+        x = b.inport("X", dtype=I32)
+        return b, x
+
+    def test_unconnected_input_rejected(self):
+        b, x = self._base()
+        scope = b.scope
+        scope.add_actor(Actor.create("G", "Gain", n_inputs=1, params={"gain": 2}))
+        with pytest.raises(ConnectionError_, match="not connected"):
+            b.build()
+
+    def test_double_driven_input_rejected(self):
+        b, x = self._base()
+        g = b.gain("G", x, 2)
+        b.connect(x, ("G", 0))  # second driver
+        with pytest.raises(ConnectionError_, match="driven by 2"):
+            b.build()
+
+    def test_dangling_output_allowed(self):
+        b, x = self._base()
+        b.gain("G", x, 2)  # output goes nowhere: fine
+        b.build()
+
+    def test_unknown_block_type_rejected(self):
+        b, x = self._base()
+        b.scope.add_actor(Actor.create("W", "Warp", n_inputs=0))
+        with pytest.raises(ValidationError, match="unknown block type"):
+            b.build()
+
+    def test_unknown_endpoint_rejected(self):
+        b, x = self._base()
+        b.scope.connect(Connection.of("X", 0, "Ghost", 0))
+        with pytest.raises(ConnectionError_):
+            b.build()
+
+    def test_out_of_range_port_rejected(self):
+        b, x = self._base()
+        g = b.gain("G", x, 2)
+        b.scope.connect(Connection.of("G", 1, "G", 0))  # no output port 1
+        with pytest.raises(ConnectionError_, match="out of range"):
+            b.build()
+
+    def test_undeclared_store_rejected(self):
+        b, x = self._base()
+        b.ds_read("Rd", "ghost_store")
+        with pytest.raises(ValidationError, match="undeclared data store"):
+            b.build()
+
+    def test_store_visible_in_child_scope(self):
+        b, x = self._base()
+        b.data_store("mem", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        inner_value = sub.inner.ds_read("Rd", "mem")
+        sub.set_output(inner_value)
+        b.build()
+
+    def test_store_not_visible_in_parent_scope(self):
+        b, x = self._base()
+        sub = b.subsystem("S", inputs=[x])
+        sub.inner.data_store("inner_mem", dtype=I32)
+        sub.inner.terminator("T", sub.input_ref(0))
+        b.ds_read("Rd", "inner_mem")
+        with pytest.raises(ValidationError, match="undeclared data store"):
+            b.build()
+
+    def test_arity_checked_against_registry(self):
+        b, x = self._base()
+        b.scope.add_actor(
+            Actor.create("S", "Switch", n_inputs=2, operator=None)
+        )
+        b.connect(x, ("S", 0))
+        b.connect(x, ("S", 1))
+        with pytest.raises(ValidationError, match="takes 3..3 inputs"):
+            b.build()
+
+    def test_operator_alphabet_checked(self):
+        b, x = self._base()
+        b.sum_("S", [x, x], signs="+*")
+        with pytest.raises(ValidationError, match="must use only"):
+            b.build()
+
+    def test_unexpected_operator_rejected(self):
+        b, x = self._base()
+        actor = Actor.create("G", "Gain", n_inputs=1, operator="+",
+                             params={"gain": 2})
+        b.scope.add_actor(actor)
+        b.connect(x, ("G", 0))
+        with pytest.raises(ValidationError, match="takes no operator"):
+            b.build()
+
+    def test_missing_required_param(self):
+        b, x = self._base()
+        b.block("Gain", "G", [x])  # no gain param
+        with pytest.raises(ValidationError, match="requires parameter 'gain'"):
+            b.build()
+
+    def test_bool_arithmetic_output_rejected(self):
+        b, x = self._base()
+        flag = b.relational("R", ">", x, b.constant("Z", 0))
+        b.sum_("S", [flag, flag], dtype=BOOL)
+        with pytest.raises(ValidationError, match="bool output"):
+            b.build()
+
+    def test_gain_must_fit_output_dtype(self):
+        b, x = self._base()
+        narrow = b.dtc("N", x, I16)
+        b.gain("G", narrow, 100_000, dtype=I16)
+        with pytest.raises(ValidationError, match="does not fit"):
+            b.build()
+
+
+class TestModelContainer:
+    def test_histogram(self):
+        b = ModelBuilder("H")
+        x = b.inport("X", dtype=F64)
+        b.gain("G1", x, 2.0)
+        b.gain("G2", x, 3.0)
+        model = b.build()
+        hist = model.block_type_histogram()
+        assert hist == {"Gain": 2, "Inport": 1}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Model("")
+
+    def test_find_subsystem(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("A", inputs=[x])
+        nested = sub.inner.subsystem("B", inputs=[sub.input_ref(0)])
+        nested.inner.terminator("T", nested.input_ref(0))
+        model = b._model
+        assert model.root.find_subsystem("A.B") is not None
+        assert model.root.find_subsystem("A.C") is None

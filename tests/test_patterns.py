@@ -1,0 +1,79 @@
+"""Benchmark pattern factory internals: exact actor budgets per pattern."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchmarks.patterns import pattern_subsystem
+from repro.dtypes import F64, I16, I32
+from repro.model import ModelBuilder, Model
+from repro.schedule import preprocess
+
+
+def _base():
+    b = ModelBuilder("Pat")
+    f = b.inport("F", dtype=F64)
+    i = b.inport("I", dtype=I32)
+    return b, f, i
+
+
+@pytest.mark.parametrize("kind,src_is_float", [
+    ("float_chain", True),
+    ("int_chain", False),
+    ("branch", False),
+    ("counter", True),
+    ("lookup", True),
+])
+@pytest.mark.parametrize("size", [12, 23])
+class TestExactBudgets:
+    def test_unguarded_pattern_hits_exact_count(self, kind, src_is_float, size):
+        b, f, i = _base()
+        before = Model("Pat", root=b.scope).n_actors
+        pattern_subsystem(b, "Blk", kind, f if src_is_float else i, size,
+                          random.Random(7))
+        after = Model("Pat", root=b.scope).n_actors
+        assert after - before == size
+
+    def test_enabled_pattern_hits_exact_count(self, kind, src_is_float, size):
+        b, f, i = _base()
+        enable = b.relational("En", ">", i, b.constant("Z", 0))
+        before = Model("Pat", root=b.scope).n_actors
+        pattern_subsystem(b, "Blk", kind, f if src_is_float else i, size,
+                          random.Random(7), enable=enable)
+        after = Model("Pat", root=b.scope).n_actors
+        assert after - before == size
+
+
+class TestPatternValidity:
+    def test_too_small_budget_rejected(self):
+        b, f, i = _base()
+        with pytest.raises(ValueError, match="needs at least"):
+            pattern_subsystem(b, "Blk", "branch", i, 5, random.Random(1))
+
+    @pytest.mark.parametrize("kind", ["float_chain", "int_chain", "branch",
+                                      "counter", "lookup"])
+    def test_generated_patterns_simulate(self, kind):
+        from repro import simulate
+        from repro.stimuli import default_stimuli
+
+        b, f, i = _base()
+        src = i if kind in ("int_chain", "branch") else f
+        out = pattern_subsystem(b, "Blk", kind, src, 16, random.Random(3),
+                                int_dtype=I16)
+        b.outport("Y", out)
+        prog = preprocess(b.build())
+        result = simulate(prog, default_stimuli(prog), engine="sse", steps=100)
+        assert result.steps_run == 100
+
+    def test_deterministic_given_same_seed(self):
+        from repro.slx import model_to_xml
+
+        def build():
+            b, f, i = _base()
+            out = pattern_subsystem(b, "Blk", "branch", i, 20, random.Random(5))
+            b.outport("Y", out)
+            return b.build()
+
+        assert model_to_xml(build()) == model_to_xml(build())

@@ -1,0 +1,208 @@
+"""Property-based cross-engine equivalence on randomly generated models.
+
+A hypothesis strategy assembles random layered dataflow models from a
+broad actor palette (mixed dtypes, branches, state, casts), drives them
+with random sequence stimuli, and requires the interpreted engine, the
+generated-Python engine, and the generated-C engine to agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import simulate
+from repro.dtypes import BOOL, F32, F64, I8, I16, I32, I64, U8, U32
+from repro.model.builder import ModelBuilder
+from repro.schedule import preprocess
+from repro.stimuli import SequenceStimulus
+
+from conftest import HAS_CC
+from helpers import assert_results_agree
+
+INT_DTYPES = (I8, I16, I32, I64, U8, U32)
+SIGNAL_DTYPES = INT_DTYPES + (F64, F32)
+
+STEPS = 25
+
+
+def _int_values(dtype):
+    lo = max(dtype.min_value, -(10**6))
+    hi = min(dtype.max_value, 10**6)
+    return st.integers(min_value=lo, max_value=hi)
+
+
+_FLOAT_VALUES = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def random_model(draw):
+    """A random layered DAG model plus matching sequence stimuli."""
+    b = ModelBuilder("Prop")
+    refs = []  # (ref, dtype)
+    stimuli = {}
+
+    n_inports = draw(st.integers(min_value=1, max_value=3))
+    for i in range(n_inports):
+        dtype = draw(st.sampled_from(SIGNAL_DTYPES))
+        name = f"In{i}"
+        refs.append((b.inport(name, dtype=dtype), dtype))
+        if dtype.is_float:
+            values = draw(st.lists(_FLOAT_VALUES, min_size=1, max_size=8))
+        else:
+            values = draw(st.lists(_int_values(dtype), min_size=1, max_size=8))
+        stimuli[name] = values
+
+    n_actors = draw(st.integers(min_value=2, max_value=14))
+    for i in range(n_actors):
+        kind = draw(
+            st.sampled_from(
+                [
+                    "sum", "product", "gain", "bias", "abs", "neg", "minmax",
+                    "relational", "logic", "switch", "unit_delay",
+                    "accumulator", "dtc", "saturation", "math", "constant",
+                ]
+            )
+        )
+        name = f"A{i}"
+        pick = lambda: draw(st.sampled_from(refs))  # noqa: E731
+
+        if kind == "constant":
+            dtype = draw(st.sampled_from(SIGNAL_DTYPES))
+            if dtype.is_float:
+                value = draw(_FLOAT_VALUES)
+            else:
+                value = draw(_int_values(dtype))
+            refs.append((b.constant(name, value, dtype=dtype), dtype))
+            continue
+
+        src, src_dt = pick()
+        # Arithmetic outputs must be numeric (bool arithmetic is rejected
+        # by validation), so bool sources route through a numeric dtype.
+        num_dt = I32 if src_dt.is_bool else src_dt
+        if kind == "sum":
+            other, _ = pick()
+            signs = draw(st.sampled_from(["++", "+-", "-+", "--"]))
+            dtype = draw(st.sampled_from((num_dt, I32, F64)))
+            refs.append((b.sum_(name, [src, other], signs=signs, dtype=dtype), dtype))
+        elif kind == "product":
+            other, _ = pick()
+            ops = draw(st.sampled_from(["**", "*/"]))
+            dtype = draw(st.sampled_from((num_dt, I32, F64)))
+            refs.append((b.product(name, [src, other], ops=ops, dtype=dtype), dtype))
+        elif kind == "gain":
+            # Integer gains must fit the output dtype (validated statically),
+            # so unsigned chains only get non-negative gains.
+            choices = [2, 7, 0.5, -1.25] if not num_dt.is_signed else [2, -3, 7, 0.5, -1.25]
+            k = draw(st.sampled_from(choices))
+            dtype = F64 if isinstance(k, float) and not num_dt.is_float else num_dt
+            refs.append((b.gain(name, src, k, dtype=dtype), dtype))
+        elif kind == "bias":
+            choices = [1, 9, 0.75] if not num_dt.is_signed else [1, -9, 0.75]
+            k = draw(st.sampled_from(choices))
+            dtype = F64 if isinstance(k, float) and not num_dt.is_float else num_dt
+            refs.append((b.bias(name, src, k, dtype=dtype), dtype))
+        elif kind == "abs":
+            refs.append((b.abs_(name, src, dtype=num_dt), num_dt))
+        elif kind == "neg":
+            refs.append((b.neg(name, src, dtype=num_dt), num_dt))
+        elif kind == "minmax":
+            other, _ = pick()
+            op = draw(st.sampled_from(["min", "max"]))
+            dtype = draw(st.sampled_from((num_dt, I64, F64)))
+            refs.append((b.min_max(name, op, [src, other], dtype=dtype), dtype))
+        elif kind == "relational":
+            other, _ = pick()
+            op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+            refs.append((b.relational(name, op, src, other), BOOL))
+        elif kind == "logic":
+            n = draw(st.integers(min_value=1, max_value=3))
+            op = (
+                "NOT"
+                if n == 1
+                else draw(st.sampled_from(["AND", "OR", "NAND", "NOR", "XOR"]))
+            )
+            inputs = [pick()[0] for _ in range(n)]
+            refs.append((b.logic(name, op, inputs), BOOL))
+        elif kind == "switch":
+            on_true, t_dt = pick()
+            on_false, f_dt = pick()
+            ctrl, _ = pick()
+            threshold = draw(st.sampled_from([0, 1, -5]))
+            dtype = draw(st.sampled_from((I32 if t_dt.is_bool else t_dt, I32, F64)))
+            refs.append(
+                (b.switch(name, on_true, ctrl, on_false, threshold=threshold,
+                          dtype=dtype), dtype)
+            )
+        elif kind == "unit_delay":
+            initial = 0.0 if src_dt.is_float else 0
+            refs.append((b.unit_delay(name, src, initial=initial, dtype=src_dt), src_dt))
+        elif kind == "accumulator":
+            dtype = src_dt if src_dt.is_integer else F64
+            initial = 0.0 if dtype.is_float else 0
+            refs.append((b.accumulator(name, src, initial=initial, dtype=dtype), dtype))
+        elif kind == "dtc":
+            dtype = draw(st.sampled_from(SIGNAL_DTYPES))
+            refs.append((b.dtc(name, src, dtype), dtype))
+        elif kind == "saturation":
+            if num_dt.is_float:
+                lo, hi = -100.0, 100.0
+            else:
+                lo = max(num_dt.min_value, -100)
+                hi = min(num_dt.max_value, 100)
+            refs.append((b.saturation(name, src, lo, hi, dtype=num_dt), num_dt))
+        elif kind == "math":
+            op = draw(st.sampled_from(["sin", "cos", "tanh", "atan", "square"]))
+            refs.append((b.math(name, op, src), F64 if not src_dt.is_float else src_dt))
+
+    # Outputs: the last few refs.
+    for i, (ref, _) in enumerate(refs[-3:]):
+        b.outport(f"Out{i}", ref)
+    model = b.build()
+    return model, {name: SequenceStimulus(values) for name, values in stimuli.items()}
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(random_model())
+def test_rac_matches_sse_on_random_models(case):
+    model, stimuli = case
+    prog = preprocess(model)
+    reference = simulate(prog, dict(stimuli), engine="sse", steps=STEPS)
+    result = simulate(prog, dict(stimuli), engine="sse_rac", steps=STEPS)
+    assert_results_agree(reference, result, coverage=False, diagnostics=False)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(random_model())
+def test_ac_matches_sse_on_random_models(case):
+    model, stimuli = case
+    prog = preprocess(model)
+    reference = simulate(prog, dict(stimuli), engine="sse", steps=STEPS)
+    result = simulate(prog, dict(stimuli), engine="sse_ac", steps=STEPS)
+    assert_results_agree(reference, result, coverage=False, diagnostics=False)
+
+
+@pytest.mark.skipif(not HAS_CC, reason="needs a C compiler")
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(random_model())
+def test_accmos_matches_sse_on_random_models(case):
+    model, stimuli = case
+    prog = preprocess(model)
+    reference = simulate(prog, dict(stimuli), engine="sse", steps=STEPS)
+    result = simulate(prog, dict(stimuli), engine="accmos", steps=STEPS)
+    assert_results_agree(reference, result)

@@ -1,0 +1,42 @@
+"""Property tests: persistence layers are lossless on random models."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.slx import generic_to_model, model_to_generic, model_to_xml, parse_model
+
+from test_property_equivalence import random_model
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**_SETTINGS)
+@given(random_model())
+def test_xml_roundtrip_random_models(case):
+    model, _ = case
+    xml1 = model_to_xml(model)
+    xml2 = model_to_xml(parse_model(xml1))
+    assert xml1 == xml2
+
+
+@settings(**_SETTINGS)
+@given(random_model())
+def test_generic_ir_roundtrip_random_models(case):
+    model, _ = case
+    again = generic_to_model(model_to_generic(model))
+    assert model_to_xml(again) == model_to_xml(model)
+
+
+@settings(**_SETTINGS)
+@given(random_model())
+def test_formats_compose(case):
+    """XML -> Model -> JSON -> Model -> XML is still the identity."""
+    model, _ = case
+    via_xml = parse_model(model_to_xml(model))
+    via_json = generic_to_model(model_to_generic(via_xml))
+    assert model_to_xml(via_json) == model_to_xml(model)

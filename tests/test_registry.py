@@ -1,0 +1,106 @@
+"""Actor-type registry completeness and spec coherence.
+
+The paper claims template libraries "for over fifty commonly used actors";
+these tests pin that inventory and check that every registered type is
+fully wired: semantics class, C template, Python template, inference hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.actors import all_specs, get_semantics_class, get_spec, is_known_type
+from repro.actors.base import ActorSemantics
+from repro.codegen.templates import OUTPUT_EMITTERS, UPDATE_EMITTERS
+
+
+class TestInventory:
+    def test_at_least_fifty_types(self):
+        assert len(all_specs()) >= 50
+
+    def test_expected_families_present(self):
+        specs = all_specs()
+        for name in (
+            "Sum", "Product", "Gain", "Math", "Switch", "MultiportSwitch",
+            "Logic", "RelationalOperator", "UnitDelay", "Delay",
+            "DiscreteIntegrator", "DataStoreMemory", "DataStoreRead",
+            "DataStoreWrite", "Lookup1D", "DirectLookup", "Inport", "Outport",
+            "Constant", "SineWave", "RandomSource", "Merge", "EnablePort",
+        ):
+            assert name in specs, name
+
+    def test_every_category_nonempty(self):
+        categories = {spec.category for spec in all_specs().values()}
+        assert {"source", "sink", "math", "logic", "control", "memory",
+                "lookup", "store"} <= categories
+
+    def test_is_known_type(self):
+        assert is_known_type("Sum")
+        assert not is_known_type("FluxCapacitor")
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("FluxCapacitor")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.actors.registry import ActorSpec, register
+        from repro.actors.sources import ConstantSemantics
+
+        with pytest.raises(ValueError, match="registered twice"):
+            register(ActorSpec("Sum", "math", 1, 1, 1, ConstantSemantics))
+
+
+class TestSpecCoherence:
+    @pytest.mark.parametrize("name", sorted(all_specs()))
+    def test_semantics_is_actor_semantics(self, name):
+        assert issubclass(get_semantics_class(name), ActorSemantics)
+
+    @pytest.mark.parametrize("name", sorted(all_specs()))
+    def test_executable_types_have_c_templates(self, name):
+        spec = get_spec(name)
+        if spec.executable:
+            assert name in OUTPUT_EMITTERS, f"{name} missing C template"
+
+    @pytest.mark.parametrize("name", sorted(all_specs()))
+    def test_stateful_specs_have_update_emitters(self, name):
+        spec = get_spec(name)
+        if spec.stateful and spec.executable:
+            assert name in UPDATE_EMITTERS, f"{name} missing C update template"
+
+    @pytest.mark.parametrize("name", sorted(all_specs()))
+    def test_non_feedthrough_implies_stateful(self, name):
+        spec = get_spec(name)
+        if not spec.direct_feedthrough:
+            assert spec.stateful
+
+    def test_branch_actors(self):
+        assert get_spec("Switch").is_branch
+        assert get_spec("MultiportSwitch").is_branch
+        assert not get_spec("Sum").is_branch
+
+    def test_boolean_logic_actors(self):
+        for name in ("Logic", "RelationalOperator", "CompareToConstant",
+                     "CompareToZero"):
+            assert get_spec(name).boolean_logic
+
+    def test_combination_condition_only_logic(self):
+        combos = [
+            name for name, spec in all_specs().items()
+            if spec.combination_condition
+        ]
+        assert combos == ["Logic"]
+
+    def test_calculation_actors_marked(self):
+        for name in ("Sum", "Product", "Gain", "DataTypeConversion",
+                     "Accumulator", "DataStoreWrite"):
+            assert get_spec(name).is_calculation, name
+        for name in ("Logic", "Switch", "UnitDelay", "Terminator"):
+            assert not get_spec(name).is_calculation, name
+
+    def test_structural_types_not_executable(self):
+        assert not get_spec("DataStoreMemory").executable
+        assert not get_spec("EnablePort").executable
+
+    def test_descriptions_everywhere(self):
+        for name, spec in all_specs().items():
+            assert spec.description, f"{name} has no description"

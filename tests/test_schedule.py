@@ -1,0 +1,263 @@
+"""Unit tests for preprocessing: flattening, execution order, type
+inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtypes import BOOL, F64, I16, I32
+from repro.model import ModelBuilder
+from repro.model.errors import ScheduleError, TypeInferenceError, ValidationError
+from repro.schedule import EvalGuard, ExecActor, flatten, preprocess
+from repro.schedule.order import compute_execution_order
+from repro.schedule.typeinfer import infer_types
+
+
+def _positions(prog):
+    return {
+        node: i for i, node in enumerate(prog.order)
+    }
+
+
+class TestFlatten:
+    def test_plumbing_is_aliased_away(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        g = sub.inner.gain("G", sub.input_ref(0), 2)
+        y = sub.set_output(g)
+        b.outport("Y", y)
+        prog = preprocess(b.build())
+        # Flat actors: X inport, G, Y outport — the boundary ports vanish.
+        assert sorted(fa.path for fa in prog.actors) == ["M_S_G", "M_X", "M_Y"]
+        # And the Y outport reads G's signal directly.
+        outport = prog.actor_by_path("M_Y")
+        gain = prog.actor_by_path("M_S_G")
+        assert outport.input_sids[0] == gain.output_sids[0]
+
+    def test_signal_names(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        b.outport("Y", b.gain("G", x, 2))
+        prog = preprocess(b.build())
+        names = {s.name for s in prog.signals}
+        assert names == {"M_X_out", "M_G_out"}
+
+    def test_fanout_shares_one_signal(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        b.outport("A", b.gain("G1", x, 2))
+        b.outport("B", b.gain("G2", x, 3))
+        prog = preprocess(b.build())
+        g1 = prog.actor_by_path("M_G1")
+        g2 = prog.actor_by_path("M_G2")
+        assert g1.input_sids == g2.input_sids
+
+    def test_guard_chain_for_nested_enables(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        outer = b.subsystem("Outer", inputs=[x])
+        inner = outer.inner.subsystem("Inner", inputs=[outer.input_ref(0)])
+        inner.inner.gain("Deep", inner.input_ref(0), 2)
+        inner.set_enable(
+            outer.inner.relational("E2", ">", outer.input_ref(0),
+                                   outer.inner.constant("C5", 5))
+        )
+        outer.set_enable(b.relational("E1", ">", x, b.constant("C0", 0)))
+        prog = preprocess(b.build())
+        assert len(prog.guards) == 2
+        deep = prog.actor_by_path("M_Outer_Inner_Deep")
+        chain = prog.guard_chain(deep.guard)
+        assert [g.path for g in chain] == ["M_Outer", "M_Outer_Inner"]
+
+    def test_enabled_subsystem_without_wire_rejected(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        sub.inner.block("EnablePort", "Enable", n_outputs=0)
+        sub.inner.terminator("T", sub.input_ref(0))
+        with pytest.raises(ValidationError):
+            preprocess(b.build())
+
+    def test_duplicate_store_across_scopes_rejected(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        b.data_store("mem", dtype=I32)
+        sub = b.subsystem("S", inputs=[x])
+        sub.inner.data_store("mem", dtype=I32)
+        sub.inner.terminator("T", sub.input_ref(0))
+        with pytest.raises(ValidationError, match="more than one scope"):
+            preprocess(b.build())
+
+    def test_merge_src_guards_recorded(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        en = b.relational("E", ">", x, b.constant("C", 0))
+        sub = b.subsystem("S", inputs=[x])
+        inner = sub.inner.gain("G", sub.input_ref(0), 2)
+        o = sub.set_output(inner)
+        sub.set_enable(en)
+        merged = b.merge("Mg", [o, x], dtype=I32)
+        b.outport("Y", merged)
+        prog = preprocess(b.build())
+        mg = prog.actor_by_path("M_Mg")
+        assert mg.merge_src_guards == (0, None)
+
+
+class TestExecutionOrder:
+    def test_producers_precede_direct_feedthrough_consumers(self):
+        from repro.actors.registry import get_spec
+
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        g1 = b.gain("G1", x, 2)
+        g2 = b.gain("G2", g1, 3)
+        b.outport("Y", g2)
+        prog = preprocess(b.build())
+        pos = _positions(prog)
+        for fa in prog.actors:
+            if not get_spec(fa.block_type).direct_feedthrough:
+                continue
+            for sid in fa.input_sids:
+                producer = prog.signals[sid].producer
+                assert pos[ExecActor(producer)] < pos[ExecActor(fa.index)]
+
+    def test_algebraic_loop_detected(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        # A -> B -> A through direct feedthrough.
+        b.block("Sum", "A", [x, ("B", 0)], operator="++", out_dtype=I32)
+        b.block("Gain", "B", [("A", 0)], params={"gain": 1}, out_dtype=I32)
+        with pytest.raises(ScheduleError, match="algebraic loop"):
+            preprocess(b.build())
+
+    def test_unit_delay_breaks_loop(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        # x + delay(sum) feedback: schedulable.
+        s = b.block("Sum", "S", [x, ("D", 0)], operator="++", out_dtype=I32)
+        b.block("UnitDelay", "D", [s], params={"initial": 0}, out_dtype=I32)
+        b.outport("Y", s)
+        prog = preprocess(b.build())
+        assert len(prog.order) == len(prog.actors)
+
+    def test_guard_eval_precedes_guarded_actors(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        en = b.relational("E", ">", x, b.constant("C", 0))
+        sub = b.subsystem("S", inputs=[x])
+        sub.inner.gain("G", sub.input_ref(0), 2)
+        sub.set_enable(en)
+        prog = preprocess(b.build())
+        pos = _positions(prog)
+        guarded = prog.actor_by_path("M_S_G")
+        assert pos[EvalGuard(0)] < pos[ExecActor(guarded.index)]
+        enable = prog.actor_by_path("M_E")
+        assert pos[ExecActor(enable.index)] < pos[EvalGuard(0)]
+
+    def test_store_reads_precede_writes(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        store = b.data_store("mem", dtype=I32)
+        value = b.ds_read("Rd", store)
+        b.ds_write("Wr", store, b.add("A", value, x, dtype=I32))
+        b.outport("Y", value)
+        prog = preprocess(b.build())
+        pos = _positions(prog)
+        rd = prog.actor_by_path("M_Rd")
+        wr = prog.actor_by_path("M_Wr")
+        assert pos[ExecActor(rd.index)] < pos[ExecActor(wr.index)]
+
+    def test_order_is_deterministic(self):
+        from repro.benchmarks import build_benchmark
+
+        p1 = preprocess(build_benchmark("CSEV"))
+        p2 = preprocess(build_benchmark("CSEV"))
+        assert p1.order == p2.order
+
+
+class TestTypeInference:
+    def test_propagation_through_chain(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I16)
+        g = b.gain("G", x, 2)
+        a = b.abs_("A", g)
+        b.outport("Y", a)
+        prog = preprocess(b.build())
+        assert prog.signals[prog.actor_by_path("M_A").output_sids[0]].dtype is I16
+
+    def test_promotion_in_sum(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I16)
+        y = b.inport("Y", dtype=I32)
+        s = b.add("S", x, y)
+        b.outport("Z", s)
+        prog = preprocess(b.build())
+        assert prog.signals[prog.actor_by_path("M_S").output_sids[0]].dtype is I32
+
+    def test_float_wins(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        y = b.inport("Y", dtype=F64)
+        s = b.mul("P", x, y)
+        b.outport("Z", s)
+        prog = preprocess(b.build())
+        assert prog.signals[prog.actor_by_path("M_P").output_sids[0]].dtype is F64
+
+    def test_relational_is_bool(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        r = b.relational("R", ">", x, x)
+        b.outport("Y", r)
+        prog = preprocess(b.build())
+        assert prog.signals[prog.actor_by_path("M_R").output_sids[0]].dtype is BOOL
+
+    def test_store_read_takes_store_dtype(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        store = b.data_store("mem", dtype=I16)
+        value = b.ds_read("Rd", store)
+        b.ds_write("Wr", store, x)
+        b.outport("Y", value)
+        prog = preprocess(b.build())
+        assert prog.signals[prog.actor_by_path("M_Rd").output_sids[0]].dtype is I16
+
+    def test_unpinned_root_inport_rejected(self):
+        b = ModelBuilder("M")
+        b.block("Inport", "X", params={"port_index": 0})
+        b.outport("Y", ("X", 0))
+        with pytest.raises(TypeInferenceError, match="must pin"):
+            preprocess(b.build())
+
+    def test_untyped_feedback_loop_rejected(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        # delay with no pinned dtype in a feedback loop: uninferable.
+        s = b.block("Sum", "S", [x, ("D", 0)], operator="++")
+        b.block("UnitDelay", "D", [s], params={"initial": 0})
+        b.outport("Y", s)
+        with pytest.raises(TypeInferenceError, match="pin a dtype"):
+            preprocess(b.build())
+
+    def test_dtc_requires_pinned_dtype(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=I32)
+        b.block("DataTypeConversion", "C", [x])
+        with pytest.raises(ValidationError, match="pin"):
+            preprocess(b.build())
+
+    def test_post_inference_revalidation_catches_conflicts(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=F64)
+        # Bitwise on a float signal: only detectable once types resolve.
+        b.bitwise("B", "AND", [x, x])
+        with pytest.raises(ValidationError, match="integer type"):
+            preprocess(b.build())
+
+    def test_math_pinned_integer_output_rejected(self):
+        b = ModelBuilder("M")
+        x = b.inport("X", dtype=F64)
+        b.math("E", "exp", x, dtype=None)
+        b.block("Math", "L", [x], operator="log", out_dtype=I32)
+        with pytest.raises(ValidationError, match="float"):
+            preprocess(b.build())

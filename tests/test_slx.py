@@ -1,0 +1,157 @@
+"""Model file format: round trip and parse-error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtypes import F64, I32
+from repro.model import ModelBuilder
+from repro.model.errors import ParseError
+from repro.slx import load_model, model_to_xml, parse_model, save_model
+
+from helpers import ZOO
+
+
+def _example_model():
+    b = ModelBuilder("RT")
+    x = b.inport("X", dtype=I32)
+    f = b.inport("F", dtype=F64)
+    en = b.relational("Pos", ">", x, b.constant("Z", 0))
+    sub = b.subsystem("Inner", inputs=[x])
+    g = sub.inner.gain("Double", sub.input_ref(0), 2)
+    y = sub.set_output(g)
+    sub.set_enable(en)
+    store = b.data_store("mem", dtype=I32, initial=5)
+    r = b.ds_read("Rd", store)
+    total = b.add("T", y, r, dtype=I32)
+    b.ds_write("Wr", store, total)
+    lut = b.lookup1d("Lut", f, [0.0, 1.0], [2.0, 3.0])
+    b.outport("Y", total)
+    b.outport("YF", lut)
+    model = b.build()
+    model.description = "round-trip example"
+    model.metadata = {"origin": "tests"}
+    return model
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        model = _example_model()
+        again = parse_model(model_to_xml(model))
+        assert again.name == model.name
+        assert again.description == model.description
+        assert again.metadata == model.metadata
+        assert again.n_actors == model.n_actors
+        assert again.n_subsystems == model.n_subsystems
+        assert again.block_type_histogram() == model.block_type_histogram()
+
+    def test_roundtrip_is_fixed_point(self):
+        model = _example_model()
+        xml1 = model_to_xml(model)
+        xml2 = model_to_xml(parse_model(xml1))
+        assert xml1 == xml2
+
+    def test_params_and_operators_preserved(self):
+        model = _example_model()
+        again = parse_model(model_to_xml(model))
+        lut = again.root.actors["Lut"]
+        assert lut.params["breakpoints"] == [0.0, 1.0]
+        assert lut.params["table"] == [2.0, 3.0]
+        rel = again.root.actors["Pos"]
+        assert rel.operator == ">"
+
+    def test_port_dtypes_preserved(self):
+        model = _example_model()
+        again = parse_model(model_to_xml(model))
+        assert again.root.actors["X"].outputs[0].dtype is I32
+        assert again.root.actors["F"].outputs[0].dtype is F64
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_every_zoo_model_roundtrips(self, name):
+        model, _ = ZOO[name]()
+        xml1 = model_to_xml(model)
+        again = parse_model(xml1)
+        assert model_to_xml(again) == xml1
+
+    def test_file_roundtrip(self, tmp_path):
+        model = _example_model()
+        path = tmp_path / "model.xml"
+        save_model(model, path)
+        again = load_model(path)
+        assert again.n_actors == model.n_actors
+
+    def test_parsed_model_simulates_identically(self):
+        from repro import simulate
+        from repro.schedule import preprocess
+        from repro.stimuli import default_stimuli
+
+        model = _example_model()
+        again = parse_model(model_to_xml(model))
+        p1, p2 = preprocess(model), preprocess(again)
+        r1 = simulate(p1, default_stimuli(p1), engine="sse", steps=200)
+        r2 = simulate(p2, default_stimuli(p2), engine="sse", steps=200)
+        assert r1.checksums == r2.checksums
+        assert r1.coverage.bitmaps == r2.coverage.bitmaps
+
+
+class TestParseErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError, match="malformed"):
+            parse_model("<model><unclosed>")
+
+    def test_wrong_root(self):
+        with pytest.raises(ParseError, match="expected <model>"):
+            parse_model("<thing/>")
+
+    def test_missing_name(self):
+        with pytest.raises(ParseError, match="missing name"):
+            parse_model("<model><actors/></model>")
+
+    def test_missing_actors_part(self):
+        with pytest.raises(ParseError, match="no actors part"):
+            parse_model('<model name="M"><relationships/></model>')
+
+    def test_missing_relationships_part(self):
+        with pytest.raises(ParseError, match="no relationships part"):
+            parse_model(
+                '<model name="M"><actors><subsystem name="M"/></actors></model>'
+            )
+
+    def test_bad_endpoint(self):
+        xml = (
+            '<model name="M"><actors><subsystem name="M">'
+            '<actor name="G" type="Ground"><ports inputs="0" outputs="1"/></actor>'
+            "</subsystem></actors><relationships>"
+            '<scope path="M"><connection from="nocolon" to="G:0"/></scope>'
+            "</relationships></model>"
+        )
+        with pytest.raises(ParseError, match="malformed endpoint"):
+            parse_model(xml)
+
+    def test_unknown_relationship_scope(self):
+        xml = (
+            '<model name="M"><actors><subsystem name="M"/></actors>'
+            '<relationships><scope path="M.Ghost"/></relationships></model>'
+        )
+        with pytest.raises(ParseError, match="not found"):
+            parse_model(xml)
+
+    def test_validation_applies_after_parse(self):
+        # G input not connected -> ValidationError via parse.
+        from repro.model.errors import ValidationError
+
+        xml = (
+            '<model name="M"><actors><subsystem name="M">'
+            '<actor name="T" type="Terminator"><ports inputs="1" outputs="0"/></actor>'
+            "</subsystem></actors><relationships/></model>"
+        )
+        with pytest.raises(ValidationError):
+            parse_model(xml)
+
+    def test_empty_test_case_csv(self, tmp_path):
+        from repro.stimuli import load_csv
+
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)
