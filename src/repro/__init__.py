@@ -35,6 +35,13 @@ from repro.engines import (
     simulate,
 )
 from repro.campaign import CampaignOutcome, run_campaign
+from repro.runner import (
+    ArtifactCache,
+    JobResult,
+    SimulationJob,
+    run_job,
+    run_jobs,
+)
 from repro.diagnosis import CustomDiagnosis, DiagnosticKind
 from repro.coverage import CoverageReport, Metric
 from repro.stimuli import (
@@ -67,6 +74,11 @@ __all__ = [
     "run_accmos",
     "run_campaign",
     "CampaignOutcome",
+    "ArtifactCache",
+    "SimulationJob",
+    "JobResult",
+    "run_job",
+    "run_jobs",
     "CustomDiagnosis",
     "DiagnosticKind",
     "CoverageReport",

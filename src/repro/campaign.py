@@ -7,11 +7,16 @@ AccMoS speed: generate differently-seeded random test cases, simulate each
 points — the classic saturation criterion.  All diagnostics found by any
 case are pooled, with the seed that first exposed each.
 
+With ``workers > 1`` the seed sweep fans out across the
+:mod:`repro.runner` pool — compiles served by the artifact cache, cases
+executed concurrently — while the coverage merge stays in seed order, so
+parallel and serial campaigns produce byte-identical outcomes.
+
 ::
 
     from repro.campaign import run_campaign
 
-    outcome = run_campaign(prog, steps=100_000, max_cases=20)
+    outcome = run_campaign(prog, steps=100_000, max_cases=20, workers=4)
     print(outcome.summary())
     for event, seed in outcome.diagnostics:
         print(f"seed {seed}: {event}")
@@ -20,15 +25,18 @@ case are pooled, with the seed that first exposed each.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
-from repro.coverage.metrics import ALL_METRICS, Metric
+from repro.coverage.metrics import Metric
 from repro.coverage.report import CoverageReport
 from repro.diagnosis.events import DiagnosticEvent
-from repro.engines import simulate
 from repro.engines.base import SimulationOptions
 from repro.schedule.program import FlatProgram
-from repro.stimuli.generators import default_stimuli
+
+if TYPE_CHECKING:
+    from repro.runner.cache import ArtifactCache
+
+DEFAULT_STEPS = 50_000
 
 
 @dataclass
@@ -38,8 +46,10 @@ class CaseOutcome:
     seed: int
     steps_run: int
     wall_time: float
-    new_points: int  # coverage points this case uncovered first
+    new_points: int  # coverage points this case uncovered first (all metrics)
     n_diagnostics: int
+    # Per-metric share of new_points; sums to new_points.
+    new_points_by_metric: dict[Metric, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -57,11 +67,10 @@ class CampaignOutcome:
         return len(self.cases)
 
     def coverage_curve(self, metric: Metric) -> list[int]:
-        """Cumulative covered points after each case (recomputed from the
-        per-case new-point counts of that metric's share of the total)."""
+        """Cumulative covered points *of that metric* after each case."""
         curve, total = [], 0
         for case in self.cases:
-            total += case.new_points
+            total += case.new_points_by_metric.get(metric, 0)
             curve.append(total)
         return curve
 
@@ -76,72 +85,59 @@ class CampaignOutcome:
         return "\n".join(lines)
 
 
-def _total_covered(report: CoverageReport) -> int:
-    return sum(report.bitmaps[m].count() for m in ALL_METRICS)
-
-
 def run_campaign(
     prog: FlatProgram,
     *,
     engine: str = "accmos",
-    steps: int = 50_000,
+    steps: Optional[int] = None,
     max_cases: int = 16,
     plateau_patience: int = 3,
     base_seed: int = 1,
     options: Optional[SimulationOptions] = None,
+    workers: int = 1,
+    mode: str = "thread",
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    timeout_seconds: Optional[float] = None,
 ) -> CampaignOutcome:
     """Run up to ``max_cases`` differently-seeded random test cases.
 
     Stops early once ``plateau_patience`` consecutive cases uncover no new
-    coverage point (saturation).  ``options`` overrides everything except
-    ``steps`` handling; by default coverage and diagnostics are on.
+    coverage point (saturation).  Pass *either* ``steps`` (a default
+    :class:`SimulationOptions` with that step count; 50 000 when omitted)
+    *or* a full ``options`` — both together raise ``ValueError``, since
+    ``options`` carries its own step count.
+
+    ``workers > 1`` dispatches cases in waves across the
+    :mod:`repro.runner` pool (``mode`` picks threads or processes);
+    results are merged in seed order, so the outcome is identical to a
+    serial run.  ``cache`` routes compiles through an artifact cache
+    (default: the process-wide one); ``timeout_seconds`` bounds each
+    case's binary run.
     """
     if max_cases < 1:
         raise ValueError("max_cases must be at least 1")
     if plateau_patience < 1:
         raise ValueError("plateau_patience must be at least 1")
-
-    merged: Optional[CoverageReport] = None
-    outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
-    seen_diagnostics: set[tuple[str, str]] = set()
-    dry_streak = 0
-
-    for index in range(max_cases):
-        seed = base_seed + index
-        stimuli = default_stimuli(prog, seed=seed)
-        opts = options or SimulationOptions(steps=steps)
-        result = simulate(prog, stimuli, engine=engine, options=opts)
-        if result.coverage is None:
-            raise ValueError(f"engine {engine!r} collects no coverage")
-
-        before = _total_covered(merged) if merged is not None else 0
-        if merged is None:
-            merged = CoverageReport.empty(result.coverage.points)
-        merged.merge(result.coverage)
-        new_points = _total_covered(merged) - before
-
-        fresh = 0
-        for event in result.diagnostics:
-            key = (event.path, event.kind.value)
-            if key not in seen_diagnostics:
-                seen_diagnostics.add(key)
-                outcome.diagnostics.append((event, seed))
-                fresh += 1
-
-        outcome.cases.append(
-            CaseOutcome(
-                seed=seed,
-                steps_run=result.steps_run,
-                wall_time=result.wall_time,
-                new_points=new_points,
-                n_diagnostics=fresh,
-            )
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if options is not None and steps is not None:
+        raise ValueError(
+            "pass either steps= or options= (which carries its own step "
+            "count), not both"
         )
 
-        dry_streak = dry_streak + 1 if new_points == 0 else 0
-        if dry_streak >= plateau_patience:
-            outcome.saturated = True
-            break
+    from repro.runner.campaign import execute_campaign
 
-    outcome.merged = merged
-    return outcome
+    return execute_campaign(
+        prog,
+        engine=engine,
+        steps=DEFAULT_STEPS if steps is None else steps,
+        max_cases=max_cases,
+        plateau_patience=plateau_patience,
+        base_seed=base_seed,
+        options=options,
+        workers=workers,
+        mode=mode,
+        cache=cache,
+        timeout_seconds=timeout_seconds,
+    )

@@ -10,6 +10,7 @@
     accmos compare model.xml [options]    # run several engines, check agreement
     accmos convert model.xml -o m.json    # native XML <-> generic JSON IR
     accmos bench-table1                   # print the benchmark inventory
+    accmos cache stats|clear              # compiled-artifact cache admin
     accmos demo                           # Figure-1 motivating demo
 
 Benchmark models can be addressed as ``bench:NAME`` (e.g. ``bench:CSEV``)
@@ -178,6 +179,8 @@ def cmd_campaign(args) -> int:
         max_cases=args.cases,
         plateau_patience=args.patience,
         base_seed=args.seed,
+        workers=args.workers,
+        timeout_seconds=args.timeout,
     )
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
@@ -247,6 +250,32 @@ def cmd_bench_table1(args) -> int:
                 else "MISMATCH"
             )
             print(f"  built {name}: {model.n_actors}/{model.n_subsystems} {status}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the compiled-artifact cache."""
+    from repro.runner.cache import ArtifactCache, default_cache, default_cache_dir
+
+    if args.dir:
+        cache = ArtifactCache(args.dir)
+    else:
+        cache = default_cache()
+        if cache is None:
+            print(f"cache disabled (would live at {default_cache_dir()})",
+                  file=sys.stderr)
+            return 1
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached artifact(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir : {cache.root}")
+    print(f"entries   : {stats.entries}")
+    print(f"bytes     : {stats.bytes:,}")
+    print(f"max bytes : {cache.max_bytes:,}")
+    print(f"this run  : {stats.hits} hit(s), {stats.misses} miss(es), "
+          f"{stats.evictions} eviction(s)")
     return 0
 
 
@@ -325,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["sse", "accmos"], default="accmos")
     p.add_argument("--uncovered", type=int, default=0, metavar="N",
                    help="also list up to N uncovered points")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel cases per wave (merge stays in seed order)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-case wall-clock limit for the compiled binary")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("coverage", help="detailed coverage listing")
@@ -345,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench-table1", help="print the benchmark inventory")
     p.add_argument("--verify", action="store_true", help="also build each model")
     p.set_defaults(fn=cmd_bench_table1)
+
+    p = sub.add_parser("cache", help="compiled-artifact cache admin")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default: the process-wide cache)")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("demo", help="Figure-1 motivating demo")
     p.add_argument("--steps", type=int, default=200_000)

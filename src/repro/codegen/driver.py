@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from shutil import which
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.coverage.bitmap import Bitmap
 from repro.coverage.metrics import Metric
@@ -25,9 +25,12 @@ from repro.diagnosis.events import DiagnosticLog
 from repro.dtypes import DType
 from repro.engines.base import SimulationOptions, SimulationResult
 from repro.instrument.plan import InstrumentationPlan
-from repro.model.errors import CompilationError, SimulationError
+from repro.model.errors import CompilationError, SimulationError, SimulationTimeout
 from repro.codegen.compose import ProgramLayout
 from repro.schedule.program import FlatProgram
+
+if TYPE_CHECKING:  # avoids importing the runner package at module load
+    from repro.runner.cache import ArtifactCache
 
 CFLAGS = ["-O3", "-ffp-contract=off", "-std=c11"]
 
@@ -52,11 +55,23 @@ class CompiledSimulation:
     workdir: Optional[tempfile.TemporaryDirectory] = field(
         default=None, repr=False, compare=False
     )
+    cache_hit: bool = False
 
-    def execute(self) -> str:
-        proc = subprocess.run(
-            [str(self.binary)], capture_output=True, text=True, check=False
-        )
+    def execute(self, *, timeout_seconds: Optional[float] = None) -> str:
+        """Run the binary; ``timeout_seconds`` kills it when exceeded."""
+        try:
+            proc = subprocess.run(
+                [str(self.binary)],
+                capture_output=True,
+                text=True,
+                check=False,
+                timeout=timeout_seconds,
+            )
+        except subprocess.TimeoutExpired:
+            raise SimulationTimeout(
+                f"simulation binary {self.binary} exceeded its "
+                f"{timeout_seconds:g}s wall-clock budget and was killed"
+            ) from None
         if proc.returncode != 0:
             raise SimulationError(
                 f"simulation binary failed (exit {proc.returncode}): "
@@ -71,11 +86,34 @@ def compile_c_program(
     *,
     workdir: Optional[Path] = None,
     compiler: Optional[str] = None,
+    cache: "Optional[ArtifactCache]" = None,
 ) -> CompiledSimulation:
-    """Write and compile a generated program; returns the binary handle."""
+    """Write and compile a generated program; returns the binary handle.
+
+    With ``cache`` set (and no explicit ``workdir``), the compile is
+    served from the content-addressed artifact cache when the same
+    (source, compiler, flags) triple was compiled before — zero compiler
+    invocations on a hit; on a miss the artifacts are moved into the
+    cache atomically so later calls (from any process) hit.
+    """
     compiler = compiler or find_c_compiler()
     if compiler is None:
         raise CompilationError("no C compiler found (need gcc, cc, or clang)")
+
+    use_cache = cache is not None and workdir is None
+    key = None
+    if use_cache:
+        start = time.perf_counter()
+        key = cache.key(source, compiler, CFLAGS)
+        entry = cache.lookup(key)
+        if entry is not None:
+            return CompiledSimulation(
+                binary=entry.binary,
+                source=entry.source,
+                layout=layout,
+                compile_seconds=time.perf_counter() - start,
+                cache_hit=True,
+            )
 
     tmp = None
     if workdir is None:
@@ -97,6 +135,16 @@ def compile_c_program(
     if proc.returncode != 0:
         raise CompilationError(
             f"{compiler} failed:\n{proc.stderr[:4000]}"
+        )
+    if use_cache:
+        entry = cache.store(key, c_path, bin_path)
+        if tmp is not None:
+            tmp.cleanup()
+        return CompiledSimulation(
+            binary=entry.binary,
+            source=entry.source,
+            layout=layout,
+            compile_seconds=elapsed,
         )
     return CompiledSimulation(
         binary=bin_path,

@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional, Union
 
 from repro.codegen.compose import generate_c_program
 from repro.codegen.driver import compile_c_program, parse_result
@@ -24,6 +24,9 @@ from repro.instrument import build_plan
 from repro.model.errors import SimulationError
 from repro.schedule.program import FlatProgram
 from repro.stimuli.base import Stimulus
+
+if TYPE_CHECKING:
+    from repro.runner.cache import ArtifactCache
 
 
 @dataclass
@@ -44,11 +47,29 @@ def run_accmos(
     *,
     workdir: Optional[Path] = None,
     keep_artifacts: bool = False,
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    timeout_seconds: Optional[float] = None,
 ) -> SimulationResult:
-    """Generate, compile, and execute the instrumented simulation."""
+    """Generate, compile, and execute the instrumented simulation.
+
+    ``cache`` selects the compiled-artifact cache: an explicit
+    :class:`~repro.runner.cache.ArtifactCache`, ``None`` for the
+    process-wide default (``~/.cache/accmos``; disable globally with
+    ``ACCMOS_NO_CACHE=1``), or ``False`` to bypass caching for this
+    call.  An explicit ``workdir`` also bypasses the cache so the
+    artifacts land where the caller asked.  ``timeout_seconds`` bounds
+    the binary's wall clock (raises ``SimulationTimeout``).
+    """
     missing = [b.name for b in prog.inports if b.name not in stimuli]
     if missing:
         raise SimulationError(f"no stimulus for inport(s): {missing}")
+
+    if cache is None:
+        from repro.runner.cache import default_cache
+
+        cache = default_cache()
+    elif cache is False:
+        cache = None
 
     plan = build_plan(
         prog,
@@ -63,12 +84,18 @@ def run_accmos(
     source, layout = generate_c_program(prog, plan, stimuli, options)
     generate_seconds = time.perf_counter() - t0
 
-    compiled = compile_c_program(source, layout, workdir=workdir)
-    stdout = compiled.execute()
+    compiled = compile_c_program(source, layout, workdir=workdir, cache=cache)
+    t0 = time.perf_counter()
+    stdout = compiled.execute(timeout_seconds=timeout_seconds)
+    execute_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
     result = parse_result(stdout, prog, plan, layout, options, engine="accmos")
     result.extra.update(
         generate_seconds=generate_seconds,
         compile_seconds=compiled.compile_seconds,
+        execute_seconds=execute_seconds,
+        parse_seconds=time.perf_counter() - t0,
+        cache_hit=compiled.cache_hit,
         source_lines=source.count("\n") + 1,
     )
     if keep_artifacts:

@@ -41,3 +41,7 @@ class CompilationError(CodegenError):
 
 class SimulationError(ModelError):
     """A simulation run failed to execute or report results."""
+
+
+class SimulationTimeout(SimulationError):
+    """A simulation binary exceeded its wall-clock budget and was killed."""

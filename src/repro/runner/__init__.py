@@ -1,0 +1,51 @@
+"""Parallel simulation-job runner with a compiled-artifact cache.
+
+Three cooperating pieces:
+
+* :mod:`repro.runner.cache` — persistent, content-addressed cache of
+  compiled AccMoS binaries (key: SHA-256 of source + compiler + flags);
+  repeated simulations of an unchanged model skip gcc entirely;
+* :mod:`repro.runner.jobs` / :mod:`repro.runner.pool` — seeded
+  :class:`SimulationJob` specs executed across a thread/process pool
+  with per-job timeout, bounded retry with backoff, and structured
+  :class:`JobResult` records (outcome, attempts, per-phase timings);
+* :mod:`repro.runner.campaign` — the wave-dispatched campaign core
+  whose parallel merges are byte-identical to serial runs.
+"""
+
+from repro.runner.cache import (
+    ArtifactCache,
+    CacheEntry,
+    CacheStats,
+    cache_key,
+    default_cache,
+    default_cache_dir,
+    set_default_cache,
+)
+from repro.runner.jobs import (
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    JobResult,
+    SimulationJob,
+    run_job,
+)
+from repro.runner.pool import default_workers, run_jobs
+
+__all__ = [
+    "ArtifactCache",
+    "CacheEntry",
+    "CacheStats",
+    "cache_key",
+    "default_cache",
+    "default_cache_dir",
+    "set_default_cache",
+    "SimulationJob",
+    "JobResult",
+    "run_job",
+    "run_jobs",
+    "default_workers",
+    "OUTCOME_OK",
+    "OUTCOME_TIMEOUT",
+    "OUTCOME_FAILED",
+]

@@ -1,0 +1,295 @@
+"""Content-addressed on-disk cache for compiled AccMoS binaries.
+
+AccMoS's premise is compile-once-run-fast, but a fresh gcc invocation
+per :func:`~repro.codegen.driver.compile_c_program` call throws the
+"once" away.  This cache keeps it: an entry is keyed by the SHA-256 of
+everything that determines the binary — the generated C source, the
+compiler (absolute path *and* its ``--version`` banner, so a toolchain
+upgrade invalidates), and the flag vector — so a repeated simulation of
+an unchanged model performs zero compiler invocations.
+
+Layout: one directory per entry, ``<root>/<key[:2]>/<key>/`` holding
+``simulation.c`` and the ``simulation`` binary.  Writes are atomic: the
+artifacts are staged into a scratch directory under the root and
+``os.rename``d into place, so two processes compiling the same key
+concurrently leave exactly one valid entry (the loser discards its
+stage).  Reads bump the entry's mtime; eviction removes
+least-recently-used entries once the configured byte bound is exceeded.
+
+A process-wide default cache (:func:`default_cache`) lives at
+``$ACCMOS_CACHE_DIR`` (default ``~/.cache/accmos/artifacts``) and is
+what the AccMoS engine and the campaign layer route through; set
+``ACCMOS_NO_CACHE=1`` to disable it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024  # plenty for ~10k typical binaries
+
+SOURCE_NAME = "simulation.c"
+BINARY_NAME = "simulation"
+
+_compiler_versions: dict[str, str] = {}
+_versions_lock = threading.Lock()
+
+
+def compiler_fingerprint(compiler: str) -> str:
+    """``<abspath> <first --version line>`` — memoized per compiler path."""
+    path = str(Path(compiler).resolve()) if os.sep in compiler else compiler
+    with _versions_lock:
+        cached = _compiler_versions.get(path)
+    if cached is not None:
+        return cached
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"], capture_output=True, text=True, check=False
+        )
+        banner = proc.stdout.splitlines()[0] if proc.stdout else "unknown"
+    except OSError:
+        banner = "unknown"
+    fingerprint = f"{path} {banner}"
+    with _versions_lock:
+        _compiler_versions[path] = fingerprint
+    return fingerprint
+
+
+def cache_key(source: str, compiler: str, cflags: Sequence[str]) -> str:
+    """SHA-256 over (source, compiler path+version, flags)."""
+    h = hashlib.sha256()
+    h.update(compiler_fingerprint(compiler).encode())
+    h.update(b"\x00")
+    h.update(" ".join(cflags).encode())
+    h.update(b"\x00")
+    h.update(source.encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """One cache's counters (hits/misses/evictions are per-process)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} entries={self.entries} "
+            f"bytes={self.bytes}"
+        )
+
+
+@dataclass
+class CacheEntry:
+    """A resolved cache entry: both artifacts, ready to execute."""
+
+    key: str
+    source: Path
+    binary: Path
+
+
+class ArtifactCache:
+    """Persistent LRU cache of compiled simulation binaries."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- key ------------------------------------------------------------
+    def key(self, source: str, compiler: str, cflags: Sequence[str]) -> str:
+        return cache_key(source, compiler, cflags)
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    # -- lookup/store ----------------------------------------------------
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        """The entry for ``key`` if both artifacts exist; bumps its LRU
+        clock on hit."""
+        entry_dir = self._entry_dir(key)
+        binary = entry_dir / BINARY_NAME
+        source = entry_dir / SOURCE_NAME
+        if not (binary.is_file() and source.is_file()):
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            os.utime(entry_dir)
+        except OSError:
+            pass  # read-only cache is still a usable cache
+        with self._lock:
+            self._hits += 1
+        return CacheEntry(key=key, source=source, binary=binary)
+
+    def store(self, key: str, source_path: Path, binary_path: Path) -> CacheEntry:
+        """Move compiled artifacts into the cache atomically.
+
+        The artifacts are staged into a scratch dir on the same
+        filesystem and renamed into the final entry path in one step.
+        If another process won the race, the staged copy is discarded
+        and the existing entry is returned.
+        """
+        entry_dir = self._entry_dir(key)
+        entry_dir.parent.mkdir(parents=True, exist_ok=True)
+        stage = Path(
+            tempfile.mkdtemp(prefix=f"stage-{key[:8]}-", dir=str(self.root))
+        )
+        try:
+            shutil.move(str(source_path), stage / SOURCE_NAME)
+            shutil.move(str(binary_path), stage / BINARY_NAME)
+            try:
+                os.rename(stage, entry_dir)
+            except OSError:
+                # Lost the race: a complete entry already sits there.
+                shutil.rmtree(stage, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+        self._evict_over_bound(keep=entry_dir)
+        return CacheEntry(
+            key=key,
+            source=entry_dir / SOURCE_NAME,
+            binary=entry_dir / BINARY_NAME,
+        )
+
+    # -- maintenance -----------------------------------------------------
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [
+            entry
+            for shard in self.root.iterdir()
+            if shard.is_dir() and len(shard.name) == 2
+            for entry in shard.iterdir()
+            if entry.is_dir()
+        ]
+
+    @staticmethod
+    def _entry_bytes(entry: Path) -> int:
+        return sum(f.stat().st_size for f in entry.iterdir() if f.is_file())
+
+    def _evict_over_bound(self, keep: Optional[Path] = None) -> None:
+        entries = []
+        total = 0
+        for entry in self._entries():
+            try:
+                size = self._entry_bytes(entry)
+                mtime = entry.stat().st_mtime
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((mtime, size, entry))
+            total += size
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest first
+        for _, size, entry in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and entry == keep:
+                continue
+            shutil.rmtree(entry, ignore_errors=True)
+            total -= size
+            with self._lock:
+                self._evictions += 1
+
+    def stats(self) -> CacheStats:
+        entries = self._entries()
+        total = 0
+        for entry in entries:
+            try:
+                total += self._entry_bytes(entry)
+            except OSError:
+                pass
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(entries),
+                bytes=total,
+            )
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for entry in self._entries():
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+        return removed
+
+
+# ----------------------------------------------------------------------
+# process-wide default
+# ----------------------------------------------------------------------
+CACHE_DIR_ENV = "ACCMOS_CACHE_DIR"
+CACHE_DISABLE_ENV = "ACCMOS_NO_CACHE"
+
+_default_cache: Optional[ArtifactCache] = None
+_default_resolved = False
+_default_lock = threading.Lock()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "accmos" / "artifacts"
+
+
+def default_cache() -> Optional[ArtifactCache]:
+    """The process-wide cache the AccMoS engine routes through.
+
+    ``None`` when disabled (``ACCMOS_NO_CACHE=1``) or when the cache
+    directory cannot be created (e.g. read-only home).
+    """
+    global _default_cache, _default_resolved
+    with _default_lock:
+        if _default_resolved:
+            return _default_cache
+        if os.environ.get(CACHE_DISABLE_ENV, "").strip() not in ("", "0"):
+            _default_cache = None
+        else:
+            try:
+                _default_cache = ArtifactCache(default_cache_dir())
+            except OSError:
+                _default_cache = None
+        _default_resolved = True
+        return _default_cache
+
+
+def set_default_cache(cache: Optional[ArtifactCache]) -> Optional[ArtifactCache]:
+    """Override the process-wide cache (tests, embedding apps).
+
+    Returns the previous default so callers can restore it.
+    """
+    global _default_cache, _default_resolved
+    with _default_lock:
+        previous = _default_cache if _default_resolved else None
+        _default_cache = cache
+        _default_resolved = True
+        return previous

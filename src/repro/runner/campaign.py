@@ -1,0 +1,129 @@
+"""Campaign execution: waves of seeded jobs, deterministic merge.
+
+This is the engine room behind :func:`repro.campaign.run_campaign`.
+Seeds are dispatched in waves of ``workers`` jobs; however the pool
+interleaves their completion, each wave's results are folded into the
+outcome **in seed order**, so the merged coverage report, the per-case
+new-point counts, the first-exposing-seed attribution of every
+diagnostic, and the saturation verdict are byte-identical between
+``workers=1`` and ``workers=N`` — the plateau criterion is evaluated on
+the ordered merge, exactly as the serial loop would.
+
+When saturation lands mid-wave, the remaining results of that wave are
+discarded (their work is wasted, bounded by ``workers - 1`` cases —
+the price of speculation), keeping parallel outcomes identical to
+serial ones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.coverage.metrics import ALL_METRICS
+from repro.coverage.report import CoverageReport
+from repro.engines.base import SimulationOptions
+from repro.model.errors import SimulationError
+from repro.runner.jobs import SimulationJob
+from repro.runner.pool import run_jobs
+from repro.schedule.program import FlatProgram
+
+if TYPE_CHECKING:
+    from repro.runner.cache import ArtifactCache
+
+
+def execute_campaign(
+    prog: FlatProgram,
+    *,
+    engine: str,
+    steps: int,
+    max_cases: int,
+    plateau_patience: int,
+    base_seed: int,
+    options: Optional[SimulationOptions],
+    workers: int = 1,
+    mode: str = "thread",
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    timeout_seconds: Optional[float] = None,
+    retries: int = 1,
+):
+    """Run the campaign; see :func:`repro.campaign.run_campaign`.
+
+    Arguments are pre-validated by the public wrapper.
+    """
+    from repro.campaign import CampaignOutcome, CaseOutcome
+
+    opts = options or SimulationOptions(steps=steps)
+    merged: Optional[CoverageReport] = None
+    outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
+    seen_diagnostics: set[tuple[str, str]] = set()
+    dry_streak = 0
+    wave = max(1, workers)
+
+    index = 0
+    while index < max_cases and not outcome.saturated:
+        seeds = [
+            base_seed + i for i in range(index, min(index + wave, max_cases))
+        ]
+        index += len(seeds)
+        results = run_jobs(
+            [
+                SimulationJob(prog=prog, seed=seed, engine=engine, options=opts)
+                for seed in seeds
+            ],
+            workers=workers,
+            mode=mode,
+            cache=cache,
+            timeout_seconds=timeout_seconds,
+            retries=retries,
+        )
+
+        # Ordered merge: fold strictly in seed order, stop at saturation.
+        for job_result in results:
+            if not job_result.ok:
+                if job_result.exception is not None:
+                    raise job_result.exception
+                raise SimulationError(
+                    f"campaign case seed={job_result.seed} "
+                    f"{job_result.outcome}: {job_result.error}"
+                )
+            result = job_result.result
+            if result.coverage is None:
+                raise ValueError(f"engine {engine!r} collects no coverage")
+
+            if merged is None:
+                merged = CoverageReport.empty(result.coverage.points)
+            before = {
+                m: merged.bitmaps[m].count() for m in ALL_METRICS
+            }
+            merged.merge(result.coverage)
+            by_metric = {
+                m: merged.bitmaps[m].count() - before[m] for m in ALL_METRICS
+            }
+            new_points = sum(by_metric.values())
+
+            fresh = 0
+            for event in result.diagnostics:
+                key = (event.path, event.kind.value)
+                if key not in seen_diagnostics:
+                    seen_diagnostics.add(key)
+                    outcome.diagnostics.append((event, job_result.seed))
+                    fresh += 1
+
+            outcome.cases.append(
+                CaseOutcome(
+                    seed=job_result.seed,
+                    steps_run=result.steps_run,
+                    wall_time=result.wall_time,
+                    new_points=new_points,
+                    n_diagnostics=fresh,
+                    new_points_by_metric=by_metric,
+                )
+            )
+
+            dry_streak = dry_streak + 1 if new_points == 0 else 0
+            if dry_streak >= plateau_patience:
+                outcome.saturated = True
+                break  # later results of this wave are discarded
+
+    outcome.merged = merged
+    return outcome

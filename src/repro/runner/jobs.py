@@ -1,0 +1,175 @@
+"""Simulation jobs: one seeded run, executed with timeout and retry.
+
+A :class:`SimulationJob` is the unit of work the parallel runner fans
+out: a preprocessed program, a stimuli seed, and the simulation options.
+:func:`run_job` executes one job and always returns a structured
+:class:`JobResult` — outcome (``ok``/``timeout``/``failed``), the number
+of attempts it took, and per-phase wall timings (codegen / compile /
+execute / parse for the AccMoS engine) — instead of letting exceptions
+tear down a whole campaign wave.
+
+Retry policy: transient failures (a compiler race on a shared tmpfs, an
+OOM-killed child — anything raising ``CompilationError`` or
+``SimulationError``) are retried up to ``retries`` times with
+exponential backoff.  A wall-clock timeout is *not* transient — the next
+attempt would burn the same budget — so it is reported immediately as
+``timeout``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional, Union
+
+from repro.engines.base import SimulationOptions, SimulationResult
+from repro.model.errors import (
+    CompilationError,
+    SimulationError,
+    SimulationTimeout,
+)
+from repro.schedule.program import FlatProgram
+from repro.stimuli.base import Stimulus
+
+if TYPE_CHECKING:
+    from repro.runner.cache import ArtifactCache
+
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_FAILED = "failed"
+
+# Phase keys every JobResult.timings may carry.
+PHASES = ("codegen", "compile", "execute", "parse")
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One seeded simulation to run."""
+
+    prog: FlatProgram
+    seed: int = 1
+    engine: str = "accmos"
+    options: Optional[SimulationOptions] = None
+    # Explicit stimuli override the seed-derived default streams.
+    stimuli: Optional[Mapping[str, Stimulus]] = None
+    label: str = ""
+
+    def resolved_stimuli(self) -> Mapping[str, Stimulus]:
+        if self.stimuli is not None:
+            return self.stimuli
+        from repro.stimuli.generators import default_stimuli
+
+        return default_stimuli(self.prog, seed=self.seed)
+
+    def resolved_options(self) -> SimulationOptions:
+        return self.options if self.options is not None else SimulationOptions()
+
+
+@dataclass
+class JobResult:
+    """What one job's execution produced, success or not."""
+
+    seed: int
+    label: str = ""
+    outcome: str = OUTCOME_FAILED
+    attempts: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+    result: Optional[SimulationResult] = None
+    error: Optional[str] = None
+    exception: Optional[BaseException] = field(default=None, repr=False)
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+
+def _transient(exc: BaseException) -> bool:
+    """Worth another attempt?  Timeouts are not — same budget, same end."""
+    if isinstance(exc, SimulationTimeout):
+        return False
+    return isinstance(exc, (CompilationError, SimulationError, OSError))
+
+
+def run_job(
+    job: SimulationJob,
+    *,
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    timeout_seconds: Optional[float] = None,
+    retries: int = 1,
+    backoff_seconds: float = 0.05,
+    _sleep=time.sleep,
+) -> JobResult:
+    """Execute one job; never raises for run failures.
+
+    ``retries`` bounds the *extra* attempts after the first; backoff
+    doubles per retry starting at ``backoff_seconds``.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    out = JobResult(seed=job.seed, label=job.label or f"seed-{job.seed}")
+    options = job.resolved_options()
+    stimuli = job.resolved_stimuli()
+
+    for attempt in range(retries + 1):
+        out.attempts = attempt + 1
+        try:
+            out.result = _run_once(
+                job, stimuli, options, out.timings,
+                cache=cache, timeout_seconds=timeout_seconds,
+            )
+            out.outcome = OUTCOME_OK
+            out.error = None
+            out.exception = None
+            out.cache_hit = bool(out.result.extra.get("cache_hit", False))
+            return out
+        except Exception as exc:  # recorded, classified below
+            out.error = f"{type(exc).__name__}: {exc}"
+            out.exception = exc
+            if isinstance(exc, SimulationTimeout):
+                out.outcome = OUTCOME_TIMEOUT
+                return out
+            if not _transient(exc) or attempt == retries:
+                out.outcome = OUTCOME_FAILED
+                return out
+            _sleep(backoff_seconds * (2**attempt))
+    return out  # unreachable; loop always returns
+
+
+def _run_once(
+    job: SimulationJob,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+    timings: dict[str, float],
+    *,
+    cache: "Union[ArtifactCache, None, bool]",
+    timeout_seconds: Optional[float],
+) -> SimulationResult:
+    if job.engine == "accmos":
+        from repro.engines.accmos import run_accmos
+
+        result = run_accmos(
+            job.prog, stimuli, options,
+            cache=cache,
+            timeout_seconds=timeout_seconds,
+        )
+        timings.update(
+            codegen=result.extra.get("generate_seconds", 0.0),
+            compile=result.extra.get("compile_seconds", 0.0),
+            execute=result.extra.get("execute_seconds", 0.0),
+            parse=result.extra.get("parse_seconds", 0.0),
+        )
+        return result
+
+    # Interpreted engines run in-process: one "execute" phase, and the
+    # wall-clock timeout cannot be enforced from outside the GIL.
+    from repro.engines.api import simulate
+
+    start = time.perf_counter()
+    result = simulate(job.prog, stimuli, engine=job.engine, options=options)
+    timings["execute"] = time.perf_counter() - start
+    return result

@@ -1,0 +1,108 @@
+"""Fan simulation jobs out across a worker pool.
+
+The heavy phases of an AccMoS job — the gcc invocation and the compiled
+binary's run — happen in child processes, during which CPython releases
+the GIL, so a *thread* pool already uses every core and can share one
+in-process :class:`~repro.runner.cache.ArtifactCache` (hit/miss counters
+included).  That makes ``mode="thread"`` the default.  ``mode="process"``
+trades shared counters for full interpreter isolation (useful when the
+per-job Python work — codegen, result parsing — dominates); jobs and
+results cross the process boundary by pickling, and each worker resolves
+the cache from its root path.
+
+Results come back in submission order regardless of completion order —
+the property the deterministic campaign merge builds on.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.runner.jobs import JobResult, SimulationJob, run_job
+
+if TYPE_CHECKING:
+    from repro.runner.cache import ArtifactCache
+
+
+def default_workers() -> int:
+    return min(32, os.cpu_count() or 1)
+
+
+def _run_job_in_process(
+    job: SimulationJob,
+    cache_root: Optional[str],
+    max_bytes: Optional[int],
+    timeout_seconds: Optional[float],
+    retries: int,
+    backoff_seconds: float,
+) -> JobResult:
+    """Process-pool entry point: rebuild the cache handle from its root."""
+    cache: "Union[ArtifactCache, None, bool]" = False
+    if cache_root is not None:
+        from repro.runner.cache import ArtifactCache
+
+        cache = ArtifactCache(cache_root, max_bytes=max_bytes)
+    return run_job(
+        job,
+        cache=cache,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        backoff_seconds=backoff_seconds,
+    )
+
+
+def run_jobs(
+    jobs: Sequence[SimulationJob],
+    *,
+    workers: Optional[int] = None,
+    mode: str = "thread",
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    timeout_seconds: Optional[float] = None,
+    retries: int = 1,
+    backoff_seconds: float = 0.05,
+) -> list[JobResult]:
+    """Execute every job; returns one :class:`JobResult` per job, in order.
+
+    ``workers=None`` picks ``min(32, cpu_count)``; ``workers=1`` (or a
+    single job) runs inline with no pool at all.  Individual job
+    failures are *reported*, not raised — check ``JobResult.outcome``.
+    """
+    if mode not in ("thread", "process"):
+        raise ValueError(f"mode must be 'thread' or 'process', not {mode!r}")
+    workers = default_workers() if workers is None else workers
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    jobs = list(jobs)
+
+    kwargs = dict(
+        cache=cache,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        backoff_seconds=backoff_seconds,
+    )
+    if workers == 1 or len(jobs) <= 1:
+        return [run_job(job, **kwargs) for job in jobs]
+
+    n = min(workers, len(jobs))
+    if mode == "process":
+        from repro.runner.cache import default_cache
+
+        resolved = default_cache() if cache is None else (cache or None)
+        cache_root = str(resolved.root) if resolved is not None else None
+        max_bytes = resolved.max_bytes if resolved is not None else None
+        with ProcessPoolExecutor(max_workers=n) as pool:
+            futures = [
+                pool.submit(
+                    _run_job_in_process,
+                    job, cache_root, max_bytes,
+                    timeout_seconds, retries, backoff_seconds,
+                )
+                for job in jobs
+            ]
+            return [f.result() for f in futures]
+
+    with ThreadPoolExecutor(max_workers=n, thread_name_prefix="accmos-job") as pool:
+        futures = [pool.submit(run_job, job, **kwargs) for job in jobs]
+        return [f.result() for f in futures]

@@ -77,6 +77,49 @@ class TestCampaign:
         with pytest.raises(ValueError, match="no coverage"):
             run_campaign(prog, engine="sse_rac", steps=5, max_cases=1)
 
+    def test_steps_and_options_conflict_rejected(self):
+        from repro.engines.base import SimulationOptions
+
+        prog = _prog()
+        with pytest.raises(ValueError, match="not both"):
+            run_campaign(prog, steps=100,
+                         options=SimulationOptions(steps=100))
+
+    def test_options_alone_is_honored(self):
+        from repro.engines.base import SimulationOptions
+
+        prog = _prog()
+        outcome = run_campaign(prog, engine="sse", max_cases=2,
+                               plateau_patience=10,
+                               options=SimulationOptions(steps=7))
+        assert all(case.steps_run == 7 for case in outcome.cases)
+
+    def test_coverage_curve_is_per_metric(self):
+        """Regression: the curve must track only the requested metric,
+        not the all-metric total."""
+        prog = _prog()
+        outcome = run_campaign(prog, engine="sse", steps=6, max_cases=8,
+                               plateau_patience=100)
+        for metric in Metric:
+            curve = outcome.coverage_curve(metric)
+            assert len(curve) == outcome.n_cases
+            assert all(b >= a for a, b in zip(curve, curve[1:]))
+            # The curve ends at exactly this metric's covered count.
+            assert curve[-1] == outcome.merged.bitmaps[metric].count()
+        # Per-metric new points decompose each case's total.
+        for case in outcome.cases:
+            assert sum(case.new_points_by_metric.values()) == case.new_points
+        # The summed curves reproduce the all-metric cumulative totals.
+        summed = [
+            sum(outcome.coverage_curve(m)[i] for m in Metric)
+            for i in range(outcome.n_cases)
+        ]
+        total, expected = 0, []
+        for case in outcome.cases:
+            total += case.new_points
+            expected.append(total)
+        assert summed == expected
+
 
 class TestCampaignCli:
     def test_command_runs(self, capsys):

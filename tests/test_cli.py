@@ -103,3 +103,32 @@ class TestBenchTable1:
         for name in ("CPUT", "CSEV", "UTPC"):
             assert name in out
         assert "570" in out  # LANS actor count
+
+
+class TestCacheCli:
+    def test_stats_and_clear_explicit_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "artifacts"
+        assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 0" in out
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert "cleared 0" in capsys.readouterr().out
+
+    @requires_cc
+    def test_campaign_workers_populates_cache(self, tmp_path, capsys,
+                                              monkeypatch):
+        from repro.runner import cache as cache_mod
+
+        cache_dir = tmp_path / "artifacts"
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(cache_dir))
+        monkeypatch.setattr(cache_mod, "_default_cache", None)
+        monkeypatch.setattr(cache_mod, "_default_resolved", False)
+        assert main(["campaign", "bench:SPV", "--steps", "300",
+                     "--cases", "4", "--patience", "4",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(cache_dir) in out
+        assert "entries   : 4" in out

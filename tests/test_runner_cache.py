@@ -1,0 +1,209 @@
+"""Artifact-cache correctness: keys, hits, atomicity, eviction."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.codegen import generate_c_program
+from repro.codegen.driver import CFLAGS, compile_c_program, find_c_compiler
+from repro.dtypes import I32
+from repro.engines.base import SimulationOptions
+from repro.instrument import build_plan
+from repro.model import ModelBuilder
+from repro.runner import cache as cache_mod
+from repro.runner.cache import ArtifactCache, cache_key
+from repro.schedule import preprocess
+from repro.stimuli import default_stimuli
+
+from conftest import requires_cc
+
+
+def _canonical(stdout: str) -> str:
+    """Protocol text minus the run-varying self-timing line."""
+    return "\n".join(
+        line for line in stdout.splitlines()
+        if not line.startswith("sim_seconds")
+    )
+
+
+def _generated(seed=1, steps=40):
+    b = ModelBuilder("CacheDemo")
+    x = b.inport("X", dtype=I32)
+    acc = b.accumulator("Acc", x, dtype=I32)
+    b.outport("Y", acc)
+    prog = preprocess(b.build())
+    options = SimulationOptions(steps=steps)
+    plan = build_plan(prog)
+    source, layout = generate_c_program(
+        prog, plan, default_stimuli(prog, seed=seed), options
+    )
+    return source, layout
+
+
+class TestCacheKey:
+    def _fake_compiler(self, name, banner):
+        path = f"/nonexistent/{name}"
+        resolved = str(os.path.realpath(path))
+        cache_mod._compiler_versions[resolved] = f"{resolved} {banner}"
+        return path
+
+    def test_deterministic(self):
+        cc = self._fake_compiler("gcc-a", "gcc 13.2.0")
+        assert cache_key("int main(){}", cc, CFLAGS) == cache_key(
+            "int main(){}", cc, CFLAGS
+        )
+
+    def test_one_byte_of_source_changes_key(self):
+        cc = self._fake_compiler("gcc-a", "gcc 13.2.0")
+        assert cache_key("int main(){return 0;}", cc, CFLAGS) != cache_key(
+            "int main(){return 1;}", cc, CFLAGS
+        )
+
+    def test_cflags_change_key(self):
+        cc = self._fake_compiler("gcc-a", "gcc 13.2.0")
+        assert cache_key("int main(){}", cc, ["-O3"]) != cache_key(
+            "int main(){}", cc, ["-O0"]
+        )
+
+    def test_compiler_version_changes_key(self):
+        old = self._fake_compiler("gcc-old", "gcc 12.1.0")
+        new = self._fake_compiler("gcc-new", "gcc 13.2.0")
+        assert cache_key("int main(){}", old, CFLAGS) != cache_key(
+            "int main(){}", new, CFLAGS
+        )
+
+
+@requires_cc
+class TestCacheCompile:
+    def test_miss_then_hit_returns_working_binary(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        source, layout = _generated()
+
+        first = compile_c_program(source, layout, cache=cache)
+        assert not first.cache_hit
+        second = compile_c_program(source, layout, cache=cache)
+        assert second.cache_hit
+        stats = cache.stats()
+        assert (stats.misses, stats.hits, stats.entries) == (1, 1, 1)
+        assert stats.bytes > 0
+        assert _canonical(second.execute()) == _canonical(first.execute())
+
+    def test_changed_source_misses(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        source, layout = _generated()
+        compile_c_program(source, layout, cache=cache)
+        other, _ = _generated(seed=2)
+        assert other != source
+        compiled = compile_c_program(other, layout, cache=cache)
+        assert not compiled.cache_hit
+        assert cache.stats().entries == 2
+
+    def test_explicit_workdir_bypasses_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        source, layout = _generated()
+        compiled = compile_c_program(
+            source, layout, workdir=tmp_path / "wd", cache=cache
+        )
+        assert not compiled.cache_hit
+        assert (tmp_path / "wd" / "simulation").exists()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
+
+    def test_concurrent_same_key_leaves_one_valid_artifact(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        source, layout = _generated()
+        barrier = threading.Barrier(2)
+        outputs, errors = [], []
+
+        def compete():
+            try:
+                barrier.wait()
+                compiled = compile_c_program(source, layout, cache=cache)
+                outputs.append(_canonical(compiled.execute()))
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=compete) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outputs) == 2 and outputs[0] == outputs[1]
+        assert cache.stats().entries == 1
+        # No stage-* debris left behind by the losing writer.
+        assert not [p for p in cache.root.iterdir() if p.name.startswith("stage-")]
+
+
+class TestEvictionAndAdmin:
+    def _seed_entry(self, tmp_path, cache, key, mtime, size=1000):
+        src = tmp_path / f"{key}.c"
+        binary = tmp_path / key
+        src.write_bytes(b"s" * 10)
+        binary.write_bytes(b"b" * size)
+        entry = cache.store(key, src, binary)
+        entry_dir = entry.binary.parent
+        os.utime(entry_dir, (mtime, mtime))
+        return entry_dir
+
+    def test_lru_eviction_respects_bound(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache", max_bytes=2500)
+        old = self._seed_entry(tmp_path, cache, "aa" + "0" * 62, mtime=1_000)
+        young = self._seed_entry(tmp_path, cache, "bb" + "1" * 62, mtime=2_000)
+        # Third entry pushes the total over 2500 bytes: the oldest goes.
+        self._seed_entry(tmp_path, cache, "cc" + "2" * 62, mtime=3_000)
+        stats = cache.stats()
+        assert stats.evictions >= 1
+        assert stats.bytes <= 2500
+        assert not old.exists()
+        assert young.exists()
+
+    def test_lookup_bumps_lru_clock(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache", max_bytes=2500)
+        key_a = "aa" + "0" * 62
+        a = self._seed_entry(tmp_path, cache, key_a, mtime=1_000)
+        b = self._seed_entry(tmp_path, cache, "bb" + "1" * 62, mtime=2_000)
+        assert cache.lookup(key_a) is not None  # bumps a's mtime to "now"
+        self._seed_entry(tmp_path, cache, "cc" + "2" * 62, mtime=3_000)
+        assert a.exists()  # recently used: survived
+        assert not b.exists()
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        self._seed_entry(tmp_path, cache, "aa" + "0" * 62, mtime=1_000)
+        self._seed_entry(tmp_path, cache, "bb" + "1" * 62, mtime=2_000)
+        assert cache.clear() == 2
+        stats = cache.stats()
+        assert (stats.entries, stats.bytes) == (0, 0)
+        assert cache.lookup("aa" + "0" * 62) is None
+
+    def test_rejects_nonpositive_bound(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ArtifactCache(tmp_path / "cache", max_bytes=0)
+
+
+class TestDefaultCache:
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv(cache_mod.CACHE_DISABLE_ENV, "1")
+        monkeypatch.setattr(cache_mod, "_default_cache", None)
+        monkeypatch.setattr(cache_mod, "_default_resolved", False)
+        assert cache_mod.default_cache() is None
+
+    def test_env_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(cache_mod.CACHE_DISABLE_ENV, raising=False)
+        monkeypatch.setenv(cache_mod.CACHE_DIR_ENV, str(tmp_path / "alt"))
+        monkeypatch.setattr(cache_mod, "_default_cache", None)
+        monkeypatch.setattr(cache_mod, "_default_resolved", False)
+        cache = cache_mod.default_cache()
+        assert cache is not None and cache.root == tmp_path / "alt"
+
+    def test_set_default_returns_previous(self, tmp_path):
+        alt = ArtifactCache(tmp_path / "alt")
+        previous = cache_mod.set_default_cache(alt)
+        try:
+            assert cache_mod.default_cache() is alt
+        finally:
+            cache_mod.set_default_cache(previous)
