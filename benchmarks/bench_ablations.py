@@ -25,7 +25,7 @@ from repro.codegen import generate_c_program
 from repro.codegen.driver import CFLAGS, compile_c_program, parse_result
 from repro.instrument import build_plan
 
-from conftest import bench_steps, report_table
+from conftest import bench_steps, report_json, report_table
 
 MODEL = "LANS"  # computation-heavy: the interesting case for both ablations
 
@@ -86,6 +86,16 @@ def test_instrumentation_overhead(benchmark, lans):
         " them at this cost and still beats the interpreted engine by 100x+)",
     ]
     report_table("Ablation: instrumentation overhead", "\n".join(rows))
+    report_json(
+        "ablation_instrumentation",
+        {"model": MODEL, "steps": full.steps_run},
+        [
+            {"variant": "coverage+diagnosis", "wall_time": full.wall_time},
+            {"variant": "diagnosis_only", "wall_time": no_cov.wall_time},
+            {"variant": "bare", "wall_time": bare.wall_time},
+        ],
+        "seconds",
+    )
     assert overhead < 50, "instrumentation must not devour the codegen win"
 
 
@@ -111,6 +121,15 @@ def test_compiler_optimization_ablation(benchmark, lans):
         " optimization of computational actor chains)",
     ]
     report_table("Ablation: compiler optimization (-O0 vs -O3)", "\n".join(rows))
+    report_json(
+        "ablation_compiler_opt",
+        {"model": MODEL, "steps": o3.steps_run},
+        [
+            {"flags": "-O0", "wall_time": o0.wall_time},
+            {"flags": "-O3", "wall_time": o3.wall_time},
+        ],
+        "seconds",
+    )
     assert speedup > 1.2
 
 
@@ -137,4 +156,10 @@ def test_interpretation_overhead_decomposition(benchmark, lans):
     ]
     report_table("Ablation: interpretation overhead decomposition",
                  "\n".join(rows))
+    report_json(
+        "ablation_interpretation",
+        {"model": MODEL, "steps": steps},
+        [{"engine": e, "wall_time": t} for e, t in times.items()],
+        "seconds",
+    )
     assert times["sse"] > times["sse_ac"] > times["sse_rac"] > times["accmos"]

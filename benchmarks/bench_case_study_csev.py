@@ -29,7 +29,7 @@ from repro.benchmarks.inject import (
 )
 from repro.schedule import preprocess
 
-from conftest import report_table
+from conftest import report_json, report_table
 
 HALT = frozenset({DiagnosticKind.WRAP_ON_OVERFLOW})
 
@@ -88,6 +88,21 @@ def test_case_study_detection_times(benchmark):
     rows.append(f"{'':28s} -> both detect within a fraction of a second "
                 f"(paper: 0.18..1.2s gap)")
     report_table("Case study: CSEV injected errors", "\n".join(rows))
+    report_json(
+        "case_study_csev",
+        {"halt_on": "wrap_on_overflow"},
+        [
+            {"error": 1, "engine": "sse", "wall_time": sse1.wall_time,
+             "found_at_step": sse1.halted_at},
+            {"error": 1, "engine": "accmos", "wall_time": acc1.wall_time,
+             "found_at_step": acc1.halted_at},
+            {"error": 2, "engine": "sse", "wall_time": sse2.wall_time,
+             "found_at_step": sse2.halted_at},
+            {"error": 2, "engine": "accmos", "wall_time": acc2.wall_time,
+             "found_at_step": acc2.halted_at},
+        ],
+        "seconds",
+    )
 
 
 def test_error1_condition_matches_figure4_semantics(benchmark):

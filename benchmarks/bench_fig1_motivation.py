@@ -19,7 +19,7 @@ from repro.benchmarks.motivating import (
 )
 from repro.schedule import preprocess
 
-from conftest import report_table
+from conftest import report_json, report_table
 
 HALT = frozenset({DiagnosticKind.WRAP_ON_OVERFLOW})
 
@@ -59,6 +59,15 @@ def test_fig1_detection_time(benchmark, prog):
         f"{acc.extra['generate_seconds'] + acc.extra['compile_seconds']:.2f}s)",
     ]
     report_table("Figure 1: motivating overflow detection", "\n".join(rows))
+    report_json(
+        "fig1_motivation",
+        {"halted_at": sse.halted_at},
+        [
+            {"engine": "sse", "wall_time": sse.wall_time},
+            {"engine": "accmos", "wall_time": acc.wall_time},
+        ],
+        "seconds",
+    )
 
 
 def test_fig1_diagnostic_content(benchmark, prog):

@@ -26,7 +26,7 @@ from repro.campaign import run_campaign
 from repro.runner import ArtifactCache
 from repro.schedule import preprocess
 
-from conftest import report_table
+from conftest import report_json, report_table
 
 MODEL = "SPV"
 STEPS = 500
@@ -73,6 +73,15 @@ def test_cache_hit_compile_time():
         f"(zero compiler invocations after the first run)"
     )
     report_table("Runner: cache-hit compile time", "\n".join(lines))
+    report_json(
+        "runner_cache_hit",
+        {"model": MODEL, "steps": STEPS},
+        [
+            {"run": i + 1, "cache_hit": hit, "compile_seconds": t}
+            for i, (t, hit) in enumerate(times)
+        ],
+        "seconds",
+    )
     assert min(hits) < miss / 10  # a hit must be >10x cheaper than gcc
 
 
@@ -108,3 +117,12 @@ def test_parallel_campaign_scaling():
         " (ordered merge, deterministic)",
     ]
     report_table("Runner: parallel campaign scaling", "\n".join(lines))
+    report_json(
+        "runner_parallel_scaling",
+        {"model": MODEL, "steps": STEPS, "seeds": seeds, "workers": workers},
+        [
+            {"workers": 1, "wall_time": t_serial},
+            {"workers": workers, "wall_time": t_parallel},
+        ],
+        "seconds",
+    )

@@ -12,7 +12,7 @@ import pytest
 from repro.benchmarks import TABLE1, build_benchmark
 from repro.schedule import preprocess
 
-from conftest import bench_models, report_table
+from conftest import bench_models, report_json, report_table
 
 
 def test_table1_inventory(benchmark, programs):
@@ -26,6 +26,19 @@ def test_table1_inventory(benchmark, programs):
         rows.append(f"{name:6s} {desc:42s} {model.n_actors:7d} "
                     f"{model.n_subsystems:11d}")
     report_table("Table 1: benchmark model descriptions", "\n".join(rows))
+    report_json(
+        "table1_models",
+        {"models": bench_models()},
+        [
+            {
+                "model": name,
+                "actors": TABLE1[name][1],
+                "subsystems": TABLE1[name][2],
+            }
+            for name in bench_models()
+        ],
+        "count",
+    )
 
 
 @pytest.mark.parametrize("name", sorted(TABLE1))

@@ -23,7 +23,7 @@ import pytest
 from repro import SimulationOptions, simulate
 from repro.benchmarks import benchmark_stimuli
 
-from conftest import bench_models, bench_steps, report_table
+from conftest import bench_models, bench_steps, report_json, report_table
 
 COMPUTE_HEAVY = ("LANS", "LEDLC", "SPV", "TCP")
 
@@ -103,6 +103,12 @@ def test_table2_report(benchmark, programs):
     )
     rows.append("(paper means: 215.3x vs SSE, 76.32x vs SSE_ac, 19.8x vs SSE_rac)")
     report_table("Table 2: comparison of simulation time", "\n".join(rows))
+    report_json(
+        "table2_simtime",
+        {"steps": steps},
+        [{"model": name, **times} for name, times in _results.items()],
+        "seconds",
+    )
 
     # Shape assertions: big speedups, and the computation-heavy models lean
     # toward the top of the ratio ranking (our substrate's cost model is not

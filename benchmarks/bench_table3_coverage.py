@@ -23,7 +23,7 @@ from repro import SimulationOptions, simulate
 from repro.benchmarks import benchmark_stimuli
 from repro.coverage import Metric
 
-from conftest import bench_budgets, bench_models, report_table
+from conftest import bench_budgets, bench_models, report_json, report_table
 
 HUGE_STEPS = 2_000_000_000
 
@@ -98,3 +98,19 @@ def test_table3_report(benchmark, programs):
             rows.append(f"{name:6s} {budget:6.1f} | " + " | ".join(cells))
     rows.append("(paper: AccMoS at 5s beats SSE at 60s on every model but TCP)")
     report_table("Table 3: coverage of AccMoS and SSE", "\n".join(rows))
+    report_json(
+        "table3_coverage",
+        {"budgets": bench_budgets()},
+        [
+            {
+                "model": name,
+                "budget": budget,
+                "engine": engine,
+                **{m.value: per_budget[budget][engine][m] for m in Metric},
+            }
+            for name, per_budget in _rows.items()
+            for budget in sorted(per_budget)
+            for engine in ("accmos", "sse")
+        ],
+        "percent",
+    )

@@ -20,7 +20,7 @@ from repro.codegen.driver import compile_c_program
 from repro.diagnosis.events import DiagnosticKind
 from repro.instrument import build_plan
 
-from conftest import report_table
+from conftest import report_json, report_table
 
 
 def test_template_library_inventory(benchmark):
@@ -44,6 +44,15 @@ def test_template_library_inventory(benchmark):
     rows.append(f"diagnostic template kinds: {len(diag_kinds)} "
                 f"({', '.join(diag_kinds)})")
     report_table("Sec. 3.4: template library inventory", "\n".join(rows))
+    report_json(
+        "template_library",
+        {"executable_types": len(executable), "registered": len(specs)},
+        [
+            {"category": category, "count": count}
+            for category, count in sorted(by_category.items())
+        ],
+        "count",
+    )
 
 
 def test_all_default_error_types_covered(benchmark):

@@ -17,6 +17,7 @@ Environment knobs (this substrate is a laptop, not the paper's testbed):
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -54,6 +55,26 @@ def report_table(title: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     slug = "".join(c if c.isalnum() else "_" for c in title.lower()).strip("_")
     (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def report_json(bench: str, config: dict, samples, unit: str) -> Path:
+    """Machine-readable companion to :func:`report_table`.
+
+    Writes ``results/<bench>.json`` with the fixed schema
+    ``{bench, config, samples, unit}`` — ``samples`` is a list (numbers
+    or per-row objects), ``unit`` names what the numeric values mean —
+    so downstream tooling can diff runs without parsing the text tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": bench,
+        "config": config,
+        "samples": list(samples),
+        "unit": unit,
+    }
+    target = RESULTS_DIR / f"{bench}.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -21,6 +21,7 @@ Quickstart::
     print(result.summary())
 """
 
+from repro import telemetry
 from repro.dtypes import DType
 from repro.model import Actor, Model, ModelBuilder, Subsystem
 from repro.schedule import FlatProgram, preprocess
@@ -90,5 +91,6 @@ __all__ = [
     "UniformRandomStimulus",
     "TestCaseTable",
     "default_stimuli",
+    "telemetry",
     "__version__",
 ]

@@ -50,6 +50,11 @@ class CaseOutcome:
     n_diagnostics: int
     # Per-metric share of new_points; sums to new_points.
     new_points_by_metric: dict[Metric, int] = field(default_factory=dict)
+    # Per-phase wall timings from the job (codegen/compile/execute/parse
+    # for AccMoS; just execute for interpreted engines) and whether the
+    # compile was served from the artifact cache.
+    timings: dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
 
 
 @dataclass

@@ -9,12 +9,17 @@
     accmos codegen model.xml -o sim.c     # emit the instrumented C source
     accmos compare model.xml [options]    # run several engines, check agreement
     accmos convert model.xml -o m.json    # native XML <-> generic JSON IR
+    accmos trace model.xml -o t.json      # traced run -> Chrome trace + tree
+    accmos metrics [show|clear]           # inspect the last traced run
     accmos bench-table1                   # print the benchmark inventory
     accmos cache stats|clear              # compiled-artifact cache admin
     accmos demo                           # Figure-1 motivating demo
 
 Benchmark models can be addressed as ``bench:NAME`` (e.g. ``bench:CSEV``)
-anywhere a model file is expected.
+anywhere a model file is expected.  ``simulate`` and ``campaign`` accept
+``--trace FILE`` to record a Chrome ``trace_event`` timeline of the run
+(open in chrome://tracing or Perfetto); traced runs also persist a
+metrics snapshot that ``accmos metrics`` reads back.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
+from pathlib import Path
 
 from repro.benchmarks import TABLE1, build_benchmark
 from repro.benchmarks.motivating import build_motivating_model, motivating_stimuli
@@ -60,6 +67,39 @@ def _options_from(args) -> SimulationOptions:
         halt_on=halt_on,
         time_budget=getattr(args, "time_budget", None),
     )
+
+
+@contextmanager
+def _traced(args):
+    """Enable telemetry around a command when --trace/--profile ask for it.
+
+    On exit the Chrome trace is written, the metrics snapshot persisted
+    for a later ``accmos metrics``, and (with --profile) the SSE
+    hot-actor table printed.  Notes go to stderr so ``--json`` stdout
+    stays machine-readable.
+    """
+    trace_file = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not trace_file and not profile:
+        yield None
+        return
+    from repro import telemetry
+
+    session = telemetry.enable(profile_sse=profile)
+    try:
+        yield session
+    finally:
+        telemetry.disable()
+        if trace_file:
+            n = telemetry.write_chrome_trace(
+                session.tracer.finished(), trace_file
+            )
+            print(f"trace: {n} span(s) -> {trace_file}", file=sys.stderr)
+        saved = telemetry.save_metrics(session.snapshot())
+        if saved is not None:
+            print(f"metrics snapshot -> {saved}", file=sys.stderr)
+        if profile and session.profiler is not None:
+            print(session.profiler.render(), file=sys.stderr)
 
 
 def _print_result(result, as_json: bool) -> None:
@@ -113,14 +153,15 @@ def cmd_info(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    model = _load(args.model)
-    prog = preprocess(model, dt=args.dt)
-    result = simulate(
-        prog,
-        _stimuli_for(args, prog),
-        engine=args.engine,
-        options=_options_from(args),
-    )
+    with _traced(args):
+        model = _load(args.model)
+        prog = preprocess(model, dt=args.dt)
+        result = simulate(
+            prog,
+            _stimuli_for(args, prog),
+            engine=args.engine,
+            options=_options_from(args),
+        )
     _print_result(result, args.json)
     return 0
 
@@ -165,23 +206,43 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _print_timings(cases) -> None:
+    """Per-phase wall-time breakdown, one row per campaign case."""
+    from repro.runner.jobs import PHASES
+
+    phases = [p for p in PHASES if any(p in c.timings for c in cases)]
+    print("per-phase timings (seconds):")
+    print(f"{'case':>5s} {'seed':>6s}"
+          + "".join(f" {p:>10s}" for p in phases)
+          + f" {'total':>10s} {'cache':>6s}")
+    for i, case in enumerate(cases):
+        row = f"{i + 1:5d} {case.seed:6d}"
+        for p in phases:
+            row += f" {case.timings.get(p, 0.0):10.4f}"
+        row += f" {sum(case.timings.values()):10.4f}"
+        row += f" {'hit' if case.cache_hit else '-':>6s}"
+        print(row)
+
+
 def cmd_campaign(args) -> int:
     """Run a seed-sweep test campaign and print the adequacy verdict."""
     from repro.campaign import run_campaign
     from repro.coverage import coverage_listing
 
-    model = _load(args.model)
-    prog = preprocess(model, dt=args.dt)
-    outcome = run_campaign(
-        prog,
-        engine=args.engine,
-        steps=args.steps,
-        max_cases=args.cases,
-        plateau_patience=args.patience,
-        base_seed=args.seed,
-        workers=args.workers,
-        timeout_seconds=args.timeout,
-    )
+    with _traced(args):
+        model = _load(args.model)
+        prog = preprocess(model, dt=args.dt)
+        outcome = run_campaign(
+            prog,
+            engine=args.engine,
+            steps=args.steps,
+            max_cases=args.cases,
+            plateau_patience=args.patience,
+            base_seed=args.seed,
+            workers=args.workers,
+            mode=args.mode,
+            timeout_seconds=args.timeout,
+        )
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
           f"{'new diags':>10s}")
@@ -190,6 +251,8 @@ def cmd_campaign(args) -> int:
               f"{case.new_points:11d} {case.n_diagnostics:10d}")
     for event, seed in outcome.diagnostics:
         print(f"  (seed {seed}) {event}")
+    if args.timings:
+        _print_timings(outcome.cases)
     if args.uncovered:
         print(coverage_listing(prog, outcome.merged, max_items=args.uncovered))
     return 0
@@ -279,6 +342,61 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """One traced simulation: Chrome trace file + span tree on stdout."""
+    from repro import telemetry
+
+    session = telemetry.enable(profile_sse=args.profile)
+    try:
+        model = _load(args.model)
+        prog = preprocess(model, dt=args.dt)
+        result = simulate(
+            prog,
+            _stimuli_for(args, prog),
+            engine=args.engine,
+            options=_options_from(args),
+        )
+    finally:
+        telemetry.disable()
+    spans = session.tracer.finished()
+    n = telemetry.write_chrome_trace(spans, args.output)
+    telemetry.save_metrics(session.snapshot())
+    print(f"{result.steps_run:,} steps in {result.wall_time:.3f}s "
+          f"({args.engine}); {n} span(s) -> {args.output}")
+    print(telemetry.render_tree(spans))
+    if args.profile and session.profiler is not None:
+        print(session.profiler.render())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Show or clear the metrics snapshot of the last traced run."""
+    from repro import telemetry
+
+    path = Path(args.file) if args.file else telemetry.default_metrics_path()
+    if args.action == "clear":
+        try:
+            path.unlink()
+            print(f"removed {path}")
+        except FileNotFoundError:
+            print(f"nothing to clear at {path}")
+        return 0
+    snapshot = telemetry.load_metrics(path)
+    if snapshot is None:
+        print(f"no metrics snapshot at {path} "
+              f"(run simulate/campaign with --trace first)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"metrics from {path}")
+    print(telemetry.metrics_to_text(snapshot))
+    profile = snapshot.get("profile_sse")
+    if profile:
+        print(telemetry.render_profile_snapshot(profile))
+    return 0
+
+
 def cmd_demo(args) -> int:
     model = build_motivating_model()
     prog = preprocess(model)
@@ -328,6 +446,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--engine", choices=sorted(ENGINES), default="accmos")
     p.add_argument("--json", action="store_true")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome trace_event timeline to FILE")
+    p.add_argument("--profile", action="store_true",
+                   help="sample SSE step time per actor type (hot-actor table)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("codegen", help="emit the instrumented C source")
@@ -356,8 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also list up to N uncovered points")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel cases per wave (merge stays in seed order)")
+    p.add_argument("--mode", choices=["thread", "process"], default="thread",
+                   help="worker pool flavour for --workers > 1")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-case wall-clock limit for the compiled binary")
+    p.add_argument("--timings", action="store_true",
+                   help="print the per-phase wall-time breakdown per case")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome trace_event timeline to FILE")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("coverage", help="detailed coverage listing")
@@ -374,6 +502,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True,
                    help="target path (.xml or .json picks the format)")
     p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser(
+        "trace", help="run one traced simulation, write the Chrome trace"
+    )
+    common(p)
+    p.add_argument("--engine", choices=sorted(ENGINES), default="accmos")
+    p.add_argument("-o", "--output", required=True,
+                   help="Chrome trace_event JSON target path")
+    p.add_argument("--profile", action="store_true",
+                   help="sample SSE step time per actor type (hot-actor table)")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics", help="show or clear the last traced run's metrics"
+    )
+    p.add_argument("action", nargs="?", choices=["show", "clear"],
+                   default="show")
+    p.add_argument("--file", default=None,
+                   help="snapshot path (default: $ACCMOS_METRICS_FILE or "
+                        "~/.cache/accmos/metrics.json)")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw snapshot instead of the summary")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("bench-table1", help="print the benchmark inventory")
     p.add_argument("--verify", action="store_true", help="also build each model")

@@ -18,6 +18,7 @@ from pathlib import Path
 from shutil import which
 from typing import TYPE_CHECKING, Optional
 
+from repro import telemetry
 from repro.coverage.bitmap import Bitmap
 from repro.coverage.metrics import Metric
 from repro.coverage.report import CoverageReport
@@ -100,59 +101,67 @@ def compile_c_program(
     if compiler is None:
         raise CompilationError("no C compiler found (need gcc, cc, or clang)")
 
-    use_cache = cache is not None and workdir is None
-    key = None
-    if use_cache:
+    with telemetry.span("compile") as compile_span:
+        use_cache = cache is not None and workdir is None
+        key = None
+        if use_cache:
+            start = time.perf_counter()
+            key = cache.key(source, compiler, CFLAGS)
+            entry = cache.lookup(key)
+            if entry is not None:
+                telemetry.counter_inc("cache.hits")
+                compile_span.set(cache_hit=True)
+                return CompiledSimulation(
+                    binary=entry.binary,
+                    source=entry.source,
+                    layout=layout,
+                    compile_seconds=time.perf_counter() - start,
+                    cache_hit=True,
+                )
+            telemetry.counter_inc("cache.misses")
+        compile_span.set(cache_hit=False)
+
+        tmp = None
+        if workdir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="accmos_")
+            workdir = Path(tmp.name)
+        workdir.mkdir(parents=True, exist_ok=True)
+        c_path = workdir / "simulation.c"
+        bin_path = workdir / "simulation"
+        c_path.write_text(source)
+
         start = time.perf_counter()
-        key = cache.key(source, compiler, CFLAGS)
-        entry = cache.lookup(key)
-        if entry is not None:
+        with telemetry.span("gcc", compiler=compiler):
+            proc = subprocess.run(
+                [compiler, *CFLAGS, "-o", str(bin_path), str(c_path), "-lm"],
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+        elapsed = time.perf_counter() - start
+        telemetry.observe("compile.gcc_seconds", elapsed)
+        if proc.returncode != 0:
+            telemetry.counter_inc("compile.failures")
+            raise CompilationError(
+                f"{compiler} failed:\n{proc.stderr[:4000]}"
+            )
+        if use_cache:
+            entry = cache.store(key, c_path, bin_path)
+            if tmp is not None:
+                tmp.cleanup()
             return CompiledSimulation(
                 binary=entry.binary,
                 source=entry.source,
                 layout=layout,
-                compile_seconds=time.perf_counter() - start,
-                cache_hit=True,
+                compile_seconds=elapsed,
             )
-
-    tmp = None
-    if workdir is None:
-        tmp = tempfile.TemporaryDirectory(prefix="accmos_")
-        workdir = Path(tmp.name)
-    workdir.mkdir(parents=True, exist_ok=True)
-    c_path = workdir / "simulation.c"
-    bin_path = workdir / "simulation"
-    c_path.write_text(source)
-
-    start = time.perf_counter()
-    proc = subprocess.run(
-        [compiler, *CFLAGS, "-o", str(bin_path), str(c_path), "-lm"],
-        capture_output=True,
-        text=True,
-        check=False,
-    )
-    elapsed = time.perf_counter() - start
-    if proc.returncode != 0:
-        raise CompilationError(
-            f"{compiler} failed:\n{proc.stderr[:4000]}"
-        )
-    if use_cache:
-        entry = cache.store(key, c_path, bin_path)
-        if tmp is not None:
-            tmp.cleanup()
         return CompiledSimulation(
-            binary=entry.binary,
-            source=entry.source,
+            binary=bin_path,
+            source=c_path,
             layout=layout,
             compile_seconds=elapsed,
+            workdir=tmp,
         )
-    return CompiledSimulation(
-        binary=bin_path,
-        source=c_path,
-        layout=layout,
-        compile_seconds=elapsed,
-        workdir=tmp,
-    )
 
 
 # ----------------------------------------------------------------------

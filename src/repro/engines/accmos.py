@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Optional, Union
 
+from repro import telemetry
 from repro.codegen.compose import generate_c_program
 from repro.codegen.driver import compile_c_program, parse_result
 from repro.engines.base import SimulationOptions, SimulationResult
@@ -71,25 +72,45 @@ def run_accmos(
     elif cache is False:
         cache = None
 
-    plan = build_plan(
-        prog,
-        coverage=options.coverage,
-        diagnostics=options.diagnostics,
-        collect=options.collect,
-        diagnose=options.diagnose,
-        custom=options.custom,
-    )
+    with telemetry.span(
+        "accmos.run", model=prog.model.name, steps=options.steps
+    ) as run_span:
+        with telemetry.span("instrument"):
+            plan = build_plan(
+                prog,
+                coverage=options.coverage,
+                diagnostics=options.diagnostics,
+                collect=options.collect,
+                diagnose=options.diagnose,
+                custom=options.custom,
+            )
 
-    t0 = time.perf_counter()
-    source, layout = generate_c_program(prog, plan, stimuli, options)
-    generate_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with telemetry.span("codegen"):
+            source, layout = generate_c_program(prog, plan, stimuli, options)
+        generate_seconds = time.perf_counter() - t0
 
-    compiled = compile_c_program(source, layout, workdir=workdir, cache=cache)
-    t0 = time.perf_counter()
-    stdout = compiled.execute(timeout_seconds=timeout_seconds)
-    execute_seconds = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    result = parse_result(stdout, prog, plan, layout, options, engine="accmos")
+        compiled = compile_c_program(source, layout, workdir=workdir, cache=cache)
+        t0 = time.perf_counter()
+        with telemetry.span("execute"):
+            stdout = compiled.execute(timeout_seconds=timeout_seconds)
+        execute_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with telemetry.span("parse"):
+            result = parse_result(
+                stdout, prog, plan, layout, options, engine="accmos"
+            )
+        run_span.set(cache_hit=compiled.cache_hit, steps_run=result.steps_run)
+    telemetry.counter_inc("engine.accmos.runs")
+    telemetry.counter_inc("engine.accmos.steps", result.steps_run)
+    telemetry.counter_inc("diagnostics.events", len(result.diagnostics))
+    telemetry.observe("accmos.generate_seconds", generate_seconds)
+    telemetry.observe("accmos.compile_seconds", compiled.compile_seconds)
+    telemetry.observe("accmos.execute_seconds", execute_seconds)
+    if result.wall_time > 0:
+        telemetry.observe(
+            "engine.accmos.steps_per_sec", result.steps_run / result.wall_time
+        )
     result.extra.update(
         generate_seconds=generate_seconds,
         compile_seconds=compiled.compile_seconds,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Mapping
 
+from repro import telemetry
 from repro.actors.base import BindContext, StoreBank
 from repro.actors.registry import get_spec
 from repro.coverage.bitmap import Bitmap
@@ -78,6 +79,26 @@ def run_sse(
     options: SimulationOptions,
 ) -> SimulationResult:
     """Run the interpreted engine; see module docstring."""
+    with telemetry.span(
+        "sse.run", model=prog.model.name, steps=options.steps
+    ) as run_span:
+        result = _run_sse(prog, stimuli, options)
+        run_span.set(steps_run=result.steps_run)
+    telemetry.counter_inc("engine.sse.runs")
+    telemetry.counter_inc("engine.sse.steps", result.steps_run)
+    telemetry.counter_inc("diagnostics.events", len(result.diagnostics))
+    if result.wall_time > 0:
+        telemetry.observe(
+            "engine.sse.steps_per_sec", result.steps_run / result.wall_time
+        )
+    return result
+
+
+def _run_sse(
+    prog: FlatProgram,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+) -> SimulationResult:
     _check_stimuli(prog, stimuli)
     plan = build_plan(
         prog,
@@ -133,6 +154,16 @@ def run_sse(
     coverage_on = options.coverage
     diagnostics_on = options.diagnostics
 
+    # Sampling profiler (telemetry): time each actor's evaluation on
+    # 1-in-``interval`` steps, attributed to its block type.  Disabled
+    # (profiler None => prof_interval 0), the loop pays only the falsy
+    # ``sample`` tests below.
+    profiler = telemetry.sse_profiler()
+    prof_interval = profiler.interval if profiler is not None else 0
+    prof_seconds: dict[str, float] = {}
+    prof_calls: dict[str, int] = {}
+    prof_steps = 0
+
     halted = False
     steps_run = 0
     start = time.perf_counter()
@@ -144,6 +175,9 @@ def run_sse(
         if deadline is not None and step % _TIME_CHECK_INTERVAL == 0:
             if time.perf_counter() >= deadline:
                 break
+        sample = prof_interval and step % prof_interval == 0
+        if sample:
+            prof_steps += 1
 
         for stim, sid, dtype in inport_feeds:
             signals[sid] = stim.conform(stim.next(), dtype)
@@ -161,6 +195,8 @@ def run_sse(
                 continue
             inst = instrumentation[idx]
             bt = fa.block_type
+            if sample:
+                _prof_t0 = time.perf_counter()
 
             branch = None
             flags = None
@@ -189,6 +225,12 @@ def run_sse(
                 outputs, flags, branch = semantics[idx].output(states[idx], inputs)
                 for sid, value in zip(fa.output_sids, outputs):
                     signals[sid] = value
+
+            if sample:
+                prof_seconds[bt] = (
+                    prof_seconds.get(bt, 0.0) + time.perf_counter() - _prof_t0
+                )
+                prof_calls[bt] = prof_calls.get(bt, 0) + 1
 
             if coverage_on:
                 actor_bm.set(inst.actor_point)
@@ -250,6 +292,8 @@ def run_sse(
         steps_run = step + 1
 
     wall_time = time.perf_counter() - start
+    if profiler is not None:
+        profiler.add_run(prof_seconds, prof_calls, prof_steps)
 
     coverage = (
         CoverageReport.from_bitmaps(plan.points, bitmaps) if coverage_on else None

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Mapping
 
+from repro import telemetry
 from repro.actors.registry import get_spec
 from repro.dtypes import checked_cast, coerce_float
 from repro.engines.base import (
@@ -155,6 +156,25 @@ def run_sse_ac(
     options: SimulationOptions,
 ) -> SimulationResult:
     """Run the Accelerator-mode analog; see module docstring."""
+    with telemetry.span(
+        "sse_ac.run", model=prog.model.name, steps=options.steps
+    ) as run_span:
+        result = _run_sse_ac(prog, stimuli, options)
+        run_span.set(steps_run=result.steps_run)
+    telemetry.counter_inc("engine.sse_ac.runs")
+    telemetry.counter_inc("engine.sse_ac.steps", result.steps_run)
+    if result.wall_time > 0:
+        telemetry.observe(
+            "engine.sse_ac.steps_per_sec", result.steps_run / result.wall_time
+        )
+    return result
+
+
+def _run_sse_ac(
+    prog: FlatProgram,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+) -> SimulationResult:
     _check_stimuli(prog, stimuli)
     _, semantics, states = _bind_all(prog)
     signals = [0.0 if (s.dtype and s.dtype.is_float) else 0 for s in prog.signals]

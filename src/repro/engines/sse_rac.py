@@ -16,6 +16,7 @@ import struct
 import time
 from typing import Mapping
 
+from repro import telemetry
 from repro.codegen.pybackend import generate_py_step
 from repro.engines.base import (
     SimulationOptions,
@@ -36,13 +37,33 @@ def run_sse_rac(
     options: SimulationOptions,
 ) -> SimulationResult:
     """Run the Rapid-Accelerator analog; see module docstring."""
+    with telemetry.span(
+        "sse_rac.run", model=prog.model.name, steps=options.steps
+    ) as run_span:
+        result = _run_sse_rac(prog, stimuli, options)
+        run_span.set(steps_run=result.steps_run)
+    telemetry.counter_inc("engine.sse_rac.runs")
+    telemetry.counter_inc("engine.sse_rac.steps", result.steps_run)
+    if result.wall_time > 0:
+        telemetry.observe(
+            "engine.sse_rac.steps_per_sec", result.steps_run / result.wall_time
+        )
+    return result
+
+
+def _run_sse_rac(
+    prog: FlatProgram,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+) -> SimulationResult:
     _check_stimuli(prog, stimuli)
 
     t0 = time.perf_counter()
-    source = generate_py_step(prog, sync_batch=SYNC_BATCH)
-    namespace: dict = {}
-    exec(compile(source, f"<rac:{prog.model.name}>", "exec"), namespace)
-    run = namespace["run"]
+    with telemetry.span("precompile"):
+        source = generate_py_step(prog, sync_batch=SYNC_BATCH)
+        namespace: dict = {}
+        exec(compile(source, f"<rac:{prog.model.name}>", "exec"), namespace)
+        run = namespace["run"]
     precompile_seconds = time.perf_counter() - t0
 
     feeds = []
@@ -70,7 +91,8 @@ def run_sse_rac(
 
     start = time.perf_counter()
     deadline = start + options.time_budget if options.time_budget is not None else None
-    steps_run, outputs = run(options.steps, feeds, sync, deadline)
+    with telemetry.span("execute"):
+        steps_run, outputs = run(options.steps, feeds, sync, deadline)
     wall_time = time.perf_counter() - start
 
     return SimulationResult(

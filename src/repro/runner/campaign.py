@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Union
 
+from repro import telemetry
 from repro.coverage.metrics import ALL_METRICS
 from repro.coverage.report import CoverageReport
 from repro.engines.base import SimulationOptions
@@ -50,15 +51,52 @@ def execute_campaign(
 
     Arguments are pre-validated by the public wrapper.
     """
-    from repro.campaign import CampaignOutcome, CaseOutcome
+    from repro.campaign import CampaignOutcome
 
     opts = options or SimulationOptions(steps=steps)
-    merged: Optional[CoverageReport] = None
     outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
+
+    with telemetry.span(
+        "campaign", model=prog.model.name, engine=engine,
+        max_cases=max_cases, workers=workers, mode=mode,
+    ) as campaign_span:
+        _campaign_waves(
+            prog, outcome, opts,
+            engine=engine, max_cases=max_cases,
+            plateau_patience=plateau_patience, base_seed=base_seed,
+            workers=workers, mode=mode, cache=cache,
+            timeout_seconds=timeout_seconds, retries=retries,
+        )
+        campaign_span.set(
+            cases=len(outcome.cases), saturated=outcome.saturated
+        )
+    telemetry.counter_inc("campaign.runs")
+    telemetry.counter_inc("campaign.cases", len(outcome.cases))
+    return outcome
+
+
+def _campaign_waves(
+    prog: FlatProgram,
+    outcome,
+    opts: SimulationOptions,
+    *,
+    engine: str,
+    max_cases: int,
+    plateau_patience: int,
+    base_seed: int,
+    workers: int,
+    mode: str,
+    cache,
+    timeout_seconds: Optional[float],
+    retries: int,
+) -> None:
+    """The wave loop, folding results into ``outcome`` in seed order."""
+    from repro.campaign import CaseOutcome
+
+    merged: Optional[CoverageReport] = None
     seen_diagnostics: set[tuple[str, str]] = set()
     dry_streak = 0
     wave = max(1, workers)
-
     index = 0
     while index < max_cases and not outcome.saturated:
         seeds = [
@@ -117,6 +155,8 @@ def execute_campaign(
                     new_points=new_points,
                     n_diagnostics=fresh,
                     new_points_by_metric=by_metric,
+                    timings=dict(job_result.timings),
+                    cache_hit=job_result.cache_hit,
                 )
             )
 
@@ -126,4 +166,3 @@ def execute_campaign(
                 break  # later results of this wave are discarded
 
     outcome.merged = merged
-    return outcome

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional, Union
 
+from repro import telemetry
 from repro.engines.base import SimulationOptions, SimulationResult
 from repro.model.errors import (
     CompilationError,
@@ -78,6 +79,12 @@ class JobResult:
     error: Optional[str] = None
     exception: Optional[BaseException] = field(default=None, repr=False)
     cache_hit: bool = False
+    # Process-pool workers ship their per-job artifact-cache counter
+    # deltas ({hits, misses, evictions}) and telemetry payload (spans +
+    # metrics snapshot) back here; ``run_jobs`` folds both into the
+    # parent.  None in thread/inline mode, where state is already shared.
+    cache_stats: Optional[dict] = None
+    telemetry: Optional[dict] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -115,6 +122,40 @@ def run_job(
     options = job.resolved_options()
     stimuli = job.resolved_stimuli()
 
+    with telemetry.span(
+        "runner.job", seed=job.seed, engine=job.engine, label=out.label,
+        timeout_seconds=timeout_seconds,
+    ) as job_span:
+        _attempt_loop(
+            job, stimuli, options, out,
+            cache=cache, timeout_seconds=timeout_seconds,
+            retries=retries, backoff_seconds=backoff_seconds, _sleep=_sleep,
+        )
+        job_span.set(
+            outcome=out.outcome, attempts=out.attempts,
+            cache_hit=out.cache_hit,
+        )
+    telemetry.counter_inc(f"runner.jobs.{out.outcome}")
+    if out.attempts > 1:
+        telemetry.counter_inc("runner.retries", out.attempts - 1)
+    if out.outcome == OUTCOME_TIMEOUT:
+        telemetry.counter_inc("runner.timeouts")
+    return out
+
+
+def _attempt_loop(
+    job: SimulationJob,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+    out: JobResult,
+    *,
+    cache: "Union[ArtifactCache, None, bool]",
+    timeout_seconds: Optional[float],
+    retries: int,
+    backoff_seconds: float,
+    _sleep,
+) -> None:
+    """Mutate ``out`` through up to ``retries + 1`` attempts."""
     for attempt in range(retries + 1):
         out.attempts = attempt + 1
         try:
@@ -126,18 +167,17 @@ def run_job(
             out.error = None
             out.exception = None
             out.cache_hit = bool(out.result.extra.get("cache_hit", False))
-            return out
+            return
         except Exception as exc:  # recorded, classified below
             out.error = f"{type(exc).__name__}: {exc}"
             out.exception = exc
             if isinstance(exc, SimulationTimeout):
                 out.outcome = OUTCOME_TIMEOUT
-                return out
+                return
             if not _transient(exc) or attempt == retries:
                 out.outcome = OUTCOME_FAILED
-                return out
+                return
             _sleep(backoff_seconds * (2**attempt))
-    return out  # unreachable; loop always returns
 
 
 def _run_once(

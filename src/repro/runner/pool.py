@@ -5,10 +5,16 @@ binary's run — happen in child processes, during which CPython releases
 the GIL, so a *thread* pool already uses every core and can share one
 in-process :class:`~repro.runner.cache.ArtifactCache` (hit/miss counters
 included).  That makes ``mode="thread"`` the default.  ``mode="process"``
-trades shared counters for full interpreter isolation (useful when the
+trades shared state for full interpreter isolation (useful when the
 per-job Python work — codegen, result parsing — dominates); jobs and
 results cross the process boundary by pickling, and each worker resolves
-the cache from its root path.
+the cache from its root path.  What the workers can't share, they ship
+back: every process-mode :class:`JobResult` carries the worker's
+artifact-cache counter deltas (folded into the parent's handle here, so
+``cache.stats()`` counts the whole pool's traffic) and — when telemetry
+is enabled — the worker's spans and metrics snapshot, absorbed into the
+parent session with job spans re-parented under this dispatch's
+``runner.run_jobs`` span.
 
 Results come back in submission order regardless of completion order —
 the property the deterministic campaign merge builds on.
@@ -20,6 +26,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from repro import telemetry
 from repro.runner.jobs import JobResult, SimulationJob, run_job
 
 if TYPE_CHECKING:
@@ -37,20 +44,37 @@ def _run_job_in_process(
     timeout_seconds: Optional[float],
     retries: int,
     backoff_seconds: float,
+    telemetry_on: bool = False,
 ) -> JobResult:
-    """Process-pool entry point: rebuild the cache handle from its root."""
+    """Process-pool entry point: rebuild the cache handle from its root.
+
+    The handle is fresh per job, so its counters are exactly this job's
+    hit/miss deltas — attached to the result for the parent to fold.
+    With ``telemetry_on``, a fresh worker-local session records the
+    job's spans/metrics and ships them back the same way.
+    """
+    session = telemetry.enable() if telemetry_on else None
     cache: "Union[ArtifactCache, None, bool]" = False
     if cache_root is not None:
         from repro.runner.cache import ArtifactCache
 
         cache = ArtifactCache(cache_root, max_bytes=max_bytes)
-    return run_job(
-        job,
-        cache=cache,
-        timeout_seconds=timeout_seconds,
-        retries=retries,
-        backoff_seconds=backoff_seconds,
-    )
+    try:
+        result = run_job(
+            job,
+            cache=cache,
+            timeout_seconds=timeout_seconds,
+            retries=retries,
+            backoff_seconds=backoff_seconds,
+        )
+    finally:
+        if session is not None:
+            telemetry.disable()
+    if cache_root is not None:
+        result.cache_stats = cache.counters()
+    if session is not None:
+        result.telemetry = session.export()
+    return result
 
 
 def run_jobs(
@@ -86,23 +110,51 @@ def run_jobs(
         return [run_job(job, **kwargs) for job in jobs]
 
     n = min(workers, len(jobs))
-    if mode == "process":
-        from repro.runner.cache import default_cache
+    session = telemetry.active()
+    with telemetry.span(
+        "runner.run_jobs", jobs=len(jobs), workers=n, mode=mode
+    ) as pool_span:
+        pool_span_id = getattr(pool_span, "span_id", None)
 
-        resolved = default_cache() if cache is None else (cache or None)
-        cache_root = str(resolved.root) if resolved is not None else None
-        max_bytes = resolved.max_bytes if resolved is not None else None
-        with ProcessPoolExecutor(max_workers=n) as pool:
-            futures = [
-                pool.submit(
-                    _run_job_in_process,
-                    job, cache_root, max_bytes,
-                    timeout_seconds, retries, backoff_seconds,
-                )
-                for job in jobs
-            ]
+        if mode == "process":
+            from repro.runner.cache import default_cache
+
+            resolved = default_cache() if cache is None else (cache or None)
+            cache_root = str(resolved.root) if resolved is not None else None
+            max_bytes = resolved.max_bytes if resolved is not None else None
+            with ProcessPoolExecutor(max_workers=n) as pool:
+                futures = [
+                    pool.submit(
+                        _run_job_in_process,
+                        job, cache_root, max_bytes,
+                        timeout_seconds, retries, backoff_seconds,
+                        session is not None,
+                    )
+                    for job in jobs
+                ]
+                results = [f.result() for f in futures]
+            for result in results:
+                if resolved is not None and result.cache_stats:
+                    resolved.absorb_counts(**result.cache_stats)
+                if session is not None and result.telemetry:
+                    session.absorb(
+                        result.telemetry, parent_span_id=pool_span_id
+                    )
+                    result.telemetry = None  # folded; don't keep two copies
+            return results
+
+        tracer = session.tracer if session is not None else None
+
+        def worker(job: SimulationJob) -> JobResult:
+            # Worker threads have an empty span stack; adopt the
+            # dispatching span so job spans nest under it.
+            if tracer is None:
+                return run_job(job, **kwargs)
+            with tracer.adopt(pool_span_id):
+                return run_job(job, **kwargs)
+
+        with ThreadPoolExecutor(
+            max_workers=n, thread_name_prefix="accmos-job"
+        ) as pool:
+            futures = [pool.submit(worker, job) for job in jobs]
             return [f.result() for f in futures]
-
-    with ThreadPoolExecutor(max_workers=n, thread_name_prefix="accmos-job") as pool:
-        futures = [pool.submit(run_job, job, **kwargs) for job in jobs]
-        return [f.result() for f in futures]

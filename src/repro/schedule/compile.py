@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.model.model import Model
 from repro.model.validate import validate_model
 from repro.schedule.flatten import flatten
@@ -17,8 +18,10 @@ def preprocess(model: Model, *, dt: float = 1.0) -> FlatProgram:
     :class:`FlatProgram` is what every engine and the code generator take
     as input.
     """
-    validate_model(model)
-    prog = flatten(model, dt=dt)
-    infer_types(prog)
-    compute_execution_order(prog)
+    with telemetry.span("preprocess", model=model.name) as sp:
+        validate_model(model)
+        prog = flatten(model, dt=dt)
+        infer_types(prog)
+        compute_execution_order(prog)
+        sp.set(actors=len(prog.actors), signals=len(prog.signals))
     return prog

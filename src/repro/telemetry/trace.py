@@ -1,0 +1,265 @@
+"""Hierarchical span tracing for the simulation pipeline.
+
+A *span* is one timed region — ``preprocess``, ``codegen``, ``gcc``, one
+runner job — with a name, wall-clock bounds, free-form attributes, and a
+parent link.  Spans form a tree per thread via a thread-local stack;
+cross-thread nesting (a pool fanning jobs out to workers) is explicit:
+the dispatcher captures its span id and each worker adopts it with
+:meth:`Tracer.adopt`, so job spans nest under the dispatch span no
+matter which thread ran them.
+
+Span ids embed the pid, so spans recorded in a worker *process* and
+shipped back to the parent (see :mod:`repro.runner.pool`) merge into one
+tree without collisions; :meth:`Tracer.absorb` re-parents the worker's
+root spans under the dispatch span.
+
+Timing uses two clocks: ``perf_counter`` deltas for durations (immune to
+wall-clock steps) and an epoch timestamp for the start (comparable
+across processes — what the Chrome trace exporter aligns on).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class Span:
+    """One finished or in-flight timed region."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start_time: float  # epoch seconds (time.time)
+    pid: int
+    tid: int
+    duration: float = 0.0  # perf_counter delta, set when the span ends
+    attrs: dict = field(default_factory=dict)
+    _start_perf: float = field(default=0.0, repr=False, compare=False)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; chainable inside a ``with`` body."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        """Wire form for crossing a process boundary or a JSONL line."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start_time=data["start_time"],
+            duration=data.get("duration", 0.0),
+            pid=data.get("pid", 0),
+            tid=data.get("tid", 0),
+            attrs=dict(data.get("attrs", ())),
+        )
+
+
+class _SpanContext:
+    """The context manager :meth:`Tracer.span` hands out."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return False
+
+
+class _AdoptedParent:
+    """Marker frame: a foreign span id adopted as the local parent."""
+
+    __slots__ = ("span_id",)
+
+    def __init__(self, span_id: str) -> None:
+        self.span_id = span_id
+
+
+class _AdoptContext:
+    __slots__ = ("_tracer", "_frame")
+
+    def __init__(self, tracer: "Tracer", parent_id: str) -> None:
+        self._tracer = tracer
+        self._frame = _AdoptedParent(parent_id)
+
+    def __enter__(self) -> None:
+        self._tracer._stack().append(self._frame)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._frame:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder with per-thread nesting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- internals -------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> str:
+        return f"{os.getpid():x}.{next(self._ids)}"
+
+    def _push(self, span: Span) -> None:
+        span._start_perf = time.perf_counter()
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.duration = time.perf_counter() - span._start_perf
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+
+    # -- public API ------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a child span of the thread's current span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        parent_id = (
+            parent.span_id
+            if isinstance(parent, (Span, _AdoptedParent))
+            else None
+        )
+        span = Span(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            start_time=time.time(),
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFFFFFF,
+            attrs=dict(attrs),
+        )
+        return _SpanContext(self, span)
+
+    def adopt(self, parent_id: Optional[str]) -> _AdoptContext:
+        """Make ``parent_id`` the current parent on *this* thread.
+
+        Used by pools: the dispatching thread captures its span id and
+        every worker thread enters ``adopt`` so job spans nest under the
+        dispatch span.  ``None`` adopts nothing (still a valid context).
+        """
+        if parent_id is None:
+            return _NULL_ADOPT
+        return _AdoptContext(self, parent_id)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        for frame in reversed(self._stack()):
+            if isinstance(frame, Span):
+                return frame
+        return None
+
+    def finished(self) -> list[Span]:
+        """Snapshot of all completed spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def absorb(
+        self,
+        span_dicts: list,
+        *,
+        parent_id: Optional[str] = None,
+    ) -> int:
+        """Fold spans recorded elsewhere (a worker process) into this
+        tracer, re-parenting their roots under ``parent_id``."""
+        spans = [Span.from_dict(d) for d in span_dicts]
+        if parent_id is not None:
+            for span in spans:
+                if span.parent_id is None:
+                    span.parent_id = parent_id
+        with self._lock:
+            self._finished.extend(spans)
+        return len(spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+class _NullAdopt:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_ADOPT = _NullAdopt()
+
+
+def walk_children(spans: list[Span], parent_id: Optional[str]) -> Iterator[Span]:
+    """Children of ``parent_id`` among ``spans``, in start order."""
+    children = [s for s in spans if s.parent_id == parent_id]
+    children.sort(key=lambda s: s.start_time)
+    yield from children
+
+
+def render_tree(spans: list[Span]) -> str:
+    """Indented text rendering of the span forest (for the CLI)."""
+    lines: list[str] = []
+
+    def visit(parent_id: Optional[str], depth: int) -> None:
+        for span in walk_children(spans, parent_id):
+            extra = ""
+            if span.attrs:
+                pairs = ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+                extra = f"  [{pairs}]"
+            lines.append(
+                f"{'  ' * depth}{span.name:<{max(28 - 2 * depth, 8)}s} "
+                f"{span.duration * 1e3:10.3f} ms{extra}"
+            )
+            visit(span.span_id, depth + 1)
+
+    known = {s.span_id for s in spans}
+    roots = [s for s in spans if s.parent_id is None or s.parent_id not in known]
+    for root in sorted(roots, key=lambda s: s.start_time):
+        extra = ""
+        if root.attrs:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(root.attrs.items()))
+            extra = f"  [{pairs}]"
+        lines.append(f"{root.name:<28s} {root.duration * 1e3:10.3f} ms{extra}")
+        visit(root.span_id, 1)
+    return "\n".join(lines)
