@@ -242,6 +242,7 @@ def cmd_campaign(args) -> int:
             workers=args.workers,
             mode=args.mode,
             timeout_seconds=args.timeout,
+            batch_size=args.batch_size,
         )
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
@@ -480,6 +481,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel cases per wave (merge stays in seed order)")
     p.add_argument("--mode", choices=["thread", "process"], default="thread",
                    help="worker pool flavour for --workers > 1")
+    p.add_argument("--batch-size", type=int, default=8, metavar="M",
+                   help="cases run back-to-back per process on one reused "
+                        "binary (1 disables batching)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-case wall-clock limit for the compiled binary")
     p.add_argument("--timings", action="store_true",

@@ -19,14 +19,26 @@ self-contained simulation program:
   no-compiler fallback).
 """
 
-from repro.codegen.compose import generate_c_program
-from repro.codegen.driver import CompiledSimulation, compile_c_program, find_c_compiler
+from repro.codegen.compose import generate_c_program, generate_reusable_c_program
+from repro.codegen.descriptor import descriptors_for, encode_case
+from repro.codegen.driver import (
+    CompiledSimulation,
+    compile_c_program,
+    find_c_compiler,
+    parse_batch_result,
+    split_case_frames,
+)
 from repro.codegen.pybackend import generate_py_step
 
 __all__ = [
     "generate_c_program",
+    "generate_reusable_c_program",
+    "descriptors_for",
+    "encode_case",
     "compile_c_program",
     "CompiledSimulation",
     "find_c_compiler",
+    "parse_batch_result",
+    "split_case_frames",
     "generate_py_step",
 ]

@@ -13,19 +13,30 @@ The result protocol is plain text on stdout, one record per line::
     sim_seconds 0.123456789
     checksum <outport> <u64>
     output <outport> <int or %a hex-float>
-    cov <metric> <0/1 string, one char per point>
+    cov <metric> <n_points> <hex word> ...   (64 points per word, LSB first)
     diag <slot> <first_step> <count>
     mon <monitor-id> <step> <value>
 
 Slot/monitor indices are resolved back to actor paths by the
 :class:`ProgramLayout` the generator returns alongside the source text.
+
+Two program shapes share everything above:
+
+* :func:`generate_c_program` — the legacy shape: stimuli and step count
+  baked in as constants, one process run per case;
+* :func:`generate_reusable_c_program` — the compile-once shape: the
+  source depends only on ``(FlatProgram, InstrumentationPlan)`` plus the
+  structural options, reads stimulus descriptors + per-case step counts
+  from stdin (see :mod:`repro.codegen.descriptor`), and runs any number
+  of cases back to back, each result section framed by a ``case <i>``
+  line with full state/coverage/diagnostic reset in between.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.diagnosis.custom import CustomDiagnosis
 from repro.diagnosis.events import FLAG_KINDS, DiagnosticKind
@@ -34,16 +45,29 @@ from repro.engines.base import SimulationOptions
 from repro.instrument.plan import InstrumentationPlan
 from repro.model.errors import CodegenError
 from repro.codegen.cexpr import svar, value_literal
-from repro.codegen.runtime import runtime_header
+from repro.codegen.runtime import runtime_header, stimulus_runtime
 from repro.codegen.templates import (
     EmitContext,
     emit_actor_output,
     emit_actor_update,
+    state_reset_statements,
 )
 from repro.actors.math_ops import int_param
+from repro.actors.sources import LCG_INC, LCG_MUL
 from repro.dtypes import coerce_float
 from repro.schedule.program import EvalGuard, FlatProgram
-from repro.stimuli.base import Stimulus
+from repro.stimuli.base import (
+    STIM_KIND_CONSTANT,
+    STIM_KIND_INT_RANDOM,
+    STIM_KIND_PULSE,
+    STIM_KIND_RAMP,
+    STIM_KIND_SEQUENCE,
+    STIM_KIND_SINE,
+    STIM_KIND_STEP,
+    STIM_KIND_UNIFORM,
+    Stimulus,
+    c_double_literal,
+)
 
 _FLAG_VARS = {
     "overflow": "f_ov",
@@ -98,7 +122,34 @@ def generate_c_program(
     stimuli: Mapping[str, Stimulus],
     options: SimulationOptions,
 ) -> tuple[str, ProgramLayout]:
-    """Generate the full C source; returns ``(source, layout)``."""
+    """Generate the legacy (baked-in stimuli) C source: ``(source, layout)``."""
+    return _generate(prog, plan, options, stimuli=stimuli)
+
+
+def generate_reusable_c_program(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    options: SimulationOptions,
+) -> tuple[str, ProgramLayout]:
+    """Generate the stimulus-agnostic, batch-capable C source.
+
+    The text depends only on the program, the plan, and the *structural*
+    options (coverage/diagnostics/collect/diagnose/custom via the plan,
+    plus ``halt_on``/``monitor_limit``/``checksum``) — never on stimuli,
+    ``steps``, or ``time_budget``, which arrive per case on stdin.  The
+    artifact-cache key therefore stays constant across an entire seed
+    campaign: one gcc invocation serves every case.
+    """
+    return _generate(prog, plan, options, stimuli=None)
+
+
+def _generate(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    options: SimulationOptions,
+    stimuli: Optional[Mapping[str, Stimulus]],
+) -> tuple[str, ProgramLayout]:
+    reusable = stimuli is None
     ctx = EmitContext(prog=prog, plan=plan)
     layout = ProgramLayout()
     halt_kinds = options.halt_on or frozenset()
@@ -142,7 +193,14 @@ def generate_c_program(
         ctx, prog, plan, slot_of, custom_slot_of, layout, halt_kinds, options
     )
     update_body = _emit_update_body(ctx, prog)
-    stim_body, stim_decls = _emit_stimuli(prog, stimuli)
+    if reusable:
+        stim_body = _emit_descriptor_stimuli(prog)
+        stim_decls = [
+            f"#define ACC_NPORTS {len(prog.inports)}",
+            stimulus_runtime().rstrip(),
+        ]
+    else:
+        stim_body, stim_decls = _emit_stimuli(prog, stimuli)
 
     # ---- globals ----
     globals_: list[str] = []
@@ -153,11 +211,13 @@ def generate_c_program(
     for guard in prog.guards:
         globals_.append(f"static uint8_t g{guard.gid}; /* {guard.path} */")
     globals_.append("/* ---- data stores ---- */")
+    store_inits: list[tuple[str, str]] = []
     for info in prog.stores.values():
         if info.dtype.is_float:
             init = value_literal(coerce_float(float(info.initial), info.dtype), info.dtype)
         else:
             init = value_literal(int_param(info.initial, info.dtype), info.dtype)
+        store_inits.append((f"store_{info.name}", init))
         globals_.append(f"static {info.dtype.c_name} store_{info.name} = {init};")
     globals_.append("/* ---- actor state ---- */")
     globals_.extend(ctx.decls)
@@ -192,7 +252,22 @@ def generate_c_program(
     for i, _ in enumerate(prog.outports):
         globals_.append(f"static uint64_t chk{i};")
 
-    # ---- main ----
+    if reusable:
+        reset_fn = _emit_case_reset(
+            prog, plan, layout, ctx, store_inits, globals_
+        )
+        main_lines = _emit_batch_main(
+            prog, plan, layout, options,
+            stim_body=stim_body, step_body=step_body,
+            update_body=update_body, use_halt_label=use_halt_label,
+        )
+        chunks = [
+            runtime_header(), "\n".join(globals_), "", reset_fn, "",
+            "\n".join(main_lines), "",
+        ]
+        return "\n".join(chunks), layout
+
+    # ---- main (legacy: one baked-in case per process run) ----
     main_lines: list[str] = []
     main_lines.append("int main(void) {")
     main_lines.append("    int64_t halt_step = -1;")
@@ -274,6 +349,216 @@ def _emit_stimuli(prog: FlatProgram, stimuli: Mapping[str, Stimulus]):
             decls.append(decl)
         body.append(stim.c_step(svar(binding.sid), binding.dtype, prefix))
     return "\n".join(body), decls
+
+
+def _emit_descriptor_stimuli(prog: FlatProgram) -> str:
+    """Per-port stimulus interpretation from runtime descriptors.
+
+    Each port gets a switch specialized on its dtype at codegen time, so
+    the int-vs-float slot selection — and therefore every C conversion —
+    matches what the baked-in emitters would have produced for the same
+    stimulus, keeping the streams bit-identical.
+    """
+    adv = f"_st->state = _st->state * {LCG_MUL}ULL + {LCG_INC}ULL;"
+    scale = c_double_literal(1.0 / 9007199254740992.0)
+    lines: list[str] = []
+    for i, binding in enumerate(prog.inports):
+        t = binding.dtype.c_name
+        target = svar(binding.sid)
+        floaty = binding.dtype.is_float
+        v0 = "_st->fv0" if floaty else "_st->iv0"
+        v1 = "_st->fv1" if floaty else "_st->iv1"
+        lines.append(f"{{ acc_stim *_st = &acc_stims[{i}]; /* {binding.name} */")
+        lines.append("switch ((int)_st->kind) {")
+        lines.append(
+            f"case {STIM_KIND_CONSTANT}: {target} = ({t}){v0}; break;"
+        )
+        # Table reads stay in separate if/else branches: a ?: would unify
+        # the operand types to double and round int64 values > 2**53.
+        lines.append(
+            f"case {STIM_KIND_SEQUENCE}: {{ long long _k = step % _st->tab_len; "
+            f"if (_st->tab_is_float) {target} = ({t})_st->tab_f[_k]; "
+            f"else {target} = ({t})_st->tab_i[_k]; }} break;"
+        )
+        lines.append(
+            f"case {STIM_KIND_RAMP}: "
+            f"{target} = ({t})(_st->f0 + _st->f1 * (double)step); break;"
+        )
+        lines.append(
+            f"case {STIM_KIND_SINE}: {target} = ({t})(_st->f0 * "
+            f"sin(_st->f1 * (double)step + _st->f2) + _st->f3); break;"
+        )
+        lines.append(
+            f"case {STIM_KIND_STEP}: {target} = (step < _st->i0) ? "
+            f"({t}){v0} : ({t}){v1}; break;"
+        )
+        lines.append(
+            f"case {STIM_KIND_PULSE}: {target} = ((step % _st->i0) < _st->i1) ? "
+            f"({t}){v0} : ({t}){v1}; break;"
+        )
+        lines.append(
+            f"case {STIM_KIND_UNIFORM}: {{ unsigned long long _r = _st->state; "
+            f"{adv} {target} = ({t})(_st->f0 + ((double)(_r >> 11) * {scale}) * "
+            f"(_st->f1 - _st->f0)); }} break;"
+        )
+        lines.append(
+            f"case {STIM_KIND_INT_RANDOM}: {{ unsigned long long _r = _st->state; "
+            f"{adv} {target} = ({t})(_st->i0 + "
+            f"(long long)((_r >> 33) % _st->u0)); }} break;"
+        )
+        lines.append(f"default: {target} = ({t})0; break;")
+        lines.append("} }")
+    return "\n".join(lines) if lines else "/* no inports */"
+
+
+def _emit_case_reset(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    ctx: EmitContext,
+    store_inits: list[tuple[str, str]],
+    globals_: list[str],
+) -> str:
+    """``acc_case_reset()``: restore every global to its load-time value
+    so case N+1 of a batch sees exactly the state a fresh process would.
+    Appends the shadow ``const`` initializer copies for state arrays to
+    ``globals_``.
+    """
+    shadows, state_resets = state_reset_statements(ctx.decls)
+    if shadows:
+        globals_.append("/* ---- state-array initial images (batch reset) ---- */")
+        globals_.extend(shadows)
+
+    body: list[str] = []
+    body.append("/* signals */")
+    for sig in prog.signals:
+        body.append(f"{svar(sig.sid)} = 0;")
+    for guard in prog.guards:
+        body.append(f"g{guard.gid} = 0;")
+    if store_inits:
+        body.append("/* data stores */")
+        for name, init in store_inits:
+            body.append(f"{name} = {init};")
+    if state_resets:
+        body.append("/* actor state */")
+        body.extend(state_resets)
+    if plan.coverage_enabled:
+        body.append("/* coverage */")
+        for array in ("cov_actor", "cov_cond", "cov_dec", "cov_mcdc"):
+            body.append(f"memset({array}, 0, sizeof({array}));")
+    n_slots = max(1, len(layout.diag_slots))
+    body.append("/* diagnosis slots */")
+    body.append(
+        f"for (int _i = 0; _i < {n_slots}; _i++) "
+        "{ diag_first[_i] = -1; diag_count[_i] = 0; }"
+    )
+    if layout.monitors:
+        body.append("/* monitors */")
+        for mon in layout.monitors:
+            body.append(f"mon{mon.mid}_n = 0;")
+    if prog.outports:
+        body.append("/* checksums */")
+        for i, _ in enumerate(prog.outports):
+            body.append(f"chk{i} = 0;")
+    return (
+        "static void acc_case_reset(void) {\n"
+        + _indent("\n".join(body), 4)
+        + "\n}"
+    )
+
+
+def _emit_batch_main(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    options: SimulationOptions,
+    *,
+    stim_body: str,
+    step_body: str,
+    update_body: str,
+    use_halt_label: bool,
+) -> list[str]:
+    """``main`` for the reusable program: loop over stdin case records."""
+    lines: list[str] = []
+    lines.append("int main(void) {")
+    lines.append("    long long _case_steps;")
+    lines.append("    double _case_budget, _case_deadline;")
+    lines.append("    int _case_index = 0;")
+    lines.append("    int _rc;")
+    lines.append("    struct timespec _t0, _t1;")
+    lines.append(
+        "    while ((_rc = acc_read_case(&_case_steps, &_case_budget, "
+        "&_case_deadline)) == 1) {"
+    )
+    lines.append("        int64_t halt_step = -1;")
+    lines.append("        int64_t steps_run = 0;")
+    lines.append("        int _case_timed_out = 0;")
+    lines.append("        int64_t step;")
+    lines.append("        acc_case_reset();")
+    lines.append('        printf("case %d\\n", _case_index);')
+    lines.append("        clock_gettime(CLOCK_MONOTONIC, &_t0);")
+    lines.append(
+        "        for (step = 0; step < (int64_t)_case_steps; step++) {"
+    )
+    lines.append(
+        "            if ((_case_budget > 0.0 || _case_deadline > 0.0) && "
+        "(step & 511) == 0) {"
+    )
+    lines.append("                clock_gettime(CLOCK_MONOTONIC, &_t1);")
+    lines.append(
+        "                double _el = (double)(_t1.tv_sec - _t0.tv_sec) + "
+        "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec);"
+    )
+    lines.append(
+        "                if (_case_deadline > 0.0 && _el >= _case_deadline) "
+        "{ _case_timed_out = 1; break; }"
+    )
+    lines.append(
+        "                if (_case_budget > 0.0 && _el >= _case_budget) break;"
+    )
+    lines.append("            }")
+    lines.append("            /* ---- test case import (descriptors) ---- */")
+    lines.append(_indent(stim_body, 12))
+    lines.append("            /* ---- model step (execution order) ---- */")
+    lines.append(_indent(step_body, 12))
+    lines.append("            /* ---- state update phase ---- */")
+    lines.append(_indent(update_body, 12))
+    if options.checksum and prog.outports:
+        lines.append("            /* ---- output checksums ---- */")
+        for i, binding in enumerate(prog.outports):
+            lines.append(
+                f"            ACC_CHK(chk{i}, "
+                f"{_bits_expr(svar(binding.sid), binding.dtype)});"
+            )
+    lines.append("            steps_run = step + 1;")
+    if use_halt_label:
+        lines.append("            continue;")
+        lines.append("        sim_halt:")
+        lines.append("            halt_step = step;")
+        lines.append("            steps_run = step + 1;")
+        lines.append("            break;")
+    lines.append("        }")
+    lines.append("        clock_gettime(CLOCK_MONOTONIC, &_t1);")
+    lines.append(
+        "        double _elapsed = (double)(_t1.tv_sec - _t0.tv_sec) + "
+        "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec);"
+    )
+    lines.append(_indent(_emit_report(prog, plan, layout, options), 8))
+    lines.append(
+        '        if (_case_timed_out) printf("timeout 1\\n");'
+    )
+    lines.append("        _case_index++;")
+    lines.append("    }")
+    lines.append("    if (_rc < 0) {")
+    lines.append(
+        '        fprintf(stderr, "accmos: malformed stimulus descriptor '
+        'input\\n");'
+    )
+    lines.append("        return 2;")
+    lines.append("    }")
+    lines.append("    return 0;")
+    lines.append("}")
+    return lines
 
 
 def _mcdc_block(op: str, truth_exprs: list[str], base: int) -> str:
@@ -439,17 +724,25 @@ def _emit_report(
             )
     if plan.coverage_enabled:
         points = plan.points
+        # Bitmaps travel as 64-point hex words (LSB = lowest point index):
+        # 64x fewer bytes and parse iterations than one ASCII 0/1 per point.
         for metric, array, n in (
             ("actor", "cov_actor", points.n_actor),
             ("condition", "cov_cond", points.n_condition),
             ("decision", "cov_dec", points.n_decision),
             ("mcdc", "cov_mcdc", points.n_mcdc),
         ):
-            lines.append(f'printf("cov {metric} ");')
+            lines.append(f'printf("cov {metric} {n}");')
+            lines.append(f"for (int _i = 0; _i < {n}; _i += 64) {{")
+            lines.append("    uint64_t _w = 0;")
             lines.append(
-                f"for (int _i = 0; _i < {n}; _i++) "
-                f"putchar('0' + {array}[_i]);"
+                f"    for (int _b = 0; _b < 64 && _i + _b < {n}; _b++)"
             )
+            lines.append(
+                f"        _w |= (uint64_t)({array}[_i + _b] & 1) << _b;"
+            )
+            lines.append('    printf(" %llx", (unsigned long long)_w);')
+            lines.append("}")
             lines.append("putchar('\\n');")
     for slot in range(len(layout.diag_slots)):
         lines.append(

@@ -58,27 +58,47 @@ class CompiledSimulation:
     )
     cache_hit: bool = False
 
-    def execute(self, *, timeout_seconds: Optional[float] = None) -> str:
-        """Run the binary; ``timeout_seconds`` kills it when exceeded."""
+    def execute(
+        self,
+        *,
+        input_text: Optional[str] = None,
+        timeout_seconds: Optional[float] = None,
+    ) -> str:
+        """Run the binary; ``timeout_seconds`` kills it when exceeded.
+
+        ``input_text`` is piped to the binary's stdin — the reusable
+        (stimulus-agnostic) programs read their case descriptors there;
+        legacy baked-in programs take no input and get /dev/null.
+        """
+        proc = subprocess.Popen(
+            [str(self.binary)],
+            stdin=subprocess.PIPE if input_text is not None else subprocess.DEVNULL,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
         try:
-            proc = subprocess.run(
-                [str(self.binary)],
-                capture_output=True,
-                text=True,
-                check=False,
-                timeout=timeout_seconds,
+            stdout, stderr = proc.communicate(
+                input=input_text, timeout=timeout_seconds
             )
         except subprocess.TimeoutExpired:
+            proc.kill()
+            _, stderr = proc.communicate()
+            telemetry.counter_inc("engine.accmos.timeouts")
+            detail = ""
+            if stderr and stderr.strip():
+                detail = f"; stderr: {stderr.strip()[:500]}"
             raise SimulationTimeout(
                 f"simulation binary {self.binary} exceeded its "
                 f"{timeout_seconds:g}s wall-clock budget and was killed"
+                f"{detail}"
             ) from None
         if proc.returncode != 0:
             raise SimulationError(
                 f"simulation binary failed (exit {proc.returncode}): "
-                f"{proc.stderr[:2000]}"
+                f"{stderr[:2000]}"
             )
-        return proc.stdout
+        return stdout
 
 
 def compile_c_program(
@@ -186,6 +206,7 @@ def parse_result(
     steps_run = 0
     halt_step = -1
     sim_seconds = 0.0
+    deadline_exceeded = False
     outputs: dict[str, object] = {}
     checksums: dict[str, int] = {}
     bitmaps: dict[Metric, Bitmap] = {}
@@ -217,9 +238,9 @@ def parse_result(
             outputs[parts[1]] = _parse_value(parts[2], out_dtypes[parts[1]])
         elif tag == "cov":
             metric = metric_by_name[parts[1]]
-            bits = parts[2] if len(parts) > 2 else ""
-            bitmaps[metric] = Bitmap.from_hits(
-                len(bits), (i for i, ch in enumerate(bits) if ch == "1")
+            n = int(parts[2]) if len(parts) > 2 else 0
+            bitmaps[metric] = Bitmap.from_words(
+                n, (int(word, 16) for word in parts[3:])
             )
         elif tag == "diag":
             slot, first, count = int(parts[1]), int(parts[2]), int(parts[3])
@@ -229,6 +250,10 @@ def parse_result(
             mon = mon_by_id[int(parts[1])]
             step, raw = int(parts[2]), parts[3]
             monitored[mon.path].append((step, _parse_value(raw, mon.dtype)))
+        elif tag == "timeout":
+            # Batched programs flag an in-binary per-case deadline this
+            # way instead of dying; the caller turns it into a timeout.
+            deadline_exceeded = len(parts) > 1 and parts[1] != "0"
         else:
             raise SimulationError(f"unrecognized result line: {line!r}")
 
@@ -250,7 +275,7 @@ def parse_result(
                 )
         coverage = CoverageReport.from_bitmaps(plan.points, bitmaps)
 
-    return SimulationResult(
+    result = SimulationResult(
         engine=engine,
         model_name=prog.model.name,
         steps_requested=options.steps,
@@ -263,3 +288,58 @@ def parse_result(
         halted_at=None if halt_step < 0 else halt_step,
         monitored=monitored,
     )
+    if deadline_exceeded:
+        result.extra["deadline_exceeded"] = True
+    return result
+
+
+# ----------------------------------------------------------------------
+# batch framing
+# ----------------------------------------------------------------------
+def split_case_frames(stdout: str) -> list[str]:
+    """Split a batched run's stdout into per-case protocol sections.
+
+    The reusable program prints ``case <i>`` before each case's records;
+    everything before the first marker (there is nothing, normally) is
+    discarded.
+    """
+    frames: list[str] = []
+    current: Optional[list[str]] = None
+    for line in stdout.splitlines():
+        if line.startswith("case ") or line == "case":
+            if current is not None:
+                frames.append("\n".join(current))
+            current = []
+        elif current is not None:
+            current.append(line)
+    if current is not None:
+        frames.append("\n".join(current))
+    return frames
+
+
+def parse_batch_result(
+    stdout: str,
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    options_per_case: "list[SimulationOptions]",
+    *,
+    engine: str = "accmos",
+) -> list[SimulationResult]:
+    """Parse a batched run: one :class:`SimulationResult` per case frame.
+
+    Raises :class:`SimulationError` when the binary produced a different
+    number of frames than cases were submitted (it died mid-batch with a
+    zero exit, which a healthy program cannot do).  Per-case deadline
+    trips are reported via ``result.extra["deadline_exceeded"]``.
+    """
+    frames = split_case_frames(stdout)
+    if len(frames) != len(options_per_case):
+        raise SimulationError(
+            f"batched simulation produced {len(frames)} result frame(s) "
+            f"for {len(options_per_case)} submitted case(s)"
+        )
+    return [
+        parse_result(frame, prog, plan, layout, options, engine=engine)
+        for frame, options in zip(frames, options_per_case)
+    ]

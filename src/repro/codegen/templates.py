@@ -23,6 +23,7 @@ all other instrumentation is composed around the actor block by
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -60,6 +61,59 @@ class EmitContext:
 
     def inst(self, fa: FlatActor) -> ActorInstrumentation:
         return self.plan.actors[fa.index]
+
+
+# Every state declaration an emitter can produce matches one of these
+# shapes; ``state_reset_statements`` depends on that closed set to derive
+# the per-case reset of the reusable (batched) program.
+_DECL_ARRAY_RE = re.compile(
+    r"^static\s+(?P<type>\w+)\s+(?P<name>\w+)\[(?P<len>\d+)\]\s*=\s*"
+    r"(?P<init>\{.*\})\s*;$"
+)
+_DECL_SCALAR_INIT_RE = re.compile(
+    r"^static\s+(?P<type>\w+)\s+(?P<name>\w+)\s*=\s*(?P<init>[^;]+);$"
+)
+_DECL_PLAIN_RE = re.compile(
+    r"^static\s+(?P<type>\w+)\s+(?P<names>\w+(?:\s*,\s*\w+)*)\s*;$"
+)
+
+
+def state_reset_statements(decls: list[str]) -> tuple[list[str], list[str]]:
+    """Derive per-case reinitialization for actor-state declarations.
+
+    Returns ``(shadow_decls, reset_stmts)``: extra globals (a ``const``
+    copy of every initialized state array, so a ``memcpy`` restores it)
+    and the statements putting each mutable state back to its declared
+    initial value.  ``static const`` tables are immutable and skipped.
+    """
+    shadows: list[str] = []
+    resets: list[str] = []
+    for decl in decls:
+        if decl.startswith("static const "):
+            continue
+        m = _DECL_ARRAY_RE.match(decl)
+        if m:
+            shadows.append(
+                f"static const {m['type']} {m['name']}_init"
+                f"[{m['len']}] = {m['init']};"
+            )
+            resets.append(
+                f"memcpy({m['name']}, {m['name']}_init, sizeof({m['name']}));"
+            )
+            continue
+        m = _DECL_SCALAR_INIT_RE.match(decl)
+        if m:
+            resets.append(f"{m['name']} = {m['init'].strip()};")
+            continue
+        m = _DECL_PLAIN_RE.match(decl)
+        if m:
+            for name in m["names"].split(","):
+                resets.append(f"{name.strip()} = 0;")
+            continue
+        raise CodegenError(
+            f"cannot derive a per-case reset for state declaration {decl!r}"
+        )
+    return shadows, resets
 
 
 # ----------------------------------------------------------------------

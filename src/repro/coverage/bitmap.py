@@ -9,6 +9,10 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+# byte value -> its 8 bits as one byte-per-bit chunk, LSB first; lets
+# word decoding run 8 points per Python iteration instead of 1.
+_BYTE_BITS = [bytes((byte >> k) & 1 for k in range(8)) for byte in range(256)]
+
 
 class Bitmap:
     """Fixed-size hit table."""
@@ -25,6 +29,21 @@ class Bitmap:
         bm = cls(size)
         for index in hits:
             bm.set(index)
+        return bm
+
+    @classmethod
+    def from_words(cls, size: int, words: Iterable[int]) -> "Bitmap":
+        """From 64-bit words, bit ``i`` of word ``w`` = point ``w*64+i``
+        (the generated programs' ``cov`` wire format)."""
+        bm = cls(size)
+        buf = bytearray()
+        for word in words:
+            for byte in word.to_bytes(8, "little"):
+                buf += _BYTE_BITS[byte]
+        del buf[size:]
+        if len(buf) < size:
+            buf.extend(bytes(size - len(buf)))
+        bm._bits = buf
         return bm
 
     def __len__(self) -> int:

@@ -24,7 +24,12 @@ from repro.engines.base import SimulationOptions, SimulationResult, signal_bits
 from repro.engines.sse import run_sse
 from repro.engines.sse_ac import run_sse_ac
 from repro.engines.sse_rac import run_sse_rac
-from repro.engines.accmos import AccMoSArtifacts, run_accmos
+from repro.engines.accmos import (
+    AccMoSArtifacts,
+    CompiledModel,
+    compile_model,
+    run_accmos,
+)
 from repro.engines.api import ENGINES, simulate
 
 __all__ = [
@@ -36,6 +41,8 @@ __all__ = [
     "run_sse_rac",
     "run_accmos",
     "AccMoSArtifacts",
+    "CompiledModel",
+    "compile_model",
     "simulate",
     "ENGINES",
 ]

@@ -5,6 +5,24 @@ synthesize the simulation code from the actor template library, import the
 test cases, compile with ``-O3``, execute, and parse coverage/diagnosis/
 monitor results back into the shared schema.
 
+Two execution shapes share that pipeline:
+
+* **compile-once / run-many** (the default): the generated program is
+  stimulus-agnostic — it reads stimulus descriptors, step counts, and
+  per-case deadlines from stdin — so one binary per
+  ``(FlatProgram, InstrumentationPlan)`` serves every test case, and the
+  artifact cache turns a whole seed campaign into a single gcc
+  invocation.  :func:`compile_model` returns a :class:`CompiledModel`
+  whose :meth:`~CompiledModel.run`/:meth:`~CompiledModel.run_batch`
+  reuse the binary; ``run_batch`` executes M cases in one process with
+  framed output and full per-case state/coverage/diagnostic reset.
+* **legacy baked-in**: stimuli and step count compiled in as constants.
+  Kept as the fallback for custom :class:`Stimulus` subclasses without a
+  ``runtime_descriptor()``.
+
+Both shapes are bit-for-bit equivalent to each other and to the SSE
+reference — the repository's core invariant.
+
 ``wall_time`` is the binary's own measurement of its simulation loop —
 the quantity the paper's Table 2 reports.  Code generation and compilation
 times are in ``result.extra`` (``generate_seconds``, ``compile_seconds``).
@@ -13,21 +31,39 @@ times are in ``result.extra`` (``generate_seconds``, ``compile_seconds``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from repro import telemetry
-from repro.codegen.compose import generate_c_program
-from repro.codegen.driver import compile_c_program, parse_result
+from repro.codegen.compose import (
+    ProgramLayout,
+    generate_c_program,
+    generate_reusable_c_program,
+)
+from repro.codegen.descriptor import descriptors_for, encode_case
+from repro.codegen.driver import (
+    CompiledSimulation,
+    compile_c_program,
+    parse_batch_result,
+    parse_result,
+)
 from repro.engines.base import SimulationOptions, SimulationResult
 from repro.instrument import build_plan
-from repro.model.errors import SimulationError
+from repro.instrument.plan import InstrumentationPlan
+from repro.model.errors import SimulationError, SimulationTimeout
 from repro.schedule.program import FlatProgram
 from repro.stimuli.base import Stimulus
 
 if TYPE_CHECKING:
     from repro.runner.cache import ArtifactCache
+
+# One batch case: a stimuli mapping, or (stimuli, options) to override
+# the per-case runtime options (steps / time_budget).
+BatchCase = Union[
+    Mapping[str, Stimulus],
+    "tuple[Mapping[str, Stimulus], Optional[SimulationOptions]]",
+]
 
 
 @dataclass
@@ -39,6 +75,263 @@ class AccMoSArtifacts:
     binary_path: Optional[Path]
     generate_seconds: float
     compile_seconds: float
+
+
+def _resolve_cache(cache):
+    if cache is None:
+        from repro.runner.cache import default_cache
+
+        return default_cache()
+    if cache is False:
+        return None
+    return cache
+
+
+def _structural_fingerprint(options: SimulationOptions) -> tuple:
+    """The option fields that shape the generated source (and therefore
+    the compiled binary).  ``steps`` and ``time_budget`` are runtime
+    inputs of the reusable program and deliberately excluded."""
+    collect = options.collect
+    diagnose = options.diagnose
+    return (
+        options.coverage,
+        options.diagnostics,
+        collect if isinstance(collect, str) else tuple(collect),
+        diagnose if isinstance(diagnose, str) else tuple(diagnose),
+        tuple(options.custom),
+        options.halt_on,
+        options.monitor_limit,
+        options.checksum,
+    )
+
+
+@dataclass
+class CompiledModel:
+    """A reusable compiled simulation: one binary, any number of cases.
+
+    Produced by :func:`compile_model`.  The binary is specialized on the
+    program and the structural options only; stimuli, step counts, and
+    per-case deadlines are streamed to it at run time.
+    """
+
+    prog: FlatProgram
+    plan: InstrumentationPlan
+    layout: ProgramLayout
+    options: SimulationOptions
+    compiled: CompiledSimulation
+    source: str
+    generate_seconds: float
+    _fingerprint: tuple = field(default=(), repr=False)
+
+    def __post_init__(self):
+        if not self._fingerprint:
+            self._fingerprint = _structural_fingerprint(self.options)
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.compiled.cache_hit
+
+    @property
+    def compile_seconds(self) -> float:
+        return self.compiled.compile_seconds
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stimuli: Mapping[str, Stimulus],
+        options: Optional[SimulationOptions] = None,
+        *,
+        timeout_seconds: Optional[float] = None,
+    ) -> SimulationResult:
+        """Run one case on the reused binary; raises
+        :class:`SimulationTimeout` when ``timeout_seconds`` is exceeded."""
+        (outcome,) = self._dispatch(
+            [(stimuli, options)], timeout_seconds=timeout_seconds
+        )
+        if isinstance(outcome, SimulationTimeout):
+            raise outcome
+        return outcome
+
+    def run_batch(
+        self,
+        cases: Sequence[BatchCase],
+        *,
+        timeout_seconds: Optional[float] = None,
+    ) -> list[Union[SimulationResult, SimulationTimeout]]:
+        """Run M cases back-to-back in one process invocation.
+
+        Returns one entry per case, in order: a result, or a
+        :class:`SimulationTimeout` instance for cases that blew the
+        per-case deadline (the batch continues with the next case —
+        state is fully reset in between either way).
+        """
+        with telemetry.span(
+            "accmos.batch", model=self.prog.model.name, cases=len(cases)
+        ) as batch_span:
+            outcomes = self._dispatch(
+                list(cases), timeout_seconds=timeout_seconds
+            )
+            batch_span.set(
+                timeouts=sum(
+                    1 for o in outcomes if isinstance(o, SimulationTimeout)
+                )
+            )
+        telemetry.counter_inc("engine.accmos.batches")
+        telemetry.counter_inc("engine.accmos.batch_cases", len(cases))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _normalize(self, case: BatchCase):
+        if isinstance(case, tuple):
+            stimuli, options = case
+        else:
+            stimuli, options = case, None
+        options = options if options is not None else self.options
+        if _structural_fingerprint(options) != self._fingerprint:
+            raise SimulationError(
+                "case options change the instrumentation or program "
+                "structure (only steps/time_budget may vary per case); "
+                "compile a new model for them"
+            )
+        missing = [
+            b.name for b in self.prog.inports if b.name not in stimuli
+        ]
+        if missing:
+            raise SimulationError(f"no stimulus for inport(s): {missing}")
+        descriptors = descriptors_for(self.prog, stimuli)
+        if descriptors is None:
+            raise SimulationError(
+                "stimulus without runtime_descriptor(); such streams "
+                "need the legacy baked-in path (run_accmos falls back "
+                "automatically)"
+            )
+        return options, descriptors
+
+    def _dispatch(
+        self,
+        cases: list[BatchCase],
+        *,
+        timeout_seconds: Optional[float],
+    ) -> list[Union[SimulationResult, SimulationTimeout]]:
+        """Encode → execute → parse; shared by run() and run_batch()."""
+        normalized = [self._normalize(case) for case in cases]
+        payload = "".join(
+            encode_case(
+                descriptors,
+                steps=options.steps,
+                time_budget=options.time_budget,
+                deadline=timeout_seconds,
+            )
+            for options, descriptors in normalized
+        )
+        # The in-binary deadline (checked every 512 steps) is the real
+        # limit; the process-level timeout is only a backstop against a
+        # wedged binary, scaled to the whole batch.
+        process_timeout = (
+            None
+            if timeout_seconds is None
+            else timeout_seconds * len(cases) + 5.0
+        )
+
+        t0 = time.perf_counter()
+        with telemetry.span("execute"):
+            stdout = self.compiled.execute(
+                input_text=payload, timeout_seconds=process_timeout
+            )
+        execute_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with telemetry.span("parse"):
+            results = parse_batch_result(
+                stdout,
+                self.prog,
+                self.plan,
+                self.layout,
+                [options for options, _ in normalized],
+                engine="accmos",
+            )
+        parse_seconds = time.perf_counter() - t0
+
+        share = 1.0 / max(1, len(results))
+        outcomes: list[Union[SimulationResult, SimulationTimeout]] = []
+        for index, result in enumerate(results):
+            if result.extra.pop("deadline_exceeded", False):
+                telemetry.counter_inc("engine.accmos.timeouts")
+                outcomes.append(
+                    SimulationTimeout(
+                        f"simulation case {index} exceeded its "
+                        f"{timeout_seconds:g}s wall-clock budget (stopped "
+                        f"in-binary after {result.steps_run} steps)"
+                    )
+                )
+                continue
+            telemetry.counter_inc("engine.accmos.runs")
+            telemetry.counter_inc("engine.accmos.steps", result.steps_run)
+            telemetry.counter_inc(
+                "diagnostics.events", len(result.diagnostics)
+            )
+            if result.wall_time > 0:
+                telemetry.observe(
+                    "engine.accmos.steps_per_sec",
+                    result.steps_run / result.wall_time,
+                )
+            result.extra.update(
+                generate_seconds=self.generate_seconds,
+                compile_seconds=self.compiled.compile_seconds,
+                execute_seconds=execute_seconds * share,
+                parse_seconds=parse_seconds * share,
+                cache_hit=self.compiled.cache_hit,
+                source_lines=self.source.count("\n") + 1,
+                batch_size=len(results),
+                batch_index=index,
+            )
+            outcomes.append(result)
+        return outcomes
+
+
+def compile_model(
+    prog: FlatProgram,
+    options: Optional[SimulationOptions] = None,
+    *,
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    workdir: Optional[Path] = None,
+) -> CompiledModel:
+    """Instrument + generate + compile the reusable simulation binary.
+
+    ``options`` supplies the structural configuration (coverage,
+    diagnostics, collect/diagnose lists, halt_on, monitor_limit,
+    checksum); its ``steps``/``time_budget`` merely become the defaults
+    for cases that don't override them.  Caching works as in
+    :func:`run_accmos` — and because the source no longer depends on
+    stimuli or step counts, every case of a campaign maps to the same
+    cache key.
+    """
+    options = options if options is not None else SimulationOptions()
+    cache = _resolve_cache(cache)
+    with telemetry.span("instrument"):
+        plan = build_plan(
+            prog,
+            coverage=options.coverage,
+            diagnostics=options.diagnostics,
+            collect=options.collect,
+            diagnose=options.diagnose,
+            custom=options.custom,
+        )
+    t0 = time.perf_counter()
+    with telemetry.span("codegen"):
+        source, layout = generate_reusable_c_program(prog, plan, options)
+    generate_seconds = time.perf_counter() - t0
+    compiled = compile_c_program(source, layout, workdir=workdir, cache=cache)
+    telemetry.observe("accmos.generate_seconds", generate_seconds)
+    telemetry.observe("accmos.compile_seconds", compiled.compile_seconds)
+    return CompiledModel(
+        prog=prog,
+        plan=plan,
+        layout=layout,
+        options=options,
+        compiled=compiled,
+        source=source,
+        generate_seconds=generate_seconds,
+    )
 
 
 def run_accmos(
@@ -53,25 +346,71 @@ def run_accmos(
 ) -> SimulationResult:
     """Generate, compile, and execute the instrumented simulation.
 
+    When every stimulus has a ``runtime_descriptor()`` (all built-in
+    generators do), the stimulus-agnostic reusable program is used: the
+    compiled binary — and its artifact-cache key — is independent of the
+    stimuli and the step count, so repeated calls with different seeds
+    or step counts hit the cache after the first compile.  Custom
+    stimuli without descriptors fall back to the legacy baked-in
+    program.
+
     ``cache`` selects the compiled-artifact cache: an explicit
     :class:`~repro.runner.cache.ArtifactCache`, ``None`` for the
     process-wide default (``~/.cache/accmos``; disable globally with
     ``ACCMOS_NO_CACHE=1``), or ``False`` to bypass caching for this
     call.  An explicit ``workdir`` also bypasses the cache so the
     artifacts land where the caller asked.  ``timeout_seconds`` bounds
-    the binary's wall clock (raises ``SimulationTimeout``).
+    the case's wall clock (raises ``SimulationTimeout``).
     """
     missing = [b.name for b in prog.inports if b.name not in stimuli]
     if missing:
         raise SimulationError(f"no stimulus for inport(s): {missing}")
 
-    if cache is None:
-        from repro.runner.cache import default_cache
+    cache = _resolve_cache(cache)
 
-        cache = default_cache()
-    elif cache is False:
-        cache = None
+    if descriptors_for(prog, stimuli) is None:
+        return _run_accmos_baked(
+            prog, stimuli, options,
+            workdir=workdir, keep_artifacts=keep_artifacts,
+            cache=cache, timeout_seconds=timeout_seconds,
+        )
 
+    with telemetry.span(
+        "accmos.run", model=prog.model.name, steps=options.steps
+    ) as run_span:
+        model = compile_model(
+            prog, options, cache=cache if cache is not None else False,
+            workdir=workdir,
+        )
+        result = model.run(
+            stimuli, options, timeout_seconds=timeout_seconds
+        )
+        run_span.set(cache_hit=model.cache_hit, steps_run=result.steps_run)
+    telemetry.observe(
+        "accmos.execute_seconds", result.extra["execute_seconds"]
+    )
+    if keep_artifacts:
+        result.extra["artifacts"] = AccMoSArtifacts(
+            source=model.source,
+            source_path=model.compiled.source if workdir else None,
+            binary_path=model.compiled.binary if workdir else None,
+            generate_seconds=model.generate_seconds,
+            compile_seconds=model.compiled.compile_seconds,
+        )
+    return result
+
+
+def _run_accmos_baked(
+    prog: FlatProgram,
+    stimuli: Mapping[str, Stimulus],
+    options: SimulationOptions,
+    *,
+    workdir: Optional[Path],
+    keep_artifacts: bool,
+    cache,  # resolved handle or None
+    timeout_seconds: Optional[float],
+) -> SimulationResult:
+    """The legacy path: stimuli and step count compiled into the source."""
     with telemetry.span(
         "accmos.run", model=prog.model.name, steps=options.steps
     ) as run_span:

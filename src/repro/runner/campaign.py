@@ -46,6 +46,7 @@ def execute_campaign(
     cache: "Union[ArtifactCache, None, bool]" = None,
     timeout_seconds: Optional[float] = None,
     retries: int = 1,
+    batch_size: int = 1,
 ):
     """Run the campaign; see :func:`repro.campaign.run_campaign`.
 
@@ -59,6 +60,7 @@ def execute_campaign(
     with telemetry.span(
         "campaign", model=prog.model.name, engine=engine,
         max_cases=max_cases, workers=workers, mode=mode,
+        batch_size=batch_size,
     ) as campaign_span:
         _campaign_waves(
             prog, outcome, opts,
@@ -66,6 +68,7 @@ def execute_campaign(
             plateau_patience=plateau_patience, base_seed=base_seed,
             workers=workers, mode=mode, cache=cache,
             timeout_seconds=timeout_seconds, retries=retries,
+            batch_size=batch_size,
         )
         campaign_span.set(
             cases=len(outcome.cases), saturated=outcome.saturated
@@ -89,6 +92,7 @@ def _campaign_waves(
     cache,
     timeout_seconds: Optional[float],
     retries: int,
+    batch_size: int = 1,
 ) -> None:
     """The wave loop, folding results into ``outcome`` in seed order."""
     from repro.campaign import CaseOutcome
@@ -96,7 +100,10 @@ def _campaign_waves(
     merged: Optional[CoverageReport] = None
     seen_diagnostics: set[tuple[str, str]] = set()
     dry_streak = 0
-    wave = max(1, workers)
+    # With batching, each worker slot chews through batch_size cases per
+    # process spawn, so a wave carries workers * batch_size seeds.  The
+    # speculation bound at mid-wave saturation grows accordingly.
+    wave = max(1, workers) * max(1, batch_size)
     index = 0
     while index < max_cases and not outcome.saturated:
         seeds = [
@@ -113,6 +120,7 @@ def _campaign_waves(
             cache=cache,
             timeout_seconds=timeout_seconds,
             retries=retries,
+            batch_size=batch_size,
         )
 
         # Ordered merge: fold strictly in seed order, stop at saturation.

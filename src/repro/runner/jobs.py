@@ -14,6 +14,14 @@ OOM-killed child — anything raising ``CompilationError`` or
 exponential backoff.  A wall-clock timeout is *not* transient — the next
 attempt would burn the same budget — so it is reported immediately as
 ``timeout``.
+
+Batching: AccMoS jobs that share a program and structural options can
+run *many cases per process* on one reused binary (the compile-once /
+run-many path).  :func:`plan_batches` partitions a job list into such
+groups (capped at ``batch_size``) and :func:`run_job_batch` executes one
+group — one ``compile_model`` + one ``run_batch`` — still returning one
+:class:`JobResult` per job.  Anything that breaks mid-batch falls back
+to the per-job path, so batching can only change speed, not outcomes.
 """
 
 from __future__ import annotations
@@ -213,3 +221,157 @@ def _run_once(
     result = simulate(job.prog, stimuli, engine=job.engine, options=options)
     timings["execute"] = time.perf_counter() - start
     return result
+
+
+# ----------------------------------------------------------------------
+# batched execution (compile-once / run-many)
+# ----------------------------------------------------------------------
+def batch_key(job: SimulationJob) -> Optional[tuple]:
+    """The grouping key under which jobs may share one compiled binary,
+    or None when the job must run on the per-job path (non-AccMoS
+    engine, or a custom stimulus without a runtime descriptor).
+
+    Jobs with equal keys have the same program and the same *structural*
+    options — the two inputs the reusable binary is specialized on; the
+    per-case inputs (stimuli, steps, time budget) are free to differ.
+    """
+    if job.engine != "accmos":
+        return None
+    from repro.codegen.descriptor import descriptors_for
+    from repro.engines.accmos import _structural_fingerprint
+
+    if descriptors_for(job.prog, job.resolved_stimuli()) is None:
+        return None
+    return (id(job.prog), _structural_fingerprint(job.resolved_options()))
+
+
+def plan_batches(
+    jobs: "list[SimulationJob]", batch_size: int
+) -> "list[list[int]]":
+    """Partition job indices into dispatch chunks of at most
+    ``batch_size`` same-key jobs; unbatchable jobs become singleton
+    chunks.  Chunks are ordered by their first job so a sequential
+    dispatch still roughly follows submission order.
+    """
+    chunks: list[list[int]] = []
+    open_chunk: dict[tuple, list[int]] = {}
+    for index, job in enumerate(jobs):
+        key = batch_key(job) if batch_size > 1 else None
+        if key is None:
+            chunks.append([index])
+            continue
+        chunk = open_chunk.get(key)
+        if chunk is None:
+            chunk = []
+            chunks.append(chunk)
+            open_chunk[key] = chunk
+        chunk.append(index)
+        if len(chunk) >= batch_size:
+            del open_chunk[key]
+    return chunks
+
+
+def run_job_batch(
+    jobs: "list[SimulationJob]",
+    *,
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    timeout_seconds: Optional[float] = None,
+    retries: int = 1,
+    backoff_seconds: float = 0.05,
+    _sleep=time.sleep,
+) -> "list[JobResult]":
+    """Execute one same-key group of jobs on a single compiled binary.
+
+    One ``compile_model`` (retried on transient compiler failures) and
+    one multi-case process invocation serve the whole group.  Per-case
+    deadline trips become ``timeout`` outcomes without disturbing the
+    other cases.  If anything else goes wrong mid-batch, the whole group
+    falls back to the per-job :func:`run_job` path — batching can change
+    throughput, never results.
+    """
+    if len(jobs) == 1:
+        return [
+            run_job(
+                jobs[0], cache=cache, timeout_seconds=timeout_seconds,
+                retries=retries, backoff_seconds=backoff_seconds,
+                _sleep=_sleep,
+            )
+        ]
+    from repro.engines.accmos import compile_model
+
+    def _fallback() -> "list[JobResult]":
+        return [
+            run_job(
+                job, cache=cache, timeout_seconds=timeout_seconds,
+                retries=retries, backoff_seconds=backoff_seconds,
+                _sleep=_sleep,
+            )
+            for job in jobs
+        ]
+
+    with telemetry.span(
+        "runner.job_batch", jobs=len(jobs),
+        seeds=[job.seed for job in jobs],
+    ) as batch_span:
+        model = None
+        for attempt in range(retries + 1):
+            try:
+                model = compile_model(
+                    jobs[0].prog, jobs[0].resolved_options(), cache=cache
+                )
+                break
+            except Exception as exc:
+                if not _transient(exc) or attempt == retries:
+                    batch_span.set(outcome="compile_failed")
+                    return _fallback()
+                _sleep(backoff_seconds * (2**attempt))
+
+        try:
+            outcomes = model.run_batch(
+                [
+                    (job.resolved_stimuli(), job.resolved_options())
+                    for job in jobs
+                ],
+                timeout_seconds=timeout_seconds,
+            )
+        except Exception:
+            # Frame mismatch, a wedged binary hitting the process-level
+            # backstop, a crash — re-run the group case by case.
+            batch_span.set(outcome="fallback")
+            telemetry.counter_inc("runner.batch_fallbacks")
+            return _fallback()
+        batch_span.set(outcome="ok", cache_hit=model.cache_hit)
+
+    results: list[JobResult] = []
+    first_ok = True
+    for job, outcome in zip(jobs, outcomes):
+        out = JobResult(seed=job.seed, label=job.label or f"seed-{job.seed}")
+        out.attempts = 1
+        if isinstance(outcome, SimulationTimeout):
+            out.outcome = OUTCOME_TIMEOUT
+            out.error = f"{type(outcome).__name__}: {outcome}"
+            out.exception = outcome
+            telemetry.counter_inc("runner.timeouts")
+        else:
+            out.outcome = OUTCOME_OK
+            out.result = outcome
+            # The group compiled (or cache-resolved) exactly once; the
+            # first successful case carries that cost, the rest reuse
+            # the binary — which is a cache hit by construction.
+            if first_ok:
+                out.timings.update(
+                    codegen=model.generate_seconds,
+                    compile=model.compile_seconds,
+                )
+                out.cache_hit = model.cache_hit
+                first_ok = False
+            else:
+                out.timings.update(codegen=0.0, compile=0.0)
+                out.cache_hit = True
+            out.timings.update(
+                execute=outcome.extra.get("execute_seconds", 0.0),
+                parse=outcome.extra.get("parse_seconds", 0.0),
+            )
+        telemetry.counter_inc(f"runner.jobs.{out.outcome}")
+        results.append(out)
+    return results

@@ -27,7 +27,14 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro import telemetry
-from repro.runner.jobs import JobResult, SimulationJob, run_job
+from repro.runner.jobs import (
+    JobResult,
+    SimulationJob,
+    batch_key,
+    plan_batches,
+    run_job,
+    run_job_batch,
+)
 
 if TYPE_CHECKING:
     from repro.runner.cache import ArtifactCache
@@ -77,6 +84,44 @@ def _run_job_in_process(
     return result
 
 
+def _run_chunk_in_process(
+    chunk: "list[SimulationJob]",
+    cache_root: Optional[str],
+    max_bytes: Optional[int],
+    timeout_seconds: Optional[float],
+    retries: int,
+    backoff_seconds: float,
+    telemetry_on: bool = False,
+) -> "list[JobResult]":
+    """Process-pool entry point for a batched chunk of same-key jobs.
+
+    The chunk's cache-counter deltas and telemetry payload ride back on
+    its first result (the chunk is folded as one unit by the parent).
+    """
+    session = telemetry.enable() if telemetry_on else None
+    cache: "Union[ArtifactCache, None, bool]" = False
+    if cache_root is not None:
+        from repro.runner.cache import ArtifactCache
+
+        cache = ArtifactCache(cache_root, max_bytes=max_bytes)
+    try:
+        results = run_job_batch(
+            chunk,
+            cache=cache,
+            timeout_seconds=timeout_seconds,
+            retries=retries,
+            backoff_seconds=backoff_seconds,
+        )
+    finally:
+        if session is not None:
+            telemetry.disable()
+    if cache_root is not None and results:
+        results[0].cache_stats = cache.counters()
+    if session is not None and results:
+        results[0].telemetry = session.export()
+    return results
+
+
 def run_jobs(
     jobs: Sequence[SimulationJob],
     *,
@@ -86,18 +131,27 @@ def run_jobs(
     timeout_seconds: Optional[float] = None,
     retries: int = 1,
     backoff_seconds: float = 0.05,
+    batch_size: int = 1,
 ) -> list[JobResult]:
     """Execute every job; returns one :class:`JobResult` per job, in order.
 
     ``workers=None`` picks ``min(32, cpu_count)``; ``workers=1`` (or a
     single job) runs inline with no pool at all.  Individual job
     failures are *reported*, not raised — check ``JobResult.outcome``.
+
+    ``batch_size > 1`` groups AccMoS jobs that share a program and
+    structural options into multi-case batches of up to that many jobs,
+    each batch served by one compiled binary and one process invocation
+    (see :func:`repro.runner.jobs.run_job_batch`); results are still one
+    per job, in submission order.
     """
     if mode not in ("thread", "process"):
         raise ValueError(f"mode must be 'thread' or 'process', not {mode!r}")
     workers = default_workers() if workers is None else workers
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
     jobs = list(jobs)
 
     kwargs = dict(
@@ -106,6 +160,12 @@ def run_jobs(
         retries=retries,
         backoff_seconds=backoff_seconds,
     )
+    if batch_size > 1:
+        return _run_jobs_batched(
+            jobs, workers=workers, mode=mode, batch_size=batch_size,
+            cache=cache, timeout_seconds=timeout_seconds, retries=retries,
+            backoff_seconds=backoff_seconds,
+        )
     if workers == 1 or len(jobs) <= 1:
         return [run_job(job, **kwargs) for job in jobs]
 
@@ -158,3 +218,107 @@ def run_jobs(
         ) as pool:
             futures = [pool.submit(worker, job) for job in jobs]
             return [f.result() for f in futures]
+
+
+def _run_jobs_batched(
+    jobs: "list[SimulationJob]",
+    *,
+    workers: int,
+    mode: str,
+    batch_size: int,
+    cache: "Union[ArtifactCache, None, bool]",
+    timeout_seconds: Optional[float],
+    retries: int,
+    backoff_seconds: float,
+) -> list[JobResult]:
+    """Chunked dispatch: same-key jobs batched onto shared binaries."""
+    chunks = plan_batches(jobs, batch_size)
+    kwargs = dict(
+        cache=cache,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        backoff_seconds=backoff_seconds,
+    )
+    ordered: list[Optional[JobResult]] = [None] * len(jobs)
+
+    def place(chunk: "list[int]", results: "list[JobResult]") -> None:
+        for index, result in zip(chunk, results):
+            ordered[index] = result
+
+    if workers == 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            place(chunk, run_job_batch([jobs[i] for i in chunk], **kwargs))
+        return ordered  # type: ignore[return-value]
+
+    # Warm the artifact cache once per distinct (program, structural
+    # options) before fanning out, so concurrent chunks don't race a
+    # cold cache into redundant gcc runs: the campaign's whole fleet
+    # costs exactly one compiler invocation.  Pointless without a shared
+    # cache; failures are left for the chunk path to report properly.
+    if cache is not False:
+        from repro.engines.accmos import compile_model
+
+        warmed: set = set()
+        for job in jobs:
+            key = batch_key(job)
+            if key is None or key in warmed:
+                continue
+            warmed.add(key)
+            try:
+                compile_model(job.prog, job.resolved_options(), cache=cache)
+            except Exception:
+                pass
+
+    n = min(workers, len(chunks))
+    session = telemetry.active()
+    with telemetry.span(
+        "runner.run_jobs", jobs=len(jobs), workers=n, mode=mode,
+        batches=len(chunks), batch_size=batch_size,
+    ) as pool_span:
+        pool_span_id = getattr(pool_span, "span_id", None)
+
+        if mode == "process":
+            from repro.runner.cache import default_cache
+
+            resolved = default_cache() if cache is None else (cache or None)
+            cache_root = str(resolved.root) if resolved is not None else None
+            max_bytes = resolved.max_bytes if resolved is not None else None
+            with ProcessPoolExecutor(max_workers=n) as pool:
+                futures = [
+                    pool.submit(
+                        _run_chunk_in_process,
+                        [jobs[i] for i in chunk], cache_root, max_bytes,
+                        timeout_seconds, retries, backoff_seconds,
+                        session is not None,
+                    )
+                    for chunk in chunks
+                ]
+                chunk_results = [f.result() for f in futures]
+            for chunk, results in zip(chunks, chunk_results):
+                for result in results:
+                    if resolved is not None and result.cache_stats:
+                        resolved.absorb_counts(**result.cache_stats)
+                    if session is not None and result.telemetry:
+                        session.absorb(
+                            result.telemetry, parent_span_id=pool_span_id
+                        )
+                        result.telemetry = None
+                place(chunk, results)
+            return ordered  # type: ignore[return-value]
+
+        tracer = session.tracer if session is not None else None
+
+        def worker(chunk: "list[int]") -> "list[JobResult]":
+            chunk_jobs = [jobs[i] for i in chunk]
+            if tracer is None:
+                return run_job_batch(chunk_jobs, **kwargs)
+            with tracer.adopt(pool_span_id):
+                return run_job_batch(chunk_jobs, **kwargs)
+
+        with ThreadPoolExecutor(
+            max_workers=n, thread_name_prefix="accmos-batch"
+        ) as pool:
+            futures = [pool.submit(worker, chunk) for chunk in chunks]
+            for chunk, future in zip(chunks, futures):
+                place(chunk, future.result())
+        return ordered  # type: ignore[return-value]

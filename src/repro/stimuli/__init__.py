@@ -10,7 +10,7 @@ per-step vectors, loadable from CSV, embedded into the generated code as
 static arrays.
 """
 
-from repro.stimuli.base import Stimulus
+from repro.stimuli.base import Stimulus, StimulusDescriptor
 from repro.stimuli.generators import (
     ConstantStimulus,
     IntRandomStimulus,
@@ -26,6 +26,7 @@ from repro.stimuli.io import TestCaseTable, load_csv, save_csv
 
 __all__ = [
     "Stimulus",
+    "StimulusDescriptor",
     "ConstantStimulus",
     "SequenceStimulus",
     "RampStimulus",

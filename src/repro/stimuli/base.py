@@ -13,8 +13,21 @@ bit.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.dtypes import DType, coerce_float, wrap
+
+# Runtime-descriptor kind tags, shared with the generated C interpreter
+# (codegen.runtime.stimulus_runtime) and the encoder (codegen.descriptor).
+STIM_KIND_CONSTANT = 0
+STIM_KIND_SEQUENCE = 1
+STIM_KIND_RAMP = 2
+STIM_KIND_SINE = 3
+STIM_KIND_STEP = 4
+STIM_KIND_PULSE = 5
+STIM_KIND_UNIFORM = 6
+STIM_KIND_INT_RANDOM = 7
 
 
 def c_double_literal(value: float) -> str:
@@ -38,6 +51,36 @@ def c_int_literal(value: int, dtype: DType) -> str:
     return f"{value}{dtype.c_literal_suffix}"
 
 
+@dataclass(frozen=True)
+class StimulusDescriptor:
+    """A stimulus as runtime data for the stimulus-agnostic binary.
+
+    One fixed-width record per inport: a kind tag plus a small bag of
+    typed parameter slots the generated C interpreter reads from stdin.
+    Integer and float value slots exist side by side (``iv*`` / ``fv*``)
+    because the baked-in emitters pick an int or a double literal based
+    on the *port's* dtype — the generated per-port switch is specialized
+    on that dtype at codegen time and selects the matching slot, so the
+    runtime stream is bit-identical to the compiled-in one.
+    """
+
+    kind: int
+    i0: int = 0  # integer params (step at, pulse period, int-random lo)
+    i1: int = 0  # pulse duty
+    u0: int = 0  # int-random span (uint64)
+    state: int = 0  # LCG state (uint64)
+    iv0: int = 0  # int value slots (constant / before / high)
+    iv1: int = 0  # after / low
+    f0: float = 0.0  # float params (ramp start, sine amp, uniform lo)
+    f1: float = 0.0  # ramp slope, sine w, uniform hi
+    f2: float = 0.0  # sine phase
+    f3: float = 0.0  # sine bias
+    fv0: float = 0.0  # float value slots (constant / before / high)
+    fv1: float = 0.0  # after / low
+    table_is_float: bool = False
+    table: tuple = field(default_factory=tuple)  # sequence data
+
+
 class Stimulus(ABC):
     """One input port's value stream."""
 
@@ -59,6 +102,12 @@ class Stimulus(ABC):
 
         May reference the loop variable ``step`` (an ``int64_t``).
         """
+
+    def runtime_descriptor(self) -> Optional[StimulusDescriptor]:
+        """This stream as runtime data, or None when it cannot be
+        expressed (custom subclasses) — such stimuli fall back to the
+        legacy baked-in codegen path."""
+        return None
 
     def conform(self, value, dtype: DType):
         """Fit a raw stimulus value to a port dtype (wrap/coerce, no flags) —

@@ -7,7 +7,29 @@ from typing import Sequence
 
 from repro.actors.sources import LCG_INC, LCG_MUL, lcg_next, lcg_uniform
 from repro.dtypes import DType, F64
-from repro.stimuli.base import Stimulus, c_double_literal
+from repro.stimuli.base import (
+    STIM_KIND_CONSTANT,
+    STIM_KIND_INT_RANDOM,
+    STIM_KIND_PULSE,
+    STIM_KIND_RAMP,
+    STIM_KIND_SEQUENCE,
+    STIM_KIND_SINE,
+    STIM_KIND_STEP,
+    STIM_KIND_UNIFORM,
+    Stimulus,
+    StimulusDescriptor,
+    c_double_literal,
+)
+
+
+def _int_slot(value) -> int:
+    """The int-value slot for a descriptor; mirrors the baked emitters'
+    ``int(v)`` (only consulted when the port dtype is integral, where the
+    legacy path would have required a finite value too)."""
+    try:
+        return int(value)
+    except (ValueError, OverflowError):  # nan/inf constant on an int port
+        return 0
 
 
 class ConstantStimulus(Stimulus):
@@ -29,6 +51,13 @@ class ConstantStimulus(Stimulus):
         if dtype.is_float:
             return f"{target} = {c_double_literal(float(self.value))};"
         return f"{target} = {int(self.value)};"
+
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        return StimulusDescriptor(
+            kind=STIM_KIND_CONSTANT,
+            iv0=_int_slot(self.value),
+            fv0=float(self.value),
+        )
 
 
 class SequenceStimulus(Stimulus):
@@ -63,6 +92,16 @@ class SequenceStimulus(Stimulus):
     def c_step(self, target: str, dtype: DType, prefix: str) -> str:
         return f"{target} = ({dtype.c_name}){prefix}_data[step % {len(self.values)}];"
 
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        floaty = any(isinstance(v, float) for v in self.values)
+        if floaty:
+            table = tuple(float(v) for v in self.values)
+        else:
+            table = tuple(int(v) for v in self.values)
+        return StimulusDescriptor(
+            kind=STIM_KIND_SEQUENCE, table_is_float=floaty, table=table
+        )
+
 
 class RampStimulus(Stimulus):
     """``start + slope * step`` (double)."""
@@ -87,6 +126,11 @@ class RampStimulus(Stimulus):
         return (
             f"{target} = ({dtype.c_name})({c_double_literal(self.start)} + "
             f"{c_double_literal(self.slope)} * (double)step);"
+        )
+
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        return StimulusDescriptor(
+            kind=STIM_KIND_RAMP, f0=self.start, f1=self.slope
         )
 
 
@@ -120,6 +164,12 @@ class SineStimulus(Stimulus):
             f"{c_double_literal(self.phase)}) + {c_double_literal(self.bias)});"
         )
 
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        return StimulusDescriptor(
+            kind=STIM_KIND_SINE,
+            f0=self.amplitude, f1=self.w, f2=self.phase, f3=self.bias,
+        )
+
 
 class StepStimulus(Stimulus):
     """``before`` until step ``at``, then ``after``."""
@@ -148,6 +198,14 @@ class StepStimulus(Stimulus):
         return (
             f"{target} = (step < {self.at}) ? ({dtype.c_name}){lit(self.before)} "
             f": ({dtype.c_name}){lit(self.after)};"
+        )
+
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        return StimulusDescriptor(
+            kind=STIM_KIND_STEP,
+            i0=self.at,
+            iv0=_int_slot(self.before), iv1=_int_slot(self.after),
+            fv0=float(self.before), fv1=float(self.after),
         )
 
 
@@ -181,6 +239,14 @@ class PulseStimulus(Stimulus):
         return (
             f"{target} = ((step % {self.period}) < {self.duty}) ? "
             f"({dtype.c_name}){lit(self.high)} : ({dtype.c_name}){lit(self.low)};"
+        )
+
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        return StimulusDescriptor(
+            kind=STIM_KIND_PULSE,
+            i0=self.period, i1=self.duty,
+            iv0=_int_slot(self.high), iv1=_int_slot(self.low),
+            fv0=float(self.high), fv1=float(self.low),
         )
 
 
@@ -229,6 +295,13 @@ class UniformRandomStimulus(_LcgStimulus):
             f"{c_double_literal(1.0 / 9007199254740992.0)}) * ({hi} - {lo})); }}"
         )
 
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        return StimulusDescriptor(
+            kind=STIM_KIND_UNIFORM,
+            f0=self.lo, f1=self.hi,
+            state=lcg_next(self.seed),
+        )
+
 
 class IntRandomStimulus(_LcgStimulus):
     """Integers uniform in [lo, hi], bit-identical across engines."""
@@ -249,6 +322,13 @@ class IntRandomStimulus(_LcgStimulus):
             f"{{ uint64_t _r = {prefix}_s; {self._c_advance(prefix)} "
             f"{target} = ({dtype.c_name})({self.lo}LL + "
             f"(int64_t)((_r >> 33) % {self.span}ULL)); }}"
+        )
+
+    def runtime_descriptor(self) -> StimulusDescriptor:
+        return StimulusDescriptor(
+            kind=STIM_KIND_INT_RANDOM,
+            i0=self.lo, u0=self.span,
+            state=lcg_next(self.seed),
         )
 
 

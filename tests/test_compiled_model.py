@@ -1,0 +1,286 @@
+"""Compile-once / run-many equivalence: the reusable (stimulus-agnostic)
+program against the legacy baked-in program and the interpreted SSE
+reference.
+
+The reusable binary reads its stimuli, step count, and deadline from
+stdin instead of having them compiled in; these tests pin the invariant
+that this changes *nothing* about the results — byte-identical outputs,
+checksums, coverage bitmaps, and diagnostics across all three paths,
+single-case and batched, including mid-batch halts and timeouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationOptions, simulate
+from repro.engines.accmos import compile_model, run_accmos
+from repro.model.errors import SimulationError, SimulationTimeout
+from repro.runner.cache import ArtifactCache
+from repro.schedule import preprocess
+from repro.stimuli import (
+    ConstantStimulus,
+    IntRandomStimulus,
+    PulseStimulus,
+    RampStimulus,
+    SequenceStimulus,
+    SineStimulus,
+    StepStimulus,
+    UniformRandomStimulus,
+    default_stimuli,
+)
+from repro.stimuli.base import Stimulus
+
+from conftest import requires_cc
+from helpers import ZOO, assert_results_agree
+
+STEPS = 300
+
+
+class OpaqueStimulus(Stimulus):
+    """Wraps a stimulus but hides its runtime descriptor — forcing the
+    legacy baked-in codegen path for path-vs-path comparison."""
+
+    def __init__(self, inner: Stimulus):
+        self.inner = inner
+
+    def reset(self):
+        self.inner.reset()
+
+    def next(self):
+        return self.inner.next()
+
+    def c_decls(self, prefix):
+        return self.inner.c_decls(prefix)
+
+    def c_step(self, target, dtype, prefix):
+        return self.inner.c_step(target, dtype, prefix)
+
+    # runtime_descriptor() inherited: returns None.
+
+
+def _opaque(stimuli):
+    return {name: OpaqueStimulus(s) for name, s in stimuli.items()}
+
+
+@pytest.fixture(scope="module")
+def zoo_programs():
+    programs = {}
+    for name, factory in ZOO.items():
+        model, stimuli = factory()
+        programs[name] = (preprocess(model), stimuli)
+    return programs
+
+
+@requires_cc
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_reusable_matches_sse_and_baked(zoo_programs, name):
+    """Three-way byte identity on every zoo model: SSE, legacy baked-in
+    AccMoS, reusable AccMoS."""
+    prog, stimuli = zoo_programs[name]
+    opts = SimulationOptions(steps=STEPS, coverage=True, diagnostics=True)
+    sse = simulate(prog, stimuli(), engine="sse", options=opts)
+    baked = run_accmos(prog, _opaque(stimuli()), opts, cache=False)
+    reusable = run_accmos(prog, stimuli(), opts, cache=False)
+    assert_results_agree(sse, baked)
+    assert_results_agree(sse, reusable)
+
+
+@requires_cc
+@pytest.mark.parametrize("name", ["mixed_types", "stateful", "guarded"])
+def test_batch_matches_individual_runs(zoo_programs, name):
+    """M cases through one process == M single-case runs, including the
+    per-case reset of actor state, coverage, and diagnostics."""
+    prog, _ = zoo_programs[name]
+    opts = SimulationOptions(steps=STEPS, coverage=True, diagnostics=True)
+    model = compile_model(prog, opts, cache=False)
+    cases = [default_stimuli(prog, seed=s) for s in (3, 1, 9, 1)]
+    batch = model.run_batch([(c, None) for c in cases])
+    for stimuli, got in zip(cases, batch):
+        assert_results_agree(model.run(stimuli), got)
+        assert_results_agree(
+            simulate(prog, stimuli, engine="sse", options=opts), got
+        )
+
+
+@requires_cc
+def test_source_is_stimulus_and_steps_agnostic(zoo_programs, tmp_path):
+    """Different seeds and step counts map to one cache key: a campaign
+    of heterogeneous cases costs exactly one compile."""
+    prog, _ = zoo_programs["stateful"]
+    cache = ArtifactCache(tmp_path / "cache")
+    for seed, steps in [(1, 50), (2, 400), (3, 7), (4, 50)]:
+        run_accmos(
+            prog, default_stimuli(prog, seed=seed),
+            SimulationOptions(steps=steps), cache=cache,
+        )
+    stats = cache.stats()
+    assert stats.misses == 1 and stats.hits == 3
+
+
+@requires_cc
+def test_every_stimulus_kind_roundtrips(zoo_programs):
+    """Each descriptor kind streams the same values from stdin as its
+    baked-in emitter — including int sequences above 2^53, which would
+    corrupt if the interpreter unified the table through double.
+
+    The mixed_types model has an I64 port (X) and an F64 port (F), so
+    every kind is exercised against both dtype families' emitters.
+    """
+    prog, _ = zoo_programs["mixed_types"]
+    int_kinds = [
+        ConstantStimulus(41),
+        SequenceStimulus([2**60 + 7, -(2**61) + 3, 5, 2**63 - 1]),
+        StepStimulus(at=7, before=-5, after=11),
+        PulseStimulus(period=6, duty=2, high=9, low=-2),
+        IntRandomStimulus(78, -100, 100),
+    ]
+    float_kinds = [
+        ConstantStimulus(2.75),
+        SequenceStimulus([0.5, -3.25, float("inf"), 2.0]),
+        RampStimulus(start=-2.0, slope=0.125),
+        SineStimulus(amplitude=3.5, period_steps=17, phase=0.5, bias=-1.0),
+        StepStimulus(at=4, before=-0.5, after=1.5),
+        PulseStimulus(period=5, duty=3, high=2.5, low=-1.25),
+        UniformRandomStimulus(77, -4.0, 4.0),
+    ]
+    opts = SimulationOptions(steps=100)
+    pairs = [(ik, float_kinds[i % len(float_kinds)])
+             for i, ik in enumerate(int_kinds)]
+    pairs += [(int_kinds[i % len(int_kinds)], fk)
+              for i, fk in enumerate(float_kinds)]
+    for x_stim, f_stim in pairs:
+        stimuli = {"X": x_stim, "F": f_stim}
+        baked = run_accmos(prog, _opaque(stimuli), opts, cache=False)
+        reusable = run_accmos(prog, stimuli, opts, cache=False)
+        assert_results_agree(baked, reusable)
+
+
+@requires_cc
+def test_mixed_step_counts_in_one_batch(zoo_programs):
+    """Per-case step counts ride in the descriptor stream."""
+    prog, _ = zoo_programs["stateful"]
+    base = SimulationOptions(steps=100)
+    model = compile_model(prog, base, cache=False)
+    per_case = [
+        SimulationOptions(steps=n) for n in (10, 250, 1, 100)
+    ]
+    stimuli = default_stimuli(prog, seed=4)
+    batch = model.run_batch([(stimuli, o) for o in per_case])
+    for opts, got in zip(per_case, batch):
+        ref = simulate(prog, stimuli, engine="sse", options=opts)
+        assert_results_agree(ref, got)
+        assert got.steps_run == opts.steps
+
+
+@requires_cc
+def test_mid_batch_halt_resets_state():
+    """A case halting early must not leak state, coverage, or
+    diagnostics into the next case of the same batch."""
+    from repro import DiagnosticKind
+    from repro.dtypes import I32
+    from repro.model import ModelBuilder
+
+    b = ModelBuilder("HaltBatch")
+    x = b.inport("X", dtype=I32)
+    y = b.inport("Y", dtype=I32)
+    b.outport("Q", b.div("Div", x, y, dtype=I32))
+    prog = preprocess(b.build())
+
+    opts = SimulationOptions(
+        steps=20, coverage=True, diagnostics=True,
+        halt_on=frozenset({DiagnosticKind.DIV_BY_ZERO}),
+    )
+    model = compile_model(prog, opts, cache=False)
+    cases = [
+        {"X": ConstantStimulus(6), "Y": SequenceStimulus([3, 2, 0, 1])},
+        {"X": ConstantStimulus(6), "Y": ConstantStimulus(2)},
+        {"X": ConstantStimulus(6), "Y": SequenceStimulus([0])},
+        {"X": ConstantStimulus(6), "Y": ConstantStimulus(3)},
+    ]
+    batch = model.run_batch([(c, None) for c in cases])
+    halts = [r.halted_at for r in batch]
+    assert halts == [2, None, 0, None]
+    for stimuli, got in zip(cases, batch):
+        ref = simulate(prog, stimuli, engine="sse", options=opts)
+        assert_results_agree(ref, got)
+
+
+@requires_cc
+def test_mid_batch_timeout_recovers(zoo_programs):
+    """A case blowing its deadline yields a SimulationTimeout entry; the
+    binary resets and the following case is still byte-correct."""
+    prog, _ = zoo_programs["stateful"]
+    opts = SimulationOptions(steps=100)
+    model = compile_model(prog, opts, cache=False)
+    huge = SimulationOptions(steps=2_000_000_000)
+    out = model.run_batch(
+        [
+            (default_stimuli(prog, seed=1), huge),
+            (default_stimuli(prog, seed=2), None),
+        ],
+        timeout_seconds=0.2,
+    )
+    assert isinstance(out[0], SimulationTimeout)
+    assert "wall-clock" in str(out[0])
+    ref = simulate(
+        prog, default_stimuli(prog, seed=2), engine="sse", options=opts
+    )
+    assert_results_agree(ref, out[1])
+
+
+@requires_cc
+def test_single_run_timeout_raises(zoo_programs):
+    prog, _ = zoo_programs["stateful"]
+    model = compile_model(prog, SimulationOptions(steps=100), cache=False)
+    with pytest.raises(SimulationTimeout, match="wall-clock"):
+        model.run(
+            default_stimuli(prog, seed=1),
+            SimulationOptions(steps=2_000_000_000),
+            timeout_seconds=0.2,
+        )
+
+
+def test_execute_timeout_captures_stderr_and_counts(tmp_path):
+    """A killed binary's message carries its stderr, and the kill bumps
+    the engine.accmos.timeouts counter."""
+    from repro import telemetry
+    from repro.codegen.driver import CompiledSimulation
+
+    script = tmp_path / "slow.sh"
+    script.write_text("#!/bin/sh\necho boom-detail >&2\nsleep 30\n")
+    script.chmod(0o755)
+    sim = CompiledSimulation(
+        binary=script, source=script, layout=None, compile_seconds=0.0
+    )
+    with telemetry.capture() as session:
+        with pytest.raises(SimulationTimeout) as excinfo:
+            sim.execute(timeout_seconds=0.2)
+    assert "wall-clock" in str(excinfo.value)
+    assert "boom-detail" in str(excinfo.value)
+    snap = session.metrics.snapshot()
+    assert snap["counters"]["engine.accmos.timeouts"] == 1
+
+
+@requires_cc
+def test_structural_option_change_rejected(zoo_programs):
+    """Per-case options may vary steps/time_budget only; anything that
+    reshapes the binary must go through a fresh compile_model."""
+    prog, _ = zoo_programs["stateful"]
+    model = compile_model(
+        prog, SimulationOptions(steps=100, coverage=True), cache=False
+    )
+    with pytest.raises(SimulationError, match="structure"):
+        model.run(
+            default_stimuli(prog, seed=1),
+            SimulationOptions(steps=100, coverage=False),
+        )
+
+
+@requires_cc
+def test_opaque_stimulus_rejected_by_compiled_model(zoo_programs):
+    prog, _ = zoo_programs["stateful"]
+    model = compile_model(prog, SimulationOptions(steps=50), cache=False)
+    opaque = _opaque(default_stimuli(prog, seed=1))
+    with pytest.raises(SimulationError, match="descriptor"):
+        model.run(opaque)

@@ -50,9 +50,32 @@ class TestParallelIdentity:
         parallel = run_campaign(prog, workers=4, **kwargs)
         assert serial.n_cases == parallel.n_cases == 8
         _assert_outcomes_identical(serial, parallel)
-        # The second sweep re-used every compiled binary: zero gcc runs.
+        # The stimulus-agnostic program gives every case one cache key:
+        # the 16 runs across both sweeps cost exactly one gcc invocation.
         stats = cache.stats()
-        assert stats.misses == 8 and stats.hits == 8
+        assert stats.misses == 1 and stats.hits == 15
+
+    @pytest.mark.parametrize("workers,batch_size,mode", [
+        (1, 4, "thread"),
+        (3, 4, "thread"),
+        (2, 3, "process"),
+    ])
+    def test_batched_campaign_identical_one_compile(
+        self, workers, batch_size, mode, tmp_path
+    ):
+        """batch_size > 1 runs many cases per process on one reused
+        binary: outcomes stay byte-identical to the serial sweep, and a
+        cold cache sees exactly one compiler invocation."""
+        prog = preprocess(build_benchmark("SPV"))
+        kwargs = dict(steps=400, max_cases=10, plateau_patience=100)
+        serial = run_campaign(prog, workers=1, cache=False, **kwargs)
+        cache = ArtifactCache(tmp_path / "cache")
+        batched = run_campaign(
+            prog, workers=workers, batch_size=batch_size, mode=mode,
+            cache=cache, **kwargs,
+        )
+        _assert_outcomes_identical(serial, batched)
+        assert cache.stats().misses == 1
 
     def test_saturation_parity_mid_wave(self, tmp_path):
         """Saturation landing mid-wave discards the rest of the wave."""
