@@ -66,6 +66,9 @@ class CampaignOutcome:
     # (event, seed of the case that first exposed it)
     diagnostics: list[tuple[DiagnosticEvent, int]] = field(default_factory=list)
     saturated: bool = False
+    # Warm-server pool counters (spawns/reuses/restarts/retired_*) for
+    # server-mode campaigns; None when the campaign didn't serve.
+    server_stats: Optional[dict] = None
 
     @property
     def n_cases(self) -> int:
@@ -104,6 +107,7 @@ def run_campaign(
     cache: "Union[ArtifactCache, None, bool]" = None,
     timeout_seconds: Optional[float] = None,
     batch_size: int = 1,
+    serve: bool = True,
 ) -> CampaignOutcome:
     """Run up to ``max_cases`` differently-seeded random test cases.
 
@@ -125,6 +129,13 @@ def run_campaign(
     big throughput lever for many-case campaigns.  Outcomes stay
     byte-identical to ``batch_size=1``; only the mid-wave speculation
     bound grows to ``workers * batch_size - 1`` discarded cases.
+
+    ``serve`` (default on) streams batched cases through warm
+    ``--serve`` processes kept alive across waves — steady-state zero
+    process spawns, with automatic fallback to spawn-per-batch on any
+    server trouble, so results are byte-identical either way.  It only
+    applies where descriptors (and batches) are available, i.e. the
+    AccMoS engine with ``batch_size > 1``.
     """
     if max_cases < 1:
         raise ValueError("max_cases must be at least 1")
@@ -155,4 +166,5 @@ def run_campaign(
         cache=cache,
         timeout_seconds=timeout_seconds,
         batch_size=batch_size,
+        serve=serve,
     )

@@ -243,6 +243,7 @@ def cmd_campaign(args) -> int:
             mode=args.mode,
             timeout_seconds=args.timeout,
             batch_size=args.batch_size,
+            serve=args.serve,
         )
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
@@ -254,6 +255,14 @@ def cmd_campaign(args) -> int:
         print(f"  (seed {seed}) {event}")
     if args.timings:
         _print_timings(outcome.cases)
+        if outcome.server_stats is not None:
+            s = outcome.server_stats
+            retired = (s.get("retired_idle", 0) + s.get("retired_lru", 0)
+                       + s.get("retired_error", 0))
+            print(f"warm servers: {s.get('spawns', 0)} spawn(s), "
+                  f"{s.get('reuses', 0)} reuse(s), "
+                  f"{s.get('restarts', 0)} restart(s), "
+                  f"{retired} retired")
     if args.uncovered:
         print(coverage_listing(prog, outcome.merged, max_items=args.uncovered))
     return 0
@@ -484,6 +493,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=8, metavar="M",
                    help="cases run back-to-back per process on one reused "
                         "binary (1 disables batching)")
+    p.add_argument("--serve", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="stream batched cases through warm --serve "
+                        "processes reused across waves (--no-serve spawns "
+                        "one process per batch instead)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-case wall-clock limit for the compiled binary")
     p.add_argument("--timings", action="store_true",

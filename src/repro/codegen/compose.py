@@ -29,7 +29,10 @@ Two program shapes share everything above:
   structural options, reads stimulus descriptors + per-case step counts
   from stdin (see :mod:`repro.codegen.descriptor`), and runs any number
   of cases back to back, each result section framed by a ``case <i>``
-  line with full state/coverage/diagnostic reset in between.
+  line with full state/coverage/diagnostic reset in between.  Launched
+  with ``--serve`` the same binary is a persistent simulation server:
+  a ``ready`` handshake, then one flushed ``case <i> ... done <i>``
+  frame per stdin record until stdin closes.
 """
 
 from __future__ import annotations
@@ -478,14 +481,23 @@ def _emit_batch_main(
     update_body: str,
     use_halt_label: bool,
 ) -> list[str]:
-    """``main`` for the reusable program: loop over stdin case records."""
+    """``main`` for the reusable program: loop over stdin case records.
+
+    Invoked with ``--serve`` the same loop becomes a persistent server:
+    it prints a ``ready`` handshake up front and flushes stdout after
+    every case's ``done <i>`` trailer, so a host process can stream case
+    records in and parse each result frame as soon as it completes —
+    one warm process, zero respawns, until stdin closes.
+    """
     lines: list[str] = []
-    lines.append("int main(void) {")
+    lines.append("int main(int argc, char **argv) {")
     lines.append("    long long _case_steps;")
     lines.append("    double _case_budget, _case_deadline;")
     lines.append("    int _case_index = 0;")
     lines.append("    int _rc;")
+    lines.append("    int _serve = acc_serve_mode(argc, argv);")
     lines.append("    struct timespec _t0, _t1;")
+    lines.append('    if (_serve) { printf("ready\\n"); fflush(stdout); }')
     lines.append(
         "    while ((_rc = acc_read_case(&_case_steps, &_case_budget, "
         "&_case_deadline)) == 1) {"
@@ -546,6 +558,10 @@ def _emit_batch_main(
     lines.append(_indent(_emit_report(prog, plan, layout, options), 8))
     lines.append(
         '        if (_case_timed_out) printf("timeout 1\\n");'
+    )
+    lines.append(
+        '        if (_serve) { printf("done %d\\n", _case_index); '
+        "fflush(stdout); }"
     )
     lines.append("        _case_index++;")
     lines.append("    }")

@@ -10,13 +10,15 @@ Compile flags matter for the bit-for-bit equivalence contract:
 
 from __future__ import annotations
 
+import queue
 import subprocess
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from shutil import which
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro import telemetry
 from repro.coverage.bitmap import Bitmap
@@ -83,7 +85,28 @@ class CompiledSimulation:
             )
         except subprocess.TimeoutExpired:
             proc.kill()
-            _, stderr = proc.communicate()
+            # Even after the kill the drain can hang on a wedged pipe
+            # (e.g. a stopped child still holding the write end), so it
+            # gets its own short budget and the pipes are closed
+            # explicitly either way.
+            stderr = ""
+            try:
+                _, stderr = proc.communicate(timeout=2.0)
+            except subprocess.TimeoutExpired as drain:
+                # An orphaned grandchild can hold the pipe open past the
+                # kill; whatever was drained before the budget ran out
+                # rides on the exception (as bytes).
+                raw = drain.stderr
+                if isinstance(raw, bytes):
+                    raw = raw.decode(errors="replace")
+                stderr = raw or ""
+            finally:
+                for pipe in (proc.stdin, proc.stdout, proc.stderr):
+                    if pipe is not None:
+                        try:
+                            pipe.close()
+                        except OSError:
+                            pass
             telemetry.counter_inc("engine.accmos.timeouts")
             detail = ""
             if stderr and stderr.strip():
@@ -93,6 +116,7 @@ class CompiledSimulation:
                 f"{timeout_seconds:g}s wall-clock budget and was killed"
                 f"{detail}"
             ) from None
+        telemetry.observe("engine.accmos.stdout_bytes", len(stdout))
         if proc.returncode != 0:
             raise SimulationError(
                 f"simulation binary failed (exit {proc.returncode}): "
@@ -193,16 +217,45 @@ def _parse_value(text: str, dtype: DType):
     return int(text)
 
 
+@dataclass
+class ParseTables:
+    """Per-layout lookup tables the protocol parser needs on every line.
+
+    Building them costs a few dict constructions per call; batch and
+    server-mode parsing reuse one instance across all case frames
+    instead of rebuilding per frame.
+    """
+
+    out_dtypes: dict
+    mon_by_id: dict
+    metric_by_name: dict
+
+    @classmethod
+    def for_layout(cls, layout: ProgramLayout) -> "ParseTables":
+        return cls(
+            out_dtypes=dict(layout.outports),
+            mon_by_id={mon.mid: mon for mon in layout.monitors},
+            metric_by_name={m.value: m for m in Metric},
+        )
+
+
 def parse_result(
-    stdout: str,
+    stdout: Union[str, Iterable[str]],
     prog: FlatProgram,
     plan: InstrumentationPlan,
     layout: ProgramLayout,
     options: SimulationOptions,
     *,
     engine: str = "accmos",
+    tables: Optional[ParseTables] = None,
 ) -> SimulationResult:
-    """Turn the protocol text into the shared result schema."""
+    """Turn the protocol text into the shared result schema.
+
+    ``stdout`` is the raw text or any iterable of protocol lines (batch
+    frames and server-mode streams hand lines over directly — no
+    join/re-split copy).  ``tables`` lets multi-frame callers hoist the
+    per-layout lookup tables out of their per-case loop.
+    """
     steps_run = 0
     halt_step = -1
     sim_seconds = 0.0
@@ -217,11 +270,14 @@ def parse_result(
     for event in plan.static_warnings:
         log.add_static(event.path, event.kind, event.message)
 
-    out_dtypes = dict(layout.outports)
-    mon_by_id = {mon.mid: mon for mon in layout.monitors}
-    metric_by_name = {m.value: m for m in Metric}
+    if tables is None:
+        tables = ParseTables.for_layout(layout)
+    out_dtypes = tables.out_dtypes
+    mon_by_id = tables.mon_by_id
+    metric_by_name = tables.metric_by_name
 
-    for line in stdout.splitlines():
+    lines = stdout.splitlines() if isinstance(stdout, str) else stdout
+    for line in lines:
         parts = line.split()
         if not parts:
             continue
@@ -296,24 +352,22 @@ def parse_result(
 # ----------------------------------------------------------------------
 # batch framing
 # ----------------------------------------------------------------------
-def split_case_frames(stdout: str) -> list[str]:
+def split_case_frames(stdout: str) -> "list[list[str]]":
     """Split a batched run's stdout into per-case protocol sections.
 
     The reusable program prints ``case <i>`` before each case's records;
     everything before the first marker (there is nothing, normally) is
-    discarded.
+    discarded.  Each frame is the case's list of protocol lines, handed
+    to :func:`parse_result` as-is — no string re-join/re-split copy.
     """
-    frames: list[str] = []
+    frames: list[list[str]] = []
     current: Optional[list[str]] = None
     for line in stdout.splitlines():
         if line.startswith("case ") or line == "case":
-            if current is not None:
-                frames.append("\n".join(current))
             current = []
+            frames.append(current)
         elif current is not None:
             current.append(line)
-    if current is not None:
-        frames.append("\n".join(current))
     return frames
 
 
@@ -339,7 +393,251 @@ def parse_batch_result(
             f"batched simulation produced {len(frames)} result frame(s) "
             f"for {len(options_per_case)} submitted case(s)"
         )
+    tables = ParseTables.for_layout(layout)
     return [
-        parse_result(frame, prog, plan, layout, options, engine=engine)
+        parse_result(
+            frame, prog, plan, layout, options, engine=engine, tables=tables
+        )
         for frame, options in zip(frames, options_per_case)
     ]
+
+
+# ----------------------------------------------------------------------
+# server mode
+# ----------------------------------------------------------------------
+class ServerError(SimulationError):
+    """A persistent ``--serve`` process crashed, desynced, or went quiet.
+
+    Unlike a plain :class:`SimulationError` this is recoverable by
+    design: the caller kills the handle, restarts or falls back to the
+    spawn-per-batch path, and resubmits from the last completed case.
+    """
+
+
+class SimulationServer:
+    """Handle on one warm ``--serve`` process of a compiled binary.
+
+    The process is spawned once, prints a ``ready`` handshake, and then
+    serves an unbounded stream of case records: :meth:`submit` writes
+    one encoded descriptor record to its stdin, :meth:`read_frame`
+    returns that case's protocol lines as soon as its ``done`` trailer
+    arrives.  stdout is pumped by a background reader thread that
+    assembles whole frames (``case`` header through ``done`` trailer)
+    before enqueueing them — one queue hand-off per case, not per line,
+    which keeps the warm-server path faster than respawning — so
+    parsing overlaps the C execution of later cases and every read
+    carries a wall-clock deadline: a wedged or dead server raises
+    :class:`ServerError` instead of blocking forever.
+
+    Frame indices are validated against the server's monotonic case
+    counter; any mismatch (a desync — lines lost or a foreign process on
+    the pipe) also raises :class:`ServerError`.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledSimulation,
+        *,
+        handshake_timeout: float = 10.0,
+    ) -> None:
+        self.compiled = compiled
+        self.submitted = 0
+        self.completed = 0
+        self._closed = False
+        # Events from the reader thread, one per *frame* (not per line):
+        #   ("line", text)                    — a line outside any frame
+        #   ("frame", header, body, trailer)  — one complete case frame
+        #   None                              — stdout EOF
+        self._events: "queue.Queue[Optional[tuple]]" = queue.Queue()
+        self._stderr_tail: list[str] = []
+        self._proc = subprocess.Popen(
+            [str(compiled.binary), "--serve"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self._reader = threading.Thread(
+            target=self._pump_stdout, name="accmos-server-reader", daemon=True
+        )
+        self._reader.start()
+        self._err_reader = threading.Thread(
+            target=self._pump_stderr, name="accmos-server-stderr", daemon=True
+        )
+        self._err_reader.start()
+        kind, payload = self._next_event(handshake_timeout, context="handshake")
+        if kind != "line" or payload.strip() != "ready":
+            self.kill()
+            raise ServerError(
+                f"server handshake expected 'ready', got {payload!r}"
+            )
+
+    # -- background pumps ------------------------------------------------
+    def _pump_stdout(self) -> None:
+        # Assemble whole frames here so the consumer pays one queue
+        # round-trip per case.  No index validation in this thread —
+        # read_frame checks header/trailer against ``completed`` so a
+        # desync surfaces on the caller's side as ServerError.
+        header: Optional[str] = None
+        body: list[str] = []
+        try:
+            for raw in self._proc.stdout:
+                line = raw.rstrip("\n")
+                if header is None:
+                    if line.startswith("case "):
+                        header = line
+                        body = []
+                    else:
+                        self._events.put(("line", line))
+                elif line.startswith("done "):
+                    self._events.put(("frame", header, body, line))
+                    header = None
+                elif line.startswith("case "):
+                    # New header with no trailer: flush the truncated
+                    # frame (trailer None → desync at read time).
+                    self._events.put(("frame", header, body, None))
+                    header = line
+                    body = []
+                else:
+                    body.append(line)
+        except ValueError:  # pipe closed under us during shutdown
+            pass
+        if header is not None:
+            self._events.put(("frame", header, body, None))
+        self._events.put(None)
+
+    def _pump_stderr(self) -> None:
+        try:
+            for line in self._proc.stderr:
+                self._stderr_tail.append(line.rstrip("\n"))
+                del self._stderr_tail[:-20]
+        except ValueError:
+            pass
+
+    # -- liveness --------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._closed and self._proc.poll() is None
+
+    @property
+    def pid(self) -> int:
+        return self._proc.pid
+
+    @property
+    def pending(self) -> int:
+        """Cases submitted whose result frames have not been read yet."""
+        return self.submitted - self.completed
+
+    def _death_detail(self) -> str:
+        rc = self._proc.poll()
+        detail = f" (exit {rc})" if rc is not None else ""
+        if self._stderr_tail:
+            tail = " | ".join(self._stderr_tail)[:500]
+            detail += f"; stderr: {tail}"
+        return detail
+
+    def _next_event(self, timeout: Optional[float], *, context: str) -> tuple:
+        try:
+            event = self._events.get(timeout=timeout)
+        except queue.Empty:
+            raise ServerError(
+                f"server produced no output within {timeout:g}s "
+                f"during {context}{self._death_detail()}"
+            ) from None
+        if event is None:
+            raise ServerError(
+                f"server stdout closed during {context}{self._death_detail()}"
+            )
+        return event
+
+    # -- protocol --------------------------------------------------------
+    def submit(self, record: str) -> int:
+        """Write one encoded case record; returns the case's index."""
+        if self._closed:
+            raise ServerError("submit on a closed server")
+        try:
+            self._proc.stdin.write(record)
+            self._proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise ServerError(
+                f"server rejected case submission: {exc}{self._death_detail()}"
+            ) from exc
+        index = self.submitted
+        self.submitted += 1
+        return index
+
+    def read_frame(self, timeout: Optional[float] = None) -> "list[str]":
+        """Protocol lines of the next completed case, in submit order.
+
+        Blocks until the case's ``done`` trailer arrives (so the frame
+        is complete and flushed), at most ``timeout`` seconds.  Header
+        and trailer indices are checked against the number of frames
+        already read; a mismatch means the stream desynced.
+        """
+        context = f"case {self.completed}"
+        event = self._next_event(timeout, context=context)
+        if event[0] != "frame":
+            raise ServerError(
+                f"server frame desync: expected 'case {self.completed}', "
+                f"got {event[1]!r}"
+            )
+        _, header, body, trailer = event
+        parts = header.split()
+        if len(parts) != 2 or parts[1] != str(self.completed):
+            raise ServerError(
+                f"server frame desync: expected 'case {self.completed}', "
+                f"got {header!r}"
+            )
+        if trailer is None:
+            raise ServerError(
+                f"server frame desync: {context} frame truncated "
+                f"(no 'done' trailer){self._death_detail()}"
+            )
+        parts = trailer.split()
+        if len(parts) != 2 or parts[1] != str(self.completed):
+            raise ServerError(
+                f"server frame desync: expected 'done {self.completed}', "
+                f"got {trailer!r}"
+            )
+        self.completed += 1
+        return body
+
+    # -- shutdown --------------------------------------------------------
+    def close(self, timeout: float = 2.0) -> None:
+        """Graceful shutdown: close stdin (clean EOF), then reap."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._proc.stdin.close()
+        except OSError:
+            pass
+        try:
+            self._proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self._proc.kill()
+            try:
+                self._proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                pass
+        self._cleanup_pipes()
+
+    def kill(self) -> None:
+        """Hard stop — used on crash, desync, or deadline overrun."""
+        if self._closed:
+            return
+        self._closed = True
+        self._proc.kill()
+        try:
+            self._proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            pass
+        self._cleanup_pipes()
+
+    def _cleanup_pipes(self) -> None:
+        for pipe in (self._proc.stdin, self._proc.stdout, self._proc.stderr):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass

@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Union
 
 from repro import telemetry
 from repro.codegen.compose import (
@@ -44,6 +44,9 @@ from repro.codegen.compose import (
 from repro.codegen.descriptor import descriptors_for, encode_case
 from repro.codegen.driver import (
     CompiledSimulation,
+    ParseTables,
+    ServerError,
+    SimulationServer,
     compile_c_program,
     parse_batch_result,
     parse_result,
@@ -181,6 +184,141 @@ class CompiledModel:
         return outcomes
 
     # ------------------------------------------------------------------
+    def serve(self, *, handshake_timeout: float = 10.0) -> "ModelServer":
+        """Spawn a warm ``--serve`` process bound to this binary.
+
+        The returned :class:`ModelServer` accepts an unbounded stream of
+        cases with zero respawns; hand it to :meth:`run_stream` (or keep
+        it in a :class:`~repro.runner.servers.ServerPool`) to amortize
+        process startup across batches and jobs.
+        """
+        return ModelServer(self, handshake_timeout=handshake_timeout)
+
+    def run_stream(
+        self,
+        cases: Sequence[BatchCase],
+        *,
+        timeout_seconds: Optional[float] = None,
+        server: "Optional[ModelServer]" = None,
+        window: int = 4,
+    ) -> Iterator[Union[SimulationResult, SimulationTimeout]]:
+        """Stream M cases through a warm server, yielding results as
+        each case's frame completes.
+
+        Submission runs ``window`` cases ahead of parsing so the C
+        process always has work queued while Python parses earlier
+        frames — execution and parsing overlap instead of serializing.
+        Outcomes arrive in submit order with :meth:`run_batch`'s
+        contract (per-case :class:`SimulationTimeout` entries instead of
+        raising).
+
+        ``server`` reuses an existing warm :class:`ModelServer` (e.g.
+        from a pool); without it a private server is spawned and closed
+        around the stream.  On a crash, protocol desync, or per-case
+        deadline overrun at the process level, the server is killed and
+        restarted once and the unfinished cases are resubmitted; a
+        second consecutive failure on the same case falls back to the
+        spawn-per-batch :meth:`run_batch` path — results are therefore
+        always produced, byte-identical to the non-server path.
+        """
+        cases = list(cases)
+        if not cases:
+            return
+        normalized = [self._normalize(case) for case in cases]
+        records = [
+            encode_case(
+                descriptors,
+                steps=options.steps,
+                time_budget=options.time_budget,
+                deadline=timeout_seconds,
+            )
+            for options, descriptors in normalized
+        ]
+        tables = ParseTables.for_layout(self.layout)
+        # The in-binary deadline does the real limiting (emitting
+        # ``timeout 1`` in the frame); the read deadline is a backstop
+        # against a wedged process.
+        read_timeout = (
+            None if timeout_seconds is None else timeout_seconds + 5.0
+        )
+        owned = server is None
+        if owned:
+            server = self.serve()
+        n = len(cases)
+        done = 0
+        failures = 0
+        try:
+            with telemetry.span(
+                "accmos.stream", model=self.prog.model.name, cases=n
+            ):
+                while done < n:
+                    try:
+                        sub = done
+                        submit_times: dict[int, float] = {}
+                        while sub < min(done + max(1, window), n):
+                            server.server.submit(records[sub])
+                            submit_times[sub] = time.perf_counter()
+                            sub += 1
+                        while done < n:
+                            frame = server.server.read_frame(
+                                timeout=read_timeout
+                            )
+                            latency = (
+                                time.perf_counter() - submit_times[done]
+                            )
+                            telemetry.observe(
+                                "runner.server.submit_to_result_seconds",
+                                latency,
+                            )
+                            t0 = time.perf_counter()
+                            result = parse_result(
+                                frame,
+                                self.prog,
+                                self.plan,
+                                self.layout,
+                                normalized[done][0],
+                                engine="accmos",
+                                tables=tables,
+                            )
+                            parse_seconds = time.perf_counter() - t0
+                            outcome = self._finalize(
+                                result,
+                                index=done,
+                                batch_size=n,
+                                timeout_seconds=timeout_seconds,
+                                execute_seconds=latency,
+                                parse_seconds=parse_seconds,
+                            )
+                            done += 1
+                            failures = 0
+                            if sub < n:
+                                server.server.submit(records[sub])
+                                submit_times[sub] = time.perf_counter()
+                                sub += 1
+                            yield outcome
+                    except ServerError:
+                        failures += 1
+                        server.server.kill()
+                        if failures < 2:
+                            try:
+                                server.restart()
+                                continue  # resubmit from `done`
+                            except Exception:
+                                pass
+                        # Two strikes on the same case (or the restart
+                        # itself failed): fall back to spawn-per-batch
+                        # for everything unfinished.
+                        telemetry.counter_inc("runner.server_fallbacks")
+                        for outcome in self._dispatch(
+                            cases[done:], timeout_seconds=timeout_seconds
+                        ):
+                            yield outcome
+                        return
+        finally:
+            if owned:
+                server.close()
+
+    # ------------------------------------------------------------------
     def _normalize(self, case: BatchCase):
         if isinstance(case, tuple):
             stimuli, options = case
@@ -252,40 +390,109 @@ class CompiledModel:
         parse_seconds = time.perf_counter() - t0
 
         share = 1.0 / max(1, len(results))
-        outcomes: list[Union[SimulationResult, SimulationTimeout]] = []
-        for index, result in enumerate(results):
-            if result.extra.pop("deadline_exceeded", False):
-                telemetry.counter_inc("engine.accmos.timeouts")
-                outcomes.append(
-                    SimulationTimeout(
-                        f"simulation case {index} exceeded its "
-                        f"{timeout_seconds:g}s wall-clock budget (stopped "
-                        f"in-binary after {result.steps_run} steps)"
-                    )
-                )
-                continue
-            telemetry.counter_inc("engine.accmos.runs")
-            telemetry.counter_inc("engine.accmos.steps", result.steps_run)
-            telemetry.counter_inc(
-                "diagnostics.events", len(result.diagnostics)
-            )
-            if result.wall_time > 0:
-                telemetry.observe(
-                    "engine.accmos.steps_per_sec",
-                    result.steps_run / result.wall_time,
-                )
-            result.extra.update(
-                generate_seconds=self.generate_seconds,
-                compile_seconds=self.compiled.compile_seconds,
+        return [
+            self._finalize(
+                result,
+                index=index,
+                batch_size=len(results),
+                timeout_seconds=timeout_seconds,
                 execute_seconds=execute_seconds * share,
                 parse_seconds=parse_seconds * share,
-                cache_hit=self.compiled.cache_hit,
-                source_lines=self.source.count("\n") + 1,
-                batch_size=len(results),
-                batch_index=index,
             )
-            outcomes.append(result)
-        return outcomes
+            for index, result in enumerate(results)
+        ]
+
+    def _finalize(
+        self,
+        result: SimulationResult,
+        *,
+        index: int,
+        batch_size: int,
+        timeout_seconds: Optional[float],
+        execute_seconds: float,
+        parse_seconds: float,
+    ) -> Union[SimulationResult, SimulationTimeout]:
+        """Per-case telemetry + extra fields; shared by batch and stream."""
+        if result.extra.pop("deadline_exceeded", False):
+            telemetry.counter_inc("engine.accmos.timeouts")
+            return SimulationTimeout(
+                f"simulation case {index} exceeded its "
+                f"{timeout_seconds:g}s wall-clock budget (stopped "
+                f"in-binary after {result.steps_run} steps)"
+            )
+        telemetry.counter_inc("engine.accmos.runs")
+        telemetry.counter_inc("engine.accmos.steps", result.steps_run)
+        telemetry.counter_inc("diagnostics.events", len(result.diagnostics))
+        if result.wall_time > 0:
+            telemetry.observe(
+                "engine.accmos.steps_per_sec",
+                result.steps_run / result.wall_time,
+            )
+        result.extra.update(
+            generate_seconds=self.generate_seconds,
+            compile_seconds=self.compiled.compile_seconds,
+            execute_seconds=execute_seconds,
+            parse_seconds=parse_seconds,
+            cache_hit=self.compiled.cache_hit,
+            source_lines=self.source.count("\n") + 1,
+            batch_size=batch_size,
+            batch_index=index,
+        )
+        return result
+
+
+class ModelServer:
+    """A warm ``--serve`` process bound to one :class:`CompiledModel`.
+
+    Thin lifecycle wrapper over the wire-level
+    :class:`~repro.codegen.driver.SimulationServer`: it knows how to
+    respawn the process in place (:meth:`restart`) so pool handles stay
+    valid across crashes, and it books the spawn/restart telemetry.
+    """
+
+    def __init__(
+        self, model: CompiledModel, *, handshake_timeout: float = 10.0
+    ) -> None:
+        self.model = model
+        self.restarts = 0
+        self._handshake_timeout = handshake_timeout
+        self._server = self._spawn()
+
+    def _spawn(self) -> SimulationServer:
+        with telemetry.span(
+            "server.spawn", model=self.model.prog.model.name
+        ):
+            server = SimulationServer(
+                self.model.compiled,
+                handshake_timeout=self._handshake_timeout,
+            )
+        telemetry.counter_inc("runner.server.spawns")
+        return server
+
+    @property
+    def server(self) -> SimulationServer:
+        return self._server
+
+    @property
+    def alive(self) -> bool:
+        return self._server.alive
+
+    @property
+    def pid(self) -> int:
+        return self._server.pid
+
+    def restart(self) -> None:
+        """Kill the process and spawn a fresh one on the same handle."""
+        self._server.kill()
+        self._server = self._spawn()
+        self.restarts += 1
+        telemetry.counter_inc("runner.server.restarts")
+
+    def close(self) -> None:
+        self._server.close()
+
+    def kill(self) -> None:
+        self._server.kill()
 
 
 def compile_model(

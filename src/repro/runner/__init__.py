@@ -9,6 +9,9 @@ Three cooperating pieces:
   :class:`SimulationJob` specs executed across a thread/process pool
   with per-job timeout, bounded retry with backoff, and structured
   :class:`JobResult` records (outcome, attempts, per-phase timings);
+* :mod:`repro.runner.servers` — warm-process pool of persistent
+  ``--serve`` simulation servers, keyed by compiled artifact, reused
+  across batches and waves (idle-TTL / LRU retirement);
 * :mod:`repro.runner.campaign` — the wave-dispatched campaign core
   whose parallel merges are byte-identical to serial runs.
 """
@@ -31,8 +34,10 @@ from repro.runner.jobs import (
     run_job,
 )
 from repro.runner.pool import default_workers, run_jobs
+from repro.runner.servers import ServerPool
 
 __all__ = [
+    "ServerPool",
     "ArtifactCache",
     "CacheEntry",
     "CacheStats",

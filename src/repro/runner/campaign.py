@@ -47,6 +47,7 @@ def execute_campaign(
     timeout_seconds: Optional[float] = None,
     retries: int = 1,
     batch_size: int = 1,
+    serve: bool = False,
 ):
     """Run the campaign; see :func:`repro.campaign.run_campaign`.
 
@@ -57,22 +58,42 @@ def execute_campaign(
     opts = options or SimulationOptions(steps=steps)
     outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
 
-    with telemetry.span(
-        "campaign", model=prog.model.name, engine=engine,
-        max_cases=max_cases, workers=workers, mode=mode,
-        batch_size=batch_size,
-    ) as campaign_span:
-        _campaign_waves(
-            prog, outcome, opts,
-            engine=engine, max_cases=max_cases,
-            plateau_patience=plateau_patience, base_seed=base_seed,
-            workers=workers, mode=mode, cache=cache,
-            timeout_seconds=timeout_seconds, retries=retries,
-            batch_size=batch_size,
-        )
-        campaign_span.set(
-            cases=len(outcome.cases), saturated=outcome.saturated
-        )
+    # One warm-server pool for the whole campaign (thread/inline mode):
+    # servers survive across waves, so the steady state respawns
+    # nothing.  Process mode keeps pools inside the worker processes
+    # instead; their counter deltas ride back on the JobResults.
+    serve = serve and engine == "accmos" and batch_size > 1
+    server_pool = None
+    if serve and mode != "process":
+        from repro.runner.servers import ServerPool
+
+        server_pool = ServerPool(max_servers=max(workers * 2, 4))
+
+    try:
+        with telemetry.span(
+            "campaign", model=prog.model.name, engine=engine,
+            max_cases=max_cases, workers=workers, mode=mode,
+            batch_size=batch_size, serve=serve,
+        ) as campaign_span:
+            _campaign_waves(
+                prog, outcome, opts,
+                engine=engine, max_cases=max_cases,
+                plateau_patience=plateau_patience, base_seed=base_seed,
+                workers=workers, mode=mode, cache=cache,
+                timeout_seconds=timeout_seconds, retries=retries,
+                batch_size=batch_size, serve=serve, server_pool=server_pool,
+            )
+            campaign_span.set(
+                cases=len(outcome.cases), saturated=outcome.saturated
+            )
+    finally:
+        if server_pool is not None:
+            from repro.runner.servers import merge_server_stats
+
+            outcome.server_stats = merge_server_stats(
+                outcome.server_stats, server_pool.stats()
+            )
+            server_pool.close()
     telemetry.counter_inc("campaign.runs")
     telemetry.counter_inc("campaign.cases", len(outcome.cases))
     return outcome
@@ -93,6 +114,8 @@ def _campaign_waves(
     timeout_seconds: Optional[float],
     retries: int,
     batch_size: int = 1,
+    serve: bool = False,
+    server_pool=None,
 ) -> None:
     """The wave loop, folding results into ``outcome`` in seed order."""
     from repro.campaign import CaseOutcome
@@ -121,7 +144,21 @@ def _campaign_waves(
             timeout_seconds=timeout_seconds,
             retries=retries,
             batch_size=batch_size,
+            serve=serve,
+            server_pool=server_pool,
         )
+
+        # Process-mode chunks ship their worker pool's counter deltas;
+        # fold them before the merge (discarded-on-saturation results
+        # still ran, so their counters still count).
+        if serve:
+            from repro.runner.servers import merge_server_stats
+
+            for job_result in results:
+                if job_result.server_stats:
+                    outcome.server_stats = merge_server_stats(
+                        outcome.server_stats, job_result.server_stats
+                    )
 
         # Ordered merge: fold strictly in seed order, stop at saturation.
         for job_result in results:

@@ -93,6 +93,10 @@ class JobResult:
     # parent.  None in thread/inline mode, where state is already shared.
     cache_stats: Optional[dict] = None
     telemetry: Optional[dict] = field(default=None, repr=False)
+    # Warm-server pool counter deltas (spawns/reuses/restarts/retired_*)
+    # shipped the same way from process-mode workers; folded into the
+    # campaign's server stats.  None in thread/inline mode.
+    server_stats: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -278,6 +282,7 @@ def run_job_batch(
     timeout_seconds: Optional[float] = None,
     retries: int = 1,
     backoff_seconds: float = 0.05,
+    server_pool=None,
     _sleep=time.sleep,
 ) -> "list[JobResult]":
     """Execute one same-key group of jobs on a single compiled binary.
@@ -288,6 +293,11 @@ def run_job_batch(
     other cases.  If anything else goes wrong mid-batch, the whole group
     falls back to the per-job :func:`run_job` path — batching can change
     throughput, never results.
+
+    With ``server_pool`` (a :class:`~repro.runner.servers.ServerPool`)
+    the group is streamed through a warm ``--serve`` process instead of
+    spawning a fresh one — the top rung of the fallback ladder
+    (server stream → spawn-per-batch → per-job).
     """
     if len(jobs) == 1:
         return [
@@ -326,20 +336,35 @@ def run_job_batch(
                     return _fallback()
                 _sleep(backoff_seconds * (2**attempt))
 
-        try:
-            outcomes = model.run_batch(
-                [
-                    (job.resolved_stimuli(), job.resolved_options())
-                    for job in jobs
-                ],
-                timeout_seconds=timeout_seconds,
-            )
-        except Exception:
-            # Frame mismatch, a wedged binary hitting the process-level
-            # backstop, a crash — re-run the group case by case.
-            batch_span.set(outcome="fallback")
-            telemetry.counter_inc("runner.batch_fallbacks")
-            return _fallback()
+        case_list = [
+            (job.resolved_stimuli(), job.resolved_options())
+            for job in jobs
+        ]
+        outcomes = None
+        if server_pool is not None:
+            try:
+                outcomes = server_pool.run_batch(
+                    model, case_list, timeout_seconds=timeout_seconds
+                )
+                batch_span.set(served=True)
+            except Exception:
+                # run_stream already degrades to spawn-per-batch on
+                # crashes; getting here means even acquiring/spawning a
+                # server failed — drop a rung on the ladder.
+                telemetry.counter_inc("runner.server_fallbacks")
+                outcomes = None
+        if outcomes is None:
+            try:
+                outcomes = model.run_batch(
+                    case_list, timeout_seconds=timeout_seconds
+                )
+            except Exception:
+                # Frame mismatch, a wedged binary hitting the process-
+                # level backstop, a crash — re-run the group case by
+                # case.
+                batch_span.set(outcome="fallback")
+                telemetry.counter_inc("runner.batch_fallbacks")
+                return _fallback()
         batch_span.set(outcome="ok", cache_hit=model.cache_hit)
 
     results: list[JobResult] = []

@@ -92,11 +92,16 @@ def _run_chunk_in_process(
     retries: int,
     backoff_seconds: float,
     telemetry_on: bool = False,
+    serve: bool = False,
 ) -> "list[JobResult]":
     """Process-pool entry point for a batched chunk of same-key jobs.
 
     The chunk's cache-counter deltas and telemetry payload ride back on
     its first result (the chunk is folded as one unit by the parent).
+    With ``serve``, the chunk streams through the worker process's
+    module-global warm-server pool — servers survive between chunks of
+    the same worker — and the pool's counter deltas ride back the same
+    way (``JobResult.server_stats``).
     """
     session = telemetry.enable() if telemetry_on else None
     cache: "Union[ArtifactCache, None, bool]" = False
@@ -104,6 +109,11 @@ def _run_chunk_in_process(
         from repro.runner.cache import ArtifactCache
 
         cache = ArtifactCache(cache_root, max_bytes=max_bytes)
+    server_pool = None
+    if serve:
+        from repro.runner.servers import worker_pool
+
+        server_pool = worker_pool()
     try:
         results = run_job_batch(
             chunk,
@@ -111,6 +121,7 @@ def _run_chunk_in_process(
             timeout_seconds=timeout_seconds,
             retries=retries,
             backoff_seconds=backoff_seconds,
+            server_pool=server_pool,
         )
     finally:
         if session is not None:
@@ -119,6 +130,8 @@ def _run_chunk_in_process(
         results[0].cache_stats = cache.counters()
     if session is not None and results:
         results[0].telemetry = session.export()
+    if server_pool is not None and results:
+        results[0].server_stats = server_pool.pop_stats()
     return results
 
 
@@ -132,6 +145,8 @@ def run_jobs(
     retries: int = 1,
     backoff_seconds: float = 0.05,
     batch_size: int = 1,
+    serve: bool = False,
+    server_pool=None,
 ) -> list[JobResult]:
     """Execute every job; returns one :class:`JobResult` per job, in order.
 
@@ -144,6 +159,14 @@ def run_jobs(
     each batch served by one compiled binary and one process invocation
     (see :func:`repro.runner.jobs.run_job_batch`); results are still one
     per job, in submission order.
+
+    ``serve`` streams batched chunks through warm ``--serve`` processes
+    instead of spawning one per chunk (only meaningful with
+    ``batch_size > 1``).  ``server_pool`` supplies a caller-owned
+    :class:`~repro.runner.servers.ServerPool` that outlives this call —
+    a campaign passes one so servers stay warm across waves; without it
+    (and with ``serve``) a dispatch-local pool is created and closed on
+    return.  In process mode each worker process keeps its own pool.
     """
     if mode not in ("thread", "process"):
         raise ValueError(f"mode must be 'thread' or 'process', not {mode!r}")
@@ -164,7 +187,8 @@ def run_jobs(
         return _run_jobs_batched(
             jobs, workers=workers, mode=mode, batch_size=batch_size,
             cache=cache, timeout_seconds=timeout_seconds, retries=retries,
-            backoff_seconds=backoff_seconds,
+            backoff_seconds=backoff_seconds, serve=serve or server_pool is not None,
+            server_pool=server_pool,
         )
     if workers == 1 or len(jobs) <= 1:
         return [run_job(job, **kwargs) for job in jobs]
@@ -230,14 +254,26 @@ def _run_jobs_batched(
     timeout_seconds: Optional[float],
     retries: int,
     backoff_seconds: float,
+    serve: bool = False,
+    server_pool=None,
 ) -> list[JobResult]:
     """Chunked dispatch: same-key jobs batched onto shared binaries."""
     chunks = plan_batches(jobs, batch_size)
+    # Thread/inline mode shares one warm-server pool across all chunks;
+    # a caller-provided pool additionally survives this dispatch (the
+    # campaign reuses servers across waves).  Process mode instead tells
+    # each worker to use its process-local pool.
+    own_pool = None
+    if serve and mode != "process" and server_pool is None:
+        from repro.runner.servers import ServerPool
+
+        own_pool = server_pool = ServerPool(max_servers=max(workers * 2, 4))
     kwargs = dict(
         cache=cache,
         timeout_seconds=timeout_seconds,
         retries=retries,
         backoff_seconds=backoff_seconds,
+        server_pool=server_pool if mode != "process" else None,
     )
     ordered: list[Optional[JobResult]] = [None] * len(jobs)
 
@@ -245,10 +281,41 @@ def _run_jobs_batched(
         for index, result in zip(chunk, results):
             ordered[index] = result
 
-    if workers == 1 or len(chunks) <= 1:
-        for chunk in chunks:
-            place(chunk, run_job_batch([jobs[i] for i in chunk], **kwargs))
-        return ordered  # type: ignore[return-value]
+    try:
+        if workers == 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                place(
+                    chunk, run_job_batch([jobs[i] for i in chunk], **kwargs)
+                )
+            return ordered  # type: ignore[return-value]
+        return _run_jobs_batched_pooled(
+            jobs, chunks, ordered, place,
+            workers=workers, mode=mode, batch_size=batch_size,
+            cache=cache, timeout_seconds=timeout_seconds,
+            retries=retries, backoff_seconds=backoff_seconds,
+            serve=serve, kwargs=kwargs,
+        )
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+
+
+def _run_jobs_batched_pooled(
+    jobs: "list[SimulationJob]",
+    chunks: "list[list[int]]",
+    ordered: "list[Optional[JobResult]]",
+    place,
+    *,
+    workers: int,
+    mode: str,
+    batch_size: int,
+    cache: "Union[ArtifactCache, None, bool]",
+    timeout_seconds: Optional[float],
+    retries: int,
+    backoff_seconds: float,
+    serve: bool,
+    kwargs: dict,
+) -> list[JobResult]:
 
     # Warm the artifact cache once per distinct (program, structural
     # options) before fanning out, so concurrent chunks don't race a
@@ -289,7 +356,7 @@ def _run_jobs_batched(
                         _run_chunk_in_process,
                         [jobs[i] for i in chunk], cache_root, max_bytes,
                         timeout_seconds, retries, backoff_seconds,
-                        session is not None,
+                        session is not None, serve,
                     )
                     for chunk in chunks
                 ]
