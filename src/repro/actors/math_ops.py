@@ -700,13 +700,31 @@ def c_pow(x: float, y: float) -> float:
     return result
 
 
+def c_floor(x: float) -> float:
+    """C ``floor``: a zero result keeps the argument's sign (IEEE), which
+    Python's int-returning ``math.floor`` drops — and checksums hash raw
+    bits, so ``-0.0`` vs ``0.0`` is observable."""
+    y = float(math.floor(x))
+    return math.copysign(y, x) if y == 0.0 else y
+
+
+def c_ceil(x: float) -> float:
+    """C ``ceil``: sign-preserving on zero results (``ceil(-0.5) == -0.0``)."""
+    y = float(math.ceil(x))
+    return math.copysign(y, x) if y == 0.0 else y
+
+
 def c_round(x: float) -> float:
-    """Round half away from zero — matches the generated C expression."""
-    return math.floor(x + 0.5) if x >= 0 else math.ceil(x - 0.5)
+    """Round half away from zero — matches the generated C expression
+    ``x >= 0.0 ? floor(x + 0.5) : ceil(x - 0.5)`` including the sign of
+    zero results (``c_round(-0.3) == -0.0``)."""
+    return c_floor(x + 0.5) if x >= 0 else c_ceil(x - 0.5)
 
 
 def c_fix(x: float) -> float:
-    return math.trunc(x) * 1.0
+    """C ``trunc``: sign-preserving on zero results (``trunc(-0.5) == -0.0``)."""
+    y = float(math.trunc(x))
+    return math.copysign(y, x) if y == 0.0 else y
 
 
 _MATH_FNS = {
@@ -728,8 +746,8 @@ _MATH_FNS = {
 }
 
 _ROUNDING_FNS = {
-    "floor": lambda x: float(math.floor(x)),
-    "ceil": lambda x: float(math.ceil(x)),
+    "floor": c_floor,
+    "ceil": c_ceil,
     "round": c_round,
     "fix": c_fix,
 }

@@ -407,6 +407,65 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing campaign across all engine rungs."""
+    from repro.fuzz import ALL_RUNGS, FuzzConfig, run_fuzz
+
+    rungs = None
+    if args.rungs:
+        rungs = [r.strip() for r in args.rungs.split(",") if r.strip()]
+        unknown = [r for r in rungs if r not in ALL_RUNGS]
+        if unknown:
+            print(f"unknown rung(s): {unknown}; pick from {list(ALL_RUNGS)}",
+                  file=sys.stderr)
+            return 2
+    config = FuzzConfig(
+        cases=args.cases,
+        seed=args.seed,
+        steps=args.steps,
+        max_actors=args.max_actors,
+        rungs=rungs,
+        time_budget=args.time_budget,
+        shrink=not args.no_shrink,
+        corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+        timeout_seconds=args.timeout,
+    )
+    # Progress goes to stderr so --json output stays parseable.
+    say = (lambda msg: print(msg, file=sys.stderr)) if args.json else print
+    with _traced(args):
+        outcome = run_fuzz(config, progress=say)
+    if args.json:
+        print(json.dumps({
+            "rungs": list(outcome.rungs),
+            "cases_run": outcome.cases_run,
+            "divergent": outcome.divergent,
+            "elapsed": outcome.elapsed,
+            "budget_exhausted": outcome.budget_exhausted,
+            "findings": [
+                {
+                    "seed": f.seed,
+                    "shrink": f.shrink_summary,
+                    "corpus": str(f.corpus_path) if f.corpus_path else None,
+                    "divergences": [
+                        d.to_dict() for d in f.final_report.divergences
+                    ],
+                }
+                for f in outcome.findings
+            ],
+        }, indent=2))
+    else:
+        print(outcome.summary())
+        for finding in outcome.findings:
+            shrunk = finding.final_report.case
+            print(f"  seed {finding.seed}: {shrunk.n_actors} actor(s), "
+                  f"{shrunk.steps} step(s)"
+                  + (f"  [{finding.shrink_summary}]"
+                     if finding.shrink_summary else ""))
+            for d in finding.final_report.divergences[:4]:
+                print(f"    {d.rung} {d.kind}: {d.detail[:140]}")
+    return 1 if outcome.findings else 0
+
+
 def cmd_demo(args) -> int:
     model = build_motivating_model()
     prog = preprocess(model)
@@ -553,6 +612,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default=None,
                    help="cache directory (default: the process-wide cache)")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "fuzz", help="differential fuzzing campaign with automatic shrinking"
+    )
+    p.add_argument("--cases", type=int, default=100,
+                   help="number of random cases to generate")
+    p.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    p.add_argument("--steps", type=int, default=None,
+                   help="fixed step count per case (default: random 8..48)")
+    p.add_argument("--max-actors", type=int, default=14,
+                   help="upper bound on generated actors per case")
+    p.add_argument("--rungs", default=None, metavar="R1,R2",
+                   help="comma-separated rung list (default: all available)")
+    p.add_argument("--time-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="stop generating new cases after this much wall time")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="SECONDS",
+                   help="per-case wall-clock limit for compiled binaries")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report divergences without minimizing them")
+    p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                   help="write shrunk reproducers here (e.g. tests/corpus)")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a Chrome trace_event timeline to FILE")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("demo", help="Figure-1 motivating demo")
     p.add_argument("--steps", type=int, default=200_000)

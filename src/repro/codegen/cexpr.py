@@ -43,10 +43,18 @@ def float_literal(value: float, dtype: DType) -> str:
 
 
 def value_literal(value, dtype: DType) -> str:
-    """A literal of ``value`` already conformed to ``dtype``."""
+    """A literal of ``value`` conformed to ``dtype``.
+
+    Integer values are routed through :func:`int_param` — the same
+    wrap/truncate the interpreter applies — so an out-of-range parameter
+    (e.g. 300 on an INT8 port) emits the wrapped value rather than a
+    literal the C compiler would conform differently.
+    """
     if dtype.is_float:
         return float_literal(value, dtype)
-    return f"({dtype.c_name}){c_int_literal(int(value), dtype)}"
+    from repro.actors.math_ops import int_param
+
+    return f"({dtype.c_name}){c_int_literal(int_param(value, dtype), dtype)}"
 
 
 def to_double(expr: str, src: DType) -> str:

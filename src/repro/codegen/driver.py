@@ -465,12 +465,21 @@ class SimulationServer:
             target=self._pump_stderr, name="accmos-server-stderr", daemon=True
         )
         self._err_reader.start()
-        kind, payload = self._next_event(handshake_timeout, context="handshake")
-        if kind != "line" or payload.strip() != "ready":
-            self.kill()
-            raise ServerError(
-                f"server handshake expected 'ready', got {payload!r}"
+        # Any handshake failure — timeout, stdout EOF from a child that
+        # died mid-spawn, or a wrong first line — must reap the process
+        # and close all three pipes, or a flood of failed spawns leaks
+        # file descriptors.
+        try:
+            kind, payload = self._next_event(
+                handshake_timeout, context="handshake"
             )
+            if kind != "line" or payload.strip() != "ready":
+                raise ServerError(
+                    f"server handshake expected 'ready', got {payload!r}"
+                )
+        except BaseException:
+            self.kill()
+            raise
 
     # -- background pumps ------------------------------------------------
     def _pump_stdout(self) -> None:

@@ -665,6 +665,10 @@ def generate_py_step(prog: FlatProgram, *, sync_batch: int = 64) -> str:
         "    _fdiv, _fdiv32, _fmod, make_int_helpers,",
         ")",
         "_sin = _math.sin",
+        # repr() spells non-finite floats as bare names (nan, inf, -inf);
+        # bind them so every repr'd parameter is a valid expression here.
+        "nan = _math.nan",
+        "inf = _math.inf",
         "def _c32(x):",
         "    return float(_np.float32(x))",
     ]

@@ -23,8 +23,16 @@ def signal_bits(value, dtype: DType) -> int:
     32-bit pattern zero-extended.  Bit-identical to the generated C.
     """
     if dtype.is_float:
+        # NaNs canonicalize to the positive quiet pattern, exactly like
+        # the C runtime's acc_bits_* helpers: hardware-generated NaNs
+        # (e.g. inf - inf on x86) carry the sign bit, and which payload
+        # an operation produces is not pinned down by IEEE 754.
         if dtype is DType.F32:
+            if value != value:
+                return 0x7FC00000
             return struct.unpack("<I", struct.pack("<f", value))[0]
+        if value != value:
+            return 0x7FF8000000000000
         return struct.unpack("<Q", struct.pack("<d", value))[0]
     return int(value) & _U64_MASK
 

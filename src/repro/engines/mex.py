@@ -55,6 +55,10 @@ def compile_mex_functions(
         "    _fdiv, _fdiv32, _fmod, make_int_helpers,",
         ")",
         "_sin = _math.sin",
+        # repr() spells non-finite floats as bare names (nan, inf, -inf);
+        # bind them so every repr'd parameter is a valid expression here.
+        "nan = _math.nan",
+        "inf = _math.inf",
         "def _c32(x):",
         "    return float(_np.float32(x))",
         "globals().update(make_int_helpers())",
@@ -74,6 +78,7 @@ def compile_mex_functions(
             initial = int_param(info.initial, info.dtype)
         module_lines.append(f"store_{info.name} = {initial!r}")
 
+    prologue_len = len(module_lines)
     compiled: list[int] = []
     for fa in prog.actors:
         if not _is_compilable(fa):
@@ -94,8 +99,13 @@ def compile_mex_functions(
         compiled.append(fa.index)
 
     # Stateless actors may still have emitted init lines (lookup tables);
-    # they become module globals ahead of the function definitions.
-    source = "\n".join(emitter.init_lines + module_lines)
+    # they become module globals ahead of the function definitions — but
+    # after the prologue, whose nan/inf bindings their literals may need.
+    source = "\n".join(
+        module_lines[:prologue_len]
+        + emitter.init_lines
+        + module_lines[prologue_len:]
+    )
     namespace: dict = {}
     exec(compile(source, f"<mex:{prog.model.name}>", "exec"), namespace)
     return {index: namespace[f"_actor_{index}"] for index in compiled}

@@ -1,0 +1,68 @@
+"""repro.fuzz — differential model fuzzer with automatic shrinking.
+
+Pipeline: :mod:`~repro.fuzz.generate` draws seeded random-but-valid
+models over the full actor registry; :mod:`~repro.fuzz.oracle` runs each
+case through every engine rung and compares bit-for-bit against the
+interpreted SSE reference; :mod:`~repro.fuzz.shrink` delta-debugs any
+divergence down to a minimal reproducer; :mod:`~repro.fuzz.corpus`
+persists reproducers as JSON for the pytest replay harness.  The CLI
+front end is ``repro fuzz``; :mod:`~repro.fuzz.driver` is the campaign
+loop behind it.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    case_signature,
+    load_entries,
+    load_entry,
+    save_entry,
+)
+from repro.fuzz.driver import FuzzConfig, FuzzFinding, FuzzOutcome, run_fuzz
+from repro.fuzz.generate import (
+    CaseSpec,
+    NodeSpec,
+    build_model,
+    build_stimuli,
+    build_stimulus,
+    generate_case,
+)
+from repro.fuzz.oracle import (
+    ALL_RUNGS,
+    C_RUNGS,
+    PYTHON_RUNGS,
+    Divergence,
+    OracleReport,
+    available_rungs,
+    compare_results,
+    run_case,
+)
+from repro.fuzz.shrink import ShrinkStats, drop_node, shrink_case
+
+__all__ = [
+    "ALL_RUNGS",
+    "C_RUNGS",
+    "PYTHON_RUNGS",
+    "CaseSpec",
+    "NodeSpec",
+    "CorpusEntry",
+    "Divergence",
+    "FuzzConfig",
+    "FuzzFinding",
+    "FuzzOutcome",
+    "OracleReport",
+    "ShrinkStats",
+    "available_rungs",
+    "build_model",
+    "build_stimuli",
+    "build_stimulus",
+    "case_signature",
+    "compare_results",
+    "drop_node",
+    "generate_case",
+    "load_entries",
+    "load_entry",
+    "run_case",
+    "run_fuzz",
+    "save_entry",
+    "shrink_case",
+]

@@ -1,0 +1,89 @@
+"""The persistent reproducer corpus.
+
+Every divergence the fuzzer finds is shrunk and checked in as one JSON
+file under ``tests/corpus/``.  A pytest harness replays the corpus on
+every run: entries with ``status: "fixed"`` are regression tests (all
+rungs must agree), entries with ``status: "open"`` are known-failing
+reproducers awaiting a fix (replayed as xfail, with the follow-up note
+kept alongside).
+
+Entry IDs are content hashes of the canonical case JSON, so re-finding
+the same minimal reproducer never duplicates a file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.fuzz.generate import CaseSpec
+
+#: Where the checked-in corpus lives, relative to the repository root.
+DEFAULT_CORPUS_DIRNAME = "tests/corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One checked-in reproducer."""
+
+    case: CaseSpec
+    status: str = "open"  # "open" (known failing) | "fixed" (regression test)
+    divergences: list[dict] = field(default_factory=list)
+    note: str = ""
+    fuzz_seed: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "note": self.note,
+            "fuzz_seed": self.fuzz_seed,
+            "divergences": list(self.divergences),
+            "case": self.case.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "CorpusEntry":
+        return CorpusEntry(
+            case=CaseSpec.from_dict(d["case"]),
+            status=d.get("status", "open"),
+            divergences=list(d.get("divergences", [])),
+            note=d.get("note", ""),
+            fuzz_seed=d.get("fuzz_seed"),
+        )
+
+
+def case_signature(case: CaseSpec) -> str:
+    """Stable content hash of a case (names the corpus file)."""
+    canonical = json.dumps(case.to_dict(), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def entry_path(corpus_dir: Path, entry: CorpusEntry) -> Path:
+    return Path(corpus_dir) / f"case-{case_signature(entry.case)}.json"
+
+
+def save_entry(corpus_dir: Path, entry: CorpusEntry) -> Path:
+    """Write (or overwrite) the entry in the corpus; returns its path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = entry_path(corpus_dir, entry)
+    path.write_text(json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entry(path: Path) -> CorpusEntry:
+    return CorpusEntry.from_dict(json.loads(Path(path).read_text()))
+
+
+def load_entries(corpus_dir: Path) -> list[tuple[Path, CorpusEntry]]:
+    """Every corpus entry, sorted by file name for stable test ordering."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    return [
+        (path, load_entry(path))
+        for path in sorted(corpus_dir.glob("case-*.json"))
+    ]

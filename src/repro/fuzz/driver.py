@@ -1,0 +1,166 @@
+"""The fuzz campaign loop: generate -> oracle -> shrink -> corpus.
+
+Divergences do not stop the campaign — every case runs, every failure
+is shrunk (when shrinking is enabled) and written to the corpus as an
+``open`` entry for the replay harness to track until it is fixed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro import telemetry
+from repro.fuzz.corpus import CorpusEntry, save_entry
+from repro.fuzz.generate import generate_case
+from repro.fuzz.oracle import OracleReport, available_rungs, run_case
+from repro.fuzz.shrink import shrink_case
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzzing campaign."""
+
+    cases: int = 100
+    seed: int = 0
+    steps: Optional[int] = None  # None = random per case
+    max_actors: int = 14
+    rungs: Optional[Sequence[str]] = None  # None = all available
+    time_budget: Optional[float] = None  # wall seconds for the whole campaign
+    shrink: bool = True
+    max_shrink_attempts: int = 250
+    corpus_dir: Optional[Path] = None  # None = don't persist reproducers
+    timeout_seconds: Optional[float] = 120.0
+
+
+@dataclass
+class FuzzFinding:
+    """One divergent case, possibly shrunk, possibly persisted."""
+
+    seed: int
+    report: OracleReport
+    shrunk_report: Optional[OracleReport] = None
+    shrink_summary: str = ""
+    corpus_path: Optional[Path] = None
+
+    @property
+    def final_report(self) -> OracleReport:
+        return self.shrunk_report or self.report
+
+
+@dataclass
+class FuzzOutcome:
+    """What a campaign did."""
+
+    rungs: tuple[str, ...]
+    cases_run: int = 0
+    elapsed: float = 0.0
+    budget_exhausted: bool = False
+    findings: list[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def divergent(self) -> int:
+        return len(self.findings)
+
+    def summary(self) -> str:
+        verdict = (
+            "all rungs agree" if not self.findings
+            else f"{self.divergent} divergent case(s)"
+        )
+        budget = " (time budget hit)" if self.budget_exhausted else ""
+        return (
+            f"fuzz: {self.cases_run} case(s) in {self.elapsed:.1f}s "
+            f"across {len(self.rungs)} rung(s): {verdict}{budget}"
+        )
+
+
+def _case_seed(base_seed: int, index: int) -> int:
+    # Disjoint per-case streams for any base seed.
+    return (base_seed << 20) + index
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzOutcome:
+    """Run one campaign; see :class:`FuzzConfig`."""
+    rungs = tuple(config.rungs) if config.rungs else available_rungs()
+    outcome = FuzzOutcome(rungs=rungs)
+    say = progress or (lambda _msg: None)
+    started = time.perf_counter()
+
+    for index in range(config.cases):
+        if (
+            config.time_budget is not None
+            and time.perf_counter() - started >= config.time_budget
+        ):
+            outcome.budget_exhausted = True
+            break
+        seed = _case_seed(config.seed, index)
+        case = generate_case(
+            seed, max_actors=config.max_actors, steps=config.steps
+        )
+        case_started = time.perf_counter()
+        with telemetry.span("fuzz.case", seed=seed, actors=case.n_actors):
+            report = run_case(
+                case, rungs=rungs, timeout_seconds=config.timeout_seconds
+            )
+        telemetry.counter_inc("fuzz.cases")
+        telemetry.observe(
+            "fuzz.case_seconds", time.perf_counter() - case_started
+        )
+        outcome.cases_run += 1
+        if report.agreed:
+            continue
+
+        telemetry.counter_inc("fuzz.divergences")
+        finding = FuzzFinding(seed=seed, report=report)
+        outcome.findings.append(finding)
+        say(
+            f"case {index} (seed {seed}): {len(report.divergences)} "
+            f"divergence(s), first: {report.divergences[0].rung} "
+            f"{report.divergences[0].kind}"
+        )
+
+        shrunk = case
+        if config.shrink:
+            def still_fails(candidate) -> bool:
+                telemetry.counter_inc("fuzz.shrink_steps")
+                return not run_case(
+                    candidate, rungs=rungs,
+                    timeout_seconds=config.timeout_seconds,
+                ).agreed
+
+            with telemetry.span("fuzz.shrink", seed=seed):
+                shrunk, stats = shrink_case(
+                    case, still_fails,
+                    max_attempts=config.max_shrink_attempts,
+                )
+            finding.shrink_summary = stats.summary()
+            finding.shrunk_report = run_case(
+                shrunk, rungs=rungs, timeout_seconds=config.timeout_seconds
+            )
+            say(f"  shrunk: {stats.summary()}")
+
+        if config.corpus_dir is not None:
+            entry = CorpusEntry(
+                case=shrunk,
+                status="open",
+                divergences=[
+                    d.to_dict() for d in finding.final_report.divergences
+                ],
+                note=(
+                    "Found by `repro fuzz`; fix the divergence and flip "
+                    "status to \"fixed\" so this becomes a regression test."
+                ),
+                fuzz_seed=seed,
+            )
+            finding.corpus_path = save_entry(config.corpus_dir, entry)
+            telemetry.counter_inc("fuzz.corpus_entries")
+            say(f"  reproducer -> {finding.corpus_path}")
+
+    outcome.elapsed = time.perf_counter() - started
+    return outcome

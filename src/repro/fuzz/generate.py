@@ -1,0 +1,995 @@
+"""Seeded random-model generation for the differential fuzzer.
+
+A fuzz case is a :class:`CaseSpec`: a serializable recipe (node list,
+step count, stimulus specs) from which the concrete :class:`Model` and
+stimuli are rebuilt on demand.  Keeping the *recipe* rather than the
+built model is what makes shrinking and corpus replay possible — the
+shrinker edits the recipe and rebuilds, and a corpus entry is just the
+recipe as JSON.
+
+The generator draws from the full actor registry: every executable
+block type is reachable, including the structural ones (enabled
+subsystems + Merge via the ``@guarded`` composite, data stores via
+``@store``).  Connections are random but valid by construction: each
+node consumes only earlier nodes, and dtype mismatches are bridged with
+explicit DataTypeConversion nodes that live in the spec like any other
+node (so the shrinker can drop them too).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.dtypes import DType
+from repro.model.builder import ModelBuilder, Ref
+from repro.model.model import Model
+from repro.stimuli.generators import (
+    ConstantStimulus,
+    IntRandomStimulus,
+    PulseStimulus,
+    RampStimulus,
+    SequenceStimulus,
+    SineStimulus,
+    StepStimulus,
+    UniformRandomStimulus,
+)
+
+_DTYPE_BY_SHORT = {d.short_name: d for d in DType}
+
+INT_DTYPES = (
+    DType.I8, DType.I16, DType.I32, DType.I64,
+    DType.U8, DType.U16, DType.U32, DType.U64,
+)
+FLOAT_DTYPES = (DType.F64, DType.F32)
+NUMERIC_DTYPES = INT_DTYPES + FLOAT_DTYPES
+
+#: Pseudo block types expanded into small structural patterns at build
+#: time (the only way the generator reaches Merge/EnablePort/DataStore*).
+GUARDED = "@guarded"
+STORE = "@store"
+
+_SINK_TYPES = {"Display", "Terminator", "Scope"}
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node of a fuzz case: a registry block type or a composite."""
+
+    name: str
+    block_type: str
+    inputs: tuple[str, ...] = ()
+    dtype: Optional[str] = None  # output dtype short name; None = inferred
+    operator: Optional[str] = None
+    params: dict = field(default_factory=dict)
+
+    @property
+    def out_dtype(self) -> Optional[DType]:
+        return _DTYPE_BY_SHORT[self.dtype] if self.dtype else None
+
+    def to_dict(self) -> dict:
+        d = {"name": self.name, "block_type": self.block_type}
+        if self.inputs:
+            d["inputs"] = list(self.inputs)
+        if self.dtype:
+            d["dtype"] = self.dtype
+        if self.operator is not None:
+            d["operator"] = self.operator
+        if self.params:
+            d["params"] = dict(self.params)
+        return d
+
+    @staticmethod
+    def from_dict(d: dict) -> "NodeSpec":
+        return NodeSpec(
+            name=d["name"],
+            block_type=d["block_type"],
+            inputs=tuple(d.get("inputs", ())),
+            dtype=d.get("dtype"),
+            operator=d.get("operator"),
+            params=dict(d.get("params", {})),
+        )
+
+
+@dataclass
+class CaseSpec:
+    """A complete, serializable fuzz case."""
+
+    name: str
+    seed: int
+    steps: int
+    nodes: list[NodeSpec] = field(default_factory=list)
+    stimuli: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def n_actors(self) -> int:
+        """Spec-level size (what the shrinker minimizes)."""
+        return sum(1 for n in self.nodes if n.block_type != "Inport")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "steps": self.steps,
+            "nodes": [n.to_dict() for n in self.nodes],
+            "stimuli": {k: dict(v) for k, v in self.stimuli.items()},
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "CaseSpec":
+        return CaseSpec(
+            name=d["name"],
+            seed=int(d.get("seed", 0)),
+            steps=int(d["steps"]),
+            nodes=[NodeSpec.from_dict(n) for n in d["nodes"]],
+            stimuli={k: dict(v) for k, v in d.get("stimuli", {}).items()},
+        )
+
+
+# ----------------------------------------------------------------------
+# stimulus specs
+# ----------------------------------------------------------------------
+def build_stimulus(spec: dict):
+    """Instantiate one stimulus from its serialized spec."""
+    kind = spec["kind"]
+    if kind == "constant":
+        return ConstantStimulus(spec["value"])
+    if kind == "sequence":
+        return SequenceStimulus(spec["values"])
+    if kind == "ramp":
+        return RampStimulus(start=spec["start"], slope=spec["slope"])
+    if kind == "step":
+        return StepStimulus(
+            at=spec["at"], before=spec["before"], after=spec["after"]
+        )
+    if kind == "pulse":
+        return PulseStimulus(
+            period=spec["period"], duty=spec["duty"],
+            high=spec["high"], low=spec["low"],
+        )
+    if kind == "sine":
+        return SineStimulus(
+            amplitude=spec["amplitude"], period_steps=spec["period_steps"],
+            phase=spec["phase"], bias=spec["bias"],
+        )
+    if kind == "uniform":
+        return UniformRandomStimulus(spec["seed"], lo=spec["lo"], hi=spec["hi"])
+    if kind == "int_random":
+        return IntRandomStimulus(spec["seed"], spec["lo"], spec["hi"])
+    raise ValueError(f"unknown stimulus kind {kind!r}")
+
+
+def build_stimuli(case: CaseSpec) -> dict:
+    """Fresh stimulus instances for every inport of the case."""
+    return {name: build_stimulus(spec) for name, spec in case.stimuli.items()}
+
+
+def _int_value(rng: random.Random, dtype: DType) -> int:
+    if rng.random() < 0.12:  # boundary values provoke wrap diagnostics
+        return rng.choice([dtype.min_value, dtype.max_value])
+    lo = max(dtype.min_value, -30)
+    hi = min(dtype.max_value, 30)
+    return rng.randint(lo, hi)
+
+
+def _float_value(rng: random.Random) -> float:
+    if rng.random() < 0.04:  # non-finite params are first-class inputs
+        return rng.choice([math.nan, math.inf, -math.inf])
+    return round(rng.uniform(-10.0, 10.0), 3)
+
+
+def _gen_stimulus(rng: random.Random, dtype: DType, steps: int) -> dict:
+    if dtype.is_float:
+        kind = rng.choice(
+            ["constant", "sequence", "ramp", "step", "pulse", "sine", "uniform"]
+        )
+        if kind == "constant":
+            return {"kind": "constant", "value": _float_value(rng)}
+        if kind == "sequence":
+            n = rng.randint(2, 6)
+            return {"kind": "sequence",
+                    "values": [_float_value(rng) for _ in range(n)]}
+        if kind == "ramp":
+            return {"kind": "ramp", "start": round(rng.uniform(-2, 2), 3),
+                    "slope": round(rng.uniform(-1, 1), 3)}
+        if kind == "step":
+            return {"kind": "step", "at": rng.randint(0, max(1, steps - 1)),
+                    "before": _float_value(rng), "after": _float_value(rng)}
+        if kind == "pulse":
+            period = rng.randint(2, 8)
+            return {"kind": "pulse", "period": period,
+                    "duty": rng.randint(1, period - 1),
+                    "high": round(rng.uniform(0, 5), 3),
+                    "low": round(rng.uniform(-5, 0), 3)}
+        if kind == "sine":
+            return {"kind": "sine", "amplitude": round(rng.uniform(0.5, 4), 3),
+                    "period_steps": rng.randint(3, 40),
+                    "phase": round(rng.uniform(0, 6.28), 3),
+                    "bias": round(rng.uniform(-1, 1), 3)}
+        lo = round(rng.uniform(-8, 0), 3)
+        return {"kind": "uniform", "seed": rng.randint(1, 10_000),
+                "lo": lo, "hi": round(lo + rng.uniform(0.5, 10), 3)}
+    # integer inport
+    kind = rng.choice(["constant", "sequence", "step", "pulse", "int_random"])
+    if kind == "constant":
+        return {"kind": "constant", "value": _int_value(rng, dtype)}
+    if kind == "sequence":
+        n = rng.randint(2, 6)
+        return {"kind": "sequence",
+                "values": [_int_value(rng, dtype) for _ in range(n)]}
+    if kind == "step":
+        return {"kind": "step", "at": rng.randint(0, max(1, steps - 1)),
+                "before": _int_value(rng, dtype), "after": _int_value(rng, dtype)}
+    if kind == "pulse":
+        period = rng.randint(2, 8)
+        return {"kind": "pulse", "period": period,
+                "duty": rng.randint(1, period - 1),
+                "high": _int_value(rng, dtype), "low": _int_value(rng, dtype)}
+    lo = max(dtype.min_value, -40)
+    hi = min(dtype.max_value, 40)
+    return {"kind": "int_random", "seed": rng.randint(1, 10_000),
+            "lo": lo, "hi": hi}
+
+
+# ----------------------------------------------------------------------
+# generation context
+# ----------------------------------------------------------------------
+class _Gen:
+    """Mutable state threaded through the recipe functions."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.nodes: list[NodeSpec] = []
+        #: name -> DType of every value-producing node
+        self.refs: dict[str, DType] = {}
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"n{self._counter}"
+
+    def emit(
+        self,
+        block_type: str,
+        inputs: Sequence[str] = (),
+        *,
+        dtype: Optional[DType] = None,
+        operator: Optional[str] = None,
+        params: Optional[dict] = None,
+        produces: Optional[DType] = None,
+    ) -> str:
+        """Append a node; ``produces`` records the pool dtype when the
+        builder is left to infer it (``dtype=None``)."""
+        name = self.fresh()
+        self.nodes.append(NodeSpec(
+            name=name, block_type=block_type, inputs=tuple(inputs),
+            dtype=dtype.short_name if dtype else None,
+            operator=operator, params=dict(params or {}),
+        ))
+        out = dtype or produces
+        if out is not None and block_type not in _SINK_TYPES:
+            self.refs[name] = out
+        return name
+
+    # -- ref picking ---------------------------------------------------
+    def pick(self, pred: Callable[[DType], bool]) -> Optional[str]:
+        names = [n for n, d in self.refs.items() if pred(d)]
+        return self.rng.choice(names) if names else None
+
+    def pick_num(self) -> Optional[str]:
+        return self.pick(lambda d: not d.is_bool)
+
+    def pick_bool(self) -> Optional[str]:
+        name = self.pick(lambda d: d.is_bool)
+        if name is not None:
+            return name
+        # Manufacture one: CompareToZero over any numeric ref.
+        src = self.pick_num()
+        if src is None:
+            return None
+        op = self.rng.choice(["==", "!=", "<", "<=", ">", ">="])
+        return self.emit("CompareToZero", [src], dtype=DType.BOOL, operator=op)
+
+    def coerced(self, src: str, want: DType) -> str:
+        """Return ``src`` as a ``want``-typed ref, bridging with a DTC."""
+        if self.refs[src] is want:
+            return src
+        return self.emit("DataTypeConversion", [src], dtype=want)
+
+    def num_as(self, want: DType) -> Optional[str]:
+        src = self.pick_num()
+        return None if src is None else self.coerced(src, want)
+
+    # -- dtype picking -------------------------------------------------
+    def int_dtype(self) -> DType:
+        return self.rng.choice(INT_DTYPES)
+
+    def float_dtype(self) -> DType:
+        return self.rng.choice(FLOAT_DTYPES)
+
+    def num_dtype(self) -> DType:
+        return self.rng.choice(NUMERIC_DTYPES)
+
+    def param_value(self, dtype: DType):
+        """A parameter literal conforming to the node's dtype family."""
+        if dtype.is_float:
+            return _float_value(self.rng)
+        return _int_value(self.rng, dtype)
+
+
+# ----------------------------------------------------------------------
+# recipes — one per registry block type (plus the composites)
+# ----------------------------------------------------------------------
+def _r_constant(g: _Gen) -> bool:
+    d = g.num_dtype()
+    g.emit("Constant", dtype=d, params={"value": g.param_value(d)})
+    return True
+
+
+def _r_clock(g: _Gen) -> bool:
+    g.emit("Clock", dtype=DType.F64)
+    return True
+
+
+def _r_ground(g: _Gen) -> bool:
+    g.emit("Ground", dtype=DType.F64)
+    return True
+
+
+def _r_counter(g: _Gen) -> bool:
+    g.emit("Counter", dtype=DType.I32, params={"limit": g.rng.randint(2, 9)})
+    return True
+
+
+def _r_sine_wave(g: _Gen) -> bool:
+    g.emit("SineWave", dtype=DType.F64, params={
+        "frequency": round(g.rng.uniform(0.001, 0.3), 4),
+        "amplitude": round(g.rng.uniform(0.5, 3.0), 3),
+        "phase": round(g.rng.uniform(0, 6.28), 3),
+        "bias": round(g.rng.uniform(-1, 1), 3),
+    })
+    return True
+
+
+def _r_ramp_source(g: _Gen) -> bool:
+    g.emit("RampSource", dtype=DType.F64, params={
+        "slope": round(g.rng.uniform(-0.5, 0.5), 4),
+        "start": round(g.rng.uniform(-2, 2), 3),
+    })
+    return True
+
+
+def _r_step_source(g: _Gen) -> bool:
+    g.emit("StepSource", dtype=DType.F64, params={
+        "at": g.rng.randint(0, 20),
+        "before": round(g.rng.uniform(-2, 2), 3),
+        "after": round(g.rng.uniform(-2, 2), 3),
+    })
+    return True
+
+
+def _r_pulse_generator(g: _Gen) -> bool:
+    period = g.rng.randint(2, 9)
+    g.emit("PulseGenerator", dtype=DType.F64, params={
+        "period": period, "duty": g.rng.randint(1, period - 1),
+        "amplitude": round(g.rng.uniform(0.5, 3.0), 3),
+    })
+    return True
+
+
+def _r_random_source(g: _Gen) -> bool:
+    if g.rng.random() < 0.5:
+        lo = round(g.rng.uniform(-4, 0), 3)
+        g.emit("RandomSource", dtype=DType.F64, params={
+            "dist": "uniform", "lo": lo,
+            "hi": round(lo + g.rng.uniform(0.5, 8), 3),
+            "seed": g.rng.randint(1, 10_000),
+        })
+    else:
+        lo = g.rng.randint(-20, 0)
+        g.emit("RandomSource", dtype=DType.I32, params={
+            "dist": "int", "lo": lo, "hi": lo + g.rng.randint(1, 40),
+            "seed": g.rng.randint(1, 10_000),
+        })
+    return True
+
+
+def _r_sum(g: _Gen) -> bool:
+    d = g.num_dtype()
+    n = g.rng.randint(2, 4)
+    inputs = [g.num_as(d) for _ in range(n)]
+    if any(i is None for i in inputs):
+        return False
+    signs = "".join(g.rng.choice("+-") for _ in range(n))
+    g.emit("Sum", inputs, dtype=d, operator=signs)
+    return True
+
+
+def _r_product(g: _Gen) -> bool:
+    d = g.num_dtype()
+    n = g.rng.randint(2, 3)
+    inputs = [g.num_as(d) for _ in range(n)]
+    if any(i is None for i in inputs):
+        return False
+    ops = "*" + "".join(g.rng.choice("*/") for _ in range(n - 1))
+    g.emit("Product", inputs, dtype=d, operator=ops)
+    return True
+
+
+def _unary_math(block_type):
+    def recipe(g: _Gen) -> bool:
+        d = g.num_dtype()
+        src = g.num_as(d)
+        if src is None:
+            return False
+        g.emit(block_type, [src], dtype=d)
+        return True
+    return recipe
+
+
+def _r_gain(g: _Gen) -> bool:
+    d = g.num_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    k = g.param_value(d) if d.is_float else g.rng.randint(max(d.min_value, -4), 4)
+    g.emit("Gain", [src], dtype=d, params={"gain": k})
+    return True
+
+
+def _r_bias(g: _Gen) -> bool:
+    d = g.num_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    k = g.param_value(d) if d.is_float else g.rng.randint(max(d.min_value, -8), 8)
+    g.emit("Bias", [src], dtype=d, params={"bias": k})
+    return True
+
+
+def _r_sqrt(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    g.emit("Sqrt", [src], dtype=d)
+    return True
+
+
+def _r_math(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    op = g.rng.choice([
+        "exp", "log", "log10", "sin", "cos", "tan", "asin", "acos", "atan",
+        "sinh", "cosh", "tanh", "square", "reciprocal", "pow10",
+    ])
+    g.emit("Math", [src], dtype=d, operator=op)
+    return True
+
+
+def _r_min_max(g: _Gen) -> bool:
+    d = g.num_dtype()
+    n = g.rng.randint(2, 3)
+    inputs = [g.num_as(d) for _ in range(n)]
+    if any(i is None for i in inputs):
+        return False
+    g.emit("MinMax", inputs, dtype=d, operator=g.rng.choice(["min", "max"]))
+    return True
+
+
+def _r_mod(g: _Gen) -> bool:
+    d = g.num_dtype()
+    a, b = g.num_as(d), g.num_as(d)
+    if a is None or b is None:
+        return False
+    g.emit("Mod", [a, b], dtype=d)
+    return True
+
+
+def _r_saturation(g: _Gen) -> bool:
+    d = g.num_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    if d.is_float:
+        lo = round(g.rng.uniform(-5, 0), 3)
+        hi = round(lo + g.rng.uniform(0.5, 8), 3)
+    else:
+        lo = g.rng.randint(max(d.min_value, -20), 10)
+        hi = lo + g.rng.randint(1, 15)
+        hi = min(hi, d.max_value)
+    g.emit("Saturation", [src], dtype=d, params={"lower": lo, "upper": hi})
+    return True
+
+
+def _r_dead_zone(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    start = round(g.rng.uniform(-3, 0), 3)
+    g.emit("DeadZone", [src], dtype=d, params={
+        "start": start, "end": round(start + g.rng.uniform(0.1, 4), 3),
+    })
+    return True
+
+
+def _r_dtc(g: _Gen) -> bool:
+    src = g.pick_num()
+    if src is None:
+        return False
+    target = (DType.BOOL if g.rng.random() < 0.1 else g.num_dtype())
+    g.emit("DataTypeConversion", [src], dtype=target)
+    return True
+
+
+def _r_rounding(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    g.emit("Rounding", [src], dtype=d,
+           operator=g.rng.choice(["floor", "ceil", "round", "fix"]))
+    return True
+
+
+def _r_quantizer(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    g.emit("Quantizer", [src], dtype=d,
+           params={"interval": g.rng.choice([0.1, 0.25, 0.5, 1.0, 3.0])})
+    return True
+
+
+def _r_shift(g: _Gen) -> bool:
+    d = g.int_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    g.emit("Shift", [src], dtype=d, operator=g.rng.choice(["<<", ">>"]),
+           params={"amount": g.rng.randint(0, 7)})
+    return True
+
+
+def _r_bitwise(g: _Gen) -> bool:
+    d = g.int_dtype()
+    op = g.rng.choice(["AND", "OR", "XOR", "NOT"])
+    n = 1 if op == "NOT" else g.rng.randint(2, 3)
+    inputs = [g.num_as(d) for _ in range(n)]
+    if any(i is None for i in inputs):
+        return False
+    g.emit("Bitwise", inputs, dtype=d, operator=op)
+    return True
+
+
+def _r_polynomial(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    n = g.rng.randint(1, 4)
+    coeffs = [round(g.rng.uniform(-2, 2), 3) for _ in range(n)]
+    g.emit("Polynomial", [src], dtype=d, params={"coeffs": coeffs})
+    return True
+
+
+def _r_power(g: _Gen) -> bool:
+    d = g.float_dtype()
+    base, expo = g.num_as(d), g.num_as(d)
+    if base is None or expo is None:
+        return False
+    g.emit("Power", [base, expo], dtype=d)
+    return True
+
+
+def _r_relational(g: _Gen) -> bool:
+    d = g.num_dtype()
+    a, b = g.num_as(d), g.num_as(d)
+    if a is None or b is None:
+        return False
+    g.emit("RelationalOperator", [a, b], dtype=DType.BOOL,
+           operator=g.rng.choice(["==", "!=", "<", "<=", ">", ">="]))
+    return True
+
+
+def _r_compare_to_constant(g: _Gen) -> bool:
+    src = g.pick_num()
+    if src is None:
+        return False
+    d = g.refs[src]
+    g.emit("CompareToConstant", [src], dtype=DType.BOOL,
+           operator=g.rng.choice(["==", "!=", "<", "<=", ">", ">="]),
+           params={"constant": g.param_value(d)})
+    return True
+
+
+def _r_logic(g: _Gen) -> bool:
+    op = g.rng.choice(["AND", "OR", "NAND", "NOR", "XOR", "NOT"])
+    n = 1 if op == "NOT" else g.rng.randint(2, 3)
+    inputs = [g.pick_bool() for _ in range(n)]
+    if any(i is None for i in inputs):
+        return False
+    g.emit("Logic", inputs, dtype=DType.BOOL, operator=op)
+    return True
+
+
+def _r_switch(g: _Gen) -> bool:
+    d = g.num_dtype()
+    on_true, on_false = g.num_as(d), g.num_as(d)
+    control = g.pick_num()
+    if on_true is None or on_false is None or control is None:
+        return False
+    thr = 0.5 if g.refs[control].is_float else g.rng.randint(-2, 2)
+    g.emit("Switch", [on_true, control, on_false], dtype=d,
+           params={"threshold": thr})
+    return True
+
+
+def _r_multiport_switch(g: _Gen) -> bool:
+    d = g.num_dtype()
+    control = g.num_as(DType.I32)
+    if control is None:
+        return False
+    cases = [g.num_as(d) for _ in range(g.rng.randint(2, 4))]
+    if any(c is None for c in cases):
+        return False
+    g.emit("MultiportSwitch", [control, *cases], dtype=d)
+    return True
+
+
+def _r_relay(g: _Gen) -> bool:
+    d = g.num_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    if d.is_float:
+        off = round(g.rng.uniform(-4, 0), 3)
+        on = round(off + g.rng.uniform(0.5, 5), 3)
+        on_v, off_v = round(g.rng.uniform(0, 8), 3), round(g.rng.uniform(-8, 0), 3)
+    else:
+        off = g.rng.randint(max(d.min_value, -10), 0)
+        on = off + g.rng.randint(1, 10)
+        on = min(on, d.max_value)
+        on_v = g.rng.randint(0, min(d.max_value, 20))
+        off_v = g.rng.randint(max(d.min_value, -20), 0)
+    g.emit("Relay", [src], dtype=d, params={
+        "on_threshold": on, "off_threshold": off,
+        "on_value": on_v, "off_value": off_v,
+        "initial_on": g.rng.random() < 0.5,
+    })
+    return True
+
+
+def _stateful_unary(block_type):
+    def recipe(g: _Gen) -> bool:
+        d = g.num_dtype()
+        src = g.num_as(d)
+        if src is None:
+            return False
+        initial = (round(g.rng.uniform(-2, 2), 3) if d.is_float
+                   else g.rng.randint(max(d.min_value, -5), min(d.max_value, 5)))
+        g.emit(block_type, [src], dtype=d, params={"initial": initial})
+        return True
+    return recipe
+
+
+def _r_delay(g: _Gen) -> bool:
+    d = g.num_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    initial = (round(g.rng.uniform(-2, 2), 3) if d.is_float
+               else g.rng.randint(max(d.min_value, -5), min(d.max_value, 5)))
+    g.emit("Delay", [src], dtype=d,
+           params={"length": g.rng.randint(1, 4), "initial": initial})
+    return True
+
+
+def _r_discrete_integrator(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    g.emit("DiscreteIntegrator", [src], dtype=d, params={
+        "gain": round(g.rng.uniform(-1, 1), 3),
+        "initial": round(g.rng.uniform(-2, 2), 3),
+    })
+    return True
+
+
+def _float_unary(block_type, **fixed_params):
+    def recipe(g: _Gen) -> bool:
+        d = g.float_dtype()
+        src = g.num_as(d)
+        if src is None:
+            return False
+        g.emit(block_type, [src], dtype=d, params=dict(fixed_params))
+        return True
+    return recipe
+
+
+def _r_discrete_filter(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    g.emit("DiscreteFilter", [src], dtype=d, params={
+        "b0": round(g.rng.uniform(-0.9, 0.9), 3),
+        "a1": round(g.rng.uniform(-0.9, 0.9), 3),
+    })
+    return True
+
+
+def _r_rate_limiter(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    g.emit("RateLimiter", [src], dtype=d, params={
+        "rising": round(g.rng.uniform(0.05, 2), 3),
+        "falling": round(g.rng.uniform(0.05, 2), 3),
+    })
+    return True
+
+
+def _r_continuous_integrator(g: _Gen) -> bool:
+    src = g.num_as(DType.F64)
+    if src is None:
+        return False
+    g.emit("ContinuousIntegrator", [src], dtype=DType.F64, params={
+        "solver": g.rng.choice(["euler", "ab2", "ab3"]),
+        "initial": round(g.rng.uniform(-1, 1), 3),
+    })
+    return True
+
+
+def _r_lookup1d(g: _Gen) -> bool:
+    d = g.float_dtype()
+    src = g.num_as(d)
+    if src is None:
+        return False
+    n = g.rng.randint(2, 5)
+    start = round(g.rng.uniform(-5, 0), 3)
+    bps = []
+    for _ in range(n):
+        bps.append(round(start, 3))
+        start += g.rng.uniform(0.5, 3)
+    table = [_float_value(g.rng) for _ in range(n)]
+    g.emit("Lookup1D", [src], dtype=d,
+           params={"breakpoints": bps, "table": table})
+    return True
+
+
+def _r_direct_lookup(g: _Gen) -> bool:
+    index = g.num_as(DType.I32)
+    if index is None:
+        return False
+    n = g.rng.randint(1, 5)
+    if g.rng.random() < 0.5:
+        table = [_float_value(g.rng) for _ in range(n)]
+        d = DType.F64
+    else:
+        table = [g.rng.randint(-50, 50) for _ in range(n)]
+        d = DType.I32
+    g.emit("DirectLookup", [index], dtype=d, params={"table": table})
+    return True
+
+
+def _r_sink(g: _Gen) -> bool:
+    src = g.pick_num()
+    if src is None:
+        return False
+    g.emit(g.rng.choice(["Display", "Terminator", "Scope"]), [src])
+    return True
+
+
+def _r_guarded(g: _Gen) -> bool:
+    control = g.pick_num()
+    data = g.pick_num()
+    if control is None or data is None:
+        return False
+    d = g.refs[data]
+    g.emit(GUARDED, [control, data], dtype=d)
+    return True
+
+
+def _r_store(g: _Gen) -> bool:
+    data = g.pick_num()
+    if data is None:
+        return False
+    g.emit(STORE, [data], dtype=g.refs[data])
+    return True
+
+
+RECIPES: list[tuple[int, Callable[[_Gen], bool]]] = [
+    (2, _r_constant),
+    (1, _r_clock),
+    (1, _r_ground),
+    (1, _r_counter),
+    (1, _r_sine_wave),
+    (1, _r_ramp_source),
+    (1, _r_step_source),
+    (1, _r_pulse_generator),
+    (1, _r_random_source),
+    (4, _r_sum),
+    (3, _r_product),
+    (2, _r_gain),
+    (2, _r_bias),
+    (2, _unary_math("Abs")),
+    (2, _unary_math("UnaryMinus")),
+    (1, _unary_math("Signum")),
+    (2, _r_sqrt),
+    (3, _r_math),
+    (2, _r_min_max),
+    (3, _r_mod),
+    (2, _r_saturation),
+    (1, _r_dead_zone),
+    (3, _r_dtc),
+    (3, _r_rounding),
+    (3, _r_quantizer),
+    (2, _r_shift),
+    (2, _r_bitwise),
+    (1, _r_polynomial),
+    (1, _r_power),
+    (2, _r_relational),
+    (1, _r_compare_to_constant),
+    (2, _r_logic),
+    (2, _r_switch),
+    (1, _r_multiport_switch),
+    (1, _r_relay),
+    (2, _stateful_unary("UnitDelay")),
+    (1, _stateful_unary("Memory")),
+    (2, _stateful_unary("Accumulator")),
+    (1, _r_delay),
+    (1, _r_discrete_integrator),
+    (1, _float_unary("DiscreteDerivative")),
+    (1, _r_discrete_filter),
+    (1, _r_rate_limiter),
+    (1, _float_unary("ZeroOrderHold")),
+    (1, _r_continuous_integrator),
+    (2, _r_lookup1d),
+    (1, _r_direct_lookup),
+    (1, _r_sink),
+    (1, _r_guarded),
+    (1, _r_store),
+]
+
+_WEIGHTS = [w for w, _ in RECIPES]
+_FNS = [fn for _, fn in RECIPES]
+
+
+def generate_case(
+    seed: int,
+    *,
+    max_actors: int = 14,
+    min_actors: int = 4,
+    steps: Optional[int] = None,
+) -> CaseSpec:
+    """One deterministic random case from ``seed``."""
+    rng = random.Random(seed)
+    g = _Gen(rng)
+
+    n_inports = rng.randint(1, 3)
+    inports = []
+    for i in range(n_inports):
+        d = rng.choice(NUMERIC_DTYPES)
+        name = f"In{i + 1}"
+        g.nodes.append(NodeSpec(
+            name=name, block_type="Inport", dtype=d.short_name,
+        ))
+        g.refs[name] = d
+        inports.append((name, d))
+
+    target = rng.randint(min_actors, max_actors)
+    attempts = 0
+    while len(g.nodes) - n_inports < target and attempts < target * 12:
+        attempts += 1
+        fn = rng.choices(_FNS, weights=_WEIGHTS, k=1)[0]
+        fn(g)
+
+    n_steps = steps if steps is not None else rng.randint(8, 48)
+    stimuli = {
+        name: _gen_stimulus(rng, d, n_steps) for name, d in inports
+    }
+    return CaseSpec(
+        name=f"Fuzz{seed & 0xFFFFFFFF:x}",
+        seed=seed,
+        steps=n_steps,
+        nodes=g.nodes,
+        stimuli=stimuli,
+    )
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+def _zero_of(dtype: DType):
+    return 0.0 if dtype.is_float else 0
+
+
+def _expand_guarded(b: ModelBuilder, node: NodeSpec, refs, dtypes) -> Ref:
+    """Enabled-subsystem pair merged into one signal: the only generator
+    path that reaches Merge, EnablePort, and nested subsystem boundaries."""
+    control, data = node.inputs
+    cd = dtypes[control]
+    d = node.out_dtype or dtypes[data]
+    zero = b.constant(f"{node.name}_zero", _zero_of(cd), dtype=cd)
+    hot = b.relational(f"{node.name}_hot", ">", refs[control], zero)
+    cold = b.not_(f"{node.name}_cold", hot)
+
+    s1 = b.subsystem(f"{node.name}_S1", inputs=[refs[data]])
+    gain = 2.0 if d.is_float else 2
+    o1 = s1.set_output(s1.inner.gain("Boost", s1.input_ref(0), gain, dtype=d))
+    s1.set_enable(hot)
+
+    s2 = b.subsystem(f"{node.name}_S2", inputs=[refs[data]])
+    bias = 1.0 if d.is_float else 1
+    o2 = s2.set_output(s2.inner.bias("Off", s2.input_ref(0), bias, dtype=d))
+    s2.set_enable(cold)
+
+    return b.merge(node.name, [o1, o2], dtype=d)
+
+
+def _expand_store(b: ModelBuilder, node: NodeSpec, refs, dtypes) -> Ref:
+    """DataStoreMemory + read-before-write pair around one input signal."""
+    (data,) = node.inputs
+    d = node.out_dtype or dtypes[data]
+    store = b.data_store(f"{node.name}_mem", dtype=d, initial=_zero_of(d))
+    rd = b.ds_read(node.name, store, dtype=d)
+    b.ds_write(f"{node.name}_wr", store, refs[data])
+    return rd
+
+
+def build_model(case: CaseSpec) -> Model:
+    """Rebuild the concrete model a spec describes.
+
+    Every value-producing node that no other node consumes gets an
+    Outport (``Y_<name>``) so the oracle observes the whole frontier of
+    the dataflow graph; sink nodes and composite side-effects count as
+    consumption.
+    """
+    b = ModelBuilder(case.name)
+    refs: dict[str, Ref] = {}
+    dtypes: dict[str, DType] = {}
+    consumed: set[str] = set()
+    producers: list[str] = []
+
+    for node in case.nodes:
+        consumed.update(node.inputs)
+        if node.block_type == "Inport":
+            refs[node.name] = b.inport(node.name, dtype=node.out_dtype or DType.F64)
+        elif node.block_type == GUARDED:
+            refs[node.name] = _expand_guarded(b, node, refs, dtypes)
+        elif node.block_type == STORE:
+            refs[node.name] = _expand_store(b, node, refs, dtypes)
+        elif node.block_type in _SINK_TYPES:
+            b.block(node.block_type, node.name,
+                    [refs[i] for i in node.inputs], n_outputs=0)
+            continue
+        else:
+            refs[node.name] = b.block(
+                node.block_type,
+                node.name,
+                [refs[i] for i in node.inputs],
+                operator=node.operator,
+                out_dtype=node.out_dtype,
+                params=dict(node.params) or None,
+            )
+        if node.out_dtype is not None:
+            dtypes[node.name] = node.out_dtype
+        elif node.inputs:
+            dtypes[node.name] = dtypes.get(node.inputs[0], DType.F64)
+        else:
+            dtypes[node.name] = DType.F64
+        producers.append(node.name)
+
+    for name in producers:
+        if name not in consumed:
+            b.outport(f"Y_{name}", refs[name])
+    return b.build()

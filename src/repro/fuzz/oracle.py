@@ -1,0 +1,217 @@
+"""The differential oracle: one case, every engine rung, bit-for-bit.
+
+The interpreted SSE engine defines the observable semantics; every other
+rung must reproduce it exactly:
+
+* ``sse_ac`` — the Accelerator analog (MEX-compiled actor functions);
+* ``sse_rac`` — Rapid Accelerator (whole-model generated Python);
+* ``accmos`` — the C codegen batch path (compile once, run via the
+  descriptor protocol);
+* ``accmos_stream`` — the same binary driven through a warm ``--serve``
+  process (exercises the framing/stream protocol);
+* ``accmos_baked`` — the legacy path with stimuli and step count baked
+  into the C source (exercises the literal emitters).
+
+Outputs are compared on raw bits (via :func:`signal_bits`, which also
+canonicalizes NaN exactly like the generated C), checksums/coverage
+bitmaps/diagnosis records on equality.  The Python rungs collect no
+coverage or diagnostics, so only the AccMoS rungs are held to those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.codegen.descriptor import descriptors_for
+from repro.codegen.driver import find_c_compiler
+from repro.engines import SimulationOptions, SimulationResult, simulate
+from repro.engines.accmos import _run_accmos_baked, compile_model
+from repro.engines.base import signal_bits
+from repro.fuzz.generate import CaseSpec, build_model, build_stimuli
+from repro.schedule import preprocess
+
+#: Comparison rungs in execution order.  ``sse`` is the reference and is
+#: always run; it is not itself a rung.
+ALL_RUNGS = ("sse_ac", "sse_rac", "accmos", "accmos_stream", "accmos_baked")
+PYTHON_RUNGS = ("sse_ac", "sse_rac")
+C_RUNGS = ("accmos", "accmos_stream", "accmos_baked")
+
+
+def available_rungs() -> tuple[str, ...]:
+    """Every rung runnable on this machine (C rungs need a compiler)."""
+    if find_c_compiler() is None:
+        return PYTHON_RUNGS
+    return ALL_RUNGS
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between a rung and the SSE reference."""
+
+    rung: str
+    kind: str  # error | steps_run | outputs | checksums | halted_at | coverage | diagnostics
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"rung": self.rung, "kind": self.kind, "detail": self.detail}
+
+
+@dataclass
+class OracleReport:
+    """Everything one differential run of a case produced."""
+
+    case: CaseSpec
+    rungs: tuple[str, ...]
+    divergences: list[Divergence] = field(default_factory=list)
+    results: dict = field(default_factory=dict)  # rung -> SimulationResult
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def agreed(self) -> bool:
+        return not self.divergences
+
+
+def _bits_repr(value, dtype) -> str:
+    return f"{value!r} (bits {signal_bits(value, dtype):#x})"
+
+
+def compare_results(
+    reference: SimulationResult,
+    other: SimulationResult,
+    rung: str,
+    out_dtypes: dict,
+    *,
+    structural: bool,
+) -> list[Divergence]:
+    """All fields on which ``other`` disagrees with the reference."""
+    divergences: list[Divergence] = []
+
+    def diverge(kind: str, detail: str) -> None:
+        divergences.append(Divergence(rung=rung, kind=kind, detail=detail))
+
+    if other.steps_run != reference.steps_run:
+        diverge("steps_run", f"{reference.steps_run} vs {other.steps_run}")
+    if other.halted_at != reference.halted_at:
+        diverge("halted_at", f"{reference.halted_at} vs {other.halted_at}")
+    for name, value in reference.outputs.items():
+        if name not in other.outputs:
+            diverge("outputs", f"{name}: missing")
+            continue
+        dtype = out_dtypes.get(name)
+        if dtype is None:
+            same = other.outputs[name] == value
+        else:
+            same = signal_bits(other.outputs[name], dtype) == signal_bits(value, dtype)
+        if not same:
+            diverge(
+                "outputs",
+                f"{name}: {_bits_repr(value, dtype)} vs "
+                f"{_bits_repr(other.outputs[name], dtype)}"
+                if dtype is not None
+                else f"{name}: {value!r} vs {other.outputs[name]!r}",
+            )
+    if other.checksums != reference.checksums:
+        keys = sorted(set(reference.checksums) | set(other.checksums))
+        diffs = [
+            f"{k}: {reference.checksums.get(k):#x} vs {other.checksums.get(k):#x}"
+            for k in keys
+            if reference.checksums.get(k) != other.checksums.get(k)
+        ]
+        diverge("checksums", "; ".join(diffs))
+    if structural:
+        if reference.coverage is not None:
+            if other.coverage is None:
+                diverge("coverage", "missing coverage report")
+            elif other.coverage.bitmaps != reference.coverage.bitmaps:
+                diverge(
+                    "coverage",
+                    f"[{reference.coverage.summary()}] vs "
+                    f"[{other.coverage.summary()}]",
+                )
+        ref_diag = [(e.path, e.kind.value, e.first_step, e.count)
+                    for e in reference.diagnostics]
+        oth_diag = [(e.path, e.kind.value, e.first_step, e.count)
+                    for e in other.diagnostics]
+        if oth_diag != ref_diag:
+            diverge("diagnostics", f"{ref_diag} vs {oth_diag}")
+    return divergences
+
+
+def run_case(
+    case: CaseSpec,
+    *,
+    rungs: Optional[Sequence[str]] = None,
+    keep_results: bool = False,
+    timeout_seconds: Optional[float] = 120.0,
+) -> OracleReport:
+    """Run one case through the reference and every requested rung.
+
+    A rung that *raises* is itself a divergence (kind ``error``) — a
+    generated case must never crash one engine and not the others.
+    Errors during the reference run propagate: they mean the case is
+    bad, not that the engines disagree.
+    """
+    rungs = tuple(rungs) if rungs is not None else available_rungs()
+    report = OracleReport(case=case, rungs=rungs)
+
+    model = build_model(case)
+    prog = preprocess(model)
+    out_dtypes = {b.name: b.dtype for b in prog.outports}
+    options = SimulationOptions(steps=case.steps)
+
+    reference = simulate(prog, build_stimuli(case), engine="sse", options=options)
+    if keep_results:
+        report.results["sse"] = reference
+
+    def record(rung: str, runner) -> None:
+        try:
+            result = runner()
+        except Exception as exc:  # noqa: BLE001 — engine crash = divergence
+            report.divergences.append(Divergence(
+                rung=rung, kind="error",
+                detail=f"{type(exc).__name__}: {exc}",
+            ))
+            return
+        report.divergences.extend(compare_results(
+            reference, result, rung, out_dtypes,
+            structural=rung in C_RUNGS,
+        ))
+        if keep_results:
+            report.results[rung] = result
+
+    for rung in PYTHON_RUNGS:
+        if rung in rungs:
+            record(rung, lambda r=rung: simulate(
+                prog, build_stimuli(case), engine=r, options=options
+            ))
+
+    wanted_c = [r for r in ("accmos", "accmos_stream") if r in rungs]
+    if wanted_c:
+        if descriptors_for(prog, build_stimuli(case)) is None:
+            report.skipped.extend(wanted_c)
+        else:
+            compiled = compile_model(prog, options, cache=False)
+            if "accmos" in wanted_c:
+                record("accmos", lambda: compiled.run(
+                    build_stimuli(case), options,
+                    timeout_seconds=timeout_seconds,
+                ))
+            if "accmos_stream" in wanted_c:
+                def stream_once():
+                    (outcome,) = list(compiled.run_stream(
+                        [(build_stimuli(case), options)],
+                        timeout_seconds=timeout_seconds,
+                    ))
+                    if isinstance(outcome, Exception):
+                        raise outcome
+                    return outcome
+                record("accmos_stream", stream_once)
+
+    if "accmos_baked" in rungs:
+        record("accmos_baked", lambda: _run_accmos_baked(
+            prog, build_stimuli(case), options,
+            workdir=None, keep_artifacts=False, cache=None,
+            timeout_seconds=timeout_seconds,
+        ))
+    return report

@@ -1,0 +1,222 @@
+"""Automatic shrinking: delta-debug a diverging case to a minimal one.
+
+Given a case and a ``still_fails`` predicate (normally "the oracle still
+reports a divergence"), the shrinker greedily applies reduction passes
+until a fixpoint or the attempt budget runs out:
+
+1. **drop nodes** — remove one node plus every transitive consumer
+   (largest cascades first, so one accepted candidate can erase a whole
+   arm of the graph);
+2. **shrink steps** — try 1, then halve repeatedly;
+3. **simplify stimuli** — replace each generator with a constant
+   pinning its first emitted value;
+4. **shrink params** — truncate lookup tables, sequences, polynomial
+   coefficients, and delay lengths.
+
+Candidates that fail to build (or crash the predicate) are simply
+rejected, so the result is always a *valid* reproducer.  The predicate
+is the only thing consulted — the shrinker never assumes which rung or
+field diverged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.fuzz.generate import CaseSpec, NodeSpec, build_stimulus
+
+Predicate = Callable[[CaseSpec], bool]
+
+
+@dataclass
+class ShrinkStats:
+    """What one shrink run did."""
+
+    attempts: int = 0
+    reductions: int = 0
+    initial_actors: int = 0
+    final_actors: int = 0
+    initial_steps: int = 0
+    final_steps: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.initial_actors} -> {self.final_actors} actors, "
+            f"{self.initial_steps} -> {self.final_steps} steps "
+            f"({self.reductions} reduction(s) in {self.attempts} attempt(s))"
+        )
+
+
+def _consumers(case: CaseSpec) -> dict[str, set[str]]:
+    out: dict[str, set[str]] = {n.name: set() for n in case.nodes}
+    for node in case.nodes:
+        for src in node.inputs:
+            out.setdefault(src, set()).add(node.name)
+    return out
+
+
+def drop_node(case: CaseSpec, name: str) -> Optional[CaseSpec]:
+    """Remove ``name`` and every transitive consumer; ``None`` when the
+    removal would leave no value-producing node."""
+    consumers = _consumers(case)
+    dead = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current in dead:
+            continue
+        dead.add(current)
+        frontier.extend(consumers.get(current, ()))
+    nodes = [n for n in case.nodes if n.name not in dead]
+    if not any(n.block_type != "Inport" for n in nodes):
+        return None
+    # Inports that lost every consumer go too (with their stimuli).
+    used = {src for n in nodes for src in n.inputs}
+    nodes = [
+        n for n in nodes
+        if n.block_type != "Inport" or n.name in used
+    ]
+    live_inports = {n.name for n in nodes if n.block_type == "Inport"}
+    stimuli = {k: v for k, v in case.stimuli.items() if k in live_inports}
+    return replace(case, nodes=nodes, stimuli=stimuli)
+
+
+def _cascade_size(case: CaseSpec, name: str) -> int:
+    consumers = _consumers(case)
+    seen = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(consumers.get(current, ()))
+    return len(seen)
+
+
+def _first_value(spec: dict):
+    stim = build_stimulus(spec)
+    stim.reset()
+    return stim.next()
+
+
+def _shrunk_params(node: NodeSpec) -> Optional[NodeSpec]:
+    """A smaller-parameter version of ``node``, or None if already minimal."""
+    p = dict(node.params)
+    if node.block_type == "Lookup1D" and len(p.get("breakpoints", ())) > 2:
+        p["breakpoints"] = list(p["breakpoints"][:2])
+        p["table"] = list(p["table"][:2])
+        return replace(node, params=p)
+    if node.block_type == "DirectLookup" and len(p.get("table", ())) > 1:
+        p["table"] = list(p["table"][:1])
+        return replace(node, params=p)
+    if node.block_type == "Polynomial" and len(p.get("coeffs", ())) > 1:
+        p["coeffs"] = list(p["coeffs"][:1])
+        return replace(node, params=p)
+    if node.block_type == "Delay" and p.get("length", 1) > 1:
+        p["length"] = 1
+        return replace(node, params=p)
+    return None
+
+
+class _Shrinker:
+    def __init__(self, still_fails: Predicate, max_attempts: int):
+        self._predicate = still_fails
+        self._max_attempts = max_attempts
+        self.stats = ShrinkStats()
+
+    def _try(self, candidate: Optional[CaseSpec]) -> bool:
+        """True when the candidate is valid AND still reproduces."""
+        if candidate is None:
+            return False
+        if self.stats.attempts >= self._max_attempts:
+            return False
+        self.stats.attempts += 1
+        try:
+            if self._predicate(candidate):
+                self.stats.reductions += 1
+                return True
+        except Exception:  # noqa: BLE001 — unbuildable candidate: reject
+            pass
+        return False
+
+    def _budget_left(self) -> bool:
+        return self.stats.attempts < self._max_attempts
+
+    # -- passes --------------------------------------------------------
+    def pass_drop_nodes(self, case: CaseSpec) -> CaseSpec:
+        progress = True
+        while progress and self._budget_left():
+            progress = False
+            candidates = [n.name for n in case.nodes]
+            candidates.sort(key=lambda n: -_cascade_size(case, n))
+            for name in candidates:
+                smaller = drop_node(case, name)
+                if self._try(smaller):
+                    case = smaller
+                    progress = True
+                    break
+        return case
+
+    def pass_shrink_steps(self, case: CaseSpec) -> CaseSpec:
+        one = replace(case, steps=1)
+        if case.steps > 1 and self._try(one):
+            return one
+        while case.steps > 1 and self._budget_left():
+            smaller = replace(case, steps=case.steps // 2)
+            if not self._try(smaller):
+                break
+            case = smaller
+        return case
+
+    def pass_simplify_stimuli(self, case: CaseSpec) -> CaseSpec:
+        for name, spec in list(case.stimuli.items()):
+            if spec.get("kind") == "constant":
+                continue
+            simplified = dict(case.stimuli)
+            simplified[name] = {"kind": "constant", "value": _first_value(spec)}
+            candidate = replace(case, stimuli=simplified)
+            if self._try(candidate):
+                case = candidate
+        return case
+
+    def pass_shrink_params(self, case: CaseSpec) -> CaseSpec:
+        for i, node in enumerate(case.nodes):
+            smaller_node = _shrunk_params(node)
+            if smaller_node is None:
+                continue
+            nodes = list(case.nodes)
+            nodes[i] = smaller_node
+            candidate = replace(case, nodes=nodes)
+            if self._try(candidate):
+                case = candidate
+        return case
+
+
+def shrink_case(
+    case: CaseSpec,
+    still_fails: Predicate,
+    *,
+    max_attempts: int = 250,
+) -> tuple[CaseSpec, ShrinkStats]:
+    """Minimize ``case`` while ``still_fails`` keeps returning True.
+
+    The input case is assumed to fail already; the returned case is the
+    smallest failing one found within ``max_attempts`` predicate calls.
+    """
+    shrinker = _Shrinker(still_fails, max_attempts)
+    shrinker.stats.initial_actors = case.n_actors
+    shrinker.stats.initial_steps = case.steps
+
+    previous = None
+    while previous is not case and shrinker._budget_left():
+        previous = case
+        case = shrinker.pass_drop_nodes(case)
+        case = shrinker.pass_shrink_steps(case)
+        case = shrinker.pass_simplify_stimuli(case)
+        case = shrinker.pass_shrink_params(case)
+
+    shrinker.stats.final_actors = case.n_actors
+    shrinker.stats.final_steps = case.steps
+    return case, shrinker.stats

@@ -31,13 +31,20 @@ STIM_KIND_INT_RANDOM = 7
 
 
 def c_double_literal(value: float) -> str:
-    """An exact C literal for a Python float."""
+    """An exact C literal for a Python float.
+
+    Non-finite values use the ``<math.h>`` macros: expressions like
+    ``(0.0/0.0)`` are constant-folded by the compiler and may come out
+    with a different NaN bit pattern (x86 folds it to *negative* quiet
+    NaN) than the positive quiet NaN Python produces — and checksums
+    hash raw IEEE bits, so the sign of NaN is observable.
+    """
     if value != value:  # NaN
-        return "(0.0/0.0)"
+        return "NAN"
     if value == float("inf"):
-        return "(1.0/0.0)"
+        return "INFINITY"
     if value == float("-inf"):
-        return "(-1.0/0.0)"
+        return "(-INFINITY)"
     if value == int(value) and abs(value) < 1e15:
         return f"{value:.1f}"
     return value.hex()

@@ -1,0 +1,40 @@
+"""Replay the fuzz corpus: every reproducer in ``tests/corpus/`` runs
+through the differential oracle on every rung available locally.
+
+Entries with status ``fixed`` are regression tests and must agree;
+entries with status ``open`` are known divergences awaiting a fix and
+xfail until someone flips their status.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import available_rungs, load_entries, run_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = [entry for _path, entry in load_entries(CORPUS_DIR)]
+
+
+def _entry_id(entry) -> str:
+    return f"{entry.case.name}-{entry.status}"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+def test_corpus_entry(entry):
+    if entry.status == "open":
+        pytest.xfail(f"known open divergence: {entry.note or entry.case.name}")
+    report = run_case(entry.case, rungs=available_rungs())
+    assert report.agreed, (
+        f"regression: {entry.case.name} diverged again "
+        f"({entry.note}): {[d.to_dict() for d in report.divergences]}"
+    )
+
+
+def test_corpus_is_not_empty():
+    """The seed corpus ships with this repo; an empty corpus means the
+    replay harness is silently testing nothing."""
+    assert len(ENTRIES) >= 5

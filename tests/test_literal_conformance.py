@@ -1,0 +1,161 @@
+"""Regression tests for C literal emission (non-finite and out-of-range).
+
+Two bug classes the differential fuzzer flushed out:
+
+* non-finite parameters and table entries used to be emitted as folded
+  division expressions (``(0.0/0.0)``); gcc constant-folds those to a
+  NaN whose sign bit differs from Python's positive quiet NaN, and the
+  checksum hashes raw IEEE bits, so SSE and AccMoS diverged;
+* integer literals were emitted unconformed (``(int8_t)300``), leaving
+  the wrap to the C compiler's implementation-defined conversion rather
+  than the interpreter's :func:`int_param`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from conftest import requires_cc
+from helpers import assert_results_agree
+
+from repro.codegen.cexpr import float_literal, value_literal
+from repro.dtypes import DType
+from repro.engines import simulate
+from repro.model.builder import ModelBuilder
+from repro.stimuli.base import c_double_literal
+from repro.stimuli.generators import SequenceStimulus
+
+NAN = float("nan")
+INF = float("inf")
+
+INT_DTYPES = [
+    DType.I8,
+    DType.I16,
+    DType.I32,
+    DType.I64,
+    DType.U8,
+    DType.U16,
+    DType.U32,
+    DType.U64,
+]
+
+
+class TestNonFiniteLiterals:
+    def test_macros(self):
+        assert c_double_literal(NAN) == "NAN"
+        assert c_double_literal(INF) == "INFINITY"
+        assert c_double_literal(-INF) == "(-INFINITY)"
+
+    def test_float_literal_f32(self):
+        assert float_literal(NAN, DType.F32) == "(float)NAN"
+        assert float_literal(-INF, DType.F32) == "(float)(-INFINITY)"
+
+    def test_finite_literals_unchanged(self):
+        assert c_double_literal(2.0) == "2.0"
+        assert c_double_literal(0.1) == (0.1).hex()
+
+
+class TestIntLiteralConformance:
+    @pytest.mark.parametrize("dtype", INT_DTYPES, ids=lambda d: d.short_name)
+    def test_out_of_range_wraps_like_interpreter(self, dtype):
+        from repro.actors.math_ops import int_param
+
+        for raw in (
+            dtype.max_value + 1,
+            dtype.min_value - 1,
+            dtype.max_value + 300,
+            float(dtype.max_value) + 1.5,
+            -1,
+            dtype.max_value,
+            dtype.min_value,
+        ):
+            lit = value_literal(raw, dtype)
+            expected = int_param(raw, dtype)
+            # The emitted digits must be the conformed value, never the
+            # raw one: the C compiler's out-of-range conversion is
+            # implementation-defined and must not be relied on.
+            if expected == -(2**63):
+                assert "9223372036854775807" in lit
+            else:
+                assert str(expected) in lit
+
+    def test_int8_300_wraps_to_44(self):
+        assert "44" in value_literal(300, DType.I8)
+        assert "300" not in value_literal(300, DType.I8)
+
+    def test_float_param_truncates_then_wraps(self):
+        # 300.7 on int8: truncate to 300, wrap to 44 — int_param's rule.
+        assert "44" in value_literal(300.7, DType.I8)
+
+
+def _run_pair(model, stimuli_factory, steps):
+    ref = simulate(model, stimuli_factory(), engine="sse", steps=steps)
+    acc = simulate(model, stimuli_factory(), engine="accmos", steps=steps)
+    assert_results_agree(ref, acc)
+    return ref
+
+
+@requires_cc
+class TestNonFiniteEndToEnd:
+    @pytest.mark.parametrize("value", [NAN, INF, -INF], ids=["nan", "inf", "-inf"])
+    @pytest.mark.parametrize("dtype", [DType.F64, DType.F32], ids=["f64", "f32"])
+    def test_constant(self, value, dtype):
+        b = ModelBuilder(f"const_nonfinite_{dtype.short_name}")
+        c = b.constant("c", value, dtype=dtype)
+        u = b.inport("u", dtype=dtype)
+        b.outport("y", b.add("s", c, u))
+        model = b.build()
+        ref = _run_pair(
+            model, lambda: {"u": SequenceStimulus([1.0, -2.0, 0.5])}, steps=3
+        )
+        out = ref.outputs["y"]
+        assert math.isnan(out) if value != value else math.isinf(out)
+
+    def test_lookup_table_nonfinite_entries(self):
+        b = ModelBuilder("lookup_nonfinite")
+        u = b.inport("u", dtype=DType.F64)
+        b.outport(
+            "y",
+            b.lookup1d(
+                "lut",
+                u,
+                breakpoints=[0.0, 1.0, 2.0, 3.0],
+                table=[NAN, INF, -INF, 7.5],
+            ),
+        )
+        model = b.build()
+        _run_pair(
+            model,
+            lambda: {"u": SequenceStimulus([0.0, 1.0, 2.0, 3.0, 1.5, 2.5])},
+            steps=6,
+        )
+
+    def test_direct_lookup_nonfinite_entries(self):
+        b = ModelBuilder("direct_nonfinite")
+        u = b.inport("u", dtype=DType.I32)
+        b.outport(
+            "y",
+            b.direct_lookup("dl", u, table=[NAN, INF, -INF, 2.0], dtype=DType.F64),
+        )
+        model = b.build()
+        _run_pair(
+            model, lambda: {"u": SequenceStimulus([0, 1, 2, 3])}, steps=4
+        )
+
+
+@requires_cc
+class TestBoundaryParamsEndToEnd:
+    @pytest.mark.parametrize("dtype", INT_DTYPES, ids=lambda d: d.short_name)
+    def test_boundary_constants(self, dtype):
+        # Float params bypass the static int-fit validation, taking the
+        # int_param truncate-then-wrap path in both engines.
+        raw = float(dtype.max_value) + 1.5
+        b = ModelBuilder(f"boundary_{dtype.short_name}")
+        c = b.constant("c", raw, dtype=dtype)
+        u = b.inport("u", dtype=dtype)
+        b.outport("y", b.add("s", c, u))
+        model = b.build()
+        _run_pair(
+            model, lambda: {"u": SequenceStimulus([0, 1, 2])}, steps=3
+        )

@@ -1,0 +1,141 @@
+"""Directed divergence tests: remainder and rounding with negative operands.
+
+The reference semantics are C's: remainder takes the sign of the
+dividend (truncating division), rounding is half-away-from-zero, and —
+the part the original Python helpers got wrong — libm's ``floor`` /
+``ceil`` / ``trunc`` / ``round`` preserve the *sign of a zero result*
+(``ceil(-0.5) == -0.0``).  Checksums hash raw IEEE bits, so a ``+0.0``
+vs ``-0.0`` disagreement is a real divergence.  Every engine rung must
+agree bit for bit on these inputs.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from conftest import requires_cc
+from helpers import assert_results_agree
+
+from repro.dtypes import DType
+from repro.engines import simulate
+from repro.model.builder import ModelBuilder
+from repro.stimuli.generators import SequenceStimulus
+
+PY_ENGINES = ["sse_ac", "sse_rac"]
+FLOAT_DTYPES = [DType.F64, DType.F32]
+
+# Negative operands, signed zeros, and exact halves — the values where
+# Python's int-returning rounding and %-remainder habits disagree with C.
+ROUND_VALUES = [-2.5, -0.5, 0.5, 2.5, -1.5, 1.5, -0.3, 0.3, -0.0, 0.0, -7.75]
+MOD_FLOAT_CASES = (
+    [-7.5, 7.5, -7.5, 0.3, -0.0, 5.25],
+    [2.0, -2.0, -2.0, 0.0, 3.0, -1.5],
+)
+MOD_INT_CASES = ([-7, 7, -7, 7, 5, -128], [3, -3, -3, 3, 0, -3])
+
+
+def _compare_engines(model, stim_values, steps, cc_available):
+    def stims():
+        return {k: SequenceStimulus(v) for k, v in stim_values.items()}
+
+    ref = simulate(model, stims(), engine="sse", steps=steps)
+    for engine in PY_ENGINES:
+        other = simulate(model, stims(), engine=engine, steps=steps)
+        assert_results_agree(ref, other, coverage=False, diagnostics=False)
+    if cc_available:
+        acc = simulate(model, stims(), engine="accmos", steps=steps)
+        assert_results_agree(ref, acc)
+    return ref
+
+
+@pytest.mark.parametrize("dtype", FLOAT_DTYPES, ids=["f64", "f32"])
+@pytest.mark.parametrize("op", ["floor", "ceil", "round", "fix"])
+def test_rounding_negative_parity(op, dtype, cc_available):
+    b = ModelBuilder(f"round_{op}_{dtype.short_name}")
+    b.outport("y", b.rounding("r", op, b.inport("u", dtype=dtype)))
+    _compare_engines(
+        b.build(), {"u": ROUND_VALUES}, len(ROUND_VALUES), cc_available
+    )
+
+
+@pytest.mark.parametrize("dtype", FLOAT_DTYPES, ids=["f64", "f32"])
+@pytest.mark.parametrize("interval", [0.1, 0.5, 3.0])
+def test_quantizer_negative_parity(interval, dtype, cc_available):
+    b = ModelBuilder(f"quant_{dtype.short_name}")
+    b.outport("y", b.quantizer("q", b.inport("u", dtype=dtype), interval))
+    _compare_engines(
+        b.build(), {"u": ROUND_VALUES}, len(ROUND_VALUES), cc_available
+    )
+
+
+@pytest.mark.parametrize("dtype", FLOAT_DTYPES, ids=["f64", "f32"])
+def test_mod_float_negative_parity(dtype, cc_available):
+    b = ModelBuilder(f"mod_{dtype.short_name}")
+    b.outport(
+        "y",
+        b.mod("m", b.inport("u", dtype=dtype), b.inport("v", dtype=dtype)),
+    )
+    u, v = MOD_FLOAT_CASES
+    _compare_engines(b.build(), {"u": u, "v": v}, len(u), cc_available)
+
+
+@pytest.mark.parametrize(
+    "dtype",
+    [DType.I8, DType.I16, DType.I32, DType.I64],
+    ids=lambda d: d.short_name,
+)
+def test_mod_int_sign_of_dividend(dtype, cc_available):
+    b = ModelBuilder(f"mod_{dtype.short_name}")
+    b.outport(
+        "y",
+        b.mod("m", b.inport("u", dtype=dtype), b.inport("v", dtype=dtype)),
+    )
+    u, v = MOD_INT_CASES
+    _compare_engines(b.build(), {"u": u, "v": v}, len(u), cc_available)
+
+
+class TestHelperSemantics:
+    """Unit pins on the helpers themselves (sign of zero is invisible to
+    ``==``, so compare raw bits)."""
+
+    @staticmethod
+    def _bits(x: float) -> bytes:
+        return struct.pack("<d", x)
+
+    def test_ceil_negative_zero(self):
+        from repro.actors.math_ops import c_ceil
+
+        assert self._bits(c_ceil(-0.5)) == self._bits(-0.0)
+        assert self._bits(c_ceil(0.5)) == self._bits(1.0)
+
+    def test_floor_signed_zero(self):
+        from repro.actors.math_ops import c_floor
+
+        assert self._bits(c_floor(-0.0)) == self._bits(-0.0)
+        assert self._bits(c_floor(0.3)) == self._bits(0.0)
+
+    def test_round_half_away_and_zero_sign(self):
+        from repro.actors.math_ops import c_round
+
+        assert c_round(-2.5) == -3.0
+        assert c_round(2.5) == 3.0
+        assert self._bits(c_round(-0.3)) == self._bits(-0.0)
+        # -0.0 >= 0 in Python and C alike: takes the floor branch.
+        assert self._bits(c_round(-0.0)) == self._bits(0.0)
+
+    def test_fix_negative_zero(self):
+        from repro.actors.math_ops import c_fix
+
+        assert self._bits(c_fix(-0.5)) == self._bits(-0.0)
+        assert c_fix(-1.5) == -1.0
+        assert c_fix(1.9) == 1.0
+
+    def test_mod_sign_of_dividend(self):
+        from repro.dtypes.arith import _trunc_mod
+
+        assert _trunc_mod(-7, 3) == -1
+        assert _trunc_mod(7, -3) == 1
+        assert _trunc_mod(-7, -3) == -1
+        assert math.fmod(-7.5, 2.0) == -1.5
