@@ -108,6 +108,7 @@ def run_campaign(
     timeout_seconds: Optional[float] = None,
     batch_size: int = 1,
     serve: bool = True,
+    inproc: bool = False,
 ) -> CampaignOutcome:
     """Run up to ``max_cases`` differently-seeded random test cases.
 
@@ -136,7 +137,23 @@ def run_campaign(
     server trouble, so results are byte-identical either way.  It only
     applies where descriptors (and batches) are available, i.e. the
     AccMoS engine with ``batch_size > 1``.
+
+    ``inproc`` (default off) loads the compiled program as a shared
+    library and runs batched cases in-process through the packed binary
+    ABI — zero process spawns and zero text parsing.  It sits above the
+    warm-server rung in the fallback ladder (inproc → server stream →
+    spawn-per-batch → per-job) and shares its gate: AccMoS engine with
+    ``batch_size > 1``.  A library fault quarantines the shared object
+    and falls back to the server/spawn paths, so results stay
+    byte-identical either way.
     """
+    from repro.engines.api import ENGINES
+
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; valid engines: "
+            f"{', '.join(sorted(ENGINES))}"
+        )
     if max_cases < 1:
         raise ValueError("max_cases must be at least 1")
     if plateau_patience < 1:
@@ -167,4 +184,5 @@ def run_campaign(
         timeout_seconds=timeout_seconds,
         batch_size=batch_size,
         serve=serve,
+        inproc=inproc,
     )

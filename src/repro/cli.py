@@ -244,6 +244,7 @@ def cmd_campaign(args) -> int:
             timeout_seconds=args.timeout,
             batch_size=args.batch_size,
             serve=args.serve,
+            inproc=args.inproc,
         )
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
@@ -557,6 +558,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream batched cases through warm --serve "
                         "processes reused across waves (--no-serve spawns "
                         "one process per batch instead)")
+    p.add_argument("--inproc", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="run batched cases in-process through the compiled "
+                        "shared library (zero spawns; falls back to --serve "
+                        "on any library trouble)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-case wall-clock limit for the compiled binary")
     p.add_argument("--timings", action="store_true",

@@ -256,17 +256,25 @@ def _generate(
         globals_.append(f"static uint64_t chk{i};")
 
     if reusable:
+        from repro.inproc.abi import ABI_VERSION, result_buffer_size
+
         reset_fn = _emit_case_reset(
             prog, plan, layout, ctx, store_inits, globals_
         )
-        main_lines = _emit_batch_main(
-            prog, plan, layout, options,
+        sim_fn = _emit_sim_case_fn(
+            prog, options,
             stim_body=stim_body, step_body=step_body,
             update_body=update_body, use_halt_label=use_halt_label,
         )
+        main_lines = _emit_batch_main(prog, plan, layout, options)
+        lib_fn = _emit_lib_exports(
+            prog, plan, layout, options,
+            abi_version=ABI_VERSION,
+            result_size=result_buffer_size(layout, plan, options),
+        )
         chunks = [
             runtime_header(), "\n".join(globals_), "", reset_fn, "",
-            "\n".join(main_lines), "",
+            sim_fn, "", "\n".join(main_lines), "", lib_fn, "",
         ]
         return "\n".join(chunks), layout
 
@@ -470,16 +478,92 @@ def _emit_case_reset(
     )
 
 
-def _emit_batch_main(
+def _emit_sim_case_fn(
     prog: FlatProgram,
-    plan: InstrumentationPlan,
-    layout: ProgramLayout,
     options: SimulationOptions,
     *,
     stim_body: str,
     step_body: str,
     update_body: str,
     use_halt_label: bool,
+) -> str:
+    """``acc_sim_case()``: one case end to end — reset, simulation loop,
+    budget/deadline checks, timings.  Shared verbatim by the stdin-driven
+    ``main`` and the exported in-process entry point, so the two paths
+    cannot diverge.  Returns 1 when the per-case deadline tripped.
+    """
+    lines: list[str] = []
+    lines.append(
+        "static int acc_sim_case(long long _case_steps, double _case_budget, "
+        "double _case_deadline,"
+    )
+    lines.append(
+        "                        int64_t *_out_steps_run, "
+        "int64_t *_out_halt_step, double *_out_elapsed) {"
+    )
+    lines.append("    int64_t halt_step = -1;")
+    lines.append("    int64_t steps_run = 0;")
+    lines.append("    int _case_timed_out = 0;")
+    lines.append("    int64_t step;")
+    lines.append("    struct timespec _t0, _t1;")
+    lines.append("    acc_case_reset();")
+    lines.append("    clock_gettime(CLOCK_MONOTONIC, &_t0);")
+    lines.append("    for (step = 0; step < (int64_t)_case_steps; step++) {")
+    lines.append(
+        "        if ((_case_budget > 0.0 || _case_deadline > 0.0) && "
+        "(step & 511) == 0) {"
+    )
+    lines.append("            clock_gettime(CLOCK_MONOTONIC, &_t1);")
+    lines.append(
+        "            double _el = (double)(_t1.tv_sec - _t0.tv_sec) + "
+        "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec);"
+    )
+    lines.append(
+        "            if (_case_deadline > 0.0 && _el >= _case_deadline) "
+        "{ _case_timed_out = 1; break; }"
+    )
+    lines.append(
+        "            if (_case_budget > 0.0 && _el >= _case_budget) break;"
+    )
+    lines.append("        }")
+    lines.append("        /* ---- test case import (descriptors) ---- */")
+    lines.append(_indent(stim_body, 8))
+    lines.append("        /* ---- model step (execution order) ---- */")
+    lines.append(_indent(step_body, 8))
+    lines.append("        /* ---- state update phase ---- */")
+    lines.append(_indent(update_body, 8))
+    if options.checksum and prog.outports:
+        lines.append("        /* ---- output checksums ---- */")
+        for i, binding in enumerate(prog.outports):
+            lines.append(
+                f"        ACC_CHK(chk{i}, "
+                f"{_bits_expr(svar(binding.sid), binding.dtype)});"
+            )
+    lines.append("        steps_run = step + 1;")
+    if use_halt_label:
+        lines.append("        continue;")
+        lines.append("    sim_halt:")
+        lines.append("        halt_step = step;")
+        lines.append("        steps_run = step + 1;")
+        lines.append("        break;")
+    lines.append("    }")
+    lines.append("    clock_gettime(CLOCK_MONOTONIC, &_t1);")
+    lines.append(
+        "    *_out_elapsed = (double)(_t1.tv_sec - _t0.tv_sec) + "
+        "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec);"
+    )
+    lines.append("    *_out_steps_run = steps_run;")
+    lines.append("    *_out_halt_step = halt_step;")
+    lines.append("    return _case_timed_out;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _emit_batch_main(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    options: SimulationOptions,
 ) -> list[str]:
     """``main`` for the reusable program: loop over stdin case records.
 
@@ -496,64 +580,21 @@ def _emit_batch_main(
     lines.append("    int _case_index = 0;")
     lines.append("    int _rc;")
     lines.append("    int _serve = acc_serve_mode(argc, argv);")
-    lines.append("    struct timespec _t0, _t1;")
     lines.append('    if (_serve) { printf("ready\\n"); fflush(stdout); }')
     lines.append(
         "    while ((_rc = acc_read_case(&_case_steps, &_case_budget, "
         "&_case_deadline)) == 1) {"
     )
-    lines.append("        int64_t halt_step = -1;")
-    lines.append("        int64_t steps_run = 0;")
-    lines.append("        int _case_timed_out = 0;")
-    lines.append("        int64_t step;")
-    lines.append("        acc_case_reset();")
+    lines.append("        int64_t steps_run, halt_step;")
+    lines.append("        double _elapsed;")
     lines.append('        printf("case %d\\n", _case_index);')
-    lines.append("        clock_gettime(CLOCK_MONOTONIC, &_t0);")
     lines.append(
-        "        for (step = 0; step < (int64_t)_case_steps; step++) {"
+        "        int _case_timed_out = acc_sim_case(_case_steps, "
+        "_case_budget, _case_deadline,"
     )
     lines.append(
-        "            if ((_case_budget > 0.0 || _case_deadline > 0.0) && "
-        "(step & 511) == 0) {"
-    )
-    lines.append("                clock_gettime(CLOCK_MONOTONIC, &_t1);")
-    lines.append(
-        "                double _el = (double)(_t1.tv_sec - _t0.tv_sec) + "
-        "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec);"
-    )
-    lines.append(
-        "                if (_case_deadline > 0.0 && _el >= _case_deadline) "
-        "{ _case_timed_out = 1; break; }"
-    )
-    lines.append(
-        "                if (_case_budget > 0.0 && _el >= _case_budget) break;"
-    )
-    lines.append("            }")
-    lines.append("            /* ---- test case import (descriptors) ---- */")
-    lines.append(_indent(stim_body, 12))
-    lines.append("            /* ---- model step (execution order) ---- */")
-    lines.append(_indent(step_body, 12))
-    lines.append("            /* ---- state update phase ---- */")
-    lines.append(_indent(update_body, 12))
-    if options.checksum and prog.outports:
-        lines.append("            /* ---- output checksums ---- */")
-        for i, binding in enumerate(prog.outports):
-            lines.append(
-                f"            ACC_CHK(chk{i}, "
-                f"{_bits_expr(svar(binding.sid), binding.dtype)});"
-            )
-    lines.append("            steps_run = step + 1;")
-    if use_halt_label:
-        lines.append("            continue;")
-        lines.append("        sim_halt:")
-        lines.append("            halt_step = step;")
-        lines.append("            steps_run = step + 1;")
-        lines.append("            break;")
-    lines.append("        }")
-    lines.append("        clock_gettime(CLOCK_MONOTONIC, &_t1);")
-    lines.append(
-        "        double _elapsed = (double)(_t1.tv_sec - _t0.tv_sec) + "
-        "1e-9 * (double)(_t1.tv_nsec - _t0.tv_nsec);"
+        "                                            &steps_run, &halt_step, "
+        "&_elapsed);"
     )
     lines.append(_indent(_emit_report(prog, plan, layout, options), 8))
     lines.append(
@@ -575,6 +616,152 @@ def _emit_batch_main(
     lines.append("    return 0;")
     lines.append("}")
     return lines
+
+
+def _emit_binary_report(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    options: SimulationOptions,
+) -> str:
+    """The packed-result body of ``acc_lib_run_case``: every 8-byte word
+    the text protocol would print, in the fixed order ``inproc.abi``
+    decodes — checksums, output bits, coverage words, diagnosis slots,
+    monitor samples.  Floats travel as canonical IEEE bits (same
+    ``acc_bits_*`` NaN canonicalization the checksums use).
+    """
+    lines: list[str] = []
+    if options.checksum:
+        for i, _binding in enumerate(prog.outports):
+            lines.append(f"acc_put_u((unsigned long long)chk{i});")
+    for binding in prog.outports:
+        var = svar(binding.sid)
+        if binding.dtype.is_float:
+            lines.append(f"acc_put_u(acc_bits_f64((double){var}));")
+        else:
+            lines.append(
+                f"acc_put_u((unsigned long long)(uint64_t)(int64_t){var});"
+            )
+    if plan.coverage_enabled:
+        points = plan.points
+        for array, n in (
+            ("cov_actor", points.n_actor),
+            ("cov_cond", points.n_condition),
+            ("cov_dec", points.n_decision),
+            ("cov_mcdc", points.n_mcdc),
+        ):
+            lines.append(f"for (int _i = 0; _i < {n}; _i += 64) {{")
+            lines.append("    uint64_t _w = 0;")
+            lines.append(f"    for (int _b = 0; _b < 64 && _i + _b < {n}; _b++)")
+            lines.append(f"        _w |= (uint64_t)({array}[_i + _b] & 1) << _b;")
+            lines.append("    acc_put_u((unsigned long long)_w);")
+            lines.append("}")
+    for slot in range(len(layout.diag_slots)):
+        lines.append(f"acc_put_i((long long)diag_first[{slot}]);")
+        lines.append(f"acc_put_u((unsigned long long)diag_count[{slot}]);")
+    for mon in layout.monitors:
+        if mon.dtype.is_float:
+            value = f"acc_bits_f64((double)mon{mon.mid}_val[_i])"
+        else:
+            value = (
+                f"(unsigned long long)(uint64_t)(int64_t)mon{mon.mid}_val[_i]"
+            )
+        lines.append(f"acc_put_u((unsigned long long)mon{mon.mid}_n);")
+        lines.append(f"for (int _i = 0; _i < mon{mon.mid}_n; _i++) {{")
+        lines.append(f"    acc_put_i((long long)mon{mon.mid}_step[_i]);")
+        lines.append(f"    acc_put_u({value});")
+        lines.append("}")
+    return "\n".join(lines) if lines else "/* header only */"
+
+
+def _emit_lib_exports(
+    prog: FlatProgram,
+    plan: InstrumentationPlan,
+    layout: ProgramLayout,
+    options: SimulationOptions,
+    *,
+    abi_version: int,
+    result_size: int,
+) -> str:
+    """The in-process entry points (``repro.inproc``): same reusable
+    source compiled with ``-shared -fPIC`` becomes a loadable engine.
+
+    ``acc_lib_run_case`` reads one packed binary case record and fills a
+    caller-provided result buffer — no stdio on either side.  Returns
+    0 on success, -1 for a malformed record (including trailing bytes),
+    -2 for a port-count mismatch, -3 when the result buffer is smaller
+    than ``acc_lib_result_size()``.  A tripped per-case deadline is a
+    *success* with result flag bit 0 set, mirroring the text protocol's
+    ``timeout 1`` trailer.
+    """
+    lines: list[str] = []
+    lines.append("/* ---- in-process shared-library ABI (repro.inproc) ---- */")
+    lines.append(f"#define ACC_LIB_ABI_VERSION {abi_version}")
+    lines.append(f"#define ACC_LIB_RESULT_SIZE {result_size}LL")
+    lines.append("")
+    lines.append("static unsigned char *acc_wp;")
+    lines.append(
+        "static void acc_put_i(long long v) { memcpy(acc_wp, &v, 8); "
+        "acc_wp += 8; }"
+    )
+    lines.append(
+        "static void acc_put_u(unsigned long long v) { memcpy(acc_wp, &v, 8); "
+        "acc_wp += 8; }"
+    )
+    lines.append(
+        "static void acc_put_f(double v) { memcpy(acc_wp, &v, 8); "
+        "acc_wp += 8; }"
+    )
+    lines.append("")
+    lines.append("int acc_lib_abi_version(void) { return ACC_LIB_ABI_VERSION; }")
+    lines.append(
+        "long long acc_lib_result_size(void) { return ACC_LIB_RESULT_SIZE; }"
+    )
+    lines.append("void acc_lib_reset(void) { acc_case_reset(); }")
+    lines.append(
+        "int acc_lib_init(void) { acc_case_reset(); "
+        "return ACC_LIB_ABI_VERSION; }"
+    )
+    lines.append("")
+    lines.append(
+        "int acc_lib_run_case(const unsigned char *record, "
+        "long long record_len,"
+    )
+    lines.append(
+        "                     unsigned char *result, long long result_len) {"
+    )
+    lines.append("    long long _case_steps;")
+    lines.append("    double _case_budget, _case_deadline;")
+    lines.append("    int64_t steps_run, halt_step;")
+    lines.append("    double _elapsed;")
+    lines.append(
+        "    acc_cur _c = { record, "
+        "record + (record_len > 0 ? record_len : 0) };"
+    )
+    lines.append(
+        "    int _rc = acc_read_case_bin(&_c, &_case_steps, &_case_budget, "
+        "&_case_deadline);"
+    )
+    lines.append("    if (_rc != 1) return _rc == -2 ? -2 : -1;")
+    lines.append("    if (_c.p != _c.end) return -1;")
+    lines.append("    if (result_len < ACC_LIB_RESULT_SIZE) return -3;")
+    lines.append(
+        "    int _case_timed_out = acc_sim_case(_case_steps, _case_budget, "
+        "_case_deadline,"
+    )
+    lines.append(
+        "                                       &steps_run, &halt_step, "
+        "&_elapsed);"
+    )
+    lines.append("    acc_wp = result;")
+    lines.append("    acc_put_i((long long)steps_run);")
+    lines.append("    acc_put_i((long long)halt_step);")
+    lines.append("    acc_put_f(_elapsed);")
+    lines.append("    acc_put_u(_case_timed_out ? 1ULL : 0ULL);")
+    lines.append(_indent(_emit_binary_report(prog, plan, layout, options), 4))
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines)
 
 
 def _mcdc_block(op: str, truth_exprs: list[str], base: int) -> str:

@@ -11,6 +11,7 @@ Compile flags matter for the bit-for-bit equivalence contract:
 from __future__ import annotations
 
 import queue
+import shutil
 import subprocess
 import tempfile
 import threading
@@ -36,6 +37,12 @@ if TYPE_CHECKING:  # avoids importing the runner package at module load
     from repro.runner.cache import ArtifactCache
 
 CFLAGS = ["-O3", "-ffp-contract=off", "-std=c11"]
+SHARED_FLAGS = ["-shared", "-fPIC"]
+
+_ARTIFACT_NAMES = {"binary": "simulation", "shared": "simulation.so"}
+
+_shared_support: Optional[bool] = None
+_shared_support_lock = threading.Lock()
 
 
 def find_c_compiler() -> Optional[str]:
@@ -47,11 +54,56 @@ def find_c_compiler() -> Optional[str]:
     return None
 
 
+def supports_shared_objects() -> Optional[bool]:
+    """Whether the toolchain can build loadable shared objects.
+
+    Probes once per process by compiling a trivial ``.so``; the
+    in-process engine and the fuzz oracle gate the ``accmos_inproc``
+    rung on this.  ``None`` when there is no compiler at all.
+    """
+    global _shared_support
+    compiler = find_c_compiler()
+    if compiler is None:
+        return None
+    with _shared_support_lock:
+        if _shared_support is not None:
+            return _shared_support
+        with tempfile.TemporaryDirectory(prefix="accmos_probe_") as tmp:
+            c_path = Path(tmp) / "probe.c"
+            so_path = Path(tmp) / "probe.so"
+            c_path.write_text("int acc_probe(void) { return 1; }\n")
+            try:
+                proc = subprocess.run(
+                    [compiler, *SHARED_FLAGS, "-o", str(so_path), str(c_path)],
+                    capture_output=True,
+                    text=True,
+                    check=False,
+                )
+                ok = proc.returncode == 0 and so_path.is_file()
+                if ok:
+                    import ctypes
+
+                    ctypes.CDLL(str(so_path))
+            except (OSError, subprocess.SubprocessError):
+                ok = False
+        _shared_support = bool(ok)
+        return _shared_support
+
+
 @dataclass
 class CompiledSimulation:
-    """A compiled simulation binary plus everything to interpret its run."""
+    """A compiled simulation program plus everything to interpret its run.
 
-    binary: Path
+    One generated source yields up to two artifacts under the *same*
+    cache key: the ``simulation`` executable (batch/serve rungs) and the
+    ``simulation.so`` shared library (the in-process rung).  Whichever
+    the caller didn't ask :func:`compile_c_program` for is compiled
+    lazily on first use via :meth:`ensure_binary`/:meth:`ensure_shared`
+    — each at most one extra compiler invocation per entry, cached
+    alongside its sibling.
+    """
+
+    binary: Optional[Path]
     source: Path
     layout: ProgramLayout
     compile_seconds: float
@@ -59,6 +111,62 @@ class CompiledSimulation:
         default=None, repr=False, compare=False
     )
     cache_hit: bool = False
+    shared: Optional[Path] = None
+    compiler: Optional[str] = field(default=None, repr=False, compare=False)
+    cache: "Optional[ArtifactCache]" = field(
+        default=None, repr=False, compare=False
+    )
+    cache_key: Optional[str] = field(default=None, repr=False, compare=False)
+    _artifact_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def ensure_binary(self) -> Path:
+        """The executable path, compiling it now if this handle only
+        carried the shared library so far."""
+        if self.binary is not None:
+            return self.binary
+        with self._artifact_lock:
+            if self.binary is None:
+                self.binary = self._materialize("binary")
+            return self.binary
+
+    def ensure_shared(self) -> Path:
+        """The shared-library path, compiling it now if this handle only
+        carried the executable so far."""
+        if self.shared is not None:
+            return self.shared
+        with self._artifact_lock:
+            if self.shared is None:
+                self.shared = self._materialize("shared")
+            return self.shared
+
+    def _materialize(self, artifact: str) -> Path:
+        name = _ARTIFACT_NAMES[artifact]
+        if self.cache is not None and self.cache_key is not None:
+            entry = self.cache.lookup(self.cache_key, names=(name,))
+            if entry is not None:
+                return entry.binary if artifact == "binary" else entry.shared
+        compiler = self.compiler or find_c_compiler()
+        if compiler is None:
+            raise CompilationError("no C compiler found (need gcc, cc, or clang)")
+        out_path = self.source.parent / name
+        if self.cache is not None and self.cache_key is not None:
+            # Never write next to a cache entry directly: stage + merge.
+            with tempfile.TemporaryDirectory(prefix="accmos_") as tmp:
+                tmp_out = Path(tmp) / name
+                _run_compiler(compiler, self.source, tmp_out, artifact)
+                tmp_src = Path(tmp) / "simulation.c"
+                shutil.copyfile(self.source, tmp_src)
+                entry = self.cache.store(
+                    self.cache_key,
+                    tmp_src,
+                    tmp_out if artifact == "binary" else None,
+                    shared_path=tmp_out if artifact == "shared" else None,
+                )
+            return entry.binary if artifact == "binary" else entry.shared
+        _run_compiler(compiler, self.source, out_path, artifact)
+        return out_path
 
     def execute(
         self,
@@ -73,7 +181,7 @@ class CompiledSimulation:
         legacy baked-in programs take no input and get /dev/null.
         """
         proc = subprocess.Popen(
-            [str(self.binary)],
+            [str(self.ensure_binary())],
             stdin=subprocess.PIPE if input_text is not None else subprocess.DEVNULL,
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -125,6 +233,28 @@ class CompiledSimulation:
         return stdout
 
 
+def _run_compiler(
+    compiler: str, c_path: Path, out_path: Path, artifact: str
+) -> float:
+    """One compiler invocation producing ``artifact`` from ``c_path``;
+    returns the wall seconds spent."""
+    flags = [*CFLAGS, *SHARED_FLAGS] if artifact == "shared" else CFLAGS
+    start = time.perf_counter()
+    with telemetry.span("gcc", compiler=compiler, artifact=artifact):
+        proc = subprocess.run(
+            [compiler, *flags, "-o", str(out_path), str(c_path), "-lm"],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    elapsed = time.perf_counter() - start
+    telemetry.observe("compile.gcc_seconds", elapsed)
+    if proc.returncode != 0:
+        telemetry.counter_inc("compile.failures")
+        raise CompilationError(f"{compiler} failed:\n{proc.stderr[:4000]}")
+    return elapsed
+
+
 def compile_c_program(
     source: str,
     layout: ProgramLayout,
@@ -132,8 +262,16 @@ def compile_c_program(
     workdir: Optional[Path] = None,
     compiler: Optional[str] = None,
     cache: "Optional[ArtifactCache]" = None,
+    artifact: str = "binary",
 ) -> CompiledSimulation:
-    """Write and compile a generated program; returns the binary handle.
+    """Write and compile a generated program; returns the compiled handle.
+
+    ``artifact`` selects which form to build *now*: ``"binary"`` (the
+    executable — batch/serve rungs) or ``"shared"`` (the ``.so`` the
+    in-process rung loads).  Both forms of a reusable program share one
+    cache key; the form not built here is compiled lazily on first use
+    (see :class:`CompiledSimulation`), so e.g. an all-inproc campaign
+    performs exactly one compiler invocation.
 
     With ``cache`` set (and no explicit ``workdir``), the compile is
     served from the content-addressed artifact cache when the same
@@ -141,6 +279,8 @@ def compile_c_program(
     invocations on a hit; on a miss the artifacts are moved into the
     cache atomically so later calls (from any process) hit.
     """
+    if artifact not in _ARTIFACT_NAMES:
+        raise ValueError(f"unknown artifact {artifact!r}")
     compiler = compiler or find_c_compiler()
     if compiler is None:
         raise CompilationError("no C compiler found (need gcc, cc, or clang)")
@@ -151,16 +291,20 @@ def compile_c_program(
         if use_cache:
             start = time.perf_counter()
             key = cache.key(source, compiler, CFLAGS)
-            entry = cache.lookup(key)
+            entry = cache.lookup(key, names=(_ARTIFACT_NAMES[artifact],))
             if entry is not None:
                 telemetry.counter_inc("cache.hits")
                 compile_span.set(cache_hit=True)
                 return CompiledSimulation(
                     binary=entry.binary,
+                    shared=entry.shared,
                     source=entry.source,
                     layout=layout,
                     compile_seconds=time.perf_counter() - start,
                     cache_hit=True,
+                    compiler=compiler,
+                    cache=cache,
+                    cache_key=key,
                 )
             telemetry.counter_inc("cache.misses")
         compile_span.set(cache_hit=False)
@@ -171,40 +315,37 @@ def compile_c_program(
             workdir = Path(tmp.name)
         workdir.mkdir(parents=True, exist_ok=True)
         c_path = workdir / "simulation.c"
-        bin_path = workdir / "simulation"
+        out_path = workdir / _ARTIFACT_NAMES[artifact]
         c_path.write_text(source)
 
-        start = time.perf_counter()
-        with telemetry.span("gcc", compiler=compiler):
-            proc = subprocess.run(
-                [compiler, *CFLAGS, "-o", str(bin_path), str(c_path), "-lm"],
-                capture_output=True,
-                text=True,
-                check=False,
-            )
-        elapsed = time.perf_counter() - start
-        telemetry.observe("compile.gcc_seconds", elapsed)
-        if proc.returncode != 0:
-            telemetry.counter_inc("compile.failures")
-            raise CompilationError(
-                f"{compiler} failed:\n{proc.stderr[:4000]}"
-            )
+        elapsed = _run_compiler(compiler, c_path, out_path, artifact)
         if use_cache:
-            entry = cache.store(key, c_path, bin_path)
+            entry = cache.store(
+                key,
+                c_path,
+                out_path if artifact == "binary" else None,
+                shared_path=out_path if artifact == "shared" else None,
+            )
             if tmp is not None:
                 tmp.cleanup()
             return CompiledSimulation(
                 binary=entry.binary,
+                shared=entry.shared,
                 source=entry.source,
                 layout=layout,
                 compile_seconds=elapsed,
+                compiler=compiler,
+                cache=cache,
+                cache_key=key,
             )
         return CompiledSimulation(
-            binary=bin_path,
+            binary=out_path if artifact == "binary" else None,
+            shared=out_path if artifact == "shared" else None,
             source=c_path,
             layout=layout,
             compile_seconds=elapsed,
             workdir=tmp,
+            compiler=compiler,
         )
 
 
@@ -450,8 +591,12 @@ class SimulationServer:
         #   None                              — stdout EOF
         self._events: "queue.Queue[Optional[tuple]]" = queue.Queue()
         self._stderr_tail: list[str] = []
+        # An inproc-first handle may not have built the executable yet.
+        binary = compiled.binary
+        if binary is None:
+            binary = compiled.ensure_binary()
         self._proc = subprocess.Popen(
-            [str(compiled.binary), "--serve"],
+            [str(binary), "--serve"],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,

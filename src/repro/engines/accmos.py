@@ -30,6 +30,7 @@ times are in ``result.extra`` (``generate_seconds``, ``compile_seconds``).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,9 +53,15 @@ from repro.codegen.driver import (
     parse_result,
 )
 from repro.engines.base import SimulationOptions, SimulationResult
+from repro.inproc.abi import decode_result, encode_case_binary, result_buffer_size
+from repro.inproc.library import LibraryFault, LoadedModel
 from repro.instrument import build_plan
 from repro.instrument.plan import InstrumentationPlan
-from repro.model.errors import SimulationError, SimulationTimeout
+from repro.model.errors import (
+    CompilationError,
+    SimulationError,
+    SimulationTimeout,
+)
 from repro.schedule.program import FlatProgram
 from repro.stimuli.base import Stimulus
 
@@ -125,6 +132,10 @@ class CompiledModel:
     source: str
     generate_seconds: float
     _fingerprint: tuple = field(default=(), repr=False)
+    _inproc_disabled: bool = field(default=False, repr=False, compare=False)
+    _inproc_local: threading.local = field(
+        default_factory=threading.local, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if not self._fingerprint:
@@ -319,6 +330,133 @@ class CompiledModel:
                 server.close()
 
     # ------------------------------------------------------------------
+    @property
+    def inproc_available(self) -> bool:
+        """False once a fault has quarantined the in-process rung."""
+        return not self._inproc_disabled
+
+    def load(self) -> LoadedModel:
+        """A fresh private in-process instance of this model's library.
+
+        Compiles the ``.so`` form lazily (same cache entry as the
+        executable) and performs the ABI handshake.  Each instance has
+        its own copy of the C globals and is single-threaded; callers
+        wanting parallelism load one per thread.
+        """
+        shared = self.compiled.ensure_shared()
+        return LoadedModel(
+            shared,
+            result_size=result_buffer_size(
+                self.layout, self.plan, self.options
+            ),
+        )
+
+    def _thread_library(self) -> LoadedModel:
+        lib = getattr(self._inproc_local, "lib", None)
+        if lib is None or not lib.healthy:
+            lib = self.load()
+            self._inproc_local.lib = lib
+        return lib
+
+    def _quarantine_inproc(self, reason: Exception) -> None:
+        """Retire the in-process rung for this model: all subsequent
+        ``run_inproc`` calls drop straight to the ``--serve`` rung."""
+        self._inproc_disabled = True
+        lib = getattr(self._inproc_local, "lib", None)
+        if lib is not None:
+            lib.retire()
+            self._inproc_local.lib = None
+        telemetry.counter_inc("engine.inproc.fallbacks")
+
+    def run_inproc(
+        self,
+        cases: Sequence[BatchCase],
+        *,
+        timeout_seconds: Optional[float] = None,
+        library: Optional[LoadedModel] = None,
+    ) -> list[Union[SimulationResult, SimulationTimeout]]:
+        """Run M cases in-process: zero spawns, zero text, zero pipes.
+
+        Same contract as :meth:`run_batch` — one outcome per case in
+        order, per-case deadlines (enforced *inside* the library via the
+        record's deadline field) surfacing as
+        :class:`SimulationTimeout` entries.  Any library fault — load
+        failure, ABI mismatch, non-zero run status — quarantines the
+        in-process rung for this model and transparently finishes the
+        batch on the crash-isolated ``--serve`` rung, preserving the
+        stream→batch→baked fallback ladder below it.  Results are
+        byte-identical either way.
+
+        ``library`` runs the batch on an explicit
+        :class:`~repro.inproc.library.LoadedModel` instead of this
+        model's per-thread instance (tests use it to induce faults).
+        """
+        cases = list(cases)
+        if not cases:
+            return []
+        normalized = [self._normalize(case) for case in cases]
+        records = [
+            encode_case_binary(
+                descriptors,
+                steps=options.steps,
+                time_budget=options.time_budget,
+                deadline=timeout_seconds,
+            )
+            for options, descriptors in normalized
+        ]
+        outcomes: list[Union[SimulationResult, SimulationTimeout]] = []
+        with telemetry.span(
+            "accmos.inproc", model=self.prog.model.name, cases=len(cases)
+        ) as span:
+            lib = library
+            if lib is None and not self._inproc_disabled:
+                try:
+                    lib = self._thread_library()
+                except (CompilationError, LibraryFault, OSError) as exc:
+                    self._quarantine_inproc(exc)
+            for index in range(len(cases)):
+                if lib is not None:
+                    try:
+                        t0 = time.perf_counter()
+                        buf = lib.run_case(records[index])
+                        execute_seconds = time.perf_counter() - t0
+                        t0 = time.perf_counter()
+                        result = decode_result(
+                            buf,
+                            self.prog,
+                            self.plan,
+                            self.layout,
+                            normalized[index][0],
+                            engine="accmos",
+                        )
+                        parse_seconds = time.perf_counter() - t0
+                        outcomes.append(
+                            self._finalize(
+                                result,
+                                index=index,
+                                batch_size=len(cases),
+                                timeout_seconds=timeout_seconds,
+                                execute_seconds=execute_seconds,
+                                parse_seconds=parse_seconds,
+                            )
+                        )
+                        telemetry.counter_inc("engine.inproc.cases")
+                        continue
+                    except LibraryFault as exc:
+                        self._quarantine_inproc(exc)
+                        lib = None
+                # In-process rung unavailable: finish on the server rung.
+                span.set(fallback=True)
+                outcomes.extend(
+                    self.run_stream(
+                        cases[index:], timeout_seconds=timeout_seconds
+                    )
+                )
+                break
+        telemetry.counter_inc("engine.inproc.runs")
+        return outcomes
+
+    # ------------------------------------------------------------------
     def _normalize(self, case: BatchCase):
         if isinstance(case, tuple):
             stimuli, options = case
@@ -501,6 +639,7 @@ def compile_model(
     *,
     cache: "Union[ArtifactCache, None, bool]" = None,
     workdir: Optional[Path] = None,
+    artifact: str = "binary",
 ) -> CompiledModel:
     """Instrument + generate + compile the reusable simulation binary.
 
@@ -511,6 +650,10 @@ def compile_model(
     :func:`run_accmos` — and because the source no longer depends on
     stimuli or step counts, every case of a campaign maps to the same
     cache key.
+
+    ``artifact`` picks which form is compiled eagerly: ``"binary"``
+    (executable) or ``"shared"`` (the in-process ``.so``); both share
+    the cache key, and the other form materializes lazily on first use.
     """
     options = options if options is not None else SimulationOptions()
     cache = _resolve_cache(cache)
@@ -527,7 +670,9 @@ def compile_model(
     with telemetry.span("codegen"):
         source, layout = generate_reusable_c_program(prog, plan, options)
     generate_seconds = time.perf_counter() - t0
-    compiled = compile_c_program(source, layout, workdir=workdir, cache=cache)
+    compiled = compile_c_program(
+        source, layout, workdir=workdir, cache=cache, artifact=artifact
+    )
     telemetry.observe("accmos.generate_seconds", generate_seconds)
     telemetry.observe("accmos.compile_seconds", compiled.compile_seconds)
     return CompiledModel(

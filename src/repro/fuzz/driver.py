@@ -15,7 +15,7 @@ from typing import Callable, Optional, Sequence
 from repro import telemetry
 from repro.fuzz.corpus import CorpusEntry, save_entry
 from repro.fuzz.generate import generate_case
-from repro.fuzz.oracle import OracleReport, available_rungs, run_case
+from repro.fuzz.oracle import ALL_RUNGS, OracleReport, available_rungs, run_case
 from repro.fuzz.shrink import shrink_case
 
 
@@ -86,7 +86,18 @@ def run_fuzz(
     *,
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzOutcome:
-    """Run one campaign; see :class:`FuzzConfig`."""
+    """Run one campaign; see :class:`FuzzConfig`.
+
+    Raises ``ValueError`` when ``config.rungs`` names a rung that does
+    not exist (a typo would otherwise silently fuzz nothing).
+    """
+    if config.rungs:
+        unknown = [r for r in config.rungs if r not in ALL_RUNGS]
+        if unknown:
+            raise ValueError(
+                f"unknown rung(s): {', '.join(sorted(unknown))}; "
+                f"valid rungs: {', '.join(ALL_RUNGS)}"
+            )
     rungs = tuple(config.rungs) if config.rungs else available_rungs()
     outcome = FuzzOutcome(rungs=rungs)
     say = progress or (lambda _msg: None)

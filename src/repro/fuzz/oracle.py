@@ -9,6 +9,8 @@ rung must reproduce it exactly:
   descriptor protocol);
 * ``accmos_stream`` — the same binary driven through a warm ``--serve``
   process (exercises the framing/stream protocol);
+* ``accmos_inproc`` — the same program loaded as a shared library and
+  driven through the packed binary ABI (exercises ``repro.inproc``);
 * ``accmos_baked`` — the legacy path with stimuli and step count baked
   into the C source (exercises the literal emitters).
 
@@ -24,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.codegen.descriptor import descriptors_for
-from repro.codegen.driver import find_c_compiler
+from repro.codegen.driver import find_c_compiler, supports_shared_objects
 from repro.engines import SimulationOptions, SimulationResult, simulate
 from repro.engines.accmos import _run_accmos_baked, compile_model
 from repro.engines.base import signal_bits
@@ -33,15 +35,21 @@ from repro.schedule import preprocess
 
 #: Comparison rungs in execution order.  ``sse`` is the reference and is
 #: always run; it is not itself a rung.
-ALL_RUNGS = ("sse_ac", "sse_rac", "accmos", "accmos_stream", "accmos_baked")
+ALL_RUNGS = (
+    "sse_ac", "sse_rac", "accmos", "accmos_stream", "accmos_inproc",
+    "accmos_baked",
+)
 PYTHON_RUNGS = ("sse_ac", "sse_rac")
-C_RUNGS = ("accmos", "accmos_stream", "accmos_baked")
+C_RUNGS = ("accmos", "accmos_stream", "accmos_inproc", "accmos_baked")
 
 
 def available_rungs() -> tuple[str, ...]:
-    """Every rung runnable on this machine (C rungs need a compiler)."""
+    """Every rung runnable on this machine (C rungs need a compiler;
+    the in-process rung additionally needs working shared objects)."""
     if find_c_compiler() is None:
         return PYTHON_RUNGS
+    if supports_shared_objects() is not True:
+        return tuple(r for r in ALL_RUNGS if r != "accmos_inproc")
     return ALL_RUNGS
 
 
@@ -186,7 +194,9 @@ def run_case(
                 prog, build_stimuli(case), engine=r, options=options
             ))
 
-    wanted_c = [r for r in ("accmos", "accmos_stream") if r in rungs]
+    wanted_c = [
+        r for r in ("accmos", "accmos_stream", "accmos_inproc") if r in rungs
+    ]
     if wanted_c:
         if descriptors_for(prog, build_stimuli(case)) is None:
             report.skipped.extend(wanted_c)
@@ -207,6 +217,16 @@ def run_case(
                         raise outcome
                     return outcome
                 record("accmos_stream", stream_once)
+            if "accmos_inproc" in wanted_c:
+                def inproc_once():
+                    (outcome,) = list(compiled.run_inproc(
+                        [(build_stimuli(case), options)],
+                        timeout_seconds=timeout_seconds,
+                    ))
+                    if isinstance(outcome, Exception):
+                        raise outcome
+                    return outcome
+                record("accmos_inproc", inproc_once)
 
     if "accmos_baked" in rungs:
         record("accmos_baked", lambda: _run_accmos_baked(

@@ -1,0 +1,28 @@
+"""In-process shared-library engine: the fifth rung of the speed ladder.
+
+``repro.inproc`` loads the reusable compiled program (built once with
+``-shared -fPIC``, content-addressed next to the executable) via
+``ctypes`` and exchanges packed binary structs with it — zero process
+spawns, zero text formatting or parsing.  See :mod:`repro.inproc.abi`
+for the wire layouts and :mod:`repro.inproc.library` for loading,
+isolation, and fault quarantine.
+"""
+
+from repro.inproc.abi import (
+    ABI_VERSION,
+    decode_case_binary,
+    decode_result,
+    encode_case_binary,
+    result_buffer_size,
+)
+from repro.inproc.library import LibraryFault, LoadedModel
+
+__all__ = [
+    "ABI_VERSION",
+    "LibraryFault",
+    "LoadedModel",
+    "decode_case_binary",
+    "decode_result",
+    "encode_case_binary",
+    "result_buffer_size",
+]

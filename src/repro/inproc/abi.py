@@ -1,0 +1,288 @@
+"""The packed binary ABI between Python and the in-process library.
+
+This is the Python half of the contract ``codegen.compose`` emits into
+every reusable program as ``acc_lib_*`` exports: a case travels as one
+packed binary record (no text, no stdout), and the library fills a
+caller-provided result buffer of fixed layout.  Both sides derive the
+per-port slot sequence from :data:`repro.stimuli.base.DESCRIPTOR_FIELDS`
+— the same single source of truth the text wire format uses — so the
+text and binary encodings cannot drift apart.
+
+Every slot is 8 bytes.  Layouts (in order):
+
+Case record::
+
+    int64   steps
+    float64 time_budget        (-1 = disabled)
+    float64 deadline           (-1 = disabled)
+    int64   n_ports
+    per port, in port order:
+        the DESCRIPTOR_FIELDS slots (int64 / uint64 / float64)
+        int64   tab_len
+        tab_len x (float64 | int64) table values
+
+Result buffer (size is :func:`result_buffer_size`, also exported by the
+library as ``acc_lib_result_size()`` for the load-time handshake)::
+
+    int64   steps_run
+    int64   halt_step          (-1 = no halt)
+    float64 elapsed seconds
+    uint64  flags              (bit 0 = per-case deadline tripped)
+    [uint64 checksum per outport]            when options.checksum
+    uint64  output bits per outport          (floats widened to double,
+                                              NaN canonicalized — same
+                                              acc_bits_* the checksums use)
+    [uint64 coverage words]                  when coverage is planned:
+                                             ceil(n/64) words per metric in
+                                             actor/condition/decision/mcdc
+                                             order, LSB = lowest point
+    per diagnosis slot: int64 first (-1 = never), uint64 count
+    per monitor: uint64 n, then n x (int64 step, uint64 value bits)
+
+All words are little-endian (every supported target is), which also
+makes the record bytes deterministic for content-addressed tests.
+
+Bumping :data:`ABI_VERSION` invalidates every previously built library:
+:class:`repro.inproc.library.LoadedModel` refuses to run against a
+mismatched ``acc_lib_abi_version()`` or ``acc_lib_result_size()``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Sequence
+
+from repro.codegen.descriptor import _i64, _u64
+from repro.coverage.bitmap import Bitmap
+from repro.coverage.metrics import Metric
+from repro.coverage.report import CoverageReport
+from repro.diagnosis.events import DiagnosticLog
+from repro.engines.base import SimulationOptions, SimulationResult
+from repro.model.errors import SimulationError
+from repro.stimuli.base import DESCRIPTOR_FIELDS, StimulusDescriptor
+
+#: Bumped whenever the record or result layout changes shape.
+ABI_VERSION = 1
+
+_I64 = struct.Struct("<q")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
+def _pack_slot(kind: str, value) -> bytes:
+    if kind == "i":
+        return _I64.pack(_i64(value))
+    if kind == "u":
+        return _U64.pack(_u64(value))
+    return _F64.pack(float(value))
+
+
+def encode_case_binary(
+    descriptors: Sequence[StimulusDescriptor],
+    *,
+    steps: int,
+    time_budget: Optional[float] = None,
+    deadline: Optional[float] = None,
+) -> bytes:
+    """One packed case record for ``acc_lib_run_case``.
+
+    Field-for-field the same content as the text encoder's
+    :func:`repro.codegen.descriptor.encode_case`, minus the ``case``
+    token (framing is the record itself).
+    """
+    parts: list[bytes] = [
+        _I64.pack(int(steps)),
+        _F64.pack(-1.0 if time_budget is None else float(time_budget)),
+        _F64.pack(-1.0 if deadline is None else float(deadline)),
+        _I64.pack(len(descriptors)),
+    ]
+    for d in descriptors:
+        for attr, _member, kind in DESCRIPTOR_FIELDS:
+            parts.append(_pack_slot(kind, getattr(d, attr)))
+        parts.append(_I64.pack(len(d.table)))
+        if d.table_is_float:
+            parts.extend(_F64.pack(float(v)) for v in d.table)
+        else:
+            parts.extend(_I64.pack(_i64(v)) for v in d.table)
+    return b"".join(parts)
+
+
+class _Cursor:
+    """Sequential 8-byte word reader with exhaustion checks."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+
+    def raw8(self) -> bytes:
+        end = self.pos + 8
+        if end > len(self.buf):
+            raise SimulationError("inproc result buffer truncated")
+        word = self.buf[self.pos : end]
+        self.pos = end
+        return word
+
+    def i64(self) -> int:
+        return _I64.unpack(self.raw8())[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.raw8())[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.raw8())[0]
+
+    def value(self, dtype) -> object:
+        """Decode one value word the way the C side encoded it."""
+        raw = self.raw8()
+        if dtype.is_float:
+            return _F64.unpack(raw)[0]
+        if dtype.is_signed:
+            return _I64.unpack(raw)[0]
+        return _U64.unpack(raw)[0]
+
+
+def decode_case_binary(data: bytes) -> dict:
+    """Parse a case record back into plain Python (conformance tests)."""
+    cur = _Cursor(data)
+    record = {
+        "steps": cur.i64(),
+        "time_budget": cur.f64(),
+        "deadline": cur.f64(),
+        "ports": [],
+    }
+    n_ports = cur.i64()
+    for _ in range(n_ports):
+        port = {}
+        for attr, _member, kind in DESCRIPTOR_FIELDS:
+            if kind == "i":
+                port[attr] = cur.i64()
+            elif kind == "u":
+                port[attr] = cur.u64()
+            else:
+                port[attr] = cur.f64()
+        tab_len = cur.i64()
+        if port["table_is_float"]:
+            port["table"] = tuple(cur.f64() for _ in range(tab_len))
+        else:
+            port["table"] = tuple(cur.i64() for _ in range(tab_len))
+        record["ports"].append(port)
+    if cur.pos != len(data):
+        raise SimulationError("trailing bytes after case record")
+    return record
+
+
+_METRIC_ORDER = (Metric.ACTOR, Metric.CONDITION, Metric.DECISION, Metric.MCDC)
+
+
+def _metric_sizes(plan) -> list[tuple[Metric, int]]:
+    points = plan.points
+    return [
+        (Metric.ACTOR, points.n_actor),
+        (Metric.CONDITION, points.n_condition),
+        (Metric.DECISION, points.n_decision),
+        (Metric.MCDC, points.n_mcdc),
+    ]
+
+
+def result_buffer_size(layout, plan, options: SimulationOptions) -> int:
+    """Exact byte size of the packed result for this program shape.
+
+    Must agree word for word with the writer ``codegen.compose`` emits
+    (the generated ``ACC_LIB_RESULT_SIZE``); the load-time handshake
+    cross-checks the two.  Monitors reserve their full ``monitor_limit``
+    worth of samples — the written prefix is shorter when fewer fired.
+    """
+    n_out = len(layout.outports)
+    size = 8 * 4  # steps_run, halt_step, elapsed, flags
+    if options.checksum:
+        size += 8 * n_out
+    size += 8 * n_out  # output bits
+    if plan.coverage_enabled:
+        for _metric, n in _metric_sizes(plan):
+            size += 8 * ((n + 63) // 64)
+    size += 16 * len(layout.diag_slots)
+    mon_limit = max(1, options.monitor_limit)
+    size += len(layout.monitors) * (8 + 16 * mon_limit)
+    return size
+
+
+def decode_result(
+    buf: bytes,
+    prog,
+    plan,
+    layout,
+    options: SimulationOptions,
+    *,
+    engine: str = "accmos",
+) -> SimulationResult:
+    """Decode one filled result buffer into a :class:`SimulationResult`.
+
+    Mirrors :func:`repro.codegen.driver.parse_result` line for line —
+    same static-warning seeding, same coverage/diagnostic/monitor
+    reconstruction — so inproc results compare byte-identical to every
+    other rung's.
+    """
+    cur = _Cursor(buf)
+    steps_run = cur.i64()
+    halt_step = cur.i64()
+    elapsed = cur.f64()
+    flags = cur.u64()
+
+    checksums: dict[str, int] = {}
+    if options.checksum:
+        for name, _dtype in layout.outports:
+            checksums[name] = cur.u64()
+    outputs: dict[str, object] = {}
+    for name, dtype in layout.outports:
+        # Floats travel widened to double (like the text %a path).
+        value = cur.raw8()
+        if dtype.is_float:
+            outputs[name] = _F64.unpack(value)[0]
+        elif dtype.is_signed:
+            outputs[name] = _I64.unpack(value)[0]
+        else:
+            outputs[name] = _U64.unpack(value)[0]
+
+    coverage = None
+    if plan.coverage_enabled:
+        bitmaps: dict[Metric, Bitmap] = {}
+        for metric, n in _metric_sizes(plan):
+            words = [cur.u64() for _ in range((n + 63) // 64)]
+            bitmaps[metric] = Bitmap.from_words(n, words)
+        coverage = CoverageReport.from_bitmaps(plan.points, bitmaps)
+
+    log = DiagnosticLog()
+    for event in plan.static_warnings:
+        log.add_static(event.path, event.kind, event.message)
+    for slot in range(len(layout.diag_slots)):
+        first = cur.i64()
+        count = cur.u64()
+        if first >= 0:
+            path, kind, message = layout.diag_slots[slot]
+            log.set_aggregate(path, kind, first, count, message)
+
+    monitored: dict[str, list] = {mon.path: [] for mon in layout.monitors}
+    for mon in layout.monitors:
+        n = cur.u64()
+        for _ in range(n):
+            step = cur.i64()
+            monitored[mon.path].append((step, cur.value(mon.dtype)))
+
+    result = SimulationResult(
+        engine=engine,
+        model_name=prog.model.name,
+        steps_requested=options.steps,
+        steps_run=steps_run,
+        wall_time=elapsed,
+        outputs=outputs,
+        checksums=checksums,
+        coverage=coverage,
+        diagnostics=log.events(),
+        halted_at=None if halt_step < 0 else halt_step,
+        monitored=monitored,
+    )
+    if flags & 1:
+        result.extra["deadline_exceeded"] = True
+    return result

@@ -9,12 +9,17 @@ upgrade invalidates), and the flag vector — so a repeated simulation of
 an unchanged model performs zero compiler invocations.
 
 Layout: one directory per entry, ``<root>/<key[:2]>/<key>/`` holding
-``simulation.c`` and the ``simulation`` binary.  Writes are atomic: the
-artifacts are staged into a scratch directory under the root and
-``os.rename``d into place, so two processes compiling the same key
-concurrently leave exactly one valid entry (the loser discards its
-stage).  Reads bump the entry's mtime; eviction removes
-least-recently-used entries once the configured byte bound is exceeded.
+``simulation.c`` plus one or both compiled artifacts — the
+``simulation`` executable and the ``simulation.so`` shared library (the
+in-process engine's form of the *same* compile unit; one key covers the
+pair).  Writes are atomic: the artifacts are staged into a scratch
+directory under the root and ``os.rename``d into place; when the entry
+already exists (a racing writer, or the second artifact arriving after
+the first) the staged files are merged in one ``os.replace`` per file —
+content-addressing makes the copies identical, so either write order
+leaves a valid entry.  Reads bump the entry's mtime; eviction removes
+least-recently-used entries whole — an entry's executable and shared
+library always live and die together.
 
 A process-wide default cache (:func:`default_cache`) lives at
 ``$ACCMOS_CACHE_DIR`` (default ``~/.cache/accmos/artifacts``) and is
@@ -38,6 +43,7 @@ DEFAULT_MAX_BYTES = 512 * 1024 * 1024  # plenty for ~10k typical binaries
 
 SOURCE_NAME = "simulation.c"
 BINARY_NAME = "simulation"
+SHARED_NAME = "simulation.so"
 
 _compiler_versions: dict[str, str] = {}
 _versions_lock = threading.Lock()
@@ -94,11 +100,13 @@ class CacheStats:
 
 @dataclass
 class CacheEntry:
-    """A resolved cache entry: both artifacts, ready to execute."""
+    """A resolved cache entry: the source plus whichever compiled
+    artifacts the entry holds (``None`` for an absent one)."""
 
     key: str
     source: Path
-    binary: Path
+    binary: Optional[Path] = None
+    shared: Optional[Path] = None
 
 
 class ArtifactCache:
@@ -128,13 +136,31 @@ class ArtifactCache:
         return self.root / key[:2] / key
 
     # -- lookup/store ----------------------------------------------------
-    def lookup(self, key: str) -> Optional[CacheEntry]:
-        """The entry for ``key`` if both artifacts exist; bumps its LRU
-        clock on hit."""
-        entry_dir = self._entry_dir(key)
+    def _resolve(self, key: str, entry_dir: Path) -> CacheEntry:
         binary = entry_dir / BINARY_NAME
+        shared = entry_dir / SHARED_NAME
+        return CacheEntry(
+            key=key,
+            source=entry_dir / SOURCE_NAME,
+            binary=binary if binary.is_file() else None,
+            shared=shared if shared.is_file() else None,
+        )
+
+    def lookup(
+        self, key: str, names: Sequence[str] = (BINARY_NAME,)
+    ) -> Optional[CacheEntry]:
+        """The entry for ``key`` if the source and every artifact in
+        ``names`` exist; bumps its LRU clock on hit.
+
+        ``names`` selects which compiled artifacts the caller needs —
+        the executable by default, ``(SHARED_NAME,)`` for the in-process
+        engine.  The returned entry still reports whatever else the
+        entry happens to hold.
+        """
+        entry_dir = self._entry_dir(key)
         source = entry_dir / SOURCE_NAME
-        if not (binary.is_file() and source.is_file()):
+        wanted = [entry_dir / name for name in names]
+        if not (source.is_file() and all(p.is_file() for p in wanted)):
             with self._lock:
                 self._misses += 1
             return None
@@ -144,15 +170,25 @@ class ArtifactCache:
             pass  # read-only cache is still a usable cache
         with self._lock:
             self._hits += 1
-        return CacheEntry(key=key, source=source, binary=binary)
+        return self._resolve(key, entry_dir)
 
-    def store(self, key: str, source_path: Path, binary_path: Path) -> CacheEntry:
+    def store(
+        self,
+        key: str,
+        source_path: Path,
+        binary_path: Optional[Path] = None,
+        *,
+        shared_path: Optional[Path] = None,
+    ) -> CacheEntry:
         """Move compiled artifacts into the cache atomically.
 
         The artifacts are staged into a scratch dir on the same
         filesystem and renamed into the final entry path in one step.
-        If another process won the race, the staged copy is discarded
-        and the existing entry is returned.
+        When the entry already exists — a racing writer, or this call
+        adding the entry's *other* artifact (e.g. the ``.so`` after the
+        executable) — the staged files are merged in with one atomic
+        ``os.replace`` per file; identical keys mean identical content,
+        so whichever copy lands is valid.
         """
         entry_dir = self._entry_dir(key)
         entry_dir.parent.mkdir(parents=True, exist_ok=True)
@@ -161,21 +197,25 @@ class ArtifactCache:
         )
         try:
             shutil.move(str(source_path), stage / SOURCE_NAME)
-            shutil.move(str(binary_path), stage / BINARY_NAME)
+            if binary_path is not None:
+                shutil.move(str(binary_path), stage / BINARY_NAME)
+            if shared_path is not None:
+                shutil.move(str(shared_path), stage / SHARED_NAME)
             try:
                 os.rename(stage, entry_dir)
             except OSError:
-                # Lost the race: a complete entry already sits there.
+                # The entry exists: merge the staged files into it.
+                for staged in stage.iterdir():
+                    try:
+                        os.replace(staged, entry_dir / staged.name)
+                    except OSError:
+                        pass  # best effort; the entry stays consistent
                 shutil.rmtree(stage, ignore_errors=True)
         except BaseException:
             shutil.rmtree(stage, ignore_errors=True)
             raise
         self._evict_over_bound(keep=entry_dir)
-        return CacheEntry(
-            key=key,
-            source=entry_dir / SOURCE_NAME,
-            binary=entry_dir / BINARY_NAME,
-        )
+        return self._resolve(key, entry_dir)
 
     # -- maintenance -----------------------------------------------------
     def _entries(self) -> list[Path]:

@@ -48,6 +48,7 @@ def execute_campaign(
     retries: int = 1,
     batch_size: int = 1,
     serve: bool = False,
+    inproc: bool = False,
 ):
     """Run the campaign; see :func:`repro.campaign.run_campaign`.
 
@@ -63,6 +64,9 @@ def execute_campaign(
     # nothing.  Process mode keeps pools inside the worker processes
     # instead; their counter deltas ride back on the JobResults.
     serve = serve and engine == "accmos" and batch_size > 1
+    # The in-process rung shares the batching gate: it only pays off
+    # (and only applies) when batches of accmos cases share an artifact.
+    inproc = inproc and engine == "accmos" and batch_size > 1
     server_pool = None
     if serve and mode != "process":
         from repro.runner.servers import ServerPool
@@ -73,7 +77,7 @@ def execute_campaign(
         with telemetry.span(
             "campaign", model=prog.model.name, engine=engine,
             max_cases=max_cases, workers=workers, mode=mode,
-            batch_size=batch_size, serve=serve,
+            batch_size=batch_size, serve=serve, inproc=inproc,
         ) as campaign_span:
             _campaign_waves(
                 prog, outcome, opts,
@@ -81,7 +85,8 @@ def execute_campaign(
                 plateau_patience=plateau_patience, base_seed=base_seed,
                 workers=workers, mode=mode, cache=cache,
                 timeout_seconds=timeout_seconds, retries=retries,
-                batch_size=batch_size, serve=serve, server_pool=server_pool,
+                batch_size=batch_size, serve=serve, inproc=inproc,
+                server_pool=server_pool,
             )
             campaign_span.set(
                 cases=len(outcome.cases), saturated=outcome.saturated
@@ -115,6 +120,7 @@ def _campaign_waves(
     retries: int,
     batch_size: int = 1,
     serve: bool = False,
+    inproc: bool = False,
     server_pool=None,
 ) -> None:
     """The wave loop, folding results into ``outcome`` in seed order."""
@@ -145,6 +151,7 @@ def _campaign_waves(
             retries=retries,
             batch_size=batch_size,
             serve=serve,
+            inproc=inproc,
             server_pool=server_pool,
         )
 

@@ -283,6 +283,7 @@ def run_job_batch(
     retries: int = 1,
     backoff_seconds: float = 0.05,
     server_pool=None,
+    inproc: bool = False,
     _sleep=time.sleep,
 ) -> "list[JobResult]":
     """Execute one same-key group of jobs on a single compiled binary.
@@ -296,16 +297,29 @@ def run_job_batch(
 
     With ``server_pool`` (a :class:`~repro.runner.servers.ServerPool`)
     the group is streamed through a warm ``--serve`` process instead of
-    spawning a fresh one — the top rung of the fallback ladder
-    (server stream → spawn-per-batch → per-job).
+    spawning a fresh one.  With ``inproc`` the group runs inside a
+    loaded shared library first — the top rung of the fallback ladder
+    (inproc → server stream → spawn-per-batch → per-job); the model is
+    then compiled ``-shared`` eagerly so an all-inproc campaign costs
+    one compiler invocation and zero process spawns.
     """
-    if len(jobs) == 1:
+    if len(jobs) == 1 and not inproc:
         return [
             run_job(
                 jobs[0], cache=cache, timeout_seconds=timeout_seconds,
                 retries=retries, backoff_seconds=backoff_seconds,
                 _sleep=_sleep,
             )
+        ]
+    if inproc and batch_key(jobs[0]) is None:
+        # Not an inproc-capable group (wrong engine / baked stimuli).
+        return [
+            run_job(
+                job, cache=cache, timeout_seconds=timeout_seconds,
+                retries=retries, backoff_seconds=backoff_seconds,
+                _sleep=_sleep,
+            )
+            for job in jobs
         ]
     from repro.engines.accmos import compile_model
 
@@ -327,7 +341,8 @@ def run_job_batch(
         for attempt in range(retries + 1):
             try:
                 model = compile_model(
-                    jobs[0].prog, jobs[0].resolved_options(), cache=cache
+                    jobs[0].prog, jobs[0].resolved_options(), cache=cache,
+                    artifact="shared" if inproc else "binary",
                 )
                 break
             except Exception as exc:
@@ -341,7 +356,19 @@ def run_job_batch(
             for job in jobs
         ]
         outcomes = None
-        if server_pool is not None:
+        if inproc and model.inproc_available:
+            try:
+                # run_inproc quarantines and finishes on the --serve
+                # rung by itself on a library fault; an exception here
+                # (e.g. stimuli rejected by _normalize) drops a rung.
+                outcomes = model.run_inproc(
+                    case_list, timeout_seconds=timeout_seconds
+                )
+                batch_span.set(inproc=True)
+            except Exception:
+                telemetry.counter_inc("engine.inproc.fallbacks")
+                outcomes = None
+        if outcomes is None and server_pool is not None:
             try:
                 outcomes = server_pool.run_batch(
                     model, case_list, timeout_seconds=timeout_seconds

@@ -93,6 +93,7 @@ def _run_chunk_in_process(
     backoff_seconds: float,
     telemetry_on: bool = False,
     serve: bool = False,
+    inproc: bool = False,
 ) -> "list[JobResult]":
     """Process-pool entry point for a batched chunk of same-key jobs.
 
@@ -122,6 +123,7 @@ def _run_chunk_in_process(
             retries=retries,
             backoff_seconds=backoff_seconds,
             server_pool=server_pool,
+            inproc=inproc,
         )
     finally:
         if session is not None:
@@ -147,6 +149,7 @@ def run_jobs(
     batch_size: int = 1,
     serve: bool = False,
     server_pool=None,
+    inproc: bool = False,
 ) -> list[JobResult]:
     """Execute every job; returns one :class:`JobResult` per job, in order.
 
@@ -167,6 +170,11 @@ def run_jobs(
     a campaign passes one so servers stay warm across waves; without it
     (and with ``serve``) a dispatch-local pool is created and closed on
     return.  In process mode each worker process keeps its own pool.
+
+    ``inproc`` runs batched chunks inside the loaded shared library —
+    the rung above ``serve`` on the ladder; the server pool still backs
+    it up for quarantined models (only meaningful with
+    ``batch_size > 1``).
     """
     if mode not in ("thread", "process"):
         raise ValueError(f"mode must be 'thread' or 'process', not {mode!r}")
@@ -188,7 +196,7 @@ def run_jobs(
             jobs, workers=workers, mode=mode, batch_size=batch_size,
             cache=cache, timeout_seconds=timeout_seconds, retries=retries,
             backoff_seconds=backoff_seconds, serve=serve or server_pool is not None,
-            server_pool=server_pool,
+            server_pool=server_pool, inproc=inproc,
         )
     if workers == 1 or len(jobs) <= 1:
         return [run_job(job, **kwargs) for job in jobs]
@@ -256,6 +264,7 @@ def _run_jobs_batched(
     backoff_seconds: float,
     serve: bool = False,
     server_pool=None,
+    inproc: bool = False,
 ) -> list[JobResult]:
     """Chunked dispatch: same-key jobs batched onto shared binaries."""
     chunks = plan_batches(jobs, batch_size)
@@ -274,6 +283,7 @@ def _run_jobs_batched(
         retries=retries,
         backoff_seconds=backoff_seconds,
         server_pool=server_pool if mode != "process" else None,
+        inproc=inproc,
     )
     ordered: list[Optional[JobResult]] = [None] * len(jobs)
 
@@ -293,7 +303,7 @@ def _run_jobs_batched(
             workers=workers, mode=mode, batch_size=batch_size,
             cache=cache, timeout_seconds=timeout_seconds,
             retries=retries, backoff_seconds=backoff_seconds,
-            serve=serve, kwargs=kwargs,
+            serve=serve, inproc=inproc, kwargs=kwargs,
         )
     finally:
         if own_pool is not None:
@@ -314,6 +324,7 @@ def _run_jobs_batched_pooled(
     retries: int,
     backoff_seconds: float,
     serve: bool,
+    inproc: bool,
     kwargs: dict,
 ) -> list[JobResult]:
 
@@ -332,7 +343,10 @@ def _run_jobs_batched_pooled(
                 continue
             warmed.add(key)
             try:
-                compile_model(job.prog, job.resolved_options(), cache=cache)
+                compile_model(
+                    job.prog, job.resolved_options(), cache=cache,
+                    artifact="shared" if inproc else "binary",
+                )
             except Exception:
                 pass
 
@@ -356,7 +370,7 @@ def _run_jobs_batched_pooled(
                         _run_chunk_in_process,
                         [jobs[i] for i in chunk], cache_root, max_bytes,
                         timeout_seconds, retries, backoff_seconds,
-                        session is not None, serve,
+                        session is not None, serve, inproc,
                     )
                     for chunk in chunks
                 ]

@@ -72,8 +72,10 @@ class ServerPool:
     # -- bookkeeping -----------------------------------------------------
     @staticmethod
     def artifact_key(model: "CompiledModel") -> str:
-        """The pooling key: the binary's (content-addressed) path."""
-        return str(model.compiled.binary)
+        """The pooling key: the source's (content-addressed) path — the
+        executable may not be materialized yet on inproc-first handles."""
+        source = getattr(model.compiled, "source", None)
+        return str(source if source is not None else model.compiled.binary)
 
     def _count(self, name: str, value: int = 1) -> None:
         with self._lock:

@@ -29,6 +29,31 @@ STIM_KIND_PULSE = 5
 STIM_KIND_UNIFORM = 6
 STIM_KIND_INT_RANDOM = 7
 
+#: The descriptor record's scalar slots, in wire order — the single
+#: source of truth shared by the text encoder (codegen.descriptor), the
+#: packed binary encoder (inproc.abi), and both generated C readers
+#: (codegen.runtime derives its scanf and memcpy sequences from this
+#: tuple).  Each entry is ``(descriptor attribute, C struct member,
+#: slot kind)`` with kind ``"i"`` = int64, ``"u"`` = uint64, ``"f"`` =
+#: double.  The variable-length table (length + values) follows these
+#: slots and is handled structurally by every encoder/reader.
+DESCRIPTOR_FIELDS = (
+    ("kind", "kind", "i"),
+    ("i0", "i0", "i"),
+    ("i1", "i1", "i"),
+    ("u0", "u0", "u"),
+    ("state", "state", "u"),
+    ("iv0", "iv0", "i"),
+    ("iv1", "iv1", "i"),
+    ("f0", "f0", "f"),
+    ("f1", "f1", "f"),
+    ("f2", "f2", "f"),
+    ("f3", "f3", "f"),
+    ("fv0", "fv0", "f"),
+    ("fv1", "fv1", "f"),
+    ("table_is_float", "tab_is_float", "i"),
+)
+
 
 def c_double_literal(value: float) -> str:
     """An exact C literal for a Python float.

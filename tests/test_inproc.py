@@ -1,0 +1,485 @@
+"""The in-process shared-library rung: packed ABI, identity, quarantine.
+
+Pins the PR's core invariant: loading the reusable program as a shared
+library and driving it through the packed binary case/result protocol is
+a pure throughput lever — byte-identical results to the SSE reference
+and every process-based rung across the zoo and every stimulus kind,
+with a fault-quarantine ladder that drops back to the ``--serve`` rung
+without changing a single bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import SimulationOptions, simulate
+from repro.codegen.descriptor import descriptors_for, encode_case
+from repro.codegen import driver as driver_mod
+from repro.codegen.driver import supports_shared_objects
+from repro.dtypes import F64, I32
+from repro.engines.accmos import compile_model
+from repro.engines.base import SimulationResult
+from repro.inproc import (
+    ABI_VERSION,
+    LibraryFault,
+    LoadedModel,
+    decode_case_binary,
+    encode_case_binary,
+)
+from repro.model.builder import ModelBuilder
+from repro.model.errors import SimulationTimeout
+from repro.runner.cache import ArtifactCache
+from repro.schedule import preprocess
+from repro.stimuli import (
+    ConstantStimulus,
+    IntRandomStimulus,
+    PulseStimulus,
+    RampStimulus,
+    SequenceStimulus,
+    SineStimulus,
+    StepStimulus,
+    UniformRandomStimulus,
+)
+from repro.stimuli.base import DESCRIPTOR_FIELDS
+
+from conftest import HAS_CC, requires_cc
+from helpers import ZOO, assert_results_agree
+
+STEPS = 200
+
+requires_shared = pytest.mark.skipif(
+    not HAS_CC or supports_shared_objects() is not True,
+    reason="toolchain cannot build loadable shared objects",
+)
+
+
+@pytest.fixture(scope="module")
+def zoo_programs():
+    programs = {}
+    for name, factory in ZOO.items():
+        model, stimuli = factory()
+        programs[name] = (preprocess(model), stimuli)
+    return programs
+
+
+# ----------------------------------------------------------------------
+# three-way byte identity: SSE vs spawned batch vs in-process library
+# ----------------------------------------------------------------------
+@requires_shared
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_inproc_matches_sse_and_batch(zoo_programs, name):
+    prog, stimuli = zoo_programs[name]
+    opts = SimulationOptions(steps=STEPS, coverage=True, diagnostics=True)
+    model = compile_model(prog, opts, cache=False, artifact="shared")
+    sse = simulate(prog, stimuli(), engine="sse", options=opts)
+    batch = model.run_batch([(stimuli(), None) for _ in range(3)])
+    inproc = model.run_inproc([(stimuli(), None) for _ in range(3)])
+    assert len(inproc) == 3
+    assert_results_agree(sse, inproc[0])
+    for via_batch, via_inproc in zip(batch, inproc):
+        assert_results_agree(via_batch, via_inproc)
+    # The whole batch ran in-process (no fallback kicked in).
+    assert model.inproc_available
+    assert all(isinstance(r, SimulationResult) for r in inproc)
+
+
+def _kinds_model():
+    b = ModelBuilder("Kinds")
+    x = b.inport("X", dtype=F64)
+    n = b.inport("N", dtype=I32)
+    total = b.sum_("Total", [x, b.dtc("NF", n, F64)], dtype=F64)
+    b.outport("Out", total)
+    return preprocess(b.build())
+
+
+KIND_CASES = {
+    "constant": lambda: {
+        "X": ConstantStimulus(2.5), "N": ConstantStimulus(3),
+    },
+    "sequence": lambda: {
+        "X": SequenceStimulus([0.5, -1.25, 3.0]),
+        "N": SequenceStimulus([7, 0, -2, 9]),
+    },
+    "ramp": lambda: {
+        "X": RampStimulus(start=-1.0, slope=0.125),
+        "N": ConstantStimulus(1),
+    },
+    "sine": lambda: {
+        "X": SineStimulus(amplitude=2.0, period_steps=37, phase=0.5, bias=0.25),
+        "N": ConstantStimulus(0),
+    },
+    "step": lambda: {
+        "X": StepStimulus(at=40, before=-0.5, after=1.5),
+        "N": StepStimulus(at=90, before=0, after=4),
+    },
+    "pulse": lambda: {
+        "X": PulseStimulus(period=11, duty=4, high=1.25, low=-0.25),
+        "N": PulseStimulus(period=7, duty=2, high=3, low=1),
+    },
+    "uniform_random": lambda: {
+        "X": UniformRandomStimulus(23, -2.0, 2.0), "N": ConstantStimulus(2),
+    },
+    "int_random": lambda: {
+        "X": ConstantStimulus(0.5), "N": IntRandomStimulus(31, -100, 100),
+    },
+}
+
+
+@requires_shared
+@pytest.mark.parametrize("kind", sorted(KIND_CASES))
+def test_inproc_identity_every_stimulus_kind(kind):
+    """Each descriptor kind round-trips the packed binary protocol."""
+    prog = _kinds_model()
+    opts = SimulationOptions(steps=STEPS, coverage=True, diagnostics=True)
+    model = compile_model(prog, opts, cache=False, artifact="shared")
+    make = KIND_CASES[kind]
+    sse = simulate(prog, make(), engine="sse", options=opts)
+    (inproc,) = model.run_inproc([(make(), None)])
+    assert_results_agree(sse, inproc)
+
+
+# ----------------------------------------------------------------------
+# encoder conformance: text and binary wire formats carry the same case
+# ----------------------------------------------------------------------
+def _parse_text_case(text: str) -> dict:
+    """Parse the text wire format with the same field table the encoders
+    use, into the same shape ``decode_case_binary`` returns."""
+    tokens = iter(text.split())
+    assert next(tokens) == "case"
+
+    def f64(tok: str) -> float:
+        if tok.endswith("nan"):
+            return float("nan")
+        if tok.endswith("inf"):
+            return float(tok)
+        return float.fromhex(tok)
+
+    record = {
+        "steps": int(next(tokens)),
+        "time_budget": f64(next(tokens)),
+        "deadline": f64(next(tokens)),
+        "ports": [],
+    }
+    for _ in range(int(next(tokens))):
+        port = {}
+        for attr, _member, kind in DESCRIPTOR_FIELDS:
+            tok = next(tokens)
+            port[attr] = f64(tok) if kind == "f" else int(tok)
+        tab_len = int(next(tokens))
+        if port["table_is_float"]:
+            port["table"] = tuple(f64(next(tokens)) for _ in range(tab_len))
+        else:
+            port["table"] = tuple(int(next(tokens)) for _ in range(tab_len))
+        record["ports"].append(port)
+    assert next(tokens, None) is None
+    return record
+
+
+def _assert_same_value(a, b, context):
+    if isinstance(a, float) and math.isnan(a):
+        assert isinstance(b, float) and math.isnan(b), context
+    else:
+        assert a == b, context
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_CASES))
+def test_text_and_binary_encodings_agree(kind):
+    """Satellite: both wire formats are derived from DESCRIPTOR_FIELDS;
+    every stimulus kind must carry identical values through both."""
+    prog = _kinds_model()
+    descriptors = descriptors_for(prog, KIND_CASES[kind]())
+    assert descriptors is not None
+    text = encode_case(descriptors, steps=77, time_budget=1.5, deadline=None)
+    binary = encode_case_binary(
+        descriptors, steps=77, time_budget=1.5, deadline=None
+    )
+    via_text = _parse_text_case(text)
+    via_binary = decode_case_binary(binary)
+    assert via_text["steps"] == via_binary["steps"] == 77
+    _assert_same_value(via_text["time_budget"], via_binary["time_budget"], kind)
+    _assert_same_value(via_text["deadline"], via_binary["deadline"], kind)
+    assert len(via_text["ports"]) == len(via_binary["ports"])
+    for t_port, b_port in zip(via_text["ports"], via_binary["ports"]):
+        for attr, _member, _kind in DESCRIPTOR_FIELDS:
+            _assert_same_value(t_port[attr], b_port[attr], (kind, attr))
+        assert len(t_port["table"]) == len(b_port["table"])
+        for tv, bv in zip(t_port["table"], b_port["table"]):
+            _assert_same_value(tv, bv, (kind, "table"))
+
+
+def test_binary_record_rejects_truncation_and_trailing():
+    prog = _kinds_model()
+    descriptors = descriptors_for(prog, KIND_CASES["sequence"]())
+    record = encode_case_binary(descriptors, steps=10)
+    assert decode_case_binary(record)["steps"] == 10
+    from repro.model.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="truncated"):
+        decode_case_binary(record[:-4])
+    with pytest.raises(SimulationError, match="trailing"):
+        decode_case_binary(record + b"\x00" * 8)
+
+
+# ----------------------------------------------------------------------
+# the C-side reader: status codes and the load-time handshake
+# ----------------------------------------------------------------------
+@requires_shared
+def test_library_rejects_malformed_records():
+    """The C reader returns -1 for truncated/trailing bytes, -2 for a
+    port-count mismatch, -3 for an undersized result buffer — and any
+    nonzero status retires the instance."""
+    import ctypes
+
+    prog = _kinds_model()
+    opts = SimulationOptions(steps=20)
+    model = compile_model(prog, opts, cache=False, artifact="shared")
+    descriptors = descriptors_for(prog, KIND_CASES["constant"]())
+    record = encode_case_binary(descriptors, steps=20)
+
+    lib = model.load()
+    try:
+        assert lib._invoke(record[:-8]) == -1  # truncated
+        assert lib._invoke(record + b"\x00" * 8) == -1  # trailing bytes
+        assert lib._invoke(encode_case_binary(descriptors[:1], steps=20)) == -2
+        small = ctypes.create_string_buffer(8)
+        assert lib._lib.acc_lib_run_case(record, len(record), small, 8) == -3
+        # A good record still runs after the rejected ones.
+        assert lib._invoke(record) == 0
+
+        with pytest.raises(LibraryFault, match="-1"):
+            lib.run_case(record[:-8])
+        assert not lib.healthy  # run_case faults retire the instance
+        with pytest.raises(LibraryFault, match="retired"):
+            lib.run_case(record)
+    finally:
+        lib.retire()
+
+
+@requires_shared
+def test_handshake_rejects_abi_and_size_mismatch(monkeypatch):
+    prog = _kinds_model()
+    opts = SimulationOptions(steps=20)
+    model = compile_model(prog, opts, cache=False, artifact="shared")
+    shared = model.compiled.ensure_shared()
+
+    with pytest.raises(LibraryFault, match="result size"):
+        LoadedModel(shared, result_size=8)
+
+    import repro.inproc.library as library_mod
+
+    monkeypatch.setattr(library_mod, "ABI_VERSION", ABI_VERSION + 1)
+    with pytest.raises(LibraryFault, match="ABI version"):
+        model.load()
+
+
+# ----------------------------------------------------------------------
+# per-case deadlines, enforced inside the library
+# ----------------------------------------------------------------------
+@requires_shared
+def test_inproc_deadline_trips_as_timeout():
+    prog = _kinds_model()
+    opts = SimulationOptions(steps=50_000_000, coverage=False, checksum=False)
+    model = compile_model(prog, opts, cache=False, artifact="shared")
+    make = KIND_CASES["sine"]
+    outcomes = model.run_inproc(
+        [(make(), None), (make(), None)], timeout_seconds=1e-6
+    )
+    assert len(outcomes) == 2
+    assert all(isinstance(o, SimulationTimeout) for o in outcomes)
+    # A deadline trip is not a fault: the library stays in service.
+    assert model.inproc_available
+
+
+# ----------------------------------------------------------------------
+# fault quarantine: induced library fault falls back to --serve
+# ----------------------------------------------------------------------
+@requires_shared
+def test_induced_fault_quarantines_and_falls_back(zoo_programs):
+    prog, stimuli = zoo_programs[sorted(ZOO)[0]]
+    opts = SimulationOptions(steps=STEPS, coverage=True, diagnostics=True)
+    model = compile_model(prog, opts, cache=False, artifact="shared")
+    sse = simulate(prog, stimuli(), engine="sse", options=opts)
+
+    lib = model.load()
+    calls = {"n": 0}
+    real_invoke = lib._invoke
+
+    def flaky_invoke(record):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            return -1  # induced in-library fault on the second case
+        return real_invoke(record)
+
+    lib._invoke = flaky_invoke
+    outcomes = model.run_inproc(
+        [(stimuli(), None) for _ in range(3)], library=lib
+    )
+    assert len(outcomes) == 3
+    # Every case — before and after the fault — is byte-identical to SSE.
+    for outcome in outcomes:
+        assert isinstance(outcome, SimulationResult)
+        assert_results_agree(sse, outcome)
+    # The fault quarantined the in-process rung for this model…
+    assert not lib.healthy
+    assert not model.inproc_available
+    # …and later batches go straight to the process rungs, still equal.
+    again = model.run_inproc([(stimuli(), None)])
+    assert_results_agree(sse, again[0])
+
+
+@requires_shared
+def test_load_failure_quarantines(zoo_programs, monkeypatch):
+    prog, stimuli = zoo_programs[sorted(ZOO)[0]]
+    opts = SimulationOptions(steps=STEPS)
+    model = compile_model(prog, opts, cache=False, artifact="shared")
+    sse = simulate(prog, stimuli(), engine="sse", options=opts)
+
+    def broken_load():
+        raise LibraryFault("induced load failure")
+
+    monkeypatch.setattr(model, "load", broken_load)
+    outcomes = model.run_inproc([(stimuli(), None) for _ in range(2)])
+    assert len(outcomes) == 2
+    for outcome in outcomes:
+        assert_results_agree(sse, outcome, coverage=False, diagnostics=False)
+    assert not model.inproc_available
+
+
+# ----------------------------------------------------------------------
+# campaign integration: one gcc, zero process spawns
+# ----------------------------------------------------------------------
+@requires_shared
+def test_campaign_inproc_one_gcc_zero_spawns(zoo_programs, tmp_path, monkeypatch):
+    """A cold-cache inproc campaign compiles exactly once (the shared
+    object) and never spawns a simulation process."""
+    from repro.campaign import run_campaign
+
+    prog, _ = zoo_programs[sorted(ZOO)[0]]
+    cache = ArtifactCache(tmp_path / "cache")
+
+    gcc_calls = {"n": 0}
+    real_run_compiler = driver_mod._run_compiler
+
+    def counting_compiler(*args, **kwargs):
+        gcc_calls["n"] += 1
+        return real_run_compiler(*args, **kwargs)
+
+    monkeypatch.setattr(driver_mod, "_run_compiler", counting_compiler)
+
+    def no_spawn(*args, **kwargs):
+        raise AssertionError("simulation process spawned on the inproc path")
+
+    monkeypatch.setattr(driver_mod.CompiledSimulation, "execute", no_spawn)
+    monkeypatch.setattr(driver_mod.SimulationServer, "__init__", no_spawn)
+
+    outcome = run_campaign(
+        prog, steps=STEPS, max_cases=6, batch_size=3,
+        cache=cache, serve=False, inproc=True,
+    )
+    assert outcome.n_cases >= 1
+    assert gcc_calls["n"] == 1
+    assert cache.stats().misses == 1
+
+
+@requires_shared
+def test_campaign_inproc_matches_default_path(zoo_programs):
+    from repro.campaign import run_campaign
+
+    prog, _ = zoo_programs[sorted(ZOO)[0]]
+    kwargs = dict(steps=STEPS, max_cases=4, batch_size=2, cache=False)
+    via_inproc = run_campaign(prog, inproc=True, serve=False, **kwargs)
+    via_spawn = run_campaign(prog, inproc=False, serve=False, **kwargs)
+    assert via_inproc.n_cases == via_spawn.n_cases
+    assert via_inproc.saturated == via_spawn.saturated
+    assert via_inproc.merged.bitmaps == via_spawn.merged.bitmaps
+    for a, b in zip(via_inproc.cases, via_spawn.cases):
+        assert (a.seed, a.steps_run, a.new_points) == (
+            b.seed, b.steps_run, b.new_points
+        )
+
+
+# ----------------------------------------------------------------------
+# validation errors (satellite: reject unknown rungs/engines clearly)
+# ----------------------------------------------------------------------
+def test_run_fuzz_rejects_unknown_rungs():
+    from repro.fuzz import ALL_RUNGS, FuzzConfig, run_fuzz
+
+    with pytest.raises(ValueError) as excinfo:
+        run_fuzz(FuzzConfig(cases=1, rungs=["accmos", "warp_drive"]))
+    message = str(excinfo.value)
+    assert "warp_drive" in message
+    for rung in ALL_RUNGS:
+        assert rung in message
+    assert "accmos_inproc" in ALL_RUNGS
+
+
+def test_run_campaign_rejects_unknown_engine():
+    from repro.campaign import run_campaign
+    from repro.engines.api import ENGINES
+
+    b = ModelBuilder("Tiny")
+    x = b.inport("X", dtype=I32)
+    b.outport("Y", x)
+    prog = preprocess(b.build())
+    with pytest.raises(ValueError) as excinfo:
+        run_campaign(prog, engine="warp", steps=10)
+    message = str(excinfo.value)
+    assert "warp" in message
+    for engine in ENGINES:
+        assert engine in message
+
+
+def test_available_rungs_gates_inproc(monkeypatch):
+    import repro.fuzz.oracle as oracle_mod
+
+    monkeypatch.setattr(oracle_mod, "find_c_compiler", lambda: "/usr/bin/cc")
+    monkeypatch.setattr(oracle_mod, "supports_shared_objects", lambda: False)
+    rungs = oracle_mod.available_rungs()
+    assert "accmos_inproc" not in rungs
+    assert "accmos" in rungs
+    monkeypatch.setattr(oracle_mod, "supports_shared_objects", lambda: True)
+    assert "accmos_inproc" in oracle_mod.available_rungs()
+
+
+# ----------------------------------------------------------------------
+# fuzz oracle rung
+# ----------------------------------------------------------------------
+@requires_shared
+def test_fuzz_oracle_inproc_rung_agrees():
+    from repro.fuzz.generate import generate_case
+    from repro.fuzz.oracle import run_case
+
+    for index in range(3):
+        case = generate_case(1000 + index, max_actors=6, steps=24)
+        report = run_case(case, rungs=("accmos", "accmos_inproc"))
+        assert report.agreed, report.divergences
+
+
+# ----------------------------------------------------------------------
+# shared cache entry: both artifacts, one key, lazy sibling compiles
+# ----------------------------------------------------------------------
+@requires_shared
+def test_shared_and_binary_share_one_cache_entry(tmp_path):
+    prog = _kinds_model()
+    opts = SimulationOptions(steps=20)
+    cache = ArtifactCache(tmp_path / "cache")
+
+    model = compile_model(prog, opts, cache=cache, artifact="shared")
+    assert model.compiled.shared is not None
+    assert model.compiled.binary is None  # executable not built yet
+    assert cache.stats().entries == 1
+
+    # The executable materializes lazily into the *same* entry…
+    binary = model.compiled.ensure_binary()
+    assert binary.parent == model.compiled.shared.parent
+    assert cache.stats().entries == 1
+
+    # …and a fresh compile of either form is a pure cache hit.
+    again = compile_model(prog, opts, cache=cache, artifact="binary")
+    assert again.compiled.cache_hit
+    assert again.compiled.ensure_shared().is_file()
+    # Two misses (one per artifact's first build), then pure hits.
+    stats = cache.stats()
+    assert (stats.misses, stats.entries) == (2, 1)

@@ -138,6 +138,114 @@ class TestCacheCompile:
         assert not [p for p in cache.root.iterdir() if p.name.startswith("stage-")]
 
 
+class TestMultiArtifact:
+    """One cache entry can hold both compiled forms of one source: the
+    executable and the ``-shared`` object, under one key."""
+
+    KEY = "dd" + "3" * 62
+
+    def _pair(self, tmp_path, tag, src=10, binary=1000, shared=500):
+        d = tmp_path / f"pair-{tag}"
+        d.mkdir()
+        (d / "src.c").write_bytes(b"s" * src)
+        (d / "bin").write_bytes(b"b" * binary)
+        (d / "so").write_bytes(b"l" * shared)
+        return d / "src.c", d / "bin", d / "so"
+
+    def test_store_pair_and_lookup_by_names(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        src, binary, shared = self._pair(tmp_path, "a")
+        entry = cache.store(self.KEY, src, binary, shared_path=shared)
+        assert entry.binary is not None and entry.binary.is_file()
+        assert entry.shared is not None and entry.shared.is_file()
+        assert entry.binary.parent == entry.shared.parent
+        # Lookup by either artifact (or both) hits the same entry.
+        assert cache.lookup(self.KEY) is not None
+        assert cache.lookup(self.KEY, names=(cache_mod.SHARED_NAME,)) is not None
+        hit = cache.lookup(
+            self.KEY, names=(cache_mod.BINARY_NAME, cache_mod.SHARED_NAME)
+        )
+        assert hit is not None and hit.binary and hit.shared
+
+    def test_lookup_misses_on_absent_artifact(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        src, binary, _ = self._pair(tmp_path, "a")
+        cache.store(self.KEY, src, binary)  # executable only
+        assert cache.lookup(self.KEY) is not None
+        assert cache.lookup(self.KEY, names=(cache_mod.SHARED_NAME,)) is None
+
+    def test_merge_adds_second_artifact_to_existing_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        src, binary, _ = self._pair(tmp_path, "a")
+        first = cache.store(self.KEY, src, binary)
+        assert first.shared is None
+        src2, _, shared2 = self._pair(tmp_path, "b")
+        merged = cache.store(self.KEY, src2, shared_path=shared2)
+        assert merged.binary is not None and merged.binary.is_file()
+        assert merged.shared is not None and merged.shared.is_file()
+        assert cache.stats().entries == 1
+        # No stage debris from the merging writer.
+        assert not [
+            p for p in cache.root.iterdir() if p.name.startswith("stage-")
+        ]
+
+    def test_stats_count_both_artifacts_bytes(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        src, binary, shared = self._pair(
+            tmp_path, "a", src=10, binary=1000, shared=500
+        )
+        cache.store(self.KEY, src, binary, shared_path=shared)
+        assert cache.stats().bytes == 10 + 1000 + 500
+
+    def test_eviction_removes_the_whole_pair(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache", max_bytes=4000)
+        src, binary, shared = self._pair(tmp_path, "a")
+        old = cache.store("aa" + "0" * 62, src, binary, shared_path=shared)
+        old_dir = old.binary.parent
+        os.utime(old_dir, (1_000, 1_000))
+        src, binary, shared = self._pair(tmp_path, "b")
+        cache.store("bb" + "1" * 62, src, binary, shared_path=shared)
+        src, binary, shared = self._pair(tmp_path, "c")
+        cache.store("cc" + "2" * 62, src, binary, shared_path=shared)
+        stats = cache.stats()
+        assert stats.evictions >= 1
+        assert stats.bytes <= 4000
+        # Entries are evicted whole: neither artifact survives.
+        assert not old_dir.exists()
+
+    def test_concurrent_pair_writers_leave_one_valid_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def compete(tag):
+            try:
+                src, binary, shared = self._pair(tmp_path, tag)
+                barrier.wait()
+                cache.store(self.KEY, src, binary, shared_path=shared)
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=compete, args=(t,)) for t in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        entry = cache.lookup(
+            self.KEY, names=(cache_mod.BINARY_NAME, cache_mod.SHARED_NAME)
+        )
+        assert entry is not None
+        assert entry.binary.read_bytes() == b"b" * 1000
+        assert entry.shared.read_bytes() == b"l" * 500
+        assert cache.stats().entries == 1
+        assert not [
+            p for p in cache.root.iterdir() if p.name.startswith("stage-")
+        ]
+
+
 class TestEvictionAndAdmin:
     def _seed_entry(self, tmp_path, cache, key, mtime, size=1000):
         src = tmp_path / f"{key}.c"
