@@ -1,0 +1,137 @@
+"""Coverage-guided vs blind fuzzing at equal case count.
+
+The guided loop's whole claim is coverage efficiency: at the same
+evaluation budget it must accumulate strictly more coverage points than
+the blind campaign, because (a) insertion mutations grow corpus models
+past the blind generator's size ceiling (more points per case) and
+(b) the energy scheduler re-spends budget on structures whose point
+space is not yet exhausted instead of redrawing from scratch.
+
+Both arms run the same differential oracle on the same rung and the
+same accounting — a fresh :class:`~repro.guided.covmap.CoverageMap`
+each — so the only difference measured is *which cases* each strategy
+chose to evaluate.
+
+Asserted claim: on the fixed seed, guided accumulates strictly more
+points than blind at equal case count (the ISSUE's acceptance bar).
+
+Knobs: ``ACCMOS_BENCH_GUIDED_CASES`` (default 300; CI smoke uses less),
+``ACCMOS_BENCH_GUIDED_SEED`` (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.fuzz.driver import case_seed
+from repro.fuzz.generate import generate_case
+from repro.fuzz.oracle import run_case
+from repro.guided import (
+    CoverageMap,
+    GuidedConfig,
+    coverage_key,
+    default_guided_rungs,
+    run_guided,
+)
+
+from conftest import report_json, report_table
+
+
+def _cases() -> int:
+    return int(os.environ.get("ACCMOS_BENCH_GUIDED_CASES", "300"))
+
+
+def _seed() -> int:
+    return int(os.environ.get("ACCMOS_BENCH_GUIDED_SEED", "0"))
+
+
+def _run_blind(cases: int, seed: int, rungs) -> tuple[int, int, float]:
+    """The blind baseline: independent draws, same oracle, same
+    accounting.  Returns (points, structures, seconds)."""
+    accumulated = CoverageMap()
+    started = time.perf_counter()
+    for index in range(cases):
+        case = generate_case(case_seed(seed, index), max_actors=14)
+        try:
+            report = run_case(
+                case, rungs=rungs, timeout_seconds=60.0, cache=None
+            )
+        except Exception:  # noqa: BLE001 — bad draw: skip, like guided does
+            continue
+        if report.coverage is not None:
+            bitmaps = report.coverage.bitmaps
+            accumulated.observe(coverage_key(case, bitmaps), bitmaps)
+    return (
+        accumulated.points(),
+        accumulated.n_keys,
+        time.perf_counter() - started,
+    )
+
+
+def test_guided_beats_blind_at_equal_cases():
+    cases, seed = _cases(), _seed()
+    rungs = default_guided_rungs()
+
+    blind_points, blind_keys, blind_seconds = _run_blind(cases, seed, rungs)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        outcome = run_guided(GuidedConfig(
+            cases=cases,
+            seed=seed,
+            rungs=rungs,
+            corpus_dir=Path(tmp) / "corpus",
+            shrink=False,  # measure search efficiency, not shrink cost
+            timeout_seconds=60.0,
+        ))
+
+    guided_points = outcome.coverage_points
+    per100 = lambda points, n: 100.0 * points / max(1, n)  # noqa: E731
+    rows = [
+        {
+            "strategy": "blind",
+            "cases": cases,
+            "points": blind_points,
+            "structures": blind_keys,
+            "points_per_100_cases": round(per100(blind_points, cases), 1),
+            "seconds": round(blind_seconds, 2),
+        },
+        {
+            "strategy": "guided",
+            "cases": outcome.cases_run,
+            "points": guided_points,
+            "structures": outcome.coverage_keys,
+            "points_per_100_cases": round(
+                per100(guided_points, outcome.cases_run), 1
+            ),
+            "seconds": round(outcome.elapsed, 2),
+        },
+    ]
+    lines = [
+        f"rung {rungs[0]}, seed {seed}, {cases} case budget",
+        f"{'strategy':8s} {'cases':>6s} {'points':>8s} {'structs':>8s} "
+        f"{'pts/100':>8s} {'seconds':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['strategy']:8s} {r['cases']:6d} {r['points']:8d} "
+            f"{r['structures']:8d} {r['points_per_100_cases']:8.1f} "
+            f"{r['seconds']:8.2f}"
+        )
+    gain = guided_points / max(1, blind_points)
+    lines.append(f"guided/blind coverage ratio: {gain:.2f}x")
+    text = "\n".join(lines)
+    report_table("Guided vs blind fuzzing coverage", text)
+    report_json(
+        "bench_guided",
+        {"cases": cases, "seed": seed, "rungs": list(rungs)},
+        rows,
+        unit="accumulated coverage points",
+    )
+
+    assert guided_points > blind_points, (
+        f"guided must accumulate strictly more coverage than blind at "
+        f"{cases} cases: guided {guided_points} vs blind {blind_points}"
+    )

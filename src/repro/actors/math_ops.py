@@ -703,13 +703,19 @@ def c_pow(x: float, y: float) -> float:
 def c_floor(x: float) -> float:
     """C ``floor``: a zero result keeps the argument's sign (IEEE), which
     Python's int-returning ``math.floor`` drops — and checksums hash raw
-    bits, so ``-0.0`` vs ``0.0`` is observable."""
+    bits, so ``-0.0`` vs ``0.0`` is observable.  ``±inf``/``nan`` pass
+    through like C's; ``math.floor`` would raise on them."""
+    if not math.isfinite(x):
+        return x
     y = float(math.floor(x))
     return math.copysign(y, x) if y == 0.0 else y
 
 
 def c_ceil(x: float) -> float:
-    """C ``ceil``: sign-preserving on zero results (``ceil(-0.5) == -0.0``)."""
+    """C ``ceil``: sign-preserving on zero results (``ceil(-0.5) == -0.0``),
+    non-finite passthrough."""
+    if not math.isfinite(x):
+        return x
     y = float(math.ceil(x))
     return math.copysign(y, x) if y == 0.0 else y
 
@@ -722,7 +728,10 @@ def c_round(x: float) -> float:
 
 
 def c_fix(x: float) -> float:
-    """C ``trunc``: sign-preserving on zero results (``trunc(-0.5) == -0.0``)."""
+    """C ``trunc``: sign-preserving on zero results (``trunc(-0.5) == -0.0``),
+    non-finite passthrough."""
+    if not math.isfinite(x):
+        return x
     y = float(math.trunc(x))
     return math.copysign(y, x) if y == 0.0 else y
 

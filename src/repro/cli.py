@@ -13,6 +13,8 @@
     accmos metrics [show|clear]           # inspect the last traced run
     accmos bench-table1                   # print the benchmark inventory
     accmos cache stats|clear              # compiled-artifact cache admin
+    accmos fuzz [--guided]                # differential fuzzing campaign
+    accmos corpus stats|replay DIR        # guided-fuzz corpus admin
     accmos demo                           # Figure-1 motivating demo
 
 Benchmark models can be addressed as ``bench:NAME`` (e.g. ``bench:CSEV``)
@@ -420,6 +422,8 @@ def cmd_fuzz(args) -> int:
             print(f"unknown rung(s): {unknown}; pick from {list(ALL_RUNGS)}",
                   file=sys.stderr)
             return 2
+    if args.guided:
+        return _run_guided_fuzz(args, rungs)
     config = FuzzConfig(
         cases=args.cases,
         seed=args.seed,
@@ -442,6 +446,7 @@ def cmd_fuzz(args) -> int:
             "divergent": outcome.divergent,
             "elapsed": outcome.elapsed,
             "budget_exhausted": outcome.budget_exhausted,
+            "duplicates": outcome.duplicates,
             "findings": [
                 {
                     "seed": f.seed,
@@ -465,6 +470,122 @@ def cmd_fuzz(args) -> int:
             for d in finding.final_report.divergences[:4]:
                 print(f"    {d.rung} {d.kind}: {d.detail[:140]}")
     return 1 if outcome.findings else 0
+
+
+def _run_guided_fuzz(args, rungs) -> int:
+    """The --guided branch of ``fuzz``: coverage-guided corpus campaign."""
+    from repro.guided import GuidedConfig, run_guided
+
+    config = GuidedConfig(
+        cases=args.cases,
+        seed=args.seed,
+        steps=args.steps,
+        max_actors=args.max_actors,
+        rungs=rungs,
+        round_size=args.round_size,
+        saturation_rounds=args.saturation,
+        time_budget=args.time_budget,
+        shrink=not args.no_shrink,
+        corpus_dir=Path(args.corpus) if args.corpus else None,
+        findings_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+        timeout_seconds=args.timeout,
+    )
+    say = (lambda msg: print(msg, file=sys.stderr)) if args.json else print
+    with _traced(args):
+        outcome = run_guided(config, progress=say)
+    if args.json:
+        print(json.dumps({
+            "rungs": list(outcome.rungs),
+            "rounds": outcome.rounds,
+            "cases_run": outcome.cases_run,
+            "invalid_mutants": outcome.invalid_mutants,
+            "novel_points": outcome.novel_points,
+            "coverage_points": outcome.coverage_points,
+            "coverage_keys": outcome.coverage_keys,
+            "corpus_size": outcome.corpus_size,
+            "saturated": outcome.saturated,
+            "budget_exhausted": outcome.budget_exhausted,
+            "elapsed": outcome.elapsed,
+            "divergent": outcome.divergent,
+            "duplicates": outcome.duplicates,
+            "findings": [
+                {
+                    "seed": f.seed,
+                    "shrink": f.shrink_summary,
+                    "corpus": str(f.corpus_path) if f.corpus_path else None,
+                    "divergences": [
+                        d.to_dict() for d in f.final_report.divergences
+                    ],
+                }
+                for f in outcome.findings
+            ],
+        }, indent=2))
+    else:
+        print(outcome.summary())
+        for finding in outcome.findings:
+            shrunk = finding.final_report.case
+            print(f"  seed {finding.seed}: {shrunk.n_actors} actor(s), "
+                  f"{shrunk.steps} step(s)"
+                  + (f"  [{finding.shrink_summary}]"
+                     if finding.shrink_summary else ""))
+            for d in finding.final_report.divergences[:4]:
+                print(f"    {d.rung} {d.kind}: {d.detail[:140]}")
+    return 1 if outcome.findings else 0
+
+
+def cmd_corpus(args) -> int:
+    """Inspect or replay a guided-fuzz seed corpus."""
+    from repro.guided import SeedCorpus, replay_corpus
+
+    corpus_dir = Path(args.dir)
+    if args.action == "stats":
+        try:
+            corpus = SeedCorpus.load(corpus_dir)
+        except FileNotFoundError:
+            print(f"no corpus manifest in {corpus_dir}", file=sys.stderr)
+            return 1
+        stats = corpus.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"corpus    : {corpus_dir}")
+        print(f"seeds     : {stats['seeds']}")
+        print(f"structures: {stats['coverage_keys']}")
+        print(f"points    : {stats['coverage_points']}/"
+              f"{stats['points_possible']}")
+        for metric, counts in stats["by_metric"].items():
+            print(f"  {metric:10s} {counts['covered']}/{counts['possible']}")
+        if stats["top"]:
+            print("top seeds (by scheduler score):")
+            print(f"{'sig':>14s} {'actors':>7s} {'novel':>6s} "
+                  f"{'child':>6s} {'fuzzed':>7s}")
+            for row in stats["top"]:
+                print(f"{row['sig']:>14s} {row['actors']:7d} "
+                      f"{row['novel_points']:6d} "
+                      f"{row['child_novel_points']:6d} "
+                      f"{row['times_fuzzed']:7d}")
+        return 0
+
+    # replay
+    try:
+        report = replay_corpus(corpus_dir, timeout_seconds=args.timeout)
+    except FileNotFoundError:
+        print(f"no corpus manifest in {corpus_dir}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({
+            "seeds": report.seeds,
+            "replayed": report.replayed,
+            "matched": report.matched,
+            "points_expected": report.points_expected,
+            "points_rebuilt": report.points_rebuilt,
+            "errors": report.errors,
+        }, indent=2))
+    else:
+        print(report.summary())
+        for err in report.errors[:10]:
+            print(f"  {err}")
+    return 0 if report.matched else 1
 
 
 def cmd_demo(args) -> int:
@@ -640,10 +761,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report divergences without minimizing them")
     p.add_argument("--corpus-dir", default=None, metavar="DIR",
                    help="write shrunk reproducers here (e.g. tests/corpus)")
+    p.add_argument("--guided", action="store_true",
+                   help="coverage-guided campaign: keep and mutate cases "
+                        "that reach novel coverage (see also --corpus)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="guided seed corpus directory (loaded if present, "
+                        "persisted on exit; replayable via `corpus replay`)")
+    p.add_argument("--round-size", type=int, default=25, metavar="N",
+                   help="guided: oracle evaluations per round")
+    p.add_argument("--saturation", type=int, default=3, metavar="K",
+                   help="guided: stop after K consecutive rounds without "
+                        "novel coverage")
     p.add_argument("--json", action="store_true")
     p.add_argument("--trace", metavar="FILE",
                    help="record a Chrome trace_event timeline to FILE")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "corpus", help="inspect or replay a guided-fuzz seed corpus"
+    )
+    p.add_argument("action", choices=["stats", "replay"])
+    p.add_argument("dir", help="corpus directory (from fuzz --guided --corpus)")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="SECONDS",
+                   help="per-seed wall-clock limit during replay")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_corpus)
 
     p = sub.add_parser("demo", help="Figure-1 motivating demo")
     p.add_argument("--steps", type=int, default=200_000)

@@ -71,6 +71,45 @@ class Bitmap:
             if b:
                 self._bits[i] = 1
 
+    def or_into(self, target: "Bitmap") -> int:
+        """OR this bitmap into ``target``; returns how many points were
+        newly set there (the AFL-style novelty of this run against the
+        accumulated map)."""
+        if len(target) != len(self):
+            raise ValueError(
+                f"bitmap size mismatch: {len(self)} vs {len(target)}"
+            )
+        tbits = target._bits
+        novel = 0
+        for i, b in enumerate(self._bits):
+            if b and not tbits[i]:
+                tbits[i] = 1
+                novel += 1
+        return novel
+
+    def new_bits(self, baseline: "Bitmap") -> int:
+        """Points set here but not in ``baseline`` — novelty without
+        mutating either side (``or_into``'s read-only counterpart)."""
+        if len(baseline) != len(self):
+            raise ValueError(
+                f"bitmap size mismatch: {len(self)} vs {len(baseline)}"
+            )
+        bbits = baseline._bits
+        return sum(1 for i, b in enumerate(self._bits) if b and not bbits[i])
+
+    def to_words(self) -> list[int]:
+        """Pack into 64-bit words, the inverse of :meth:`from_words`
+        (and the generated programs' ``cov`` wire format)."""
+        words = []
+        bits = self._bits
+        for base in range(0, len(bits), 64):
+            word = 0
+            for i, b in enumerate(bits[base:base + 64]):
+                if b:
+                    word |= 1 << i
+            words.append(word)
+        return words
+
     def copy(self) -> "Bitmap":
         bm = Bitmap(0)
         bm._bits = bytearray(self._bits)

@@ -53,7 +53,12 @@ from repro.codegen.driver import (
     parse_result,
 )
 from repro.engines.base import SimulationOptions, SimulationResult
-from repro.inproc.abi import decode_result, encode_case_binary, result_buffer_size
+from repro.inproc.abi import (
+    decode_coverage,
+    decode_result,
+    encode_case_binary,
+    result_buffer_size,
+)
 from repro.inproc.library import LibraryFault, LoadedModel
 from repro.instrument import build_plan
 from repro.instrument.plan import InstrumentationPlan
@@ -455,6 +460,75 @@ class CompiledModel:
                 break
         telemetry.counter_inc("engine.inproc.runs")
         return outcomes
+
+    def probe_coverage(
+        self,
+        cases: Sequence[BatchCase],
+        *,
+        timeout_seconds: Optional[float] = None,
+    ) -> list[Optional[dict]]:
+        """Coverage bitmaps only, as cheaply as this model can produce them.
+
+        The guided-fuzz replay path: runs each case on the in-process
+        library and slices just the coverage words out of the packed
+        result buffer (:func:`repro.inproc.abi.decode_coverage`),
+        skipping output/diagnostic/monitor decoding entirely.  One entry
+        per case, in order — a ``{Metric: Bitmap}`` dict, or ``None``
+        for cases that timed out or when the model collects no
+        coverage.  A library fault quarantines the in-process rung and
+        the remaining cases finish on :meth:`run_batch` (full decode,
+        same bitmaps).
+        """
+        cases = list(cases)
+        if not cases:
+            return []
+        normalized = [self._normalize(case) for case in cases]
+        records = [
+            encode_case_binary(
+                descriptors,
+                steps=options.steps,
+                time_budget=options.time_budget,
+                deadline=timeout_seconds,
+            )
+            for options, descriptors in normalized
+        ]
+        probes: list[Optional[dict]] = []
+        with telemetry.span(
+            "accmos.probe", model=self.prog.model.name, cases=len(cases)
+        ) as span:
+            lib = None
+            if not self._inproc_disabled:
+                try:
+                    lib = self._thread_library()
+                except (CompilationError, LibraryFault, OSError) as exc:
+                    self._quarantine_inproc(exc)
+            for index in range(len(cases)):
+                if lib is not None:
+                    try:
+                        buf = lib.run_case(records[index])
+                        probes.append(decode_coverage(
+                            buf, self.layout, self.plan,
+                            normalized[index][0],
+                        ))
+                        telemetry.counter_inc("engine.inproc.probes")
+                        continue
+                    except LibraryFault as exc:
+                        self._quarantine_inproc(exc)
+                        lib = None
+                # Fallback: full batch run, keep only the bitmaps.
+                span.set(fallback=True)
+                for outcome in self.run_batch(
+                    cases[index:], timeout_seconds=timeout_seconds
+                ):
+                    if (
+                        isinstance(outcome, SimulationTimeout)
+                        or outcome.coverage is None
+                    ):
+                        probes.append(None)
+                    else:
+                        probes.append(dict(outcome.coverage.bitmaps))
+                break
+        return probes
 
     # ------------------------------------------------------------------
     def _normalize(self, case: BatchCase):

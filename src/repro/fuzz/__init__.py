@@ -13,11 +13,20 @@ loop behind it.
 from repro.fuzz.corpus import (
     CorpusEntry,
     case_signature,
+    divergence_signature,
+    find_open_duplicate,
     load_entries,
     load_entry,
     save_entry,
 )
-from repro.fuzz.driver import FuzzConfig, FuzzFinding, FuzzOutcome, run_fuzz
+from repro.fuzz.driver import (
+    FuzzConfig,
+    FuzzFinding,
+    FuzzOutcome,
+    case_seed,
+    process_finding,
+    run_fuzz,
+)
 from repro.fuzz.generate import (
     CaseSpec,
     NodeSpec,
@@ -55,12 +64,16 @@ __all__ = [
     "build_model",
     "build_stimuli",
     "build_stimulus",
+    "case_seed",
     "case_signature",
     "compare_results",
+    "divergence_signature",
     "drop_node",
+    "find_open_duplicate",
     "generate_case",
     "load_entries",
     "load_entry",
+    "process_finding",
     "run_case",
     "run_fuzz",
     "save_entry",

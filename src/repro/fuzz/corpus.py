@@ -36,13 +36,16 @@ class CorpusEntry:
     fuzz_seed: Optional[int] = None
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "status": self.status,
             "note": self.note,
             "fuzz_seed": self.fuzz_seed,
             "divergences": list(self.divergences),
             "case": self.case.to_dict(),
         }
+        if self.divergences:
+            d["signature"] = divergence_signature(self.divergences)
+        return d
 
     @staticmethod
     def from_dict(d: dict) -> "CorpusEntry":
@@ -53,6 +56,43 @@ class CorpusEntry:
             note=d.get("note", ""),
             fuzz_seed=d.get("fuzz_seed"),
         )
+
+    @property
+    def signature(self) -> str:
+        return divergence_signature(self.divergences)
+
+
+def divergence_signature(divergences: list[dict]) -> str:
+    """``rung/kind/field`` identity of a divergence's first disagreement.
+
+    Distinct fuzz seeds frequently shrink to the *same* minimal
+    reproducer of one underlying bug; keying open entries by this
+    signature (rather than the full case hash) lets the campaign skip
+    re-saving what is, for a human, the same finding.  ``field`` is the
+    named output/checksum that differed first, empty for kinds without a
+    per-field breakdown (errors, steps_run, coverage...).
+    """
+    if not divergences:
+        return ""
+    first = divergences[0]
+    kind = first.get("kind", "")
+    field_name = ""
+    if kind in ("outputs", "checksums"):
+        field_name = str(first.get("detail", "")).split(":", 1)[0].strip()
+    return f"{first.get('rung', '')}/{kind}/{field_name}"
+
+
+def find_open_duplicate(
+    corpus_dir: Path, signature: str
+) -> Optional[Path]:
+    """Path of an existing ``open`` entry with this divergence signature,
+    or None.  Entries without recorded divergences never match."""
+    if not signature:
+        return None
+    for path, entry in load_entries(corpus_dir):
+        if entry.status == "open" and entry.signature == signature:
+            return path
+    return None
 
 
 def case_signature(case: CaseSpec) -> str:

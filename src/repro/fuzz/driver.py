@@ -13,8 +13,13 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro import telemetry
-from repro.fuzz.corpus import CorpusEntry, save_entry
-from repro.fuzz.generate import generate_case
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    divergence_signature,
+    find_open_duplicate,
+    save_entry,
+)
+from repro.fuzz.generate import CaseSpec, generate_case
 from repro.fuzz.oracle import ALL_RUNGS, OracleReport, available_rungs, run_case
 from repro.fuzz.shrink import shrink_case
 
@@ -58,6 +63,7 @@ class FuzzOutcome:
     cases_run: int = 0
     elapsed: float = 0.0
     budget_exhausted: bool = False
+    duplicates: int = 0  # findings skipped: same divergence signature already open
     findings: list[FuzzFinding] = field(default_factory=list)
 
     @property
@@ -70,15 +76,106 @@ class FuzzOutcome:
             else f"{self.divergent} divergent case(s)"
         )
         budget = " (time budget hit)" if self.budget_exhausted else ""
+        dupes = (
+            f", {self.duplicates} duplicate(s) skipped" if self.duplicates else ""
+        )
         return (
             f"fuzz: {self.cases_run} case(s) in {self.elapsed:.1f}s "
-            f"across {len(self.rungs)} rung(s): {verdict}{budget}"
+            f"across {len(self.rungs)} rung(s): {verdict}{dupes}{budget}"
         )
 
 
-def _case_seed(base_seed: int, index: int) -> int:
-    # Disjoint per-case streams for any base seed.
-    return (base_seed << 20) + index
+def case_seed(base_seed: int, index: int) -> int:
+    """The derived seed of campaign case ``index``.
+
+    Disjointness contract: for base seeds below ``2**32`` the streams of
+    ``base_seed`` and ``base_seed + 1`` never overlap, because the index
+    occupies the low 32 bits exclusively.  (The old 20-bit shift broke
+    this quietly: case ``2**20`` of seed ``s`` equalled case 0 of seed
+    ``s + 1``.)  Indices at or past ``2**32`` would spill into the base
+    seed's bits, so they are rejected outright.
+    """
+    if not 0 <= index < 2**32:
+        raise ValueError(
+            f"case index {index} outside [0, 2**32): it would collide "
+            "with another base seed's stream"
+        )
+    return (base_seed << 32) + index
+
+
+#: Backwards-compatible alias (pre-existing callers used the old name).
+_case_seed = case_seed
+
+
+def process_finding(
+    case: CaseSpec,
+    report: OracleReport,
+    *,
+    seed: int,
+    rungs: Sequence[str],
+    shrink: bool = True,
+    max_shrink_attempts: int = 250,
+    timeout_seconds: Optional[float] = 120.0,
+    corpus_dir: Optional[Path] = None,
+    deadline: Optional[float] = None,
+    say: Callable[[str], None] = lambda _msg: None,
+) -> tuple[FuzzFinding, bool]:
+    """Shrink a divergent case and persist the reproducer.
+
+    The shared back half of both campaign drivers (blind and guided):
+    shrink (bounded by ``max_shrink_attempts`` and the campaign
+    ``deadline``), then — if a corpus is configured — skip persisting
+    when an ``open`` entry with the same divergence signature already
+    exists, else save.  Returns ``(finding, duplicate)``; on the
+    duplicate path ``finding.corpus_path`` points at the existing entry.
+    """
+    finding = FuzzFinding(seed=seed, report=report)
+
+    shrunk = case
+    if shrink:
+        def still_fails(candidate) -> bool:
+            telemetry.counter_inc("fuzz.shrink_steps")
+            return not run_case(
+                candidate, rungs=rungs, timeout_seconds=timeout_seconds,
+            ).agreed
+
+        with telemetry.span("fuzz.shrink", seed=seed):
+            shrunk, stats = shrink_case(
+                case, still_fails,
+                max_attempts=max_shrink_attempts,
+                deadline=deadline,
+            )
+        finding.shrink_summary = stats.summary()
+        finding.shrunk_report = run_case(
+            shrunk, rungs=rungs, timeout_seconds=timeout_seconds
+        )
+        say(f"  shrunk: {stats.summary()}")
+
+    duplicate = False
+    if corpus_dir is not None:
+        divergences = [d.to_dict() for d in finding.final_report.divergences]
+        signature = divergence_signature(divergences)
+        existing = find_open_duplicate(corpus_dir, signature)
+        if existing is not None:
+            duplicate = True
+            finding.corpus_path = existing
+            telemetry.counter_inc("fuzz.corpus_duplicates")
+            say(f"  duplicate of {existing.name} ({signature}); not saved")
+        else:
+            entry = CorpusEntry(
+                case=shrunk,
+                status="open",
+                divergences=divergences,
+                note=(
+                    "Found by `repro fuzz`; fix the divergence and flip "
+                    "status to \"fixed\" so this becomes a regression test."
+                ),
+                fuzz_seed=seed,
+            )
+            finding.corpus_path = save_entry(corpus_dir, entry)
+            telemetry.counter_inc("fuzz.corpus_entries")
+            say(f"  reproducer -> {finding.corpus_path}")
+    return finding, duplicate
 
 
 def run_fuzz(
@@ -102,15 +199,19 @@ def run_fuzz(
     outcome = FuzzOutcome(rungs=rungs)
     say = progress or (lambda _msg: None)
     started = time.perf_counter()
+    # The budget is enforced at the top of the case loop AND inside the
+    # shrinker — a single expensive shrink would otherwise blow far past
+    # it between loop checks.
+    deadline = (
+        started + config.time_budget
+        if config.time_budget is not None else None
+    )
 
     for index in range(config.cases):
-        if (
-            config.time_budget is not None
-            and time.perf_counter() - started >= config.time_budget
-        ):
+        if deadline is not None and time.perf_counter() >= deadline:
             outcome.budget_exhausted = True
             break
-        seed = _case_seed(config.seed, index)
+        seed = case_seed(config.seed, index)
         case = generate_case(
             seed, max_actors=config.max_actors, steps=config.steps
         )
@@ -128,50 +229,27 @@ def run_fuzz(
             continue
 
         telemetry.counter_inc("fuzz.divergences")
-        finding = FuzzFinding(seed=seed, report=report)
-        outcome.findings.append(finding)
         say(
             f"case {index} (seed {seed}): {len(report.divergences)} "
             f"divergence(s), first: {report.divergences[0].rung} "
             f"{report.divergences[0].kind}"
         )
+        finding, duplicate = process_finding(
+            case, report,
+            seed=seed,
+            rungs=rungs,
+            shrink=config.shrink,
+            max_shrink_attempts=config.max_shrink_attempts,
+            timeout_seconds=config.timeout_seconds,
+            corpus_dir=config.corpus_dir,
+            deadline=deadline,
+            say=say,
+        )
+        outcome.findings.append(finding)
+        if duplicate:
+            outcome.duplicates += 1
 
-        shrunk = case
-        if config.shrink:
-            def still_fails(candidate) -> bool:
-                telemetry.counter_inc("fuzz.shrink_steps")
-                return not run_case(
-                    candidate, rungs=rungs,
-                    timeout_seconds=config.timeout_seconds,
-                ).agreed
-
-            with telemetry.span("fuzz.shrink", seed=seed):
-                shrunk, stats = shrink_case(
-                    case, still_fails,
-                    max_attempts=config.max_shrink_attempts,
-                )
-            finding.shrink_summary = stats.summary()
-            finding.shrunk_report = run_case(
-                shrunk, rungs=rungs, timeout_seconds=config.timeout_seconds
-            )
-            say(f"  shrunk: {stats.summary()}")
-
-        if config.corpus_dir is not None:
-            entry = CorpusEntry(
-                case=shrunk,
-                status="open",
-                divergences=[
-                    d.to_dict() for d in finding.final_report.divergences
-                ],
-                note=(
-                    "Found by `repro fuzz`; fix the divergence and flip "
-                    "status to \"fixed\" so this becomes a regression test."
-                ),
-                fuzz_seed=seed,
-            )
-            finding.corpus_path = save_entry(config.corpus_dir, entry)
-            telemetry.counter_inc("fuzz.corpus_entries")
-            say(f"  reproducer -> {finding.corpus_path}")
-
+    if deadline is not None and time.perf_counter() >= deadline:
+        outcome.budget_exhausted = True  # shrinking ate the remainder
     outcome.elapsed = time.perf_counter() - started
     return outcome

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from repro.dtypes import DType
@@ -904,6 +904,52 @@ def generate_case(
         nodes=g.nodes,
         stimuli=stimuli,
     )
+
+
+def random_stimulus_spec(rng: random.Random, dtype: DType, steps: int) -> dict:
+    """One random serialized stimulus spec for an inport of ``dtype``
+    (public face of the generator's stimulus table, used by the guided
+    mutator's stimulus-swap pass)."""
+    return _gen_stimulus(rng, dtype, steps)
+
+
+def extend_case(
+    case: CaseSpec, rng: random.Random, *, max_new: int = 3
+) -> Optional[CaseSpec]:
+    """Grow ``case`` by appending 1..``max_new`` recipe-generated nodes
+    that consume the existing dataflow frontier.
+
+    This is the guided mutator's actor-insertion pass: a ``_Gen`` is
+    primed with every value-producing node of the spec, so new nodes wire
+    into the existing graph exactly like first-generation ones.  Returns
+    ``None`` when no recipe managed to emit (e.g. a case with no usable
+    refs within the attempt budget).
+    """
+    g = _Gen(rng)
+    g.nodes = list(case.nodes)
+    for node in case.nodes:
+        d = node.out_dtype
+        if d is not None and node.block_type not in _SINK_TYPES:
+            g.refs[node.name] = d
+    # Fresh names must not collide with existing ``n<k>`` nodes.
+    g._counter = max(
+        (
+            int(node.name[1:])
+            for node in case.nodes
+            if node.name[:1] == "n" and node.name[1:].isdigit()
+        ),
+        default=0,
+    )
+    before = len(g.nodes)
+    target = rng.randint(1, max_new)
+    attempts = 0
+    while len(g.nodes) - before < target and attempts < 12:
+        attempts += 1
+        fn = rng.choices(_FNS, weights=_WEIGHTS, k=1)[0]
+        fn(g)
+    if len(g.nodes) == before:
+        return None
+    return replace(case, nodes=g.nodes)
 
 
 # ----------------------------------------------------------------------

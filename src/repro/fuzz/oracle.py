@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.codegen.descriptor import descriptors_for
+from repro.coverage.report import CoverageReport
 from repro.codegen.driver import find_c_compiler, supports_shared_objects
 from repro.engines import SimulationOptions, SimulationResult, simulate
-from repro.engines.accmos import _run_accmos_baked, compile_model
+from repro.engines.accmos import _resolve_cache, _run_accmos_baked, compile_model
 from repro.engines.base import signal_bits
 from repro.fuzz.generate import CaseSpec, build_model, build_stimuli
 from repro.schedule import preprocess
@@ -74,6 +75,11 @@ class OracleReport:
     divergences: list[Divergence] = field(default_factory=list)
     results: dict = field(default_factory=dict)  # rung -> SimulationResult
     skipped: list[str] = field(default_factory=list)
+    #: The reference run's coverage report (bitmaps per metric).  Always
+    #: present when the reference collects coverage — the guided fuzzer
+    #: feeds on this, and by the oracle's own invariant the C rungs'
+    #: bitmaps are identical, so no extra run is needed to obtain it.
+    coverage: Optional[CoverageReport] = None
 
     @property
     def agreed(self) -> bool:
@@ -152,6 +158,7 @@ def run_case(
     rungs: Optional[Sequence[str]] = None,
     keep_results: bool = False,
     timeout_seconds: Optional[float] = 120.0,
+    cache=False,
 ) -> OracleReport:
     """Run one case through the reference and every requested rung.
 
@@ -159,6 +166,13 @@ def run_case(
     generated case must never crash one engine and not the others.
     Errors during the reference run propagate: they mean the case is
     bad, not that the engines disagree.
+
+    ``cache`` follows the engine convention: ``False`` (the default)
+    compiles fresh every time — blind fuzzing rarely revisits a binary,
+    and a cold cache is itself part of what the oracle exercises.  Pass
+    ``None`` for the default artifact cache (the guided fuzzer does:
+    its mutants mostly share a structure, so recompiles are pure waste)
+    or an explicit :class:`ArtifactCache`.
     """
     rungs = tuple(rungs) if rungs is not None else available_rungs()
     report = OracleReport(case=case, rungs=rungs)
@@ -167,8 +181,10 @@ def run_case(
     prog = preprocess(model)
     out_dtypes = {b.name: b.dtype for b in prog.outports}
     options = SimulationOptions(steps=case.steps)
+    resolved_cache = _resolve_cache(cache)
 
     reference = simulate(prog, build_stimuli(case), engine="sse", options=options)
+    report.coverage = reference.coverage
     if keep_results:
         report.results["sse"] = reference
 
@@ -201,7 +217,10 @@ def run_case(
         if descriptors_for(prog, build_stimuli(case)) is None:
             report.skipped.extend(wanted_c)
         else:
-            compiled = compile_model(prog, options, cache=False)
+            compiled = compile_model(
+                prog, options,
+                cache=resolved_cache if resolved_cache is not None else False,
+            )
             if "accmos" in wanted_c:
                 record("accmos", lambda: compiled.run(
                     build_stimuli(case), options,
@@ -231,7 +250,7 @@ def run_case(
     if "accmos_baked" in rungs:
         record("accmos_baked", lambda: _run_accmos_baked(
             prog, build_stimuli(case), options,
-            workdir=None, keep_artifacts=False, cache=None,
+            workdir=None, keep_artifacts=False, cache=resolved_cache,
             timeout_seconds=timeout_seconds,
         ))
     return report

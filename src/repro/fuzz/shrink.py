@@ -21,6 +21,7 @@ field diverged.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
@@ -39,12 +40,15 @@ class ShrinkStats:
     final_actors: int = 0
     initial_steps: int = 0
     final_steps: int = 0
+    deadline_hit: bool = False  # the campaign's wall budget cut us off
 
     def summary(self) -> str:
+        cut = " [deadline]" if self.deadline_hit else ""
         return (
             f"{self.initial_actors} -> {self.final_actors} actors, "
             f"{self.initial_steps} -> {self.final_steps} steps "
             f"({self.reductions} reduction(s) in {self.attempts} attempt(s))"
+            f"{cut}"
         )
 
 
@@ -121,16 +125,22 @@ def _shrunk_params(node: NodeSpec) -> Optional[NodeSpec]:
 
 
 class _Shrinker:
-    def __init__(self, still_fails: Predicate, max_attempts: int):
+    def __init__(
+        self,
+        still_fails: Predicate,
+        max_attempts: int,
+        deadline: Optional[float] = None,
+    ):
         self._predicate = still_fails
         self._max_attempts = max_attempts
+        self._deadline = deadline
         self.stats = ShrinkStats()
 
     def _try(self, candidate: Optional[CaseSpec]) -> bool:
         """True when the candidate is valid AND still reproduces."""
         if candidate is None:
             return False
-        if self.stats.attempts >= self._max_attempts:
+        if not self._budget_left():
             return False
         self.stats.attempts += 1
         try:
@@ -142,7 +152,15 @@ class _Shrinker:
         return False
 
     def _budget_left(self) -> bool:
-        return self.stats.attempts < self._max_attempts
+        if self.stats.attempts >= self._max_attempts:
+            return False
+        if (
+            self._deadline is not None
+            and time.perf_counter() >= self._deadline
+        ):
+            self.stats.deadline_hit = True
+            return False
+        return True
 
     # -- passes --------------------------------------------------------
     def pass_drop_nodes(self, case: CaseSpec) -> CaseSpec:
@@ -199,13 +217,18 @@ def shrink_case(
     still_fails: Predicate,
     *,
     max_attempts: int = 250,
+    deadline: Optional[float] = None,
 ) -> tuple[CaseSpec, ShrinkStats]:
     """Minimize ``case`` while ``still_fails`` keeps returning True.
 
     The input case is assumed to fail already; the returned case is the
     smallest failing one found within ``max_attempts`` predicate calls.
+    ``deadline`` (a ``time.perf_counter()`` instant) additionally bounds
+    the run by wall clock — when a campaign-level time budget is nearly
+    spent, shrinking stops at the best reduction found so far and
+    ``stats.deadline_hit`` records that the budget cut it off.
     """
-    shrinker = _Shrinker(still_fails, max_attempts)
+    shrinker = _Shrinker(still_fails, max_attempts, deadline)
     shrinker.stats.initial_actors = case.n_actors
     shrinker.stats.initial_steps = case.steps
 

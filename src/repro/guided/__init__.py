@@ -1,0 +1,43 @@
+"""repro.guided — coverage-guided corpus fuzzing.
+
+The blind differential fuzzer (:mod:`repro.fuzz`) draws every case
+independently; this package closes the loop: coverage bitmaps from each
+run feed a global accumulated :class:`CoverageMap`, novelty-carrying
+cases join a ranked, persisted :class:`SeedCorpus`, an energy scheduler
+spends the case budget on the seeds most likely to yield, and
+saturation detection stops campaigns whose reachable coverage is
+exhausted.  Entry points: :func:`run_guided` (the campaign) and
+:func:`replay_corpus` (bit-for-bit verification of a saved corpus).
+"""
+
+from repro.guided.corpus import SeedCorpus, SeedEntry, coverage_key
+from repro.guided.covmap import CoverageMap
+from repro.guided.driver import (
+    GuidedConfig,
+    GuidedOutcome,
+    ReplayReport,
+    default_guided_rungs,
+    replay_corpus,
+    run_guided,
+)
+from repro.guided.energy import assign_energy, schedule_round, seed_score
+from repro.guided.mutate import MUTATIONS, mutants, mutate_case
+
+__all__ = [
+    "CoverageMap",
+    "GuidedConfig",
+    "GuidedOutcome",
+    "MUTATIONS",
+    "ReplayReport",
+    "SeedCorpus",
+    "SeedEntry",
+    "assign_energy",
+    "coverage_key",
+    "default_guided_rungs",
+    "mutants",
+    "mutate_case",
+    "replay_corpus",
+    "run_guided",
+    "schedule_round",
+    "seed_score",
+]

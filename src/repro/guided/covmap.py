@@ -1,0 +1,122 @@
+"""The global accumulated coverage map of a guided campaign.
+
+Every fuzz case is its own generated program with its own coverage point
+layout, so a single flat AFL bitmap cannot describe a whole corpus.
+Instead the map keeps one accumulated :class:`Bitmap` per metric *per
+compile key* — the structural identity of the generated binary (wiring,
+block types, operators, dtypes; parameter literals and stimuli vary the
+compiled constants but never the point layout, so all mutants of one
+structure share one entry).  A case's *novelty* is the number of points
+it sets that its key's accumulated bitmaps did not already have; a
+brand-new structure contributes every point it hits.
+
+The map serializes to the same 64-bit hex-word format the generated
+programs emit on the ``cov`` wire, so a persisted corpus replayed in a
+fresh process can be checked bit-for-bit against the stored map.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.coverage.bitmap import Bitmap
+from repro.coverage.metrics import ALL_METRICS, Metric
+
+_BY_VALUE = {m.value: m for m in Metric}
+
+
+class CoverageMap:
+    """Accumulated per-compile-key coverage bitmaps."""
+
+    def __init__(self) -> None:
+        self._maps: dict[str, dict[Metric, Bitmap]] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, key: str, bitmaps: Mapping[Metric, Bitmap]) -> int:
+        """Fold one case's bitmaps into the map; returns its novelty
+        (the number of points newly set under ``key``)."""
+        accumulated = self._maps.get(key)
+        if accumulated is None:
+            accumulated = {
+                metric: Bitmap(len(bitmaps[metric])) for metric in ALL_METRICS
+            }
+            self._maps[key] = accumulated
+        novel = 0
+        for metric in ALL_METRICS:
+            novel += bitmaps[metric].or_into(accumulated[metric])
+        return novel
+
+    def novelty(self, key: str, bitmaps: Mapping[Metric, Bitmap]) -> int:
+        """What :meth:`observe` would return, without mutating the map."""
+        accumulated = self._maps.get(key)
+        if accumulated is None:
+            return sum(bitmaps[metric].count() for metric in ALL_METRICS)
+        return sum(
+            bitmaps[metric].new_bits(accumulated[metric])
+            for metric in ALL_METRICS
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        return len(self._maps)
+
+    def points(self) -> int:
+        """Total accumulated coverage points across all keys/metrics."""
+        return sum(
+            bm.count() for maps in self._maps.values() for bm in maps.values()
+        )
+
+    def points_possible(self) -> int:
+        return sum(
+            len(bm) for maps in self._maps.values() for bm in maps.values()
+        )
+
+    def points_by_metric(self) -> dict[Metric, tuple[int, int]]:
+        """metric -> (covered, possible) summed over every key."""
+        out = {metric: (0, 0) for metric in ALL_METRICS}
+        for maps in self._maps.values():
+            for metric in ALL_METRICS:
+                covered, possible = out[metric]
+                bm = maps[metric]
+                out[metric] = (covered + bm.count(), possible + len(bm))
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "keys": {
+                key: {
+                    metric.value: {
+                        "size": len(bm),
+                        "words": [f"{w:#x}" for w in bm.to_words()],
+                    }
+                    for metric, bm in maps.items()
+                }
+                for key, maps in self._maps.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CoverageMap":
+        cm = cls()
+        for key, maps in d.get("keys", {}).items():
+            cm._maps[key] = {
+                _BY_VALUE[name]: Bitmap.from_words(
+                    entry["size"], (int(w, 16) for w in entry["words"])
+                )
+                for name, entry in maps.items()
+            }
+        return cm
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageMap):
+            return NotImplemented
+        return self._maps == other._maps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CoverageMap({self.points()}/{self.points_possible()} points, "
+            f"{self.n_keys} key(s))"
+        )

@@ -208,6 +208,40 @@ def result_buffer_size(layout, plan, options: SimulationOptions) -> int:
     return size
 
 
+def decode_coverage(
+    buf: bytes,
+    layout,
+    plan,
+    options: SimulationOptions,
+) -> Optional[dict[Metric, Bitmap]]:
+    """Slice ONLY the coverage words out of a filled result buffer.
+
+    The cheap path for coverage probing (``repro corpus replay``): skips
+    output/diagnostic/monitor reconstruction entirely and seeks straight
+    to the coverage region, whose offset is fixed by the layout.  Returns
+    ``None`` when the program collects no coverage or when the per-case
+    deadline tripped (a truncated run's bitmap would under-report and
+    poison an accumulated map).
+    """
+    if not plan.coverage_enabled:
+        return None
+    flags = _U64.unpack_from(buf, 24)[0]
+    if flags & 1:  # deadline_exceeded
+        return None
+    n_out = len(layout.outports)
+    offset = 8 * 4  # steps_run, halt_step, elapsed, flags
+    if options.checksum:
+        offset += 8 * n_out
+    offset += 8 * n_out  # output bits
+    bitmaps: dict[Metric, Bitmap] = {}
+    for metric, n in _metric_sizes(plan):
+        n_words = (n + 63) // 64
+        words = list(struct.unpack_from(f"<{n_words}Q", buf, offset))
+        offset += 8 * n_words
+        bitmaps[metric] = Bitmap.from_words(n, words)
+    return bitmaps
+
+
 def decode_result(
     buf: bytes,
     prog,

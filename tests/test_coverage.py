@@ -49,6 +49,76 @@ class TestBitmap:
             Bitmap(-1)
 
 
+class TestBitmapWords:
+    """The 64-bit word codec (from_words/to_words) and the AFL-style
+    accumulation primitives (or_into/new_bits) the guided fuzzer uses."""
+
+    def test_from_words_empty(self):
+        bm = Bitmap.from_words(0, [])
+        assert len(bm) == 0 and bm.count() == 0
+        assert bm.to_words() == []
+
+    def test_from_words_size_not_multiple_of_64(self):
+        # 70 points span two words; bit 69 is bit 5 of word 1.
+        bm = Bitmap.from_words(70, [1 << 63, 1 << 5])
+        assert len(bm) == 70
+        assert list(bm.hit_indices()) == [63, 69]
+
+    def test_from_words_truncates_trailing_word(self):
+        # Bits past `size` in the last word are dropped, not kept.
+        bm = Bitmap.from_words(3, [0b1111])
+        assert len(bm) == 3
+        assert list(bm.hit_indices()) == [0, 1, 2]
+
+    def test_from_words_pads_missing_words(self):
+        bm = Bitmap.from_words(130, [0xFF])
+        assert len(bm) == 130
+        assert bm.count() == 8
+
+    def test_to_words_roundtrip(self):
+        for size in (0, 1, 63, 64, 65, 70, 128, 130):
+            hits = [i for i in range(size) if i % 7 == 0]
+            bm = Bitmap.from_hits(size, hits)
+            assert Bitmap.from_words(size, bm.to_words()) == bm
+
+    def test_or_into_counts_only_novel(self):
+        target = Bitmap.from_hits(8, [0, 1])
+        source = Bitmap.from_hits(8, [1, 2, 3])
+        assert source.or_into(target) == 2  # 2 and 3 are new, 1 is not
+        assert list(target.hit_indices()) == [0, 1, 2, 3]
+        # Second fold of the same source: nothing new.
+        assert source.or_into(target) == 0
+
+    def test_or_into_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitmap(3).or_into(Bitmap(4))
+
+    def test_or_into_empty(self):
+        assert Bitmap(0).or_into(Bitmap(0)) == 0
+
+    def test_new_bits_does_not_mutate(self):
+        baseline = Bitmap.from_hits(8, [0])
+        probe = Bitmap.from_hits(8, [0, 4, 5])
+        assert probe.new_bits(baseline) == 2
+        assert baseline.count() == 1  # read-only
+
+    def test_new_bits_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitmap(3).new_bits(Bitmap(4))
+
+    @given(st.integers(0, 200), st.data())
+    def test_or_into_matches_new_bits(self, size, data):
+        hits_a = data.draw(st.sets(st.integers(0, max(0, size - 1))))
+        hits_b = data.draw(st.sets(st.integers(0, max(0, size - 1))))
+        if size == 0:
+            hits_a = hits_b = set()
+        target = Bitmap.from_hits(size, hits_a)
+        source = Bitmap.from_hits(size, hits_b)
+        expected = source.new_bits(target)
+        assert source.or_into(target) == expected
+        assert target == Bitmap.from_hits(size, hits_a | hits_b)
+
+
 class TestMcdcSides:
     def test_and_all_true_covers_true_sides(self):
         assert set(mcdc_sides("AND", (True, True, True))) == {

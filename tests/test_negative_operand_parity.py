@@ -81,6 +81,34 @@ def test_mod_float_negative_parity(dtype, cc_available):
     _compare_engines(b.build(), {"u": u, "v": v}, len(u), cc_available)
 
 
+# libm's floor/ceil/trunc pass ±inf and nan straight through; Python's
+# int-returning math.floor/ceil/trunc raise instead, which used to crash
+# the interpreted reference outright (found by a guided fuzz run feeding
+# inf into a Quantizer).
+NON_FINITE_VALUES = [math.inf, -math.inf, math.nan, 1e308, -0.0]
+
+
+@pytest.mark.parametrize("dtype", FLOAT_DTYPES, ids=["f64", "f32"])
+@pytest.mark.parametrize("op", ["floor", "ceil", "round", "fix"])
+def test_rounding_non_finite_parity(op, dtype, cc_available):
+    b = ModelBuilder(f"round_nf_{op}_{dtype.short_name}")
+    b.outport("y", b.rounding("r", op, b.inport("u", dtype=dtype)))
+    _compare_engines(
+        b.build(), {"u": NON_FINITE_VALUES}, len(NON_FINITE_VALUES),
+        cc_available,
+    )
+
+
+@pytest.mark.parametrize("dtype", FLOAT_DTYPES, ids=["f64", "f32"])
+def test_quantizer_non_finite_parity(dtype, cc_available):
+    b = ModelBuilder(f"quant_nf_{dtype.short_name}")
+    b.outport("y", b.quantizer("q", b.inport("u", dtype=dtype), 0.5))
+    _compare_engines(
+        b.build(), {"u": NON_FINITE_VALUES}, len(NON_FINITE_VALUES),
+        cc_available,
+    )
+
+
 @pytest.mark.parametrize(
     "dtype",
     [DType.I8, DType.I16, DType.I32, DType.I64],
@@ -131,6 +159,14 @@ class TestHelperSemantics:
         assert self._bits(c_fix(-0.5)) == self._bits(-0.0)
         assert c_fix(-1.5) == -1.0
         assert c_fix(1.9) == 1.0
+
+    def test_non_finite_passthrough(self):
+        from repro.actors.math_ops import c_ceil, c_fix, c_floor, c_round
+
+        for fn in (c_floor, c_ceil, c_fix, c_round):
+            assert fn(math.inf) == math.inf
+            assert fn(-math.inf) == -math.inf
+            assert math.isnan(fn(math.nan))
 
     def test_mod_sign_of_dividend(self):
         from repro.dtypes.arith import _trunc_mod
