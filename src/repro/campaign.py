@@ -109,6 +109,7 @@ def run_campaign(
     batch_size: int = 1,
     serve: bool = True,
     inproc: bool = False,
+    threads: Optional[int] = 1,
 ) -> CampaignOutcome:
     """Run up to ``max_cases`` differently-seeded random test cases.
 
@@ -146,6 +147,17 @@ def run_campaign(
     ``batch_size > 1``.  A library fault quarantines the shared object
     and falls back to the server/spawn paths, so results stay
     byte-identical either way.
+
+    ``threads`` engages thread-parallel in-process execution: waves are
+    grouped onto one shared compiled model and run by that many threads
+    holding private library instances — N C simulation loops on N cores
+    with *zero* process spawns (``ctypes`` releases the GIL).  Cases are
+    packed into per-thread shards by the cost model, and the merge stays
+    in seed order, so ``threads=N`` is byte-identical to ``threads=1``.
+    ``threads=None`` (or 0) picks automatically: the core count (capped
+    at 4) when the toolchain supports shared objects and the engine is
+    AccMoS, else 1.  Only applies to the AccMoS engine; a library fault
+    mid-campaign falls down the usual ladder.
     """
     from repro.engines.api import ENGINES
 
@@ -162,6 +174,8 @@ def run_campaign(
         raise ValueError("workers must be at least 1")
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
+    if threads is not None and threads < 0:
+        raise ValueError("threads must be non-negative (0/None = auto)")
     if options is not None and steps is not None:
         raise ValueError(
             "pass either steps= or options= (which carries its own step "
@@ -185,4 +199,5 @@ def run_campaign(
         batch_size=batch_size,
         serve=serve,
         inproc=inproc,
+        threads=threads,
     )

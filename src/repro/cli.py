@@ -226,6 +226,18 @@ def _print_timings(cases) -> None:
         print(row)
 
 
+def _parse_threads(value) -> "int | None":
+    """``--threads auto`` (the default) -> None, else an int."""
+    if value is None or value == "auto":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(
+            f"--threads must be an integer or 'auto', not {value!r}"
+        )
+
+
 def cmd_campaign(args) -> int:
     """Run a seed-sweep test campaign and print the adequacy verdict."""
     from repro.campaign import run_campaign
@@ -247,6 +259,7 @@ def cmd_campaign(args) -> int:
             batch_size=args.batch_size,
             serve=args.serve,
             inproc=args.inproc,
+            threads=_parse_threads(args.threads),
         )
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
@@ -684,6 +697,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run batched cases in-process through the compiled "
                         "shared library (zero spawns; falls back to --serve "
                         "on any library trouble)")
+    p.add_argument("--threads", default="auto", metavar="N",
+                   help="thread-parallel in-process execution: N private "
+                        "library instances run N C loops in this process, "
+                        "zero spawns ('auto' picks the core count, capped "
+                        "at 4, when shared objects are supported; 1 "
+                        "disables)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-case wall-clock limit for the compiled binary")
     p.add_argument("--timings", action="store_true",

@@ -692,7 +692,9 @@ def _emit_lib_exports(
     -2 for a port-count mismatch, -3 when the result buffer is smaller
     than ``acc_lib_result_size()``.  A tripped per-case deadline is a
     *success* with result flag bit 0 set, mirroring the text protocol's
-    ``timeout 1`` trailer.
+    ``timeout 1`` trailer.  ``acc_lib_init`` returns 0 on success — the
+    loader treats any non-zero init status as a fatal fault and refuses
+    the instance (the ABI version travels via ``acc_lib_abi_version``).
     """
     lines: list[str] = []
     lines.append("/* ---- in-process shared-library ABI (repro.inproc) ---- */")
@@ -719,8 +721,7 @@ def _emit_lib_exports(
     )
     lines.append("void acc_lib_reset(void) { acc_case_reset(); }")
     lines.append(
-        "int acc_lib_init(void) { acc_case_reset(); "
-        "return ACC_LIB_ABI_VERSION; }"
+        "int acc_lib_init(void) { acc_case_reset(); return 0; }"
     )
     lines.append("")
     lines.append(

@@ -60,6 +60,7 @@ from repro.inproc.abi import (
     result_buffer_size,
 )
 from repro.inproc.library import LibraryFault, LoadedModel
+from repro.inproc.parallel import InstancePool, default_instance_pool
 from repro.instrument import build_plan
 from repro.instrument.plan import InstrumentationPlan
 from repro.model.errors import (
@@ -138,8 +139,8 @@ class CompiledModel:
     generate_seconds: float
     _fingerprint: tuple = field(default=(), repr=False)
     _inproc_disabled: bool = field(default=False, repr=False, compare=False)
-    _inproc_local: threading.local = field(
-        default_factory=threading.local, repr=False, compare=False
+    _inproc_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
     )
 
     def __post_init__(self):
@@ -356,22 +357,66 @@ class CompiledModel:
             ),
         )
 
-    def _thread_library(self) -> LoadedModel:
-        lib = getattr(self._inproc_local, "lib", None)
-        if lib is None or not lib.healthy:
-            lib = self.load()
-            self._inproc_local.lib = lib
-        return lib
+    def _instance_key(self) -> str:
+        """This model's key in the process-wide instance pool.
+
+        Content-addressed: the ``.so`` path comes from the artifact
+        cache, so distinct handles over the same structure share warm
+        instances."""
+        return InstancePool.instance_key(
+            self.compiled.ensure_shared(),
+            result_buffer_size(self.layout, self.plan, self.options),
+        )
+
+    def _acquire_instance(self) -> "tuple[str, LoadedModel]":
+        key = self._instance_key()
+        return key, default_instance_pool().acquire(key, self.load)
 
     def _quarantine_inproc(self, reason: Exception) -> None:
         """Retire the in-process rung for this model: all subsequent
-        ``run_inproc`` calls drop straight to the ``--serve`` rung."""
-        self._inproc_disabled = True
-        lib = getattr(self._inproc_local, "lib", None)
-        if lib is not None:
-            lib.retire()
-            self._inproc_local.lib = None
+        ``run_inproc`` calls drop straight to the ``--serve`` rung.
+        Idempotent and thread-safe — with N worker threads, the first
+        fault wins and the rest observe the flag."""
+        with self._inproc_lock:
+            if self._inproc_disabled:
+                return
+            self._inproc_disabled = True
         telemetry.counter_inc("engine.inproc.fallbacks")
+
+    def _run_case_inproc(
+        self,
+        lib: LoadedModel,
+        record: bytes,
+        options: SimulationOptions,
+        *,
+        index: int,
+        batch_size: int,
+        timeout_seconds: Optional[float],
+    ) -> Union[SimulationResult, SimulationTimeout]:
+        """One case on one instance: run, decode, finalize, count."""
+        t0 = time.perf_counter()
+        buf = lib.run_case(record)
+        execute_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        result = decode_result(
+            buf,
+            self.prog,
+            self.plan,
+            self.layout,
+            options,
+            engine="accmos",
+        )
+        parse_seconds = time.perf_counter() - t0
+        outcome = self._finalize(
+            result,
+            index=index,
+            batch_size=batch_size,
+            timeout_seconds=timeout_seconds,
+            execute_seconds=execute_seconds,
+            parse_seconds=parse_seconds,
+        )
+        telemetry.counter_inc("engine.inproc.cases")
+        return outcome
 
     def run_inproc(
         self,
@@ -379,6 +424,8 @@ class CompiledModel:
         *,
         timeout_seconds: Optional[float] = None,
         library: Optional[LoadedModel] = None,
+        threads: int = 1,
+        shards: Optional[Sequence[Sequence[int]]] = None,
     ) -> list[Union[SimulationResult, SimulationTimeout]]:
         """Run M cases in-process: zero spawns, zero text, zero pipes.
 
@@ -388,13 +435,23 @@ class CompiledModel:
         :class:`SimulationTimeout` entries.  Any library fault — load
         failure, ABI mismatch, non-zero run status — quarantines the
         in-process rung for this model and transparently finishes the
-        batch on the crash-isolated ``--serve`` rung, preserving the
-        stream→batch→baked fallback ladder below it.  Results are
-        byte-identical either way.
+        affected cases on the crash-isolated ``--serve`` rung,
+        preserving the stream→batch→baked fallback ladder below it.
+        Results are byte-identical either way.
 
-        ``library`` runs the batch on an explicit
-        :class:`~repro.inproc.library.LoadedModel` instead of this
-        model's per-thread instance (tests use it to induce faults).
+        ``threads=N`` partitions the cases across N worker threads, each
+        holding a *private* pooled instance (private inode → private C
+        globals); ``ctypes`` releases the GIL around ``acc_lib_run_case``
+        so the C simulation loops genuinely run in parallel.  Outcomes
+        are written into a preallocated slot per case index, so the
+        merge is deterministic by construction — ``threads=N`` is
+        bit-for-bit identical to ``threads=1``.  ``shards`` optionally
+        supplies an explicit index partition (the runner's cost model
+        packs by LPT); the default is a round-robin stride.
+
+        ``library`` runs the batch sequentially on an explicit
+        :class:`~repro.inproc.library.LoadedModel` instead of a pooled
+        instance (tests use it to induce faults).
         """
         cases = list(cases)
         if not cases:
@@ -409,56 +466,189 @@ class CompiledModel:
             )
             for options, descriptors in normalized
         ]
+        threads = max(1, int(threads))
+        if library is None and (threads > 1 or shards is not None):
+            outcomes = self._run_inproc_threaded(
+                cases,
+                normalized,
+                records,
+                threads=threads,
+                shards=shards,
+                timeout_seconds=timeout_seconds,
+            )
+            telemetry.counter_inc("engine.inproc.runs")
+            return outcomes
         outcomes: list[Union[SimulationResult, SimulationTimeout]] = []
         with telemetry.span(
             "accmos.inproc", model=self.prog.model.name, cases=len(cases)
         ) as span:
             lib = library
+            pool_key = None
             if lib is None and not self._inproc_disabled:
                 try:
-                    lib = self._thread_library()
+                    pool_key, lib = self._acquire_instance()
                 except (CompilationError, LibraryFault, OSError) as exc:
                     self._quarantine_inproc(exc)
-            for index in range(len(cases)):
-                if lib is not None:
-                    try:
-                        t0 = time.perf_counter()
-                        buf = lib.run_case(records[index])
-                        execute_seconds = time.perf_counter() - t0
-                        t0 = time.perf_counter()
-                        result = decode_result(
-                            buf,
-                            self.prog,
-                            self.plan,
-                            self.layout,
-                            normalized[index][0],
-                            engine="accmos",
-                        )
-                        parse_seconds = time.perf_counter() - t0
-                        outcomes.append(
-                            self._finalize(
-                                result,
-                                index=index,
-                                batch_size=len(cases),
-                                timeout_seconds=timeout_seconds,
-                                execute_seconds=execute_seconds,
-                                parse_seconds=parse_seconds,
+            try:
+                for index in range(len(cases)):
+                    if lib is not None:
+                        try:
+                            outcomes.append(
+                                self._run_case_inproc(
+                                    lib,
+                                    records[index],
+                                    normalized[index][0],
+                                    index=index,
+                                    batch_size=len(cases),
+                                    timeout_seconds=timeout_seconds,
+                                )
                             )
+                            continue
+                        except LibraryFault as exc:
+                            self._quarantine_inproc(exc)
+                            lib = None
+                    # In-process rung unavailable: finish on the server
+                    # rung.
+                    span.set(fallback=True)
+                    outcomes.extend(
+                        self.run_stream(
+                            cases[index:], timeout_seconds=timeout_seconds
                         )
-                        telemetry.counter_inc("engine.inproc.cases")
-                        continue
-                    except LibraryFault as exc:
-                        self._quarantine_inproc(exc)
-                        lib = None
-                # In-process rung unavailable: finish on the server rung.
-                span.set(fallback=True)
-                outcomes.extend(
-                    self.run_stream(
-                        cases[index:], timeout_seconds=timeout_seconds
                     )
-                )
-                break
+                    break
+            finally:
+                if pool_key is not None and lib is not None:
+                    default_instance_pool().release(pool_key, lib)
         telemetry.counter_inc("engine.inproc.runs")
+        return outcomes
+
+    def _run_inproc_threaded(
+        self,
+        cases: "list[BatchCase]",
+        normalized: list,
+        records: "list[bytes]",
+        *,
+        threads: int,
+        shards: Optional[Sequence[Sequence[int]]],
+        timeout_seconds: Optional[float],
+    ) -> list[Union[SimulationResult, SimulationTimeout]]:
+        """The thread-parallel body of :meth:`run_inproc`.
+
+        Each worker owns one pooled instance and one shard of case
+        indices, writing outcomes into its cases' preallocated slots.
+        The first fault quarantines the model; every worker drains its
+        remaining indices into ``pending``, and pending cases finish on
+        the server rung *in index order* — the same ladder, the same
+        bytes, as the sequential path.
+        """
+        n = len(cases)
+        if shards is None:
+            shards = [list(range(t, n, threads)) for t in range(threads)]
+        shards = [list(shard) for shard in shards if len(shard)]
+        flat = sorted(i for shard in shards for i in shard)
+        if flat != list(range(n)):
+            raise ValueError(
+                "shards must partition the case indices exactly once"
+            )
+        outcomes: "list" = [None] * n
+        pending: "list[int]" = []
+        errors: "list[BaseException]" = []
+        merge_lock = threading.Lock()
+        shard_walls: "list[float]" = [0.0] * len(shards)
+
+        def worker(slot: int, shard: "list[int]") -> None:
+            t0 = time.perf_counter()
+            lib = None
+            pool_key = None
+            try:
+                for pos, index in enumerate(shard):
+                    if lib is None:
+                        if self._inproc_disabled:
+                            with merge_lock:
+                                pending.extend(shard[pos:])
+                            return
+                        try:
+                            pool_key, lib = self._acquire_instance()
+                        except (
+                            CompilationError,
+                            LibraryFault,
+                            OSError,
+                        ) as exc:
+                            self._quarantine_inproc(exc)
+                            with merge_lock:
+                                pending.extend(shard[pos:])
+                            return
+                    try:
+                        outcome = self._run_case_inproc(
+                            lib,
+                            records[index],
+                            normalized[index][0],
+                            index=index,
+                            batch_size=n,
+                            timeout_seconds=timeout_seconds,
+                        )
+                    except LibraryFault as exc:
+                        # run_case retired the instance already; mirror
+                        # the sequential semantics — one fault
+                        # quarantines the whole model.
+                        lib = None
+                        self._quarantine_inproc(exc)
+                        with merge_lock:
+                            pending.extend(shard[pos:])
+                        return
+                    with merge_lock:
+                        outcomes[index] = outcome
+            except BaseException as exc:  # decode/finalize bugs: surface
+                with merge_lock:
+                    errors.append(exc)
+            finally:
+                if pool_key is not None and lib is not None:
+                    default_instance_pool().release(pool_key, lib)
+                shard_walls[slot] = time.perf_counter() - t0
+
+        with telemetry.span(
+            "accmos.inproc",
+            model=self.prog.model.name,
+            cases=n,
+            threads=len(shards),
+        ) as span:
+            telemetry.gauge_set("engine.inproc.threads", len(shards))
+            workers = [
+                threading.Thread(
+                    target=worker,
+                    args=(slot, shard),
+                    name=f"accmos-inproc-{slot}",
+                    daemon=True,
+                )
+                for slot, shard in enumerate(shards)
+            ]
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+            if errors:
+                raise errors[0]
+            makespan = max(shard_walls) if shard_walls else 0.0
+            for wall in shard_walls:
+                telemetry.observe(
+                    "engine.inproc.shard_makespan_seconds", wall
+                )
+            if makespan > 0 and len(shard_walls) > 1:
+                telemetry.gauge_set(
+                    "engine.inproc.pack_efficiency",
+                    sum(shard_walls) / (len(shard_walls) * makespan),
+                )
+            if pending:
+                # Ladder fallback for faulted/drained cases, in index
+                # order so the server stream sees a deterministic batch.
+                span.set(fallback=True, pending=len(pending))
+                pending.sort()
+                fallback = self.run_stream(
+                    [cases[i] for i in pending],
+                    timeout_seconds=timeout_seconds,
+                )
+                for index, outcome in zip(pending, fallback):
+                    outcomes[index] = outcome
         return outcomes
 
     def probe_coverage(
@@ -478,6 +668,12 @@ class CompiledModel:
         coverage.  A library fault quarantines the in-process rung and
         the remaining cases finish on :meth:`run_batch` (full decode,
         same bitmaps).
+
+        Instances come from the process-wide
+        :func:`~repro.inproc.parallel.default_instance_pool`, keyed by
+        the content-addressed artifact path — guided-fuzz replay, which
+        compiles a fresh handle per seed, reuses one warm instance
+        instead of paying a copy + ``dlopen`` + handshake per probe.
         """
         cases = list(cases)
         if not cases:
@@ -497,37 +693,42 @@ class CompiledModel:
             "accmos.probe", model=self.prog.model.name, cases=len(cases)
         ) as span:
             lib = None
+            pool_key = None
             if not self._inproc_disabled:
                 try:
-                    lib = self._thread_library()
+                    pool_key, lib = self._acquire_instance()
                 except (CompilationError, LibraryFault, OSError) as exc:
                     self._quarantine_inproc(exc)
-            for index in range(len(cases)):
-                if lib is not None:
-                    try:
-                        buf = lib.run_case(records[index])
-                        probes.append(decode_coverage(
-                            buf, self.layout, self.plan,
-                            normalized[index][0],
-                        ))
-                        telemetry.counter_inc("engine.inproc.probes")
-                        continue
-                    except LibraryFault as exc:
-                        self._quarantine_inproc(exc)
-                        lib = None
-                # Fallback: full batch run, keep only the bitmaps.
-                span.set(fallback=True)
-                for outcome in self.run_batch(
-                    cases[index:], timeout_seconds=timeout_seconds
-                ):
-                    if (
-                        isinstance(outcome, SimulationTimeout)
-                        or outcome.coverage is None
+            try:
+                for index in range(len(cases)):
+                    if lib is not None:
+                        try:
+                            buf = lib.run_case(records[index])
+                            probes.append(decode_coverage(
+                                buf, self.layout, self.plan,
+                                normalized[index][0],
+                            ))
+                            telemetry.counter_inc("engine.inproc.probes")
+                            continue
+                        except LibraryFault as exc:
+                            self._quarantine_inproc(exc)
+                            lib = None
+                    # Fallback: full batch run, keep only the bitmaps.
+                    span.set(fallback=True)
+                    for outcome in self.run_batch(
+                        cases[index:], timeout_seconds=timeout_seconds
                     ):
-                        probes.append(None)
-                    else:
-                        probes.append(dict(outcome.coverage.bitmaps))
-                break
+                        if (
+                            isinstance(outcome, SimulationTimeout)
+                            or outcome.coverage is None
+                        ):
+                            probes.append(None)
+                        else:
+                            probes.append(dict(outcome.coverage.bitmaps))
+                    break
+            finally:
+                if pool_key is not None and lib is not None:
+                    default_instance_pool().release(pool_key, lib)
         return probes
 
     # ------------------------------------------------------------------

@@ -11,6 +11,9 @@ rung must reproduce it exactly:
   process (exercises the framing/stream protocol);
 * ``accmos_inproc`` — the same program loaded as a shared library and
   driven through the packed binary ABI (exercises ``repro.inproc``);
+* ``accmos_inproc_mt`` — the same library driven thread-parallel: the
+  case runs as several copies sharded across private instances
+  (exercises the instance pool and the deterministic threaded merge);
 * ``accmos_baked`` — the legacy path with stimuli and step count baked
   into the C source (exercises the literal emitters).
 
@@ -38,19 +41,23 @@ from repro.schedule import preprocess
 #: always run; it is not itself a rung.
 ALL_RUNGS = (
     "sse_ac", "sse_rac", "accmos", "accmos_stream", "accmos_inproc",
-    "accmos_baked",
+    "accmos_inproc_mt", "accmos_baked",
 )
 PYTHON_RUNGS = ("sse_ac", "sse_rac")
-C_RUNGS = ("accmos", "accmos_stream", "accmos_inproc", "accmos_baked")
+C_RUNGS = (
+    "accmos", "accmos_stream", "accmos_inproc", "accmos_inproc_mt",
+    "accmos_baked",
+)
+_INPROC_RUNGS = ("accmos_inproc", "accmos_inproc_mt")
 
 
 def available_rungs() -> tuple[str, ...]:
     """Every rung runnable on this machine (C rungs need a compiler;
-    the in-process rung additionally needs working shared objects)."""
+    the in-process rungs additionally need working shared objects)."""
     if find_c_compiler() is None:
         return PYTHON_RUNGS
     if supports_shared_objects() is not True:
-        return tuple(r for r in ALL_RUNGS if r != "accmos_inproc")
+        return tuple(r for r in ALL_RUNGS if r not in _INPROC_RUNGS)
     return ALL_RUNGS
 
 
@@ -88,6 +95,20 @@ class OracleReport:
 
 def _bits_repr(value, dtype) -> str:
     return f"{value!r} (bits {signal_bits(value, dtype):#x})"
+
+
+def _same_bits(a: dict, b: dict, out_dtypes: dict) -> bool:
+    """Bitwise output equality (NaN-safe, like the oracle comparison)."""
+    if set(a) != set(b):
+        return False
+    for name, value in a.items():
+        dtype = out_dtypes.get(name)
+        if dtype is None:
+            if b[name] != value:
+                return False
+        elif signal_bits(b[name], dtype) != signal_bits(value, dtype):
+            return False
+    return True
 
 
 def compare_results(
@@ -211,7 +232,11 @@ def run_case(
             ))
 
     wanted_c = [
-        r for r in ("accmos", "accmos_stream", "accmos_inproc") if r in rungs
+        r
+        for r in (
+            "accmos", "accmos_stream", "accmos_inproc", "accmos_inproc_mt",
+        )
+        if r in rungs
     ]
     if wanted_c:
         if descriptors_for(prog, build_stimuli(case)) is None:
@@ -246,6 +271,33 @@ def run_case(
                         raise outcome
                     return outcome
                 record("accmos_inproc", inproc_once)
+            if "accmos_inproc_mt" in wanted_c:
+                def inproc_mt():
+                    # Three copies of the case across three private
+                    # instances: exercises the pool, the shard merge,
+                    # and inter-instance isolation.  Every copy must
+                    # agree with the reference; the first is compared.
+                    outcomes = list(compiled.run_inproc(
+                        [(build_stimuli(case), options)] * 3,
+                        timeout_seconds=timeout_seconds,
+                        threads=3,
+                    ))
+                    for outcome in outcomes:
+                        if isinstance(outcome, Exception):
+                            raise outcome
+                    first = outcomes[0]
+                    for other in outcomes[1:]:
+                        if other.checksums != first.checksums or (
+                            other.outputs != first.outputs
+                            and not _same_bits(
+                                first.outputs, other.outputs, out_dtypes
+                            )
+                        ):
+                            raise AssertionError(
+                                "threaded copies of one case disagree"
+                            )
+                    return first
+                record("accmos_inproc_mt", inproc_mt)
 
     if "accmos_baked" in rungs:
         record("accmos_baked", lambda: _run_accmos_baked(

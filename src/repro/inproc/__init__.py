@@ -4,8 +4,10 @@
 ``-shared -fPIC``, content-addressed next to the executable) via
 ``ctypes`` and exchanges packed binary structs with it — zero process
 spawns, zero text formatting or parsing.  See :mod:`repro.inproc.abi`
-for the wire layouts and :mod:`repro.inproc.library` for loading,
-isolation, and fault quarantine.
+for the wire layouts, :mod:`repro.inproc.library` for loading,
+isolation, and fault quarantine, and :mod:`repro.inproc.parallel` for
+the instance pool behind thread-parallel execution (``ctypes`` releases
+the GIL around ``acc_lib_run_case``, so N instances run on N cores).
 """
 
 from repro.inproc.abi import (
@@ -16,13 +18,16 @@ from repro.inproc.abi import (
     result_buffer_size,
 )
 from repro.inproc.library import LibraryFault, LoadedModel
+from repro.inproc.parallel import InstancePool, default_instance_pool
 
 __all__ = [
     "ABI_VERSION",
+    "InstancePool",
     "LibraryFault",
     "LoadedModel",
     "decode_case_binary",
     "decode_result",
+    "default_instance_pool",
     "encode_case_binary",
     "result_buffer_size",
 ]

@@ -46,7 +46,10 @@ def _dlclose(handle: int) -> None:
 
         _ctypes.dlclose(handle)
     except Exception:
-        pass  # leaking a mapping beats crashing the host
+        # Leaking a mapping beats crashing the host, but a leak must be
+        # observable: long campaigns that churn instances would otherwise
+        # exhaust address space with no signal at all.
+        telemetry.counter_inc("engine.inproc.dlclose_errors")
 
 
 class LoadedModel:
@@ -96,7 +99,12 @@ class LoadedModel:
                     f"library result size {lib_size} != computed "
                     f"{self.result_size} (layout drift)"
                 )
-            lib.acc_lib_init()
+            rc = lib.acc_lib_init()
+            if rc != 0:
+                raise LibraryFault(
+                    f"acc_lib_init returned {rc}; refusing a "
+                    "half-initialized library"
+                )
         except AttributeError as exc:
             _dlclose(lib._handle)
             raise LibraryFault(

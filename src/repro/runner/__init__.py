@@ -12,6 +12,10 @@ Three cooperating pieces:
 * :mod:`repro.runner.servers` — warm-process pool of persistent
   ``--serve`` simulation servers, keyed by compiled artifact, reused
   across batches and waves (idle-TTL / LRU retirement);
+* :mod:`repro.runner.costmodel` / :mod:`repro.runner.inproc_threads` —
+  cost-aware case scheduling (predicted ``steps × actors`` cost, LPT
+  packing) feeding the thread-parallel in-process dispatcher behind
+  ``run_jobs(mode="inproc-threads")``;
 * :mod:`repro.runner.campaign` — the wave-dispatched campaign core
   whose parallel merges are byte-identical to serial runs.
 """
@@ -33,11 +37,15 @@ from repro.runner.jobs import (
     SimulationJob,
     run_job,
 )
+from repro.runner.costmodel import CaseCostModel, default_cost_model, pack_shards
 from repro.runner.pool import default_workers, run_jobs
 from repro.runner.servers import ServerPool
 
 __all__ = [
     "ServerPool",
+    "CaseCostModel",
+    "default_cost_model",
+    "pack_shards",
     "ArtifactCache",
     "CacheEntry",
     "CacheStats",

@@ -17,6 +17,7 @@ serial ones.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro import telemetry
@@ -30,6 +31,28 @@ from repro.schedule.program import FlatProgram
 
 if TYPE_CHECKING:
     from repro.runner.cache import ArtifactCache
+
+
+def resolve_threads(
+    threads: Optional[int], *, engine: str
+) -> int:
+    """Resolve the campaign ``threads`` knob to a concrete count.
+
+    ``None``/``0`` means auto: thread-parallel in-process execution when
+    it can actually engage — the AccMoS engine with a toolchain that
+    builds loadable shared objects — sized to the core count (capped at
+    4: the shard merge and decode are serial Python, so returns diminish
+    past a handful of C loops).  Everything else resolves to 1.
+    """
+    if threads:
+        return max(1, int(threads))
+    if engine != "accmos":
+        return 1
+    from repro.codegen.driver import supports_shared_objects
+
+    if supports_shared_objects() is not True:
+        return 1
+    return max(1, min(4, os.cpu_count() or 1))
 
 
 def execute_campaign(
@@ -49,6 +72,7 @@ def execute_campaign(
     batch_size: int = 1,
     serve: bool = False,
     inproc: bool = False,
+    threads: Optional[int] = 1,
 ):
     """Run the campaign; see :func:`repro.campaign.run_campaign`.
 
@@ -58,6 +82,19 @@ def execute_campaign(
 
     opts = options or SimulationOptions(steps=steps)
     outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
+
+    # Thread-parallel in-process execution replaces the worker pool
+    # wholesale: waves route to run_jobs(mode="inproc-threads"), which
+    # runs same-key groups on `threads` private library instances inside
+    # this process.  The server/spawn rungs stay reachable through the
+    # executor's own fault ladder, so the serve/inproc knobs (which
+    # configure the pooled dispatchers) are moot here.
+    threads = resolve_threads(threads, engine=engine)
+    if threads > 1 and engine == "accmos":
+        mode = "inproc-threads"
+        workers = threads
+        serve = False
+        inproc = False
 
     # One warm-server pool for the whole campaign (thread/inline mode):
     # servers survive across waves, so the steady state respawns
@@ -78,6 +115,7 @@ def execute_campaign(
             "campaign", model=prog.model.name, engine=engine,
             max_cases=max_cases, workers=workers, mode=mode,
             batch_size=batch_size, serve=serve, inproc=inproc,
+            threads=threads,
         ) as campaign_span:
             _campaign_waves(
                 prog, outcome, opts,

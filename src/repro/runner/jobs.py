@@ -394,6 +394,18 @@ def run_job_batch(
                 return _fallback()
         batch_span.set(outcome="ok", cache_hit=model.cache_hit)
 
+    return results_from_outcomes(jobs, outcomes, model)
+
+
+def results_from_outcomes(
+    jobs: "list[SimulationJob]", outcomes, model
+) -> "list[JobResult]":
+    """Convert one group's batch outcomes into per-job
+    :class:`JobResult`\\ s, preserving the timing convention shared by
+    every batched dispatcher: the group compiled (or cache-resolved)
+    exactly once, so the first successful case carries the codegen /
+    compile cost and the rest reuse the binary — a cache hit by
+    construction."""
     results: list[JobResult] = []
     first_ok = True
     for job, outcome in zip(jobs, outcomes):
@@ -407,9 +419,6 @@ def run_job_batch(
         else:
             out.outcome = OUTCOME_OK
             out.result = outcome
-            # The group compiled (or cache-resolved) exactly once; the
-            # first successful case carries that cost, the rest reuse
-            # the binary — which is a cache hit by construction.
             if first_ok:
                 out.timings.update(
                     codegen=model.generate_seconds,

@@ -175,15 +175,38 @@ def run_jobs(
     the rung above ``serve`` on the ladder; the server pool still backs
     it up for quarantined models (only meaningful with
     ``batch_size > 1``).
+
+    ``mode="inproc-threads"`` skips worker pools entirely: same-key jobs
+    are grouped onto one shared :class:`CompiledModel` and run by
+    ``workers`` threads holding private library instances inside *this*
+    process (cost-model-packed shards, zero spawns, zero pickling); see
+    :mod:`repro.runner.inproc_threads`.  ``batch_size``/``serve``/
+    ``server_pool``/``inproc`` are ignored in this mode — grouping is
+    unbounded and the fallback ladder engages on fault.
     """
-    if mode not in ("thread", "process"):
-        raise ValueError(f"mode must be 'thread' or 'process', not {mode!r}")
+    if mode not in ("thread", "process", "inproc-threads"):
+        raise ValueError(
+            "mode must be 'thread', 'process', or 'inproc-threads', "
+            f"not {mode!r}"
+        )
     workers = default_workers() if workers is None else workers
     if workers < 1:
         raise ValueError("workers must be at least 1")
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
     jobs = list(jobs)
+
+    if mode == "inproc-threads":
+        from repro.runner.inproc_threads import run_jobs_inproc_threads
+
+        return run_jobs_inproc_threads(
+            jobs,
+            threads=workers,
+            cache=cache,
+            timeout_seconds=timeout_seconds,
+            retries=retries,
+            backoff_seconds=backoff_seconds,
+        )
 
     kwargs = dict(
         cache=cache,
