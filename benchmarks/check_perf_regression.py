@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Compare a fresh bench result against its committed baseline.
+
+Benchmarks drop machine-readable ``results/<bench>.json`` files (see
+``conftest.report_json``); a curated subset is committed under
+``baselines/``.  This script guards one metric of one bench against
+regression:
+
+    python benchmarks/check_perf_regression.py \
+        --bench adaptive_scheduler --metric speedup_vs_wave \
+        --tolerance 0.25
+
+Fails (exit 1) when the fresh metric is below
+``baseline * (1 - tolerance)``.  Only *relative* metrics (speedups,
+ratios) are meaningfully comparable across machines — absolute
+cases/second baselines would churn with every runner change, so don't
+commit those.  A missing fresh result is an error (the bench did not
+run); a missing baseline is a pass with a note (nothing to guard yet).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+RESULTS_DIR = HERE / "results"
+BASELINES_DIR = HERE / "baselines"
+
+
+def _metric(payload: dict, metric: str) -> float:
+    """Find `metric` in the samples list (first sample that carries it)."""
+    for sample in payload.get("samples", []):
+        if isinstance(sample, dict) and metric in sample:
+            return float(sample[metric])
+    raise KeyError(
+        f"metric {metric!r} not found in any sample of "
+        f"{payload.get('bench', '?')!r}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="adaptive_scheduler")
+    parser.add_argument("--metric", default="speedup_vs_wave")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional shortfall vs baseline")
+    args = parser.parse_args(argv)
+
+    fresh_path = RESULTS_DIR / f"{args.bench}.json"
+    base_path = BASELINES_DIR / f"{args.bench}.json"
+    if not fresh_path.exists():
+        print(f"FAIL: no fresh result at {fresh_path} — did the bench run?")
+        return 1
+    if not base_path.exists():
+        print(f"PASS: no committed baseline at {base_path}; nothing to "
+              f"guard (commit one to arm this check)")
+        return 0
+
+    fresh = _metric(json.loads(fresh_path.read_text()), args.metric)
+    base = _metric(json.loads(base_path.read_text()), args.metric)
+    floor = base * (1.0 - args.tolerance)
+    verdict = "PASS" if fresh >= floor else "FAIL"
+    print(f"{verdict}: {args.bench}.{args.metric} fresh={fresh:.3f} "
+          f"baseline={base:.3f} floor={floor:.3f} "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0 if fresh >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

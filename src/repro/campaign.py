@@ -69,6 +69,13 @@ class CampaignOutcome:
     # Warm-server pool counters (spawns/reuses/restarts/retired_*) for
     # server-mode campaigns; None when the campaign didn't serve.
     server_stats: Optional[dict] = None
+    # Cases that ran (or were already in flight) past the saturation
+    # point and were discarded by the ordered merge — speculation waste.
+    # The streaming scheduler keeps this strictly below the wave loop's.
+    speculated_cases: int = 0
+    # The streaming scheduler's run report (window / batch trajectory,
+    # utilization, reorder depth, speculation); None for the wave loop.
+    scheduler_stats: Optional[dict] = None
 
     @property
     def n_cases(self) -> int:
@@ -106,10 +113,13 @@ def run_campaign(
     mode: str = "thread",
     cache: "Union[ArtifactCache, None, bool]" = None,
     timeout_seconds: Optional[float] = None,
-    batch_size: int = 1,
+    batch_size: Optional[int] = None,
     serve: bool = True,
     inproc: bool = False,
     threads: Optional[int] = 1,
+    window: Optional[int] = None,
+    adaptive: bool = True,
+    scheduler: str = "stream",
 ) -> CampaignOutcome:
     """Run up to ``max_cases`` differently-seeded random test cases.
 
@@ -119,18 +129,35 @@ def run_campaign(
     *or* a full ``options`` — both together raise ``ValueError``, since
     ``options`` carries its own step count.
 
-    ``workers > 1`` dispatches cases in waves across the
-    :mod:`repro.runner` pool (``mode`` picks threads or processes);
-    results are merged in seed order, so the outcome is identical to a
-    serial run.  ``cache`` routes compiles through an artifact cache
-    (default: the process-wide one); ``timeout_seconds`` bounds each
-    case's binary run.
+    ``workers > 1`` streams cases across the :mod:`repro.runner` pool
+    (``mode`` picks threads or processes) through a bounded in-flight
+    window — a completion is immediately followed by a submission, no
+    barrier — while the coverage merge stays in seed order (a reorder
+    buffer restores it), so the outcome is byte-identical to a serial
+    run.  ``window`` bounds how many cases may be in flight at once
+    (default: ``workers × batch_size``); ``scheduler="wave"`` selects
+    the legacy barrier loop instead (waves of ``workers × batch_size``
+    seeds, folded at a barrier — kept as the reference discipline).
+    ``cache`` routes compiles through an artifact cache (default: the
+    process-wide one); ``timeout_seconds`` bounds each case's binary
+    run.
 
     ``batch_size > 1`` runs that many cases back-to-back per process
     spawn on one reused binary (the compile-once / run-many path) — the
-    big throughput lever for many-case campaigns.  Outcomes stay
-    byte-identical to ``batch_size=1``; only the mid-wave speculation
-    bound grows to ``workers * batch_size - 1`` discarded cases.
+    big throughput lever for many-case campaigns.  ``None`` (the
+    default) sizes it automatically — the per-worker share of
+    ``max_cases``, capped at 8 — and lets the adaptive controller tune
+    it from there.  Outcomes stay byte-identical to ``batch_size=1``;
+    only the speculation bound at saturation grows with the in-flight
+    window.
+
+    ``adaptive`` (default on) lets a throughput feedback controller
+    hill-climb ``batch_size`` and ``window`` from observed cases/sec
+    and worker utilization over the campaign's lifetime (hysteresis
+    guards against oscillation; short campaigns finish before the first
+    adjustment).  Values you pass explicitly are never touched.  The
+    run report lands in ``CampaignOutcome.scheduler_stats``; discarded
+    speculation is counted in ``CampaignOutcome.speculated_cases``.
 
     ``serve`` (default on) streams batched cases through warm
     ``--serve`` processes kept alive across waves — steady-state zero
@@ -172,8 +199,14 @@ def run_campaign(
         raise ValueError("plateau_patience must be at least 1")
     if workers < 1:
         raise ValueError("workers must be at least 1")
-    if batch_size < 1:
-        raise ValueError("batch_size must be at least 1")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be at least 1 (None = auto)")
+    if window is not None and window < 1:
+        raise ValueError("window must be at least 1 (None = auto)")
+    if scheduler not in ("stream", "wave"):
+        raise ValueError(
+            f"scheduler must be 'stream' or 'wave', not {scheduler!r}"
+        )
     if threads is not None and threads < 0:
         raise ValueError("threads must be non-negative (0/None = auto)")
     if options is not None and steps is not None:
@@ -200,4 +233,7 @@ def run_campaign(
         serve=serve,
         inproc=inproc,
         threads=threads,
+        window=window,
+        adaptive=adaptive,
+        scheduler=scheduler,
     )

@@ -260,6 +260,9 @@ def cmd_campaign(args) -> int:
             serve=args.serve,
             inproc=args.inproc,
             threads=_parse_threads(args.threads),
+            window=args.window,
+            adaptive=args.adaptive,
+            scheduler=args.scheduler,
         )
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
@@ -279,6 +282,21 @@ def cmd_campaign(args) -> int:
                   f"{s.get('reuses', 0)} reuse(s), "
                   f"{s.get('restarts', 0)} restart(s), "
                   f"{retired} retired")
+        if outcome.scheduler_stats is not None:
+            st = outcome.scheduler_stats
+            print(f"scheduler: stream ({st.get('mode', '?')}), "
+                  f"window {st.get('initial_window', 0)}"
+                  f"->{st.get('window', 0)}, "
+                  f"batch {st.get('initial_batch', 0)}"
+                  f"->{st.get('batch_size', 0)}, "
+                  f"{st.get('chunks', 0)} chunk(s)")
+            print(f"  utilization {st.get('utilization', 0.0):.0%}, "
+                  f"max in-flight {st.get('max_in_flight', 0)}, "
+                  f"max reorder depth {st.get('max_reorder_depth', 0)}, "
+                  f"{st.get('throughput', 0.0):.1f} cases/s")
+        if outcome.speculated_cases:
+            print(f"speculated cases discarded at saturation: "
+                  f"{outcome.speculated_cases}")
     if args.uncovered:
         print(coverage_listing(prog, outcome.merged, max_items=args.uncovered))
     return 0
@@ -684,9 +702,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel cases per wave (merge stays in seed order)")
     p.add_argument("--mode", choices=["thread", "process"], default="thread",
                    help="worker pool flavour for --workers > 1")
-    p.add_argument("--batch-size", type=int, default=8, metavar="M",
+    p.add_argument("--batch-size", type=int, default=None, metavar="M",
                    help="cases run back-to-back per process on one reused "
-                        "binary (1 disables batching)")
+                        "binary (1 disables batching; default auto-sizes "
+                        "and lets --adaptive tune it)")
+    p.add_argument("--window", type=int, default=None, metavar="N",
+                   help="max cases in flight for the streaming scheduler "
+                        "(default workers * batch; --adaptive tunes it)")
+    p.add_argument("--adaptive", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="auto-tune batch size and window from observed "
+                        "throughput and worker utilization (explicitly "
+                        "passed values are never touched)")
+    p.add_argument("--scheduler", choices=["stream", "wave"],
+                   default="stream",
+                   help="dispatch discipline: work-conserving streaming "
+                        "(default) or the legacy barrier wave loop")
     p.add_argument("--serve", action=argparse.BooleanOptionalAction,
                    default=True,
                    help="stream batched cases through warm --serve "

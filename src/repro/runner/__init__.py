@@ -14,10 +14,15 @@ Three cooperating pieces:
   across batches and waves (idle-TTL / LRU retirement);
 * :mod:`repro.runner.costmodel` / :mod:`repro.runner.inproc_threads` —
   cost-aware case scheduling (predicted ``steps × actors`` cost, LPT
-  packing) feeding the thread-parallel in-process dispatcher behind
-  ``run_jobs(mode="inproc-threads")``;
-* :mod:`repro.runner.campaign` — the wave-dispatched campaign core
-  whose parallel merges are byte-identical to serial runs.
+  packing, coefficients persisted per (engine, compile key) and
+  warm-started across campaigns) feeding the thread-parallel in-process
+  dispatcher behind ``run_jobs(mode="inproc-threads")``;
+* :mod:`repro.runner.scheduler` — the streaming, work-conserving
+  dispatcher (bounded in-flight window, seed-ordered reorder buffer,
+  cost-aware admission, auto-tuned batching) behind
+  ``run_jobs(streaming=True)`` and the default campaign path;
+* :mod:`repro.runner.campaign` — the campaign core whose parallel
+  merges are byte-identical to serial runs.
 """
 
 from repro.runner.cache import (
@@ -37,15 +42,37 @@ from repro.runner.jobs import (
     SimulationJob,
     run_job,
 )
-from repro.runner.costmodel import CaseCostModel, default_cost_model, pack_shards
+from repro.runner.costmodel import (
+    CaseCostModel,
+    CostModelStore,
+    cost_key,
+    default_cost_model,
+    default_cost_store,
+    pack_shards,
+    set_default_cost_store,
+)
 from repro.runner.pool import default_workers, run_jobs
+from repro.runner.scheduler import (
+    ReorderBuffer,
+    StreamScheduler,
+    ThroughputController,
+    run_jobs_streaming,
+)
 from repro.runner.servers import ServerPool
 
 __all__ = [
     "ServerPool",
     "CaseCostModel",
+    "CostModelStore",
+    "cost_key",
     "default_cost_model",
+    "default_cost_store",
+    "set_default_cost_store",
     "pack_shards",
+    "ReorderBuffer",
+    "StreamScheduler",
+    "ThroughputController",
+    "run_jobs_streaming",
     "ArtifactCache",
     "CacheEntry",
     "CacheStats",

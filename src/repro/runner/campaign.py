@@ -1,36 +1,58 @@
-"""Campaign execution: waves of seeded jobs, deterministic merge.
+"""Campaign execution: streamed seeded jobs, deterministic merge.
 
 This is the engine room behind :func:`repro.campaign.run_campaign`.
-Seeds are dispatched in waves of ``workers`` jobs; however the pool
-interleaves their completion, each wave's results are folded into the
-outcome **in seed order**, so the merged coverage report, the per-case
-new-point counts, the first-exposing-seed attribution of every
-diagnostic, and the saturation verdict are byte-identical between
-``workers=1`` and ``workers=N`` — the plateau criterion is evaluated on
-the ordered merge, exactly as the serial loop would.
+Results are always folded into the outcome **in seed order** — that is
+what makes the merged coverage report, the per-case new-point counts,
+the first-exposing-seed attribution of every diagnostic, and the
+saturation verdict byte-identical between ``workers=1`` and
+``workers=N`` — the plateau criterion is evaluated on the ordered
+merge, exactly as the serial loop would.
 
-When saturation lands mid-wave, the remaining results of that wave are
-discarded (their work is wasted, bounded by ``workers - 1`` cases —
-the price of speculation), keeping parallel outcomes identical to
-serial ones.
+Two dispatch disciplines produce that ordered stream:
+
+* ``scheduler="stream"`` (the default) — the work-conserving
+  :class:`~repro.runner.scheduler.StreamScheduler`: a bounded in-flight
+  window refilled the moment capacity frees, a reorder buffer restoring
+  seed order, cost-aware admission keeping short cases out of the
+  shadow of long ones, and (when enabled) a throughput controller
+  auto-tuning batch size and window depth.  On saturation only the
+  cases actually in flight are wasted.
+* ``scheduler="wave"`` — the legacy barrier loop: ``workers ×
+  batch_size`` seeds per synchronized :func:`run_jobs` call.  Kept as
+  the reference discipline (benchmarks measure streaming against it)
+  and as a maximally-simple fallback.  A mid-wave saturation discards
+  up to a full wave of speculated work.
+
+Either way, speculated-then-discarded cases are *counted*, not silently
+burned: ``CampaignOutcome.speculated_cases`` and the
+``campaign.speculated_cases`` telemetry counter report the waste, and
+the streaming scheduler's job is to keep it strictly below the wave
+loop's.
 """
 
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro import telemetry
 from repro.coverage.metrics import ALL_METRICS
 from repro.coverage.report import CoverageReport
 from repro.engines.base import SimulationOptions
 from repro.model.errors import SimulationError
-from repro.runner.jobs import SimulationJob
+from repro.runner.costmodel import CostModelStore, cost_key, default_cost_store
+from repro.runner.jobs import JobResult, SimulationJob
 from repro.runner.pool import run_jobs
+from repro.runner.scheduler import StreamScheduler
 from repro.schedule.program import FlatProgram
 
 if TYPE_CHECKING:
     from repro.runner.cache import ArtifactCache
+
+# Auto batch size for batch-capable (AccMoS) campaigns; bounded by the
+# per-worker share of the case budget so small parallel campaigns still
+# fan out.
+AUTO_BATCH_CAP = 8
 
 
 def resolve_threads(
@@ -55,6 +77,104 @@ def resolve_threads(
     return max(1, min(4, os.cpu_count() or 1))
 
 
+def resolve_batch_size(
+    batch_size: Optional[int], *, engine: str, max_cases: int, workers: int
+) -> int:
+    """Resolve ``batch_size=None`` (auto) to a concrete size.
+
+    Auto batching engages only where batches exist at all (the AccMoS
+    engine) and never starves the worker fleet: the size is the
+    per-worker share of the case budget, capped at :data:`AUTO_BATCH_CAP`
+    so a cold first chunk is never disastrously large.  The adaptive
+    controller may tune it from there; an explicit value is final.
+    """
+    if batch_size is not None:
+        return batch_size
+    if engine != "accmos":
+        return 1
+    per_worker = -(-max_cases // max(1, workers))  # ceil division
+    return max(1, min(AUTO_BATCH_CAP, per_worker))
+
+
+class _CampaignFold:
+    """The seed-ordered merge, shared by both dispatch disciplines.
+
+    One :meth:`fold` call per job result, strictly in seed order; the
+    fold mutates ``outcome`` (cases, diagnostics, saturation) and
+    returns True once the plateau criterion fires.  Keeping this in one
+    class is what makes "streaming is byte-identical to the wave loop"
+    true by construction rather than by parallel maintenance.
+    """
+
+    def __init__(
+        self,
+        outcome,
+        *,
+        engine: str,
+        plateau_patience: int,
+        observe: "Optional[Callable[[JobResult], None]]" = None,
+    ) -> None:
+        self.outcome = outcome
+        self.engine = engine
+        self.plateau_patience = plateau_patience
+        self.observe = observe
+        self.merged: Optional[CoverageReport] = None
+        self.seen_diagnostics: "set[tuple[str, str]]" = set()
+        self.dry_streak = 0
+
+    def fold(self, job_result: JobResult) -> bool:
+        from repro.campaign import CaseOutcome
+
+        if not job_result.ok:
+            # Chain the worker-side traceback: the original exception
+            # (compile error, timeout, crash) stays attached as
+            # __cause__, so scheduler-era failures remain debuggable.
+            raise SimulationError(
+                f"campaign case seed={job_result.seed} "
+                f"{job_result.outcome}: {job_result.error}"
+            ) from job_result.exception
+        result = job_result.result
+        if result.coverage is None:
+            raise ValueError(f"engine {self.engine!r} collects no coverage")
+        if self.observe is not None:
+            self.observe(job_result)
+
+        if self.merged is None:
+            self.merged = CoverageReport.empty(result.coverage.points)
+        before = {m: self.merged.bitmaps[m].count() for m in ALL_METRICS}
+        self.merged.merge(result.coverage)
+        by_metric = {
+            m: self.merged.bitmaps[m].count() - before[m] for m in ALL_METRICS
+        }
+        new_points = sum(by_metric.values())
+
+        fresh = 0
+        for event in result.diagnostics:
+            key = (event.path, event.kind.value)
+            if key not in self.seen_diagnostics:
+                self.seen_diagnostics.add(key)
+                self.outcome.diagnostics.append((event, job_result.seed))
+                fresh += 1
+
+        self.outcome.cases.append(
+            CaseOutcome(
+                seed=job_result.seed,
+                steps_run=result.steps_run,
+                wall_time=result.wall_time,
+                new_points=new_points,
+                n_diagnostics=fresh,
+                new_points_by_metric=by_metric,
+                timings=dict(job_result.timings),
+                cache_hit=job_result.cache_hit,
+            )
+        )
+
+        self.dry_streak = self.dry_streak + 1 if new_points == 0 else 0
+        if self.dry_streak >= self.plateau_patience:
+            self.outcome.saturated = True
+        return self.outcome.saturated
+
+
 def execute_campaign(
     prog: FlatProgram,
     *,
@@ -69,10 +189,13 @@ def execute_campaign(
     cache: "Union[ArtifactCache, None, bool]" = None,
     timeout_seconds: Optional[float] = None,
     retries: int = 1,
-    batch_size: int = 1,
+    batch_size: Optional[int] = None,
     serve: bool = False,
     inproc: bool = False,
     threads: Optional[int] = 1,
+    window: Optional[int] = None,
+    adaptive: bool = True,
+    scheduler: str = "stream",
 ):
     """Run the campaign; see :func:`repro.campaign.run_campaign`.
 
@@ -84,9 +207,9 @@ def execute_campaign(
     outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
 
     # Thread-parallel in-process execution replaces the worker pool
-    # wholesale: waves route to run_jobs(mode="inproc-threads"), which
-    # runs same-key groups on `threads` private library instances inside
-    # this process.  The server/spawn rungs stay reachable through the
+    # wholesale: chunks route to the inproc-threads executor, which runs
+    # same-key groups on `threads` private library instances inside this
+    # process.  The server/spawn rungs stay reachable through the
     # executor's own fault ladder, so the serve/inproc knobs (which
     # configure the pooled dispatchers) are moot here.
     threads = resolve_threads(threads, engine=engine)
@@ -96,8 +219,13 @@ def execute_campaign(
         serve = False
         inproc = False
 
+    batch_fixed = batch_size is not None
+    batch_size = resolve_batch_size(
+        batch_size, engine=engine, max_cases=max_cases, workers=workers
+    )
+
     # One warm-server pool for the whole campaign (thread/inline mode):
-    # servers survive across waves, so the steady state respawns
+    # servers survive across chunks, so the steady state respawns
     # nothing.  Process mode keeps pools inside the worker processes
     # instead; their counter deltas ride back on the JobResults.
     serve = serve and engine == "accmos" and batch_size > 1
@@ -110,24 +238,39 @@ def execute_campaign(
 
         server_pool = ServerPool(max_servers=max(workers * 2, 4))
 
+    # Every mode's observed execute timings feed the persistent cost
+    # model, keyed by (engine, compile key), so the *next* campaign's
+    # admission and shard packing start from this machine's real rates.
+    cost_store = default_cost_store()
+
     try:
         with telemetry.span(
             "campaign", model=prog.model.name, engine=engine,
             max_cases=max_cases, workers=workers, mode=mode,
             batch_size=batch_size, serve=serve, inproc=inproc,
-            threads=threads,
+            threads=threads, scheduler=scheduler,
         ) as campaign_span:
-            _campaign_waves(
-                prog, outcome, opts,
+            common = dict(
                 engine=engine, max_cases=max_cases,
                 plateau_patience=plateau_patience, base_seed=base_seed,
                 workers=workers, mode=mode, cache=cache,
                 timeout_seconds=timeout_seconds, retries=retries,
                 batch_size=batch_size, serve=serve, inproc=inproc,
-                server_pool=server_pool,
+                server_pool=server_pool, cost_store=cost_store,
             )
+            if scheduler == "wave":
+                _campaign_waves(prog, outcome, opts, **common)
+            else:
+                _campaign_stream(
+                    prog, outcome, opts,
+                    window=window,
+                    adaptive=adaptive,
+                    batch_fixed=batch_fixed,
+                    **common,
+                )
             campaign_span.set(
-                cases=len(outcome.cases), saturated=outcome.saturated
+                cases=len(outcome.cases), saturated=outcome.saturated,
+                speculated=outcome.speculated_cases,
             )
     finally:
         if server_pool is not None:
@@ -137,9 +280,105 @@ def execute_campaign(
                 outcome.server_stats, server_pool.stats()
             )
             server_pool.close()
+        cost_store.save()
     telemetry.counter_inc("campaign.runs")
     telemetry.counter_inc("campaign.cases", len(outcome.cases))
     return outcome
+
+
+def _cost_observer(
+    cost_store: CostModelStore,
+    opts: SimulationOptions,
+    key: str,
+    actors: int,
+    *,
+    mode: str,
+) -> "Optional[Callable[[JobResult], None]]":
+    """Fold observed execute timings back into the persistent model.
+
+    The inproc-threads executor observes internally (per shard, with the
+    group's own key), so the campaign skips it there to avoid counting
+    every case twice.
+    """
+    if mode == "inproc-threads":
+        return None
+
+    def observe(job_result: JobResult) -> None:
+        seconds = job_result.timings.get("execute", 0.0)
+        if seconds:
+            cost_store.observe(key, opts.steps, actors, seconds)
+
+    return observe
+
+
+def _campaign_stream(
+    prog: FlatProgram,
+    outcome,
+    opts: SimulationOptions,
+    *,
+    engine: str,
+    max_cases: int,
+    plateau_patience: int,
+    base_seed: int,
+    workers: int,
+    mode: str,
+    cache,
+    timeout_seconds: Optional[float],
+    retries: int,
+    batch_size: int,
+    batch_fixed: bool,
+    window: Optional[int],
+    adaptive: bool,
+    serve: bool,
+    inproc: bool,
+    server_pool,
+    cost_store: CostModelStore,
+) -> None:
+    """The streaming path: fold results the moment seed order allows."""
+    fold = _CampaignFold(
+        outcome, engine=engine, plateau_patience=plateau_patience,
+    )
+    jobs = [
+        SimulationJob(prog=prog, seed=base_seed + i, engine=engine, options=opts)
+        for i in range(max_cases)
+    ]
+
+    def on_server_stats(stats: dict) -> None:
+        # Discarded-on-saturation results still ran; their server-pool
+        # counters still count.
+        from repro.runner.servers import merge_server_stats
+
+        outcome.server_stats = merge_server_stats(
+            outcome.server_stats, stats
+        )
+
+    scheduler = StreamScheduler(
+        jobs,
+        workers=workers,
+        mode=mode,
+        window=window,
+        batch_size=batch_size,
+        tune_batch=adaptive and not batch_fixed,
+        tune_window=adaptive and window is None,
+        cache=cache,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        serve=serve,
+        inproc=inproc,
+        server_pool=server_pool,
+        cost_store=cost_store,
+        on_server_stats=on_server_stats,
+    )
+    try:
+        for job_result in scheduler.results():
+            if fold.fold(job_result):
+                scheduler.stop()
+                break
+    finally:
+        stats = scheduler.finish()
+        outcome.scheduler_stats = stats
+        outcome.speculated_cases = stats.get("speculated", 0)
+    outcome.merged = fold.merged
 
 
 def _campaign_waves(
@@ -160,13 +399,19 @@ def _campaign_waves(
     serve: bool = False,
     inproc: bool = False,
     server_pool=None,
+    cost_store: Optional[CostModelStore] = None,
 ) -> None:
-    """The wave loop, folding results into ``outcome`` in seed order."""
-    from repro.campaign import CaseOutcome
-
-    merged: Optional[CoverageReport] = None
-    seen_diagnostics: set[tuple[str, str]] = set()
-    dry_streak = 0
+    """The legacy wave loop: barrier dispatch, seed-ordered fold."""
+    observe = None
+    if cost_store is not None:
+        observe = _cost_observer(
+            cost_store, opts, cost_key(engine, prog, opts),
+            len(prog.actors), mode=mode,
+        )
+    fold = _CampaignFold(
+        outcome, engine=engine, plateau_patience=plateau_patience,
+        observe=observe,
+    )
     # With batching, each worker slot chews through batch_size cases per
     # process spawn, so a wave carries workers * batch_size seeds.  The
     # speculation bound at mid-wave saturation grows accordingly.
@@ -206,53 +451,16 @@ def _campaign_waves(
                     )
 
         # Ordered merge: fold strictly in seed order, stop at saturation.
+        folded = 0
         for job_result in results:
-            if not job_result.ok:
-                if job_result.exception is not None:
-                    raise job_result.exception
-                raise SimulationError(
-                    f"campaign case seed={job_result.seed} "
-                    f"{job_result.outcome}: {job_result.error}"
-                )
-            result = job_result.result
-            if result.coverage is None:
-                raise ValueError(f"engine {engine!r} collects no coverage")
-
-            if merged is None:
-                merged = CoverageReport.empty(result.coverage.points)
-            before = {
-                m: merged.bitmaps[m].count() for m in ALL_METRICS
-            }
-            merged.merge(result.coverage)
-            by_metric = {
-                m: merged.bitmaps[m].count() - before[m] for m in ALL_METRICS
-            }
-            new_points = sum(by_metric.values())
-
-            fresh = 0
-            for event in result.diagnostics:
-                key = (event.path, event.kind.value)
-                if key not in seen_diagnostics:
-                    seen_diagnostics.add(key)
-                    outcome.diagnostics.append((event, job_result.seed))
-                    fresh += 1
-
-            outcome.cases.append(
-                CaseOutcome(
-                    seed=job_result.seed,
-                    steps_run=result.steps_run,
-                    wall_time=result.wall_time,
-                    new_points=new_points,
-                    n_diagnostics=fresh,
-                    new_points_by_metric=by_metric,
-                    timings=dict(job_result.timings),
-                    cache_hit=job_result.cache_hit,
-                )
-            )
-
-            dry_streak = dry_streak + 1 if new_points == 0 else 0
-            if dry_streak >= plateau_patience:
-                outcome.saturated = True
+            folded += 1
+            if fold.fold(job_result):
                 break  # later results of this wave are discarded
+        if outcome.saturated:
+            outcome.speculated_cases += len(results) - folded
 
-    outcome.merged = merged
+    if outcome.speculated_cases:
+        telemetry.counter_inc(
+            "campaign.speculated_cases", outcome.speculated_cases
+        )
+    outcome.merged = fold.merged

@@ -35,7 +35,8 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro import telemetry
 from repro.runner.costmodel import (
     CaseCostModel,
-    default_cost_model,
+    cost_key,
+    default_cost_store,
     makespan,
     pack_shards,
 )
@@ -72,7 +73,6 @@ def run_jobs_inproc_threads(
     """Execute every job; one :class:`JobResult` per job, in order."""
     if threads < 1:
         raise ValueError("threads must be at least 1")
-    cost_model = default_cost_model() if cost_model is None else cost_model
     jobs = list(jobs)
     ordered: "list[Optional[JobResult]]" = [None] * len(jobs)
 
@@ -125,11 +125,22 @@ def _run_group(
     timeout_seconds: Optional[float],
     retries: int,
     backoff_seconds: float,
-    cost_model: CaseCostModel,
+    cost_model: Optional[CaseCostModel],
     _sleep,
 ) -> "list[JobResult]":
     """One same-key group: compile once, pack, run threaded, observe."""
     from repro.engines.accmos import compile_model
+
+    if cost_model is None:
+        # Per-(engine, compile key) model from the persistent store:
+        # packing starts from the coefficients earlier campaigns
+        # measured for this same compiled unit, and this group's
+        # observations flow back to benefit the next one.
+        cost_model = default_cost_store().model(
+            cost_key(
+                group[0].engine, group[0].prog, group[0].resolved_options()
+            )
+        )
 
     def _fallback() -> "list[JobResult]":
         # Drop a rung: the batched dispatcher owns the rest of the

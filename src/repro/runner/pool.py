@@ -150,6 +150,9 @@ def run_jobs(
     serve: bool = False,
     server_pool=None,
     inproc: bool = False,
+    streaming: bool = False,
+    window: Optional[int] = None,
+    adaptive: bool = False,
 ) -> list[JobResult]:
     """Execute every job; returns one :class:`JobResult` per job, in order.
 
@@ -183,6 +186,13 @@ def run_jobs(
     :mod:`repro.runner.inproc_threads`.  ``batch_size``/``serve``/
     ``server_pool``/``inproc`` are ignored in this mode — grouping is
     unbounded and the fallback ladder engages on fault.
+
+    ``streaming`` dispatches through the work-conserving
+    :class:`~repro.runner.scheduler.StreamScheduler` instead of barrier
+    fan-out: a bounded in-flight ``window`` of cases (default
+    ``workers × batch_size``) refilled the moment capacity frees, with
+    cost-aware admission and — with ``adaptive`` — auto-tuned batching.
+    Results are identical either way; only wall-clock changes.
     """
     if mode not in ("thread", "process", "inproc-threads"):
         raise ValueError(
@@ -195,6 +205,25 @@ def run_jobs(
     if batch_size < 1:
         raise ValueError("batch_size must be at least 1")
     jobs = list(jobs)
+
+    if streaming:
+        from repro.runner.scheduler import run_jobs_streaming
+
+        return run_jobs_streaming(
+            jobs,
+            workers=workers,
+            mode=mode,
+            window=window,
+            batch_size=batch_size,
+            adaptive=adaptive,
+            cache=cache,
+            timeout_seconds=timeout_seconds,
+            retries=retries,
+            backoff_seconds=backoff_seconds,
+            serve=serve,
+            inproc=inproc,
+            server_pool=server_pool,
+        )
 
     if mode == "inproc-threads":
         from repro.runner.inproc_threads import run_jobs_inproc_threads

@@ -105,6 +105,31 @@ class TestBenchTable1:
         assert "570" in out  # LANS actor count
 
 
+class TestCampaignScheduler:
+    def test_timings_report_stream_scheduler(self, capsys):
+        assert main(["campaign", "bench:SPV", "--engine", "sse",
+                     "--steps", "300", "--cases", "4", "--patience", "100",
+                     "--workers", "2", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out
+        assert "scheduler: stream" in out
+        assert "utilization" in out
+
+    def test_wave_scheduler_still_selectable(self, capsys):
+        assert main(["campaign", "bench:SPV", "--engine", "sse",
+                     "--steps", "300", "--cases", "4", "--patience", "100",
+                     "--workers", "2", "--scheduler", "wave"]) == 0
+        assert "campaign:" in capsys.readouterr().out
+
+    def test_window_and_no_adaptive_flags_parse(self, capsys):
+        assert main(["campaign", "bench:SPV", "--engine", "sse",
+                     "--steps", "300", "--cases", "4", "--patience", "100",
+                     "--workers", "2", "--window", "3",
+                     "--no-adaptive", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "window 3->3" in out
+
+
 class TestCacheCli:
     def test_stats_and_clear_explicit_dir(self, tmp_path, capsys):
         cache_dir = tmp_path / "artifacts"

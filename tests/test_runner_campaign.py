@@ -52,8 +52,12 @@ class TestParallelIdentity:
         _assert_outcomes_identical(serial, parallel)
         # The stimulus-agnostic program gives every case one cache key:
         # the 16 runs across both sweeps cost exactly one gcc invocation.
+        # (The exact hit count depends on auto-batching — each chunk
+        # resolves the key once, not each case — so only the miss count
+        # is pinned.)
         stats = cache.stats()
-        assert stats.misses == 1 and stats.hits == 15
+        assert stats.misses == 1
+        assert stats.hits >= 1
 
     @pytest.mark.parametrize("workers,batch_size,mode", [
         (1, 4, "thread"),

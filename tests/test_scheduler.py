@@ -1,0 +1,574 @@
+"""Streaming work-conserving campaign scheduler.
+
+Pins the three invariants :mod:`repro.runner.scheduler` promises:
+
+* **Seed-order delivery** — the reorder buffer turns *any* completion
+  order back into submission order (hypothesis property), so streaming
+  campaigns fold exactly like serial ones;
+* **Byte-identity** — streaming vs wave loop vs serial across the model
+  zoo and every dispatch mode (spawn / serve / inproc / inproc-threads):
+  merged bitmaps, per-case new points, diagnostic attribution, coverage
+  curves, saturation verdict all equal;
+* **Bounded, counted speculation** — a mid-stream saturation stops
+  submission immediately; the waste is reported in
+  ``CampaignOutcome.speculated_cases`` and is strictly below the wave
+  loop's for the same fleet.
+
+Plus the satellite pieces: the throughput controller's hill-climb /
+hysteresis behavior, ``CaseCostModel`` base-term recalibration from
+small cases, and the persistent per-(engine, compile key)
+:class:`CostModelStore` with warm-start.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks import build_benchmark
+from repro.campaign import run_campaign
+from repro.codegen.driver import supports_shared_objects
+from repro.engines.base import SimulationOptions
+from repro.model.errors import SimulationError
+from repro.runner.cache import ArtifactCache
+from repro.runner.costmodel import (
+    CaseCostModel,
+    CostModelStore,
+    cost_key,
+    default_cost_model,
+    set_default_cost_store,
+)
+from repro.runner.jobs import SimulationJob
+from repro.runner.pool import run_jobs
+from repro.runner.scheduler import (
+    ReorderBuffer,
+    StreamScheduler,
+    ThroughputController,
+    run_jobs_streaming,
+)
+from repro.schedule import preprocess
+
+from conftest import HAS_CC, requires_cc
+from test_runner_campaign import _assert_outcomes_identical
+
+requires_shared = pytest.mark.skipif(
+    not HAS_CC or supports_shared_objects() is not True,
+    reason="toolchain cannot build loadable shared objects",
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cost_store(tmp_path):
+    """Campaigns observe into (and persist) the process-wide cost store;
+    point it at a throwaway file so tests neither read nor pollute the
+    user's cache directory."""
+    previous = set_default_cost_store(CostModelStore(tmp_path / "cm.json"))
+    yield
+    set_default_cost_store(previous)
+
+
+# ----------------------------------------------------------------------
+# reorder buffer
+# ----------------------------------------------------------------------
+class TestReorderBuffer:
+    def test_in_order_passthrough(self):
+        buf = ReorderBuffer()
+        for i in range(5):
+            released = buf.push(i, f"r{i}")
+            assert released == [(i, f"r{i}")]
+        assert buf.depth == 0 and buf.max_depth == 1
+
+    def test_out_of_order_held_until_frontier(self):
+        buf = ReorderBuffer()
+        assert buf.push(2, "c") == []
+        assert buf.push(1, "b") == []
+        assert buf.depth == 2
+        assert buf.push(0, "a") == [(0, "a"), (1, "b"), (2, "c")]
+        assert buf.depth == 0
+        assert buf.max_depth == 3
+        assert buf.next_index == 3
+
+    def test_duplicate_push_rejected(self):
+        buf = ReorderBuffer()
+        buf.push(1, "x")
+        with pytest.raises(ValueError):
+            buf.push(1, "y")
+        buf.push(0, "a")
+        with pytest.raises(ValueError):
+            buf.push(0, "again")  # already released
+
+    @given(st.permutations(list(range(12))))
+    @settings(max_examples=60, deadline=None)
+    def test_any_completion_order_releases_seed_order(self, order):
+        """The property the byte-identity contract rests on: whatever
+        order results complete in, the consumer sees submission order,
+        and every release is the contiguous frontier run."""
+        buf = ReorderBuffer()
+        delivered = []
+        for index in order:
+            released = buf.push(index, index)
+            if released:
+                assert released[0][0] == len(delivered)
+            delivered.extend(item for _, item in released)
+            assert delivered == list(range(len(delivered)))
+        assert delivered == list(range(len(order)))
+        assert buf.depth == 0
+
+
+# ----------------------------------------------------------------------
+# throughput controller
+# ----------------------------------------------------------------------
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestThroughputController:
+    def _drive_epoch(self, ctl, clock, *, folded, seconds, busy):
+        """Advance one epoch: `folded` more cases over `seconds`."""
+        clock.now += seconds
+        ctl.on_fold(folded, busy)
+
+    def test_fixed_knobs_never_touched(self):
+        clock = _Clock()
+        ctl = ThroughputController(
+            batch_size=4, window=8, workers=2,
+            tune_batch=False, tune_window=False,
+            epoch_cases=2, clock=clock,
+        )
+        folded, busy = 0, 0.0
+        for _ in range(20):
+            folded += 2
+            busy += 0.1
+            self._drive_epoch(ctl, clock, folded=folded, seconds=1.0, busy=busy)
+        assert (ctl.batch_size, ctl.window) == (4, 8)
+        assert ctl.window_adjustments == ctl.batch_adjustments == 0
+
+    def test_short_campaign_finishes_before_first_adjustment(self):
+        """The default epoch is big enough that small deterministic runs
+        (the test suite's campaigns) never see a knob move."""
+        clock = _Clock()
+        ctl = ThroughputController(
+            batch_size=4, window=8, workers=4, clock=clock
+        )
+        for folded in range(1, 9):  # an 8-case campaign
+            clock.now += 0.01
+            ctl.on_fold(folded, busy_seconds=0.0)
+        assert (ctl.batch_size, ctl.window) == (4, 8)
+        assert ctl.window_adjustments == ctl.batch_adjustments == 0
+
+    def test_low_utilization_grows_window(self):
+        clock = _Clock()
+        ctl = ThroughputController(
+            batch_size=1, window=4, workers=4,
+            tune_batch=False, tune_window=True,
+            epoch_cases=2, clock=clock,
+        )
+        folded = 0
+        for _ in range(3):
+            folded += 2
+            # busy stays 0: workers are starving for in-flight work.
+            self._drive_epoch(ctl, clock, folded=folded, seconds=1.0, busy=0.0)
+        assert ctl.window > 4
+        assert ctl.window_adjustments >= 1
+
+    def test_regressing_change_reverted_and_direction_flipped(self):
+        clock = _Clock()
+        ctl = ThroughputController(
+            batch_size=1, window=8, workers=2,
+            tune_batch=False, tune_window=True,
+            epoch_cases=2, hysteresis=0.1, clock=clock,
+        )
+        folded, busy = 0, 0.0
+
+        # Epoch 1 establishes the baseline; utilization is kept at 1.0
+        # so the idle-workers branch never fires and the round-robin
+        # climb proposes a window step.
+        folded += 2
+        busy += 2.0
+        self._drive_epoch(ctl, clock, folded=folded, seconds=1.0, busy=busy)
+        # Epoch 2: good throughput; a window change is proposed.
+        folded += 2
+        busy += 2.0
+        self._drive_epoch(ctl, clock, folded=folded, seconds=1.0, busy=busy)
+        changed = ctl.window
+        assert changed != 8 and ctl.window_adjustments == 1
+
+        # Epoch 3: throughput collapses (same cases over 10x the time):
+        # the pending change is reverted and the search direction flips.
+        folded += 2
+        busy += 20.0
+        self._drive_epoch(ctl, clock, folded=folded, seconds=10.0, busy=busy)
+        assert ctl.window == 8
+        assert ctl.reverts == 1
+
+    def test_batch_stays_inside_bounds(self):
+        clock = _Clock()
+        ctl = ThroughputController(
+            batch_size=2, window=64, workers=1,
+            tune_batch=True, tune_window=False,
+            epoch_cases=1, min_batch=1, max_batch=8, clock=clock,
+        )
+        folded, busy = 0, 0.0
+        for _ in range(50):
+            folded += 1
+            busy += 1.0  # full utilization, improving throughput
+            self._drive_epoch(ctl, clock, folded=folded, seconds=1.0, busy=busy)
+            assert 1 <= ctl.batch_size <= 8
+
+
+# ----------------------------------------------------------------------
+# cost model: base recalibration + persistent store
+# ----------------------------------------------------------------------
+class TestCostModelBase:
+    def test_base_recalibrates_from_small_cases(self):
+        """Tiny cases are dominated by per-case freight; observing them
+        must fit the base term, not poison the rate."""
+        true_base, true_rate = 0.01, 1e-6
+        model = CaseCostModel(small_units=4096)
+        for _ in range(60):
+            model.observe(50, 2, true_base + 100 * true_rate)  # small
+            model.observe(1_000_000, 1, true_base + 1e6 * true_rate)  # large
+        assert model.base_seconds == pytest.approx(true_base, rel=0.3)
+        assert model.rate_seconds == pytest.approx(true_rate, rel=0.3)
+        # And predictions converge at both ends of the size spectrum.
+        assert model.predict(50, 2) == pytest.approx(
+            true_base + 100 * true_rate, rel=0.3
+        )
+        assert model.predict(1_000_000, 1) == pytest.approx(
+            true_base + 1e6 * true_rate, rel=0.3
+        )
+
+    def test_tiny_only_corpus_does_not_over_predict(self):
+        """Before base recalibration, a corpus of sub-millisecond cases
+        kept the cold 2e-4 base forever; now the base converges onto the
+        observed per-case cost."""
+        model = CaseCostModel()
+        for _ in range(30):
+            model.observe(10, 4, 5e-5)
+        assert model.predict(10, 4) == pytest.approx(5e-5, rel=0.5)
+
+    def test_nonpositive_observation_ignored(self):
+        model = CaseCostModel()
+        model.observe(10, 4, 0.0)
+        model.observe(10, 4, -1.0)
+        assert model.observations == 0 and model.base_observations == 0
+
+
+class TestCostModelStore:
+    def test_persist_and_warm_start(self, tmp_path):
+        path = tmp_path / "costmodel.json"
+        store = CostModelStore(path)
+        store.observe("accmos:SPV:a88", 100_000, 88, 0.5)
+        store.observe("accmos:SPV:a88", 100_000, 88, 0.5)
+        learned = store.model("accmos:SPV:a88")
+        assert store.save() == path
+
+        fresh = CostModelStore(path)
+        warm = fresh.model("accmos:SPV:a88")
+        assert warm.rate_seconds == pytest.approx(learned.rate_seconds)
+        assert warm.base_seconds == pytest.approx(learned.base_seconds)
+        assert warm.observations == learned.observations
+        # Warm-started models EMA-blend new observations instead of
+        # hard-resetting the rate like a cold first observation would.
+        before = warm.rate_seconds
+        warm.observe(100_000, 88, 5.0)
+        assert warm.rate_seconds != pytest.approx(before)
+        assert warm.rate_seconds < 5.0 / (100_000 * 88) + before
+
+    def test_unobserved_models_not_persisted(self, tmp_path):
+        store = CostModelStore(tmp_path / "cm.json")
+        store.model("cold-key")  # predicted from, never observed
+        assert store.save() is None
+        assert not (tmp_path / "cm.json").exists()
+
+    def test_corrupt_file_tolerated(self, tmp_path):
+        path = tmp_path / "cm.json"
+        path.write_text("{not json")
+        store = CostModelStore(path)
+        assert store.keys() == []
+        store.observe("k", 10_000, 10, 0.1)
+        assert store.save() == path
+        assert "k" in json.loads(path.read_text())["models"]
+
+    def test_save_merges_with_concurrent_writer(self, tmp_path):
+        path = tmp_path / "cm.json"
+        a, b = CostModelStore(path), CostModelStore(path)
+        a.observe("key-a", 10_000, 10, 0.1)
+        b.observe("key-b", 10_000, 10, 0.2)
+        a.save()
+        b.save()
+        models = json.loads(path.read_text())["models"]
+        assert set(models) == {"key-a", "key-b"}
+
+    def test_cost_key_stable_across_instances(self):
+        prog_a = preprocess(build_benchmark("SPV"))
+        prog_b = preprocess(build_benchmark("SPV"))
+        opts = SimulationOptions(steps=100)
+        assert cost_key("accmos", prog_a, opts) == cost_key(
+            "accmos", prog_b, opts
+        )
+        # Steps are per-case, not structural: same compiled unit.
+        assert cost_key("accmos", prog_a, SimulationOptions(steps=999)) == (
+            cost_key("accmos", prog_a, opts)
+        )
+        # Structural options change the compiled unit and the key.
+        assert cost_key(
+            "accmos", prog_a, SimulationOptions(steps=100, coverage=False)
+        ) != cost_key("accmos", prog_a, opts)
+        assert cost_key("sse", prog_a, opts) != cost_key("accmos", prog_a, opts)
+
+    def test_default_cost_model_is_store_backed_singleton(self):
+        assert default_cost_model() is default_cost_model()
+
+
+# ----------------------------------------------------------------------
+# streaming dispatch: pool-level identity (no compiler needed)
+# ----------------------------------------------------------------------
+class TestRunJobsStreaming:
+    def _jobs(self, n=10):
+        prog = preprocess(build_benchmark("SPV"))
+        # Varied step counts -> varied costs -> real reorder pressure.
+        return [
+            SimulationJob(
+                prog=prog, seed=1 + i, engine="sse",
+                options=SimulationOptions(steps=100 + 40 * (i % 4)),
+            )
+            for i in range(n)
+        ]
+
+    def test_matches_barrier_dispatch(self):
+        jobs = self._jobs()
+        reference = run_jobs(jobs, workers=1)
+        stats: dict = {}
+        streamed = run_jobs_streaming(
+            jobs, workers=4, batch_size=3, window=5, stats_sink=stats
+        )
+        assert [r.seed for r in streamed] == [r.seed for r in reference]
+        for ref, got in zip(reference, streamed):
+            assert got.ok and ref.ok
+            assert got.result.checksums == ref.result.checksums
+            assert got.result.coverage.bitmaps == ref.result.coverage.bitmaps
+        assert stats["submitted"] == stats["folded"] == len(jobs)
+        assert stats["speculated"] == 0
+        assert stats["max_in_flight"] <= 5
+
+    def test_pool_streaming_flag_routes_here(self):
+        jobs = self._jobs(6)
+        reference = run_jobs(jobs, workers=1)
+        streamed = run_jobs(jobs, workers=3, streaming=True, window=4)
+        for ref, got in zip(reference, streamed):
+            assert got.result.checksums == ref.result.checksums
+
+    def test_failures_reported_not_raised(self, monkeypatch):
+        import repro.runner.jobs as jobs_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(jobs_mod, "_run_once", boom)
+        results = run_jobs_streaming(self._jobs(4), workers=2)
+        assert [r.ok for r in results] == [False] * 4
+        assert all("engine exploded" in r.error for r in results)
+
+
+# ----------------------------------------------------------------------
+# campaign identity: streaming vs wave vs serial, all modes
+# ----------------------------------------------------------------------
+def _campaign_kwargs(mode: str) -> dict:
+    """Streaming-fleet knobs for each dispatch mode under test."""
+    if mode == "spawn":
+        return dict(workers=3, batch_size=2, serve=False, threads=1)
+    if mode == "serve":
+        return dict(workers=3, batch_size=2, serve=True, threads=1)
+    if mode == "inproc":
+        return dict(workers=3, batch_size=2, inproc=True, threads=1)
+    if mode == "inproc-threads":
+        return dict(threads=3)
+    raise AssertionError(mode)
+
+
+ALL_MODES = ["spawn", "serve", "inproc", "inproc-threads"]
+
+
+@requires_cc
+@pytest.mark.parametrize("mode", ALL_MODES)
+@pytest.mark.parametrize("name", ["SPV", "RAC", "CSEV"])
+def test_streaming_identical_to_wave_and_serial(name, mode, tmp_path):
+    """The acceptance criterion: streaming == wave loop == serial, for
+    every dispatch mode, on the benchmark zoo — merged bitmaps,
+    per-case new points, diagnostics, curves, saturation verdict."""
+    if mode in ("inproc", "inproc-threads") and supports_shared_objects() is not True:
+        pytest.skip("toolchain cannot build loadable shared objects")
+    cache = ArtifactCache(tmp_path / "cache")
+    prog = preprocess(build_benchmark(name))
+    kwargs = dict(steps=300, max_cases=6, plateau_patience=100, cache=cache)
+
+    serial = run_campaign(
+        prog, workers=1, batch_size=1, serve=False, threads=1,
+        scheduler="wave", **kwargs,
+    )
+    wave = run_campaign(
+        prog, scheduler="wave", **_campaign_kwargs(mode), **kwargs
+    )
+    stream = run_campaign(
+        prog, scheduler="stream", **_campaign_kwargs(mode), **kwargs
+    )
+    assert stream.n_cases == wave.n_cases == serial.n_cases == 6
+    _assert_outcomes_identical(serial, wave)
+    _assert_outcomes_identical(serial, stream)
+    assert stream.scheduler_stats is not None
+    assert stream.scheduler_stats["folded"] == 6
+
+
+@requires_cc
+def test_mid_stream_saturation_cutoff(tmp_path):
+    """Saturation lands mid-stream: the scheduler stops submitting at
+    once, the outcome equals the serial verdict, and the discarded
+    speculation is counted, bounded by what was in flight."""
+    cache = ArtifactCache(tmp_path / "cache")
+    prog = preprocess(build_benchmark("SPV"))
+    kwargs = dict(steps=2000, max_cases=12, plateau_patience=3, cache=cache)
+
+    serial = run_campaign(
+        prog, workers=1, batch_size=1, serve=False, threads=1,
+        scheduler="wave", **kwargs,
+    )
+    assert serial.saturated and serial.n_cases < 12
+    assert serial.speculated_cases == 0
+
+    stream = run_campaign(
+        prog, workers=2, batch_size=1, window=2, serve=False, threads=1,
+        **kwargs,
+    )
+    _assert_outcomes_identical(serial, stream)
+    stats = stream.scheduler_stats
+    # Never submitted past the window once saturation folded...
+    assert stream.speculated_cases <= 2
+    assert stats["speculated"] == stream.speculated_cases
+    # ...and never got anywhere near the case budget.
+    assert stats["submitted"] <= serial.n_cases + 2
+
+
+@requires_cc
+def test_streaming_strictly_reduces_speculation(tmp_path):
+    """The regression claim from the issue: for the same worker fleet,
+    the wave loop burns up to a wave of speculated cases at saturation
+    while the bounded-window stream discards strictly fewer."""
+    cache = ArtifactCache(tmp_path / "cache")
+    prog = preprocess(build_benchmark("SPV"))
+    kwargs = dict(steps=2000, max_cases=12, plateau_patience=3, cache=cache)
+
+    wave = run_campaign(
+        prog, workers=2, batch_size=4, serve=False, threads=1,
+        scheduler="wave", **kwargs,
+    )
+    stream = run_campaign(
+        prog, workers=2, batch_size=1, window=2, serve=False, threads=1,
+        scheduler="stream", **kwargs,
+    )
+    assert wave.saturated and stream.saturated
+    _assert_outcomes_identical(wave, stream)
+    # Wave: saturation at case 4 of an 8-seed wave discards 4; the
+    # 2-deep stream window can hold at most 2 unfolded cases.
+    assert wave.speculated_cases == 4
+    assert stream.speculated_cases < wave.speculated_cases
+
+
+@requires_shared
+def test_threaded_streaming_campaign_matches_serial(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    prog = preprocess(build_benchmark("SPV"))
+    kwargs = dict(steps=1000, max_cases=8, plateau_patience=100, cache=cache)
+    serial = run_campaign(
+        prog, workers=1, batch_size=1, serve=False, threads=1,
+        scheduler="wave", **kwargs,
+    )
+    threaded = run_campaign(prog, threads=4, **kwargs)
+    _assert_outcomes_identical(serial, threaded)
+    assert threaded.scheduler_stats["mode"] == "inproc-threads"
+
+
+# ----------------------------------------------------------------------
+# campaign failure path: original traceback chained
+# ----------------------------------------------------------------------
+def test_failed_case_chains_worker_exception(monkeypatch):
+    import repro.runner.jobs as jobs_mod
+
+    original = RuntimeError("segfault in generated code")
+
+    def boom(*args, **kwargs):
+        raise original
+
+    monkeypatch.setattr(jobs_mod, "_run_once", boom)
+    prog = preprocess(build_benchmark("SPV"))
+    with pytest.raises(SimulationError) as excinfo:
+        run_campaign(prog, engine="sse", steps=100, max_cases=2)
+    assert "seed=1" in str(excinfo.value)
+    assert excinfo.value.__cause__ is original
+
+
+# ----------------------------------------------------------------------
+# scheduler internals: no deadlock, explicit knobs honored
+# ----------------------------------------------------------------------
+class TestStreamScheduler:
+    def _jobs(self, n):
+        prog = preprocess(build_benchmark("SPV"))
+        return [
+            SimulationJob(
+                prog=prog, seed=1 + i, engine="sse",
+                options=SimulationOptions(steps=60),
+            )
+            for i in range(n)
+        ]
+
+    def test_window_one_never_deadlocks(self):
+        scheduler = StreamScheduler(self._jobs(5), workers=3, window=1)
+        try:
+            seeds = [r.seed for r in scheduler.results()]
+        finally:
+            stats = scheduler.finish()
+        assert seeds == [1, 2, 3, 4, 5]
+        assert stats["speculated"] == 0
+
+    def test_stop_midway_counts_speculation(self):
+        scheduler = StreamScheduler(
+            self._jobs(8), workers=2, window=4, batch_size=1
+        )
+        folded = 0
+        try:
+            for _ in scheduler.results():
+                folded += 1
+                if folded == 2:
+                    scheduler.stop()
+                    break
+        finally:
+            stats = scheduler.finish()
+        assert stats["folded"] == 2
+        assert stats["speculated"] == stats["submitted"] - 2
+        assert stats["speculated"] <= 4  # never past the window
+
+    def test_explicit_knobs_not_tuned(self):
+        scheduler = StreamScheduler(
+            self._jobs(4), workers=2, window=3, batch_size=2, adaptive=True
+        )
+        try:
+            list(scheduler.results())
+        finally:
+            stats = scheduler.finish()
+        # Explicit window and batch: the controller must not touch them.
+        assert stats["window"] == stats["initial_window"] == 3
+        assert stats["batch_size"] == stats["initial_batch"] == 2
+
+    def test_finish_is_idempotent(self):
+        scheduler = StreamScheduler(self._jobs(2), workers=1)
+        list(scheduler.results())
+        first = scheduler.finish()
+        second = scheduler.finish()
+        assert first["folded"] == second["folded"] == 2
