@@ -100,6 +100,121 @@ class CampaignOutcome:
         return "\n".join(lines)
 
 
+def _validate_campaign_args(
+    *,
+    engine: str,
+    max_cases: int,
+    plateau_patience: int,
+    workers: int,
+    batch_size: Optional[int],
+    window: Optional[int],
+    scheduler: str,
+    threads: Optional[int],
+    options: Optional[SimulationOptions],
+    steps: Optional[int],
+) -> None:
+    """Shared validation for :func:`run_campaign` / :func:`iter_campaign`."""
+    from repro.engines.api import ENGINES
+
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; valid engines: "
+            f"{', '.join(sorted(ENGINES))}"
+        )
+    if max_cases < 1:
+        raise ValueError("max_cases must be at least 1")
+    if plateau_patience < 1:
+        raise ValueError("plateau_patience must be at least 1")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be at least 1 (None = auto)")
+    if window is not None and window < 1:
+        raise ValueError("window must be at least 1 (None = auto)")
+    if scheduler not in ("stream", "wave"):
+        raise ValueError(
+            f"scheduler must be 'stream' or 'wave', not {scheduler!r}"
+        )
+    if threads is not None and threads < 0:
+        raise ValueError("threads must be non-negative (0/None = auto)")
+    if options is not None and steps is not None:
+        raise ValueError(
+            "pass either steps= or options= (which carries its own step "
+            "count), not both"
+        )
+
+
+def iter_campaign(
+    prog: FlatProgram,
+    *,
+    engine: str = "accmos",
+    steps: Optional[int] = None,
+    max_cases: int = 16,
+    plateau_patience: int = 3,
+    base_seed: int = 1,
+    options: Optional[SimulationOptions] = None,
+    workers: int = 1,
+    mode: str = "thread",
+    cache: "Union[ArtifactCache, None, bool]" = None,
+    timeout_seconds: Optional[float] = None,
+    batch_size: Optional[int] = None,
+    serve: bool = True,
+    inproc: bool = False,
+    threads: Optional[int] = 1,
+    window: Optional[int] = None,
+    adaptive: bool = True,
+    scheduler: str = "stream",
+    server_pool=None,
+    cost_store=None,
+):
+    """The embeddable form of :func:`run_campaign`: a validated,
+    cancellable iteration over the campaign's fold loop.
+
+    Returns a :class:`~repro.runner.campaign.CampaignRun` — iterate it
+    to receive each folded :class:`CaseOutcome` in seed order; read
+    ``.outcome`` for the merged :class:`CampaignOutcome` once iteration
+    ends; call ``.cancel()`` (thread-safe) to stop submission and drain
+    in-flight work into ``outcome.speculated_cases``.  All knobs mean
+    exactly what they mean on :func:`run_campaign`; the fold is the same
+    code, so the drained iteration is byte-identical to the one-shot
+    call.
+
+    Long-lived embedders (e.g. the campaign service) may pass a shared
+    ``server_pool`` and ``cost_store``; the campaign borrows them
+    without closing or saving — the owner controls those lifetimes.
+    """
+    _validate_campaign_args(
+        engine=engine, max_cases=max_cases,
+        plateau_patience=plateau_patience, workers=workers,
+        batch_size=batch_size, window=window, scheduler=scheduler,
+        threads=threads, options=options, steps=steps,
+    )
+    from repro.runner.campaign import CampaignRun
+
+    return CampaignRun(
+        prog,
+        engine=engine,
+        steps=DEFAULT_STEPS if steps is None else steps,
+        max_cases=max_cases,
+        plateau_patience=plateau_patience,
+        base_seed=base_seed,
+        options=options,
+        workers=workers,
+        mode=mode,
+        cache=cache,
+        timeout_seconds=timeout_seconds,
+        batch_size=batch_size,
+        serve=serve,
+        inproc=inproc,
+        threads=threads,
+        window=window,
+        adaptive=adaptive,
+        scheduler=scheduler,
+        server_pool=server_pool,
+        cost_store=cost_store,
+    )
+
+
 def run_campaign(
     prog: FlatProgram,
     *,
@@ -186,34 +301,12 @@ def run_campaign(
     AccMoS, else 1.  Only applies to the AccMoS engine; a library fault
     mid-campaign falls down the usual ladder.
     """
-    from repro.engines.api import ENGINES
-
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; valid engines: "
-            f"{', '.join(sorted(ENGINES))}"
-        )
-    if max_cases < 1:
-        raise ValueError("max_cases must be at least 1")
-    if plateau_patience < 1:
-        raise ValueError("plateau_patience must be at least 1")
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
-    if batch_size is not None and batch_size < 1:
-        raise ValueError("batch_size must be at least 1 (None = auto)")
-    if window is not None and window < 1:
-        raise ValueError("window must be at least 1 (None = auto)")
-    if scheduler not in ("stream", "wave"):
-        raise ValueError(
-            f"scheduler must be 'stream' or 'wave', not {scheduler!r}"
-        )
-    if threads is not None and threads < 0:
-        raise ValueError("threads must be non-negative (0/None = auto)")
-    if options is not None and steps is not None:
-        raise ValueError(
-            "pass either steps= or options= (which carries its own step "
-            "count), not both"
-        )
+    _validate_campaign_args(
+        engine=engine, max_cases=max_cases,
+        plateau_patience=plateau_patience, workers=workers,
+        batch_size=batch_size, window=window, scheduler=scheduler,
+        threads=threads, options=options, steps=steps,
+    )
 
     from repro.runner.campaign import execute_campaign
 

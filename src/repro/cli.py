@@ -264,6 +264,15 @@ def cmd_campaign(args) -> int:
             adaptive=args.adaptive,
             scheduler=args.scheduler,
         )
+    if args.json:
+        # The canonical service encoding: this exact byte string is what
+        # the campaign service streams as its terminal outcome record,
+        # so `repro campaign --json` is the CLI side of the service's
+        # byte-identity contract.
+        from repro.service.codec import encode, outcome_record
+
+        print(encode(outcome_record(outcome)))
+        return 0
     print(outcome.summary())
     print(f"{'case':>5s} {'seed':>6s} {'steps':>12s} {'new points':>11s} "
           f"{'new diags':>10s}")
@@ -299,6 +308,19 @@ def cmd_campaign(args) -> int:
                   f"{outcome.speculated_cases}")
     if args.uncovered:
         print(coverage_listing(prog, outcome.merged, max_items=args.uncovered))
+    return 0
+
+
+def cmd_serve_api(args) -> int:
+    """Run the asyncio campaign service until interrupted."""
+    from repro.service import serve_api
+
+    serve_api(
+        host=args.host,
+        port=args.port,
+        tenant_quota=args.tenant_quota,
+        max_concurrent=args.max_concurrent,
+    )
     return 0
 
 
@@ -738,9 +760,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-case wall-clock limit for the compiled binary")
     p.add_argument("--timings", action="store_true",
                    help="print the per-phase wall-time breakdown per case")
+    p.add_argument("--json", action="store_true",
+                   help="print the canonical outcome record (the exact "
+                        "encoding the campaign service streams) instead "
+                        "of the summary tables")
     p.add_argument("--trace", metavar="FILE",
                    help="record a Chrome trace_event timeline to FILE")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve-api",
+        help="run the asyncio HTTP + WebSocket campaign service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = auto-assign; the bound port is "
+                        "printed as 'listening on HOST:PORT')")
+    p.add_argument("--tenant-quota", type=int, default=1, metavar="N",
+                   help="max concurrently running campaigns per tenant")
+    p.add_argument("--max-concurrent", type=int, default=2, metavar="N",
+                   help="max concurrently running campaigns overall")
+    p.set_defaults(fn=cmd_serve_api)
 
     p = sub.add_parser("coverage", help="detailed coverage listing")
     common(p, steps_default=100_000)

@@ -175,6 +175,334 @@ class _CampaignFold:
         return self.outcome.saturated
 
 
+class CampaignRun:
+    """One campaign as an embeddable, cancellable iteration.
+
+    The fold loop behind :func:`repro.campaign.run_campaign`, decoupled
+    from both the CLI and any event loop: iterating a ``CampaignRun``
+    yields one :class:`~repro.campaign.CaseOutcome` per folded case,
+    strictly in seed order, and :attr:`outcome` holds the merged
+    :class:`~repro.campaign.CampaignOutcome` once iteration ends —
+    normally (budget / saturation), via :meth:`cancel`, or because the
+    consumer abandoned the iterator (``close()``/GC drains in-flight
+    work exactly like a finished run, so speculation stays counted).
+
+    Embedders (the campaign service) may inject a shared ``server_pool``
+    and ``cost_store``; caller-owned resources are *not* closed or
+    saved here — the campaign only borrows them — and the pool's
+    lifetime counters are then left out of ``outcome.server_stats``
+    (they describe the pool, not this campaign).  With neither injected
+    the behavior is exactly the classic one-shot CLI campaign: private
+    pool, process-wide persistent cost store, stats merged and saved on
+    the way out.
+
+    ``cancel()`` is thread-safe and cooperative: submission stops, the
+    in-flight window drains (absorbing its cache/server/telemetry side
+    effects), and the discarded work is reported in
+    ``outcome.speculated_cases``.
+    """
+
+    def __init__(
+        self,
+        prog: FlatProgram,
+        *,
+        engine: str,
+        steps: int,
+        max_cases: int,
+        plateau_patience: int,
+        base_seed: int,
+        options: Optional[SimulationOptions],
+        workers: int = 1,
+        mode: str = "thread",
+        cache: "Union[ArtifactCache, None, bool]" = None,
+        timeout_seconds: Optional[float] = None,
+        retries: int = 1,
+        batch_size: Optional[int] = None,
+        serve: bool = False,
+        inproc: bool = False,
+        threads: Optional[int] = 1,
+        window: Optional[int] = None,
+        adaptive: bool = True,
+        scheduler: str = "stream",
+        server_pool=None,
+        cost_store: Optional[CostModelStore] = None,
+    ) -> None:
+        from repro.campaign import CampaignOutcome
+
+        self._prog = prog
+        self._engine = engine
+        self._opts = options or SimulationOptions(steps=steps)
+        self._max_cases = max_cases
+        self._plateau_patience = plateau_patience
+        self._base_seed = base_seed
+        self._cache = cache
+        self._timeout_seconds = timeout_seconds
+        self._retries = retries
+        self._window = window
+        self._adaptive = adaptive
+        self._discipline = scheduler
+
+        # Thread-parallel in-process execution replaces the worker pool
+        # wholesale: chunks route to the inproc-threads executor, which
+        # runs same-key groups on `threads` private library instances
+        # inside this process.  The server/spawn rungs stay reachable
+        # through the executor's own fault ladder, so the serve/inproc
+        # knobs (which configure the pooled dispatchers) are moot here.
+        threads = resolve_threads(threads, engine=engine)
+        if threads > 1 and engine == "accmos":
+            mode = "inproc-threads"
+            workers = threads
+            serve = False
+            inproc = False
+        self._threads = threads
+        self._mode = mode
+        self._workers = workers
+
+        self._batch_fixed = batch_size is not None
+        self._batch_size = resolve_batch_size(
+            batch_size, engine=engine, max_cases=max_cases, workers=workers
+        )
+
+        # One warm-server pool for the whole campaign (thread/inline
+        # mode): servers survive across chunks, so the steady state
+        # respawns nothing.  Process mode keeps pools inside the worker
+        # processes instead; their counter deltas ride back on the
+        # JobResults.
+        self._serve = serve and engine == "accmos" and self._batch_size > 1
+        # The in-process rung shares the batching gate: it only pays off
+        # (and only applies) when batches of accmos cases share an
+        # artifact.
+        self._inproc = inproc and engine == "accmos" and self._batch_size > 1
+        self._own_pool = False
+        if server_pool is None and self._serve and mode != "process":
+            from repro.runner.servers import ServerPool
+
+            server_pool = ServerPool(max_servers=max(workers * 2, 4))
+            self._own_pool = True
+        self._server_pool = server_pool if self._serve else None
+
+        # Every mode's observed execute timings feed the persistent cost
+        # model, keyed by (engine, compile key), so the *next* campaign's
+        # admission and shard packing start from this machine's real
+        # rates.  A caller-owned store is observed into but never saved
+        # here — its owner decides when to persist.
+        self._own_store = cost_store is None
+        self._cost_store = (
+            default_cost_store() if cost_store is None else cost_store
+        )
+
+        self.outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
+        self._cancelled = False
+        self._scheduler: Optional[StreamScheduler] = None
+        self._iterated = False
+
+    # -- control ---------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop submitting new cases (thread-safe, cooperative).
+
+        The iterator ends after the current fold; in-flight work drains
+        into ``outcome.speculated_cases``.
+        """
+        self._cancelled = True
+        live = self._scheduler
+        if live is not None:
+            live.stop()
+
+    # -- iteration -------------------------------------------------------
+    def __iter__(self):
+        return self.cases()
+
+    def cases(self):
+        """Yield each folded :class:`~repro.campaign.CaseOutcome` in
+        seed order; finalization (pool close, cost-store save, stats)
+        runs however iteration ends."""
+        if self._iterated:
+            raise RuntimeError("a CampaignRun can only be iterated once")
+        self._iterated = True
+        outcome = self.outcome
+        try:
+            with telemetry.span(
+                "campaign", model=self._prog.model.name, engine=self._engine,
+                max_cases=self._max_cases, workers=self._workers,
+                mode=self._mode, batch_size=self._batch_size,
+                serve=self._serve, inproc=self._inproc,
+                threads=self._threads, scheduler=self._discipline,
+            ) as campaign_span:
+                if self._discipline == "wave":
+                    for case in self._waves():
+                        yield case
+                else:
+                    for case in self._stream():
+                        yield case
+                campaign_span.set(
+                    cases=len(outcome.cases), saturated=outcome.saturated,
+                    speculated=outcome.speculated_cases,
+                )
+        finally:
+            if self._own_pool and self._server_pool is not None:
+                from repro.runner.servers import merge_server_stats
+
+                outcome.server_stats = merge_server_stats(
+                    outcome.server_stats, self._server_pool.stats()
+                )
+                self._server_pool.close()
+                self._server_pool = None
+            if self._own_store:
+                self._cost_store.save()
+            telemetry.counter_inc("campaign.runs")
+            telemetry.counter_inc("campaign.cases", len(outcome.cases))
+
+    # -- dispatch disciplines --------------------------------------------
+    def _jobs(self) -> "list[SimulationJob]":
+        return [
+            SimulationJob(
+                prog=self._prog, seed=self._base_seed + i,
+                engine=self._engine, options=self._opts,
+            )
+            for i in range(self._max_cases)
+        ]
+
+    def _stream(self):
+        """The streaming path: fold results the moment seed order allows."""
+        outcome = self.outcome
+        fold = _CampaignFold(
+            outcome, engine=self._engine,
+            plateau_patience=self._plateau_patience,
+        )
+
+        def on_server_stats(stats: dict) -> None:
+            # Discarded-on-saturation results still ran; their
+            # server-pool counters still count.
+            from repro.runner.servers import merge_server_stats
+
+            outcome.server_stats = merge_server_stats(
+                outcome.server_stats, stats
+            )
+
+        scheduler = StreamScheduler(
+            self._jobs(),
+            workers=self._workers,
+            mode=self._mode,
+            window=self._window,
+            batch_size=self._batch_size,
+            tune_batch=self._adaptive and not self._batch_fixed,
+            tune_window=self._adaptive and self._window is None,
+            cache=self._cache,
+            timeout_seconds=self._timeout_seconds,
+            retries=self._retries,
+            serve=self._serve,
+            inproc=self._inproc,
+            server_pool=self._server_pool if self._mode != "process" else None,
+            cost_store=self._cost_store,
+            on_server_stats=on_server_stats,
+        )
+        self._scheduler = scheduler
+        if self._cancelled:
+            scheduler.stop()  # cancel raced construction: submit nothing
+        try:
+            for job_result in scheduler.results():
+                saturated = fold.fold(job_result)
+                yield outcome.cases[-1]
+                if saturated or self._cancelled:
+                    scheduler.stop()
+                    break
+        finally:
+            self._scheduler = None
+            stats = scheduler.finish()
+            outcome.scheduler_stats = stats
+            outcome.speculated_cases = stats.get("speculated", 0)
+            outcome.merged = fold.merged
+
+    def _waves(self):
+        """The legacy wave loop: barrier dispatch, seed-ordered fold."""
+        outcome = self.outcome
+        observe = _cost_observer(
+            self._cost_store, self._opts,
+            cost_key(self._engine, self._prog, self._opts),
+            len(self._prog.actors), mode=self._mode,
+        )
+        fold = _CampaignFold(
+            outcome, engine=self._engine,
+            plateau_patience=self._plateau_patience, observe=observe,
+        )
+        try:
+            # With batching, each worker slot chews through batch_size
+            # cases per process spawn, so a wave carries workers *
+            # batch_size seeds.  The speculation bound at mid-wave
+            # saturation (or cancel) grows accordingly.
+            wave = max(1, self._workers) * max(1, self._batch_size)
+            index = 0
+            while (
+                index < self._max_cases
+                and not outcome.saturated
+                and not self._cancelled
+            ):
+                seeds = [
+                    self._base_seed + i
+                    for i in range(index, min(index + wave, self._max_cases))
+                ]
+                index += len(seeds)
+                results = run_jobs(
+                    [
+                        SimulationJob(
+                            prog=self._prog, seed=seed,
+                            engine=self._engine, options=self._opts,
+                        )
+                        for seed in seeds
+                    ],
+                    workers=self._workers,
+                    mode=self._mode,
+                    cache=self._cache,
+                    timeout_seconds=self._timeout_seconds,
+                    retries=self._retries,
+                    batch_size=self._batch_size,
+                    serve=self._serve,
+                    inproc=self._inproc,
+                    server_pool=(
+                        self._server_pool
+                        if self._mode != "process"
+                        else None
+                    ),
+                )
+
+                # Process-mode chunks ship their worker pool's counter
+                # deltas; fold them before the merge (discarded-on-
+                # saturation results still ran, so their counters still
+                # count).
+                if self._serve:
+                    from repro.runner.servers import merge_server_stats
+
+                    for job_result in results:
+                        if job_result.server_stats:
+                            outcome.server_stats = merge_server_stats(
+                                outcome.server_stats,
+                                job_result.server_stats,
+                            )
+
+                # Ordered merge: fold strictly in seed order, stop at
+                # saturation (or cooperative cancel).
+                folded = 0
+                for job_result in results:
+                    folded += 1
+                    saturated = fold.fold(job_result)
+                    yield outcome.cases[-1]
+                    if saturated or self._cancelled:
+                        break  # later results of this wave are discarded
+                if outcome.saturated or self._cancelled:
+                    outcome.speculated_cases += len(results) - folded
+
+            if outcome.speculated_cases:
+                telemetry.counter_inc(
+                    "campaign.speculated_cases", outcome.speculated_cases
+                )
+        finally:
+            outcome.merged = fold.merged
+
+
 def execute_campaign(
     prog: FlatProgram,
     *,
@@ -196,94 +524,40 @@ def execute_campaign(
     window: Optional[int] = None,
     adaptive: bool = True,
     scheduler: str = "stream",
+    server_pool=None,
+    cost_store: Optional[CostModelStore] = None,
 ):
-    """Run the campaign; see :func:`repro.campaign.run_campaign`.
-
-    Arguments are pre-validated by the public wrapper.
-    """
-    from repro.campaign import CampaignOutcome
-
-    opts = options or SimulationOptions(steps=steps)
-    outcome = CampaignOutcome(merged=None)  # type: ignore[arg-type]
-
-    # Thread-parallel in-process execution replaces the worker pool
-    # wholesale: chunks route to the inproc-threads executor, which runs
-    # same-key groups on `threads` private library instances inside this
-    # process.  The server/spawn rungs stay reachable through the
-    # executor's own fault ladder, so the serve/inproc knobs (which
-    # configure the pooled dispatchers) are moot here.
-    threads = resolve_threads(threads, engine=engine)
-    if threads > 1 and engine == "accmos":
-        mode = "inproc-threads"
-        workers = threads
-        serve = False
-        inproc = False
-
-    batch_fixed = batch_size is not None
-    batch_size = resolve_batch_size(
-        batch_size, engine=engine, max_cases=max_cases, workers=workers
+    """Run the campaign to completion; see
+    :func:`repro.campaign.run_campaign`.  Arguments are pre-validated by
+    the public wrapper.  The fold loop itself lives in
+    :class:`CampaignRun` so embedders can drive (and cancel) it
+    incrementally; this drains it."""
+    run = CampaignRun(
+        prog,
+        engine=engine,
+        steps=steps,
+        max_cases=max_cases,
+        plateau_patience=plateau_patience,
+        base_seed=base_seed,
+        options=options,
+        workers=workers,
+        mode=mode,
+        cache=cache,
+        timeout_seconds=timeout_seconds,
+        retries=retries,
+        batch_size=batch_size,
+        serve=serve,
+        inproc=inproc,
+        threads=threads,
+        window=window,
+        adaptive=adaptive,
+        scheduler=scheduler,
+        server_pool=server_pool,
+        cost_store=cost_store,
     )
-
-    # One warm-server pool for the whole campaign (thread/inline mode):
-    # servers survive across chunks, so the steady state respawns
-    # nothing.  Process mode keeps pools inside the worker processes
-    # instead; their counter deltas ride back on the JobResults.
-    serve = serve and engine == "accmos" and batch_size > 1
-    # The in-process rung shares the batching gate: it only pays off
-    # (and only applies) when batches of accmos cases share an artifact.
-    inproc = inproc and engine == "accmos" and batch_size > 1
-    server_pool = None
-    if serve and mode != "process":
-        from repro.runner.servers import ServerPool
-
-        server_pool = ServerPool(max_servers=max(workers * 2, 4))
-
-    # Every mode's observed execute timings feed the persistent cost
-    # model, keyed by (engine, compile key), so the *next* campaign's
-    # admission and shard packing start from this machine's real rates.
-    cost_store = default_cost_store()
-
-    try:
-        with telemetry.span(
-            "campaign", model=prog.model.name, engine=engine,
-            max_cases=max_cases, workers=workers, mode=mode,
-            batch_size=batch_size, serve=serve, inproc=inproc,
-            threads=threads, scheduler=scheduler,
-        ) as campaign_span:
-            common = dict(
-                engine=engine, max_cases=max_cases,
-                plateau_patience=plateau_patience, base_seed=base_seed,
-                workers=workers, mode=mode, cache=cache,
-                timeout_seconds=timeout_seconds, retries=retries,
-                batch_size=batch_size, serve=serve, inproc=inproc,
-                server_pool=server_pool, cost_store=cost_store,
-            )
-            if scheduler == "wave":
-                _campaign_waves(prog, outcome, opts, **common)
-            else:
-                _campaign_stream(
-                    prog, outcome, opts,
-                    window=window,
-                    adaptive=adaptive,
-                    batch_fixed=batch_fixed,
-                    **common,
-                )
-            campaign_span.set(
-                cases=len(outcome.cases), saturated=outcome.saturated,
-                speculated=outcome.speculated_cases,
-            )
-    finally:
-        if server_pool is not None:
-            from repro.runner.servers import merge_server_stats
-
-            outcome.server_stats = merge_server_stats(
-                outcome.server_stats, server_pool.stats()
-            )
-            server_pool.close()
-        cost_store.save()
-    telemetry.counter_inc("campaign.runs")
-    telemetry.counter_inc("campaign.cases", len(outcome.cases))
-    return outcome
+    for _ in run.cases():
+        pass
+    return run.outcome
 
 
 def _cost_observer(
@@ -309,158 +583,3 @@ def _cost_observer(
             cost_store.observe(key, opts.steps, actors, seconds)
 
     return observe
-
-
-def _campaign_stream(
-    prog: FlatProgram,
-    outcome,
-    opts: SimulationOptions,
-    *,
-    engine: str,
-    max_cases: int,
-    plateau_patience: int,
-    base_seed: int,
-    workers: int,
-    mode: str,
-    cache,
-    timeout_seconds: Optional[float],
-    retries: int,
-    batch_size: int,
-    batch_fixed: bool,
-    window: Optional[int],
-    adaptive: bool,
-    serve: bool,
-    inproc: bool,
-    server_pool,
-    cost_store: CostModelStore,
-) -> None:
-    """The streaming path: fold results the moment seed order allows."""
-    fold = _CampaignFold(
-        outcome, engine=engine, plateau_patience=plateau_patience,
-    )
-    jobs = [
-        SimulationJob(prog=prog, seed=base_seed + i, engine=engine, options=opts)
-        for i in range(max_cases)
-    ]
-
-    def on_server_stats(stats: dict) -> None:
-        # Discarded-on-saturation results still ran; their server-pool
-        # counters still count.
-        from repro.runner.servers import merge_server_stats
-
-        outcome.server_stats = merge_server_stats(
-            outcome.server_stats, stats
-        )
-
-    scheduler = StreamScheduler(
-        jobs,
-        workers=workers,
-        mode=mode,
-        window=window,
-        batch_size=batch_size,
-        tune_batch=adaptive and not batch_fixed,
-        tune_window=adaptive and window is None,
-        cache=cache,
-        timeout_seconds=timeout_seconds,
-        retries=retries,
-        serve=serve,
-        inproc=inproc,
-        server_pool=server_pool,
-        cost_store=cost_store,
-        on_server_stats=on_server_stats,
-    )
-    try:
-        for job_result in scheduler.results():
-            if fold.fold(job_result):
-                scheduler.stop()
-                break
-    finally:
-        stats = scheduler.finish()
-        outcome.scheduler_stats = stats
-        outcome.speculated_cases = stats.get("speculated", 0)
-    outcome.merged = fold.merged
-
-
-def _campaign_waves(
-    prog: FlatProgram,
-    outcome,
-    opts: SimulationOptions,
-    *,
-    engine: str,
-    max_cases: int,
-    plateau_patience: int,
-    base_seed: int,
-    workers: int,
-    mode: str,
-    cache,
-    timeout_seconds: Optional[float],
-    retries: int,
-    batch_size: int = 1,
-    serve: bool = False,
-    inproc: bool = False,
-    server_pool=None,
-    cost_store: Optional[CostModelStore] = None,
-) -> None:
-    """The legacy wave loop: barrier dispatch, seed-ordered fold."""
-    observe = None
-    if cost_store is not None:
-        observe = _cost_observer(
-            cost_store, opts, cost_key(engine, prog, opts),
-            len(prog.actors), mode=mode,
-        )
-    fold = _CampaignFold(
-        outcome, engine=engine, plateau_patience=plateau_patience,
-        observe=observe,
-    )
-    # With batching, each worker slot chews through batch_size cases per
-    # process spawn, so a wave carries workers * batch_size seeds.  The
-    # speculation bound at mid-wave saturation grows accordingly.
-    wave = max(1, workers) * max(1, batch_size)
-    index = 0
-    while index < max_cases and not outcome.saturated:
-        seeds = [
-            base_seed + i for i in range(index, min(index + wave, max_cases))
-        ]
-        index += len(seeds)
-        results = run_jobs(
-            [
-                SimulationJob(prog=prog, seed=seed, engine=engine, options=opts)
-                for seed in seeds
-            ],
-            workers=workers,
-            mode=mode,
-            cache=cache,
-            timeout_seconds=timeout_seconds,
-            retries=retries,
-            batch_size=batch_size,
-            serve=serve,
-            inproc=inproc,
-            server_pool=server_pool,
-        )
-
-        # Process-mode chunks ship their worker pool's counter deltas;
-        # fold them before the merge (discarded-on-saturation results
-        # still ran, so their counters still count).
-        if serve:
-            from repro.runner.servers import merge_server_stats
-
-            for job_result in results:
-                if job_result.server_stats:
-                    outcome.server_stats = merge_server_stats(
-                        outcome.server_stats, job_result.server_stats
-                    )
-
-        # Ordered merge: fold strictly in seed order, stop at saturation.
-        folded = 0
-        for job_result in results:
-            folded += 1
-            if fold.fold(job_result):
-                break  # later results of this wave are discarded
-        if outcome.saturated:
-            outcome.speculated_cases += len(results) - folded
-
-    if outcome.speculated_cases:
-        telemetry.counter_inc(
-            "campaign.speculated_cases", outcome.speculated_cases
-        )
-    outcome.merged = fold.merged

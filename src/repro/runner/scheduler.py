@@ -70,7 +70,12 @@ from concurrent.futures import (
 from typing import TYPE_CHECKING, Callable, Iterator, Optional, Sequence, Union
 
 from repro import telemetry
-from repro.runner.costmodel import CostModelStore, cost_key, default_cost_store
+from repro.runner.costmodel import (
+    CostModelStore,
+    cost_key,
+    default_cost_store,
+    plan_chunks,
+)
 from repro.runner.jobs import (
     JobResult,
     SimulationJob,
@@ -93,6 +98,13 @@ class ReorderBuffer:
     — possibly empty — run of items that just became releasable: the
     contiguous prefix starting at the current frontier.  Indices are the
     0-based submission positions; each must be pushed exactly once.
+
+    The two ways a push can be invalid get *distinct* errors — a
+    duplicate of a still-held index ("pushed twice") versus an index
+    below the frontier ("already released") — because the campaign
+    service surfaces these to users on its cancel path, where "a result
+    arrived after its seed was folded and discarded" and "the same
+    result arrived twice" call for very different debugging.
     """
 
     def __init__(self, start: int = 0) -> None:
@@ -108,7 +120,12 @@ class ReorderBuffer:
         return len(self._held)
 
     def push(self, index: int, item) -> "list[tuple[int, object]]":
-        if index < self.next_index or index in self._held:
+        if index < self.next_index:
+            raise ValueError(
+                f"index {index} is below the frontier {self.next_index} "
+                "(already released)"
+            )
+        if index in self._held:
             raise ValueError(f"index {index} pushed twice")
         self._held[index] = item
         self.max_depth = max(self.max_depth, len(self._held))
@@ -414,9 +431,22 @@ class StreamScheduler:
             cost_key(job.engine, job.prog, job.resolved_options())
             for job in self._jobs
         ]
-        self._is_long = self._classify_long()
+        self._costs = self._predict_costs()
+        self._is_long = self._classify_long(self._costs)
         self._long_cap = max(1, workers // 2)
         self._long_running = 0
+        # Cost-packed chunk plans: index -> its planned chunk.  Built
+        # lazily per (key, cost-class) group when predictions vary, so
+        # pooled chunks equalize predicted worker wall-clock instead of
+        # packing greedily by arrival.  Invalidated whenever the cost
+        # store's penalty generation moves (e.g. a flapping server
+        # demoted its artifact) — stale plans would fight the fresh
+        # classification.
+        self._planned_chunks: "dict[int, list[int]]" = {}
+        self._packed_chunks = 0
+        self._cost_generation = (
+            cost_store.generation if cost_store is not None else 0
+        )
 
         self._pending: "list[int]" = list(range(self._total))
         self._reorder = ReorderBuffer()
@@ -473,18 +503,39 @@ class StreamScheduler:
             return batch * max(1, self._workers)
         return batch
 
-    def _classify_long(self) -> "list[bool]":
+    def _predict_costs(self) -> "Optional[list[float]]":
         if self._cost_store is None or self._total < 2:
-            return [False] * self._total
-        costs = [
+            return None
+        return [
             self._cost_store.predict(key, steps, actors)
             for key, (steps, actors) in zip(self._cost_keys, self._sizes)
         ]
+
+    def _classify_long(
+        self, costs: "Optional[list[float]]"
+    ) -> "list[bool]":
+        if costs is None:
+            return [False] * self._total
         ordered = sorted(costs)
         median = ordered[len(ordered) // 2]
         if median <= 0.0 or max(costs) <= median * LONG_COST_RATIO:
             return [False] * self._total
         return [cost > median * LONG_COST_RATIO for cost in costs]
+
+    def _refresh_costs(self) -> None:
+        """Re-predict and re-classify when the cost store's penalty
+        generation moved mid-run (a flapping server demoted its
+        artifact): not-yet-submitted cases of that artifact re-route to
+        the capped long slots, and stale chunk plans are dropped."""
+        if self._cost_store is None:
+            return
+        generation = self._cost_store.generation
+        if generation == self._cost_generation:
+            return
+        self._cost_generation = generation
+        self._costs = self._predict_costs()
+        self._is_long = self._classify_long(self._costs)
+        self._planned_chunks.clear()
 
     # -- public surface --------------------------------------------------
     @property
@@ -599,6 +650,7 @@ class StreamScheduler:
             "cancelled": self._cancelled_cases,
             "chunks": self._chunks_submitted,
             "long_chunks": self._long_chunks,
+            "cost_packed_chunks": self._packed_chunks,
             "max_in_flight": self._max_in_flight,
             "max_reorder_depth": self._reorder.max_depth,
             "utilization": utilization,
@@ -657,6 +709,7 @@ class StreamScheduler:
         long-slot cap whenever nothing else can make progress; that is
         the no-deadlock invariant.
         """
+        self._refresh_costs()
         while self._pending and not self._stopped:
             can_progress = bool(self._futures) or bool(self._ready)
             if self._in_flight_cases < self._controller.window:
@@ -691,6 +744,18 @@ class StreamScheduler:
             if start_pos is None:
                 return None  # only longs left: wait for a slot
         start = self._pending[start_pos]
+        planned = self._planned_chunks.get(start)
+        if planned is None:
+            planned = self._plan_group(start_pos)
+        if planned is not None:
+            for index in planned:
+                self._planned_chunks.pop(index, None)
+            members = set(planned)
+            self._pending = [
+                index for index in self._pending if index not in members
+            ]
+            self._packed_chunks += 1
+            return planned
         key = self._keys[start]
         long = self._is_long[start]
         limit = self._chunk_cases()
@@ -709,6 +774,63 @@ class StreamScheduler:
         for pos in reversed(taken):
             del self._pending[pos]
         return chunk
+
+    def _plan_group(self, start_pos: int) -> "Optional[list[int]]":
+        """Cost-pack the pending group around ``self._pending[start_pos]``.
+
+        When predictions vary inside a (compile key, cost class) group,
+        greedy arrival packing gives every chunk the same *count* but
+        wildly different predicted cost — and one chunk occupies one
+        pooled worker slot, so chunk-cost skew is worker wall-clock
+        skew.  This plans the next ``chunk_cases × concurrency`` group
+        members into cost-equalized chunks via
+        :func:`~repro.runner.costmodel.plan_chunks` (best-of LPT /
+        round-robin, never predicted worse than round-robin), registers
+        every planned chunk, and returns the one containing the start
+        case.  Uniform predictions — the cold-model default and the
+        single-model steady state — return None: greedy arrival packing
+        is already balanced there, and singleton dispatch overheads
+        aren't worth re-chunking for.
+        """
+        if self._costs is None or self._chunk_concurrency <= 1:
+            return None
+        limit = self._chunk_cases()
+        if limit <= 1:
+            return None
+        start = self._pending[start_pos]
+        key = self._keys[start]
+        if key is None:
+            return None
+        long = self._is_long[start]
+        horizon = limit * self._chunk_concurrency
+        group = [start]
+        for pos in range(start_pos + 1, len(self._pending)):
+            if len(group) >= horizon:
+                break
+            index = self._pending[pos]
+            if (
+                self._keys[index] == key
+                and self._is_long[index] == long
+                and index not in self._planned_chunks
+            ):
+                group.append(index)
+        if len(group) <= 1:
+            return None
+        costs = [self._costs[index] for index in group]
+        if min(costs) == max(costs):
+            return None
+        chunks = plan_chunks(
+            costs, min(self._chunk_concurrency, len(group)), limit
+        )
+        start_chunk: "Optional[list[int]]" = None
+        for local_chunk in chunks:
+            chunk = [group[local] for local in local_chunk]
+            if start in chunk:
+                start_chunk = chunk
+            else:
+                for index in chunk:
+                    self._planned_chunks[index] = chunk
+        return start_chunk
 
     # -- execution -------------------------------------------------------
     def _submit(self, chunk: "list[int]") -> None:

@@ -37,7 +37,14 @@ _COUNTERS = (
     "retired_idle",
     "retired_lru",
     "retired_error",
+    "flapped_artifacts",
 )
+
+# An artifact whose warm servers restarted this many times is *flapping*:
+# every stream it serves is paying restart + resubmission freight that
+# the observed execute seconds never show, so the pool demotes its
+# predicted cost (see ServerPool.note_restarts).
+FLAP_RESTART_THRESHOLD = 3
 
 
 class ServerPool:
@@ -52,10 +59,15 @@ class ServerPool:
         *,
         max_servers: int = 8,
         idle_ttl_seconds: float = 300.0,
+        cost_store=None,
+        flap_restart_threshold: int = FLAP_RESTART_THRESHOLD,
+        flap_penalty: Optional[float] = None,
         _clock=time.monotonic,
     ) -> None:
         if max_servers < 1:
             raise ValueError("max_servers must be at least 1")
+        if flap_restart_threshold < 1:
+            raise ValueError("flap_restart_threshold must be at least 1")
         self.max_servers = max_servers
         self.idle_ttl_seconds = idle_ttl_seconds
         self._clock = _clock
@@ -68,6 +80,17 @@ class ServerPool:
         )
         self._closed = False
         self.counters: dict[str, int] = {name: 0 for name in _COUNTERS}
+        # Flap detection: reuse/restart counters *per artifact*, feeding
+        # cost admission.  When an artifact's restarts cross the
+        # threshold, its CaseCostModel in ``cost_store`` is penalized so
+        # the scheduler routes its cases to the capped long slots
+        # instead of letting optimistic predictions head-of-line block
+        # short cases of healthy artifacts.
+        self._cost_store = cost_store
+        self.flap_restart_threshold = flap_restart_threshold
+        self._flap_penalty = flap_penalty
+        self._artifact_counters: "dict[str, dict[str, int]]" = {}
+        self._flapped: "set[str]" = set()
 
     # -- bookkeeping -----------------------------------------------------
     @staticmethod
@@ -80,6 +103,68 @@ class ServerPool:
     def _count(self, name: str, value: int = 1) -> None:
         with self._lock:
             self.counters[name] += value
+
+    def _count_artifact(self, key: str, name: str, value: int = 1) -> None:
+        with self._lock:
+            counters = self._artifact_counters.setdefault(
+                key, {"spawns": 0, "reuses": 0, "restarts": 0}
+            )
+            counters[name] += value
+
+    # -- flap detection --------------------------------------------------
+    def restart_count(self, artifact_key: str) -> int:
+        """Total restarts this pool has seen for one artifact."""
+        with self._lock:
+            counters = self._artifact_counters.get(artifact_key)
+            return counters["restarts"] if counters else 0
+
+    def artifact_stats(self) -> "dict[str, dict[str, int]]":
+        """Per-artifact spawn/reuse/restart counters (copy)."""
+        with self._lock:
+            return {
+                key: dict(counters)
+                for key, counters in self._artifact_counters.items()
+            }
+
+    def note_restarts(
+        self, artifact_key: str, restarts: int, cost_key: Optional[str] = None
+    ) -> bool:
+        """Record stream-level restarts for an artifact; returns True the
+        moment the artifact crosses the flap threshold.
+
+        Crossing the threshold penalizes the artifact's cost model (when
+        the pool holds a ``cost_store`` and the caller knows the cost
+        key), demoting its predicted cost so admission routes its cases
+        to the capped long slots.  The penalty fires once per artifact —
+        it ratchets, so repeated flapping doesn't multiply forever.
+        """
+        if restarts <= 0:
+            return False
+        self._count_artifact(artifact_key, "restarts", restarts)
+        with self._lock:
+            if artifact_key in self._flapped:
+                return False
+            total = self._artifact_counters[artifact_key]["restarts"]
+            if total < self.flap_restart_threshold:
+                return False
+            self._flapped.add(artifact_key)
+            self.counters["flapped_artifacts"] += 1
+        telemetry.counter_inc("runner.server.flapped_artifacts")
+        if self._cost_store is not None and cost_key is not None:
+            if self._flap_penalty is None:
+                self._cost_store.penalize(cost_key)
+            else:
+                self._cost_store.penalize(cost_key, self._flap_penalty)
+        return True
+
+    @staticmethod
+    def _cost_key_for(model: "CompiledModel") -> Optional[str]:
+        from repro.runner.costmodel import cost_key
+
+        try:
+            return cost_key("accmos", model.prog, model.options)
+        except Exception:
+            return None  # prediction demotion is best-effort
 
     def _sweep_idle_locked(self, now: float) -> None:
         if self.idle_ttl_seconds is None:
@@ -114,6 +199,7 @@ class ServerPool:
                     del self._idle[entry_key]
                     if server.alive:
                         self._count("reuses")
+                        self._count_artifact(key, "reuses")
                         telemetry.counter_inc("runner.server.reuses")
                         return server
                     # Died while idle — retire and fall through to spawn.
@@ -125,6 +211,7 @@ class ServerPool:
         # other workers.  ModelServer books runner.server.spawns itself.
         server = model.serve()
         self._count("spawns")
+        self._count_artifact(key, "spawns")
         return server
 
     def release(self, model: "CompiledModel", server: "ModelServer") -> None:
@@ -185,8 +272,17 @@ class ServerPool:
         except BaseException:
             self.retire(server)
             raise
+        restarts = server.restarts - restarts_before
         with self._lock:
-            self._count("restarts", server.restarts - restarts_before)
+            self._count("restarts", restarts)
+        if restarts:
+            # Feed the flap detector: an artifact whose streams keep
+            # restarting gets its predicted cost demoted for admission.
+            self.note_restarts(
+                self.artifact_key(model),
+                restarts,
+                cost_key=self._cost_key_for(model),
+            )
         self.release(model, server)
         return outcomes
 

@@ -1,0 +1,201 @@
+"""A small blocking client for the campaign service.
+
+Used by the test suite, the CI smoke job, and the service benchmark —
+anywhere a plain synchronous caller wants to drive the API without
+standing up an event loop.  One TCP connection per HTTP request
+(the server answers ``Connection: close``); the stream method holds a
+dedicated WebSocket connection and yields decoded events.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterator, Optional
+
+from repro.service.wire import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    WireError,
+    ws_client_handshake,
+    ws_encode_frame,
+    ws_read_frame_sync,
+)
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the status and the decoded body."""
+
+    def __init__(self, status: int, body) -> None:
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plain HTTP --------------------------------------------------------
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> "tuple[int, object]":
+        payload = b""
+        headers = [f"{method} {path} HTTP/1.1", f"Host: {self.host}"]
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers.append("Content-Type: application/json")
+            headers.append(f"Content-Length: {len(payload)}")
+        headers.append("Connection: close")
+        request = ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
+
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(request + payload)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        status = int(status_line.split()[1])
+        try:
+            decoded: object = json.loads(rest.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            decoded = rest.decode("utf-8", "replace")
+        return status, decoded
+
+    def _checked(self, method: str, path: str, body=None):
+        status, decoded = self.request(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- the campaign API --------------------------------------------------
+    def health(self) -> bool:
+        status, _ = self.request("GET", "/healthz")
+        return status == 200
+
+    def submit(self, spec: dict) -> str:
+        return self._checked("POST", "/campaigns", spec)["id"]
+
+    def status(self, campaign_id: str) -> dict:
+        return self._checked("GET", f"/campaigns/{campaign_id}")
+
+    def events(self, campaign_id: str, cursor: int = 0) -> dict:
+        return self._checked(
+            "GET", f"/campaigns/{campaign_id}/events?cursor={cursor}"
+        )
+
+    def cancel(self, campaign_id: str) -> dict:
+        return self._checked("DELETE", f"/campaigns/{campaign_id}")
+
+    def stream_raw(
+        self, campaign_id: str, cursor: int = 0
+    ) -> "Iterator[bytes]":
+        """The WebSocket event stream as raw text-frame payloads.
+
+        This is the byte-identity surface: each yielded value is exactly
+        the canonical encoded event the server framed.  Closes the
+        socket (politely, masked close frame) when the generator is
+        exhausted or dropped.
+        """
+        path = f"/campaigns/{campaign_id}/stream?cursor={cursor}"
+        handshake, expect_accept = ws_client_handshake(self.host, path)
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            sock.sendall(handshake)
+            reply, extra = _read_until(sock, b"\r\n\r\n")
+            status_line, _, header_block = reply.partition(b"\r\n")
+            status = int(status_line.split()[1])
+            if status != 101:
+                raise ServiceError(
+                    status, reply.decode("latin-1", "replace")
+                )
+            accept = _header_value(header_block, b"sec-websocket-accept")
+            if accept != expect_accept:
+                raise WireError(
+                    "bad Sec-WebSocket-Accept: handshake corrupted"
+                )
+
+            read_exactly = _exact_reader(sock, extra)
+            while True:
+                opcode, payload = ws_read_frame_sync(read_exactly)
+                if opcode == OP_CLOSE:
+                    break
+                if opcode == OP_PING:
+                    sock.sendall(
+                        ws_encode_frame(payload, opcode=OP_PONG, mask=True)
+                    )
+                    continue
+                if opcode == OP_TEXT:
+                    yield payload
+        finally:
+            try:
+                sock.sendall(
+                    ws_encode_frame(b"\x03\xe8", opcode=OP_CLOSE, mask=True)
+                )
+            except OSError:
+                pass
+            sock.close()
+
+    def stream(
+        self, campaign_id: str, cursor: int = 0
+    ) -> "Iterator[dict]":
+        """The event stream, decoded."""
+        for payload in self.stream_raw(campaign_id, cursor):
+            yield json.loads(payload.decode("utf-8"))
+
+
+def _read_until(
+    sock: socket.socket, marker: bytes
+) -> "tuple[bytes, bytes]":
+    """Read up to (and excluding) ``marker``; frames can ride the same
+    recv as the handshake tail, so the leftover bytes are returned too."""
+    data = b""
+    while marker not in data:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise WireError("connection closed during handshake")
+        data += chunk
+        if len(data) > 64 * 1024:
+            raise WireError("oversized handshake response")
+    head, _, extra = data.partition(marker)
+    return head, extra
+
+
+def _exact_reader(sock: socket.socket, initial: bytes = b""):
+    """A ``read_exactly(n)`` over a socket, honoring any bytes that
+    arrived with the handshake response."""
+    buffered = [initial]
+
+    def read_exactly(n: int) -> bytes:
+        data = buffered[0]
+        while len(data) < n:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise WireError("connection closed mid-frame")
+            data += chunk
+        buffered[0] = data[n:]
+        return data[:n]
+
+    return read_exactly
+
+
+def _header_value(block: bytes, name: bytes) -> Optional[str]:
+    for line in block.split(b"\r\n"):
+        key, _, value = line.partition(b":")
+        if key.strip().lower() == name:
+            return value.strip().decode("latin-1")
+    return None

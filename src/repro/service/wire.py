@@ -1,0 +1,273 @@
+"""Minimal HTTP/1.1 + RFC 6455 WebSocket framing on the stdlib only.
+
+The container ships no third-party HTTP stack, and the service needs
+exactly four verbs and a one-direction event stream — little enough
+that hand-rolled framing is smaller than a dependency.  The encoders
+are pure functions shared by the asyncio server and the blocking test
+client; only the readers come in async (server) and sync (client)
+flavors.
+
+Scope deliberately covered: request line + headers + Content-Length
+bodies, canonical status responses, the WebSocket upgrade handshake,
+and single-fragment text/close/ping frames with client masking (clients
+MUST mask; servers MUST NOT).  Scope deliberately *not* covered:
+chunked transfer, continuation frames, extensions, compression — the
+service never produces them and rejects them loudly rather than
+mis-parsing.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+MAX_REQUEST_BODY = 8 * 1024 * 1024  # campaign specs are small; 8 MiB is generous
+MAX_HEADER_LINE = 16 * 1024
+MAX_WS_PAYLOAD = 64 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    101: "Switching Protocols",
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+class WireError(Exception):
+    """A malformed request or frame (connection gets dropped)."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: "dict[str, str]" = field(default_factory=dict)
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError(f"request body is not valid JSON: {exc}")
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "upgrade" in self.headers.get("connection", "").lower()
+            and self.headers.get("upgrade", "").lower() == "websocket"
+        )
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Parse one request off an asyncio stream; None on clean EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    if len(line) > MAX_HEADER_LINE:
+        raise WireError("request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise WireError(f"malformed request line: {line!r}")
+    if not version.startswith("HTTP/1."):
+        raise WireError(f"unsupported protocol: {version.strip()!r}")
+
+    headers: "dict[str, str]" = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise WireError("connection closed mid-headers")
+        if len(line) > MAX_HEADER_LINE:
+            raise WireError("header line too long")
+        line = line.rstrip(b"\r\n")
+        if not line:
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise WireError("chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise WireError("invalid Content-Length")
+        if length < 0 or length > MAX_REQUEST_BODY:
+            raise WireError("request body too large")
+        body = await reader.readexactly(length)
+
+    split = urlsplit(target)
+    query = {
+        name: values[-1]
+        for name, values in parse_qs(split.query).items()
+    }
+    return Request(
+        method=method.upper(), path=split.path, query=query,
+        headers=headers, body=body,
+    )
+
+
+def http_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: "tuple[tuple[str, str], ...]" = (),
+) -> bytes:
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}"]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    if status != 101:
+        lines.append(f"Content-Type: {content_type}")
+        lines.append(f"Content-Length: {len(body)}")
+        lines.append("Connection: close")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(status: int, record) -> bytes:
+    body = json.dumps(record, sort_keys=True).encode("utf-8")
+    return http_response(status, body)
+
+
+# ----------------------------------------------------------------------
+# WebSocket framing
+# ----------------------------------------------------------------------
+def ws_accept_value(key: str) -> str:
+    """Sec-WebSocket-Accept for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def ws_handshake_response(key: str) -> bytes:
+    return http_response(
+        101,
+        extra_headers=(
+            ("Upgrade", "websocket"),
+            ("Connection", "Upgrade"),
+            ("Sec-WebSocket-Accept", ws_accept_value(key)),
+        ),
+    )
+
+
+def ws_client_handshake(
+    host: str, path: str, key: Optional[bytes] = None
+) -> "tuple[bytes, str]":
+    """The client's upgrade request bytes plus the accept value the
+    server must answer with."""
+    raw = key if key is not None else os.urandom(16)
+    encoded = base64.b64encode(raw).decode("latin-1")
+    request = (
+        f"GET {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {encoded}\r\n"
+        "Sec-WebSocket-Version: 13\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return request, ws_accept_value(encoded)
+
+
+def ws_encode_frame(
+    payload: bytes, *, opcode: int = OP_TEXT, mask: bool = False
+) -> bytes:
+    """One FIN frame.  ``mask=True`` for client→server (RFC-mandated)."""
+    header = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(
+            byte ^ key[i % 4] for i, byte in enumerate(payload)
+        )
+    return bytes(header) + payload
+
+
+def _ws_decode_header(two: bytes) -> "tuple[int, bool, bool, int]":
+    """(opcode, fin, masked, length-or-marker) from the first 2 bytes."""
+    if len(two) < 2:
+        raise WireError("connection closed mid-frame")
+    fin = bool(two[0] & 0x80)
+    if two[0] & 0x70:
+        raise WireError("websocket extensions are not supported")
+    opcode = two[0] & 0x0F
+    masked = bool(two[1] & 0x80)
+    return opcode, fin, masked, two[1] & 0x7F
+
+
+def _ws_unmask(payload: bytes, key: bytes) -> bytes:
+    return bytes(byte ^ key[i % 4] for i, byte in enumerate(payload))
+
+
+async def ws_read_frame(reader) -> "tuple[int, bytes]":
+    """Read one frame from an asyncio stream: ``(opcode, payload)``."""
+    opcode, fin, masked, length = _ws_decode_header(
+        await reader.readexactly(2)
+    )
+    if not fin:
+        raise WireError("fragmented websocket frames are not supported")
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_WS_PAYLOAD:
+        raise WireError("websocket payload too large")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = _ws_unmask(payload, key)
+    return opcode, payload
+
+
+def ws_read_frame_sync(read_exactly) -> "tuple[int, bytes]":
+    """Blocking twin of :func:`ws_read_frame`; ``read_exactly(n)`` must
+    return exactly ``n`` bytes or raise."""
+    opcode, fin, masked, length = _ws_decode_header(read_exactly(2))
+    if not fin:
+        raise WireError("fragmented websocket frames are not supported")
+    if length == 126:
+        (length,) = struct.unpack(">H", read_exactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", read_exactly(8))
+    if length > MAX_WS_PAYLOAD:
+        raise WireError("websocket payload too large")
+    key = read_exactly(4) if masked else b""
+    payload = read_exactly(length) if length else b""
+    if masked:
+        payload = _ws_unmask(payload, key)
+    return opcode, payload

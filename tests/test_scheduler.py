@@ -35,10 +35,14 @@ from repro.engines.base import SimulationOptions
 from repro.model.errors import SimulationError
 from repro.runner.cache import ArtifactCache
 from repro.runner.costmodel import (
+    FLAP_PENALTY,
     CaseCostModel,
     CostModelStore,
     cost_key,
     default_cost_model,
+    makespan,
+    pack_shards,
+    plan_chunks,
     set_default_cost_store,
 )
 from repro.runner.jobs import SimulationJob
@@ -94,11 +98,23 @@ class TestReorderBuffer:
     def test_duplicate_push_rejected(self):
         buf = ReorderBuffer()
         buf.push(1, "x")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="pushed twice"):
             buf.push(1, "y")
-        buf.push(0, "a")
-        with pytest.raises(ValueError):
-            buf.push(0, "again")  # already released
+
+    def test_stale_push_below_frontier_distinct_message(self):
+        """A released index is *stale*, not duplicated: the error names
+        the frontier so service users can tell the two apart."""
+        buf = ReorderBuffer()
+        buf.push(1, "x")
+        buf.push(0, "a")  # releases 0 and 1; frontier is now 2
+        with pytest.raises(ValueError, match=r"below the frontier 2"):
+            buf.push(0, "again")
+        with pytest.raises(ValueError, match="already released"):
+            buf.push(1, "again")
+        # A genuine duplicate still reads "pushed twice".
+        buf.push(3, "held")
+        with pytest.raises(ValueError, match="pushed twice"):
+            buf.push(3, "held-dup")
 
     @given(st.permutations(list(range(12))))
     @settings(max_examples=60, deadline=None)
@@ -260,6 +276,35 @@ class TestCostModelBase:
         model.observe(10, 4, -1.0)
         assert model.observations == 0 and model.base_observations == 0
 
+    def test_penalty_multiplies_predictions_and_ratchets(self):
+        model = CaseCostModel()
+        baseline = model.predict(1000, 10)
+        model.set_penalty(4.0)
+        assert model.predict(1000, 10) == pytest.approx(baseline * 4.0)
+        # Ratchet: a smaller multiplier never undoes a larger one.
+        model.set_penalty(2.0)
+        assert model.predict(1000, 10) == pytest.approx(baseline * 4.0)
+        model.set_penalty(8.0)
+        assert model.predict(1000, 10) == pytest.approx(baseline * 8.0)
+        with pytest.raises(ValueError, match=">= 1.0"):
+            model.set_penalty(0.5)
+
+    def test_penalty_is_runtime_only(self, tmp_path):
+        """Flapping is a condition of *this* process's servers; the
+        demotion must not poison future campaigns through persistence."""
+        path = tmp_path / "cm.json"
+        store = CostModelStore(path)
+        store.observe("k", 100_000, 10, 0.5)
+        store.penalize("k")
+        assert store.generation == 1
+        assert store.save() == path
+        fresh = CostModelStore(path)
+        assert fresh.model("k").penalty == 1.0
+        assert fresh.generation == 0
+        assert fresh.predict("k", 100_000, 10) < store.predict(
+            "k", 100_000, 10
+        )
+
 
 class TestCostModelStore:
     def test_persist_and_warm_start(self, tmp_path):
@@ -329,6 +374,97 @@ class TestCostModelStore:
 
 
 # ----------------------------------------------------------------------
+# cost-packed chunk forming (ROADMAP leftover: greedy arrival packing)
+# ----------------------------------------------------------------------
+def _greedy_arrival(n: int, size: int) -> "list[list[int]]":
+    """The old chunk former: consecutive runs of ``size`` arrivals."""
+    return [list(range(i, min(i + size, n))) for i in range(0, n, size)]
+
+
+def _worker_makespan(chunks, costs, workers: int) -> float:
+    """Wall-clock of dispatching ``chunks``, in order, onto the least-
+    loaded of ``workers`` pooled slots — one chunk occupies one slot."""
+    loads = [0.0] * workers
+    for chunk in chunks:
+        slot = loads.index(min(loads))
+        loads[slot] += sum(costs[i] for i in chunk)
+    return max(loads)
+
+
+class TestPlanChunks:
+    def test_skewed_corpus_beats_greedy_arrival(self):
+        """The regression claim from the issue: on a skewed-cost corpus
+        the cost packer's predicted worker makespan is never worse than
+        greedy-by-arrival chunking — and strictly better when the
+        arrival order clusters the expensive tail."""
+        workers, size = 3, 4
+        for costs in (
+            [8.0, 8.0, 8.0] + [1.0] * 9,  # longs arrive first
+            [1.0] * 9 + [8.0, 8.0, 8.0],  # longs arrive last
+            [8.0, 1.0, 8.0, 1.0, 8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        ):
+            planned = plan_chunks(costs, workers, size)
+            greedy = _greedy_arrival(len(costs), size)
+            assert _worker_makespan(planned, costs, workers) <= (
+                _worker_makespan(greedy, costs, workers)
+            )
+        # The clustered cases are the motivating ones: greedy arrival
+        # rides all three longs on one worker (makespan 25); packing
+        # spreads them (makespan 11).
+        clustered = [8.0, 8.0, 8.0] + [1.0] * 9
+        assert _worker_makespan(
+            plan_chunks(clustered, workers, size), clustered, workers
+        ) < _worker_makespan(
+            _greedy_arrival(12, size), clustered, workers
+        )
+
+    def test_partition_is_exact_capped_and_frontier_first(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0]
+        chunks = plan_chunks(costs, 2, 3)
+        flat = sorted(i for chunk in chunks for i in chunk)
+        assert flat == list(range(10))
+        assert all(len(chunk) <= 3 for chunk in chunks)
+        assert chunks[0][0] == 0  # the frontier chunk comes first
+        assert [c[0] for c in chunks] == sorted(c[0] for c in chunks)
+        # Deterministic: equal inputs, equal partition.
+        assert chunks == plan_chunks(costs, 2, 3)
+
+    def test_infeasible_cap_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            pack_shards([1.0, 1.0, 1.0], 2, max_size=1)
+        with pytest.raises(ValueError, match="max_size"):
+            plan_chunks([1.0, 1.0], 2, 0)
+        # plan_chunks raises the chunk count instead of failing.
+        chunks = plan_chunks([1.0] * 7, 2, 2)
+        assert all(len(chunk) <= 2 for chunk in chunks)
+        assert sorted(i for c in chunks for i in c) == list(range(7))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=10.0),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_never_worse_than_round_robin_chunking(
+        self, costs, n_chunks, max_size
+    ):
+        """The by-construction guarantee packing inherits from
+        pack_shards: the planned partition never predicts a worse
+        makespan than round-robin dealing into the same chunk count."""
+        n = len(costs)
+        chunks = plan_chunks(costs, n_chunks, max_size)
+        assert sorted(i for c in chunks for i in c) == list(range(n))
+        assert all(len(chunk) <= max_size for chunk in chunks)
+        effective = min(max(n_chunks, -(-n // max_size)), n)
+        rr = [list(range(slot, n, effective)) for slot in range(effective)]
+        assert makespan(chunks, costs) <= makespan(rr, costs) * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
 # streaming dispatch: pool-level identity (no compiler needed)
 # ----------------------------------------------------------------------
 class TestRunJobsStreaming:
@@ -376,6 +512,104 @@ class TestRunJobsStreaming:
         results = run_jobs_streaming(self._jobs(4), workers=2)
         assert [r.ok for r in results] == [False] * 4
         assert all("engine exploded" in r.error for r in results)
+
+
+# ----------------------------------------------------------------------
+# scheduler-level cost packing + flap-driven re-classification
+# ----------------------------------------------------------------------
+class TestCostAwareScheduling:
+    def test_flap_penalty_reroutes_cases_to_long_slots(self):
+        """A penalized cost key's cases re-classify as long mid-run (the
+        generation watch), route through the capped long slots, and
+        still deliver in seed order."""
+        store = CostModelStore(None)
+        spv = preprocess(build_benchmark("SPV"))
+        rac = preprocess(build_benchmark("RAC"))
+        opts = SimulationOptions(steps=100)
+        progs = [spv, spv, spv, rac, spv, spv, spv, rac]
+        jobs = [
+            SimulationJob(prog=prog, seed=1 + i, engine="sse", options=opts)
+            for i, prog in enumerate(progs)
+        ]
+        # Pin both keys to identical coefficients so the *only* cost
+        # difference in play is the flap penalty (actor counts differ
+        # between the two models and would otherwise skew predictions).
+        for prog in (spv, rac):
+            model = store.model(cost_key("sse", prog, opts))
+            model.base_seconds = 1e-3
+            model.rate_seconds = 0.0
+        scheduler = StreamScheduler(
+            jobs, workers=4, window=4, cost_store=store
+        )
+        # Equal predictions: nothing classifies long.
+        assert not any(scheduler._is_long)
+
+        # The warm-server pool reports RAC's artifact flapping: its key
+        # is demoted far past the long-classification ratio.
+        store.penalize(cost_key("sse", rac, opts), 100.0)
+        scheduler._refresh_costs()
+        for index, prog in enumerate(progs):
+            assert scheduler._is_long[index] == (prog is rac)
+
+        try:
+            seeds = [r.seed for r in scheduler.results()]
+        finally:
+            stats = scheduler.finish()
+        assert seeds == list(range(1, 9))
+        assert stats["long_chunks"] == 2
+        assert stats["folded"] == 8
+
+    def test_refresh_drops_stale_chunk_plans(self):
+        """A generation bump invalidates cost-packed plans built from
+        the old predictions."""
+        store = CostModelStore(None)
+        prog = preprocess(build_benchmark("SPV"))
+        jobs = [
+            SimulationJob(
+                prog=prog, seed=1 + i, engine="sse",
+                options=SimulationOptions(steps=100),
+            )
+            for i in range(4)
+        ]
+        scheduler = StreamScheduler(jobs, workers=2, cost_store=store)
+        scheduler._planned_chunks[2] = [2, 3]
+        store.penalize(cost_key("sse", prog, SimulationOptions(steps=100)))
+        scheduler._refresh_costs()
+        assert scheduler._planned_chunks == {}
+        try:
+            seeds = [r.seed for r in scheduler.results()]
+        finally:
+            scheduler.finish()
+        assert seeds == [1, 2, 3, 4]
+
+
+@requires_cc
+def test_cost_packed_chunks_preserve_identity(tmp_path):
+    """Pooled accmos chunks are cost-packed when predictions vary inside
+    a compile-key group: chunk membership changes, per-case results and
+    delivery order do not, and the stats dict counts the packed chunks."""
+    cache = ArtifactCache(tmp_path / "cache")
+    prog = preprocess(build_benchmark("SPV"))
+    jobs = [
+        SimulationJob(
+            prog=prog, seed=1 + i, engine="accmos",
+            options=SimulationOptions(steps=100 + 500 * (i % 3)),
+        )
+        for i in range(9)
+    ]
+    reference = run_jobs(jobs, workers=1, cache=cache)
+    stats: dict = {}
+    streamed = run_jobs_streaming(
+        jobs, workers=3, batch_size=3, cache=cache, stats_sink=stats
+    )
+    assert [r.seed for r in streamed] == [r.seed for r in reference]
+    for ref, got in zip(reference, streamed):
+        assert got.ok and ref.ok
+        assert got.result.checksums == ref.result.checksums
+        assert got.result.coverage.bitmaps == ref.result.coverage.bitmaps
+    # Predicted costs vary with steps, so the chunk former cost-packs.
+    assert stats["cost_packed_chunks"] >= 1
+    assert stats["folded"] == len(jobs)
 
 
 # ----------------------------------------------------------------------
